@@ -1,0 +1,127 @@
+//! Prefix-preserving IP address anonymization.
+//!
+//! The construction is the one tcpdpriv's `-a50` mode and Crypto-PAn share:
+//! the anonymized address is built bit by bit, and bit `i` of the output is
+//! bit `i` of the input XORed with a pseudorandom function of the *first
+//! `i` bits* of the input. Two addresses that agree on their first `k` bits
+//! therefore agree on the first `k` bits of their anonymized forms — and
+//! addresses that differ at bit `k` still differ at bit `k` (the XOR mask
+//! is the same for both, since it depends only on the shared prefix). The
+//! mapping is thus a prefix-structure-preserving bijection.
+
+use netaddr::Addr;
+
+use crate::sha1::sha1;
+
+/// A keyed prefix-preserving anonymizer for IPv4 addresses.
+pub struct IpAnonymizer {
+    key: Vec<u8>,
+}
+
+impl IpAnonymizer {
+    /// Creates an anonymizer keyed by `key`.
+    pub fn new(key: &[u8]) -> IpAnonymizer {
+        IpAnonymizer { key: key.to_vec() }
+    }
+
+    /// One pseudorandom bit derived from the key and a bit-prefix.
+    fn prf_bit(&self, prefix_bits: u32, len: u8) -> u32 {
+        let mut input = self.key.clone();
+        input.extend_from_slice(b"ipv4");
+        input.push(len);
+        // Only the first `len` bits are meaningful; mask the rest so equal
+        // prefixes give equal inputs regardless of trailing bits.
+        let masked = if len == 0 { 0 } else { prefix_bits & (u32::MAX << (32 - len)) };
+        input.extend_from_slice(&masked.to_be_bytes());
+        (sha1(&input)[0] & 1) as u32
+    }
+
+    /// Anonymizes one address.
+    ///
+    /// The leading *class bits* (1 bit for class A, 2 for B, 3 for C, 4 for
+    /// D/E) are preserved verbatim, as tcpdpriv does: classful commands
+    /// like EIGRP/RIP `network 10.0.0.0` derive their prefix length from
+    /// the address class, so class preservation is required for the
+    /// anonymized configuration to describe the same routing design.
+    pub fn anonymize(&self, addr: Addr) -> Addr {
+        let input = addr.to_u32();
+        let class_bits = Self::class_bits(input);
+        let mut output = input & !(u32::MAX >> class_bits);
+        for i in class_bits..32u8 {
+            let input_bit = (input >> (31 - i)) & 1;
+            let flip = self.prf_bit(input, i);
+            output |= (input_bit ^ flip) << (31 - i);
+        }
+        Addr::from_u32(output)
+    }
+
+    /// Number of leading bits that determine the address class.
+    fn class_bits(bits: u32) -> u8 {
+        if bits >> 31 == 0 {
+            1 // class A: 0xxx
+        } else if bits >> 30 == 0b10 {
+            2 // class B: 10xx
+        } else if bits >> 29 == 0b110 {
+            3 // class C: 110x
+        } else {
+            4 // class D/E: 1110 / 1111
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+
+    fn shared_prefix_len(a: Addr, b: Addr) -> u8 {
+        (a.to_u32() ^ b.to_u32()).leading_zeros() as u8
+    }
+
+    #[test]
+    fn deterministic_under_same_key() {
+        let x = IpAnonymizer::new(b"k");
+        assert_eq!(x.anonymize(addr("10.1.2.3")), x.anonymize(addr("10.1.2.3")));
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        let x = IpAnonymizer::new(b"k1");
+        let y = IpAnonymizer::new(b"k2");
+        // Over several addresses at least one must map differently.
+        let samples = ["10.1.2.3", "192.0.2.77", "66.253.160.67"];
+        assert!(samples
+            .iter()
+            .any(|s| x.anonymize(addr(s)) != y.anonymize(addr(s))));
+    }
+
+    #[test]
+    fn preserves_shared_prefix_lengths_exactly() {
+        let x = IpAnonymizer::new(b"key");
+        let pairs = [
+            ("10.0.0.1", "10.0.0.2"),       // share /30
+            ("10.0.0.1", "10.0.1.1"),       // share /23
+            ("10.0.0.1", "11.0.0.1"),       // share /7
+            ("66.253.32.85", "66.253.32.86"), // the Fig. 2 /30
+        ];
+        for (s1, s2) in pairs {
+            let (a, b) = (addr(s1), addr(s2));
+            let expect = shared_prefix_len(a, b);
+            let got = shared_prefix_len(x.anonymize(a), x.anonymize(b));
+            assert_eq!(got, expect, "{s1} vs {s2}");
+        }
+    }
+
+    #[test]
+    fn is_injective_on_a_sample() {
+        let x = IpAnonymizer::new(b"key");
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..512u32 {
+            let a = Addr::from_u32(i * 8_388_608 + i); // spread across space
+            assert!(seen.insert(x.anonymize(a)), "collision for {a}");
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Structure-preserving anonymization of router configurations.
+//!
+//! Reimplements the methodology of Section 4.1 of the paper (and of the
+//! companion tech report CMU-CS-04-149): configuration files can be shared
+//! with researchers only if everything identifying is removed, while
+//! everything *structural* — the raw mechanism the routing-design analyses
+//! consume — is preserved. Concretely:
+//!
+//! - Comments are stripped (the stanza lexer already drops them).
+//! - Non-numeric tokens that are not known IOS keywords (hostnames,
+//!   route-map names, descriptions) are replaced by deterministic hashes,
+//!   à la the paper's SHA-1 digests of every word not found in the Cisco
+//!   command reference. See [`Anonymizer::hash_token`].
+//! - IP addresses are mapped by a *prefix-preserving*, keyed permutation
+//!   (the tcpdpriv/Crypto-PAn construction): two addresses sharing their
+//!   first `k` bits map to addresses sharing their first `k` bits, so
+//!   subnet matching — and therefore every analysis in this repository —
+//!   is invariant under anonymization. See [`Anonymizer::anon_addr`].
+//! - Netmasks and wildcard masks are left alone (they carry structure, not
+//!   identity), as are small plain integers (ACL numbers, process ids,
+//!   metrics, areas).
+//! - Public AS numbers are hashed into the public range; private ASNs
+//!   (64512–65534) are preserved, exactly as the paper does.
+//!
+//! The SHA-1 implementation is from scratch per RFC 3174 (the reference the
+//! paper cites); see [`sha1`]. It is used here as a deterministic PRF for
+//! anonymization, not for any security purpose.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ipanon;
+mod sha1;
+mod tokens;
+
+pub use ipanon::IpAnonymizer;
+pub use sha1::sha1;
+
+use netaddr::Addr;
+
+/// A keyed, deterministic configuration anonymizer.
+///
+/// All mappings are functions of the key, so anonymizing the files of one
+/// network with one `Anonymizer` keeps cross-file references (neighbor
+/// addresses, shared route-map names) consistent — the property the whole
+/// reverse-engineering pipeline depends on.
+pub struct Anonymizer {
+    key: Vec<u8>,
+    ip: IpAnonymizer,
+}
+
+impl Anonymizer {
+    /// Creates an anonymizer from a secret key.
+    pub fn new(key: &[u8]) -> Anonymizer {
+        Anonymizer { key: key.to_vec(), ip: IpAnonymizer::new(key) }
+    }
+
+    /// Keyed PRF: SHA-1 over `key ‖ domain ‖ data`.
+    fn prf(&self, domain: &str, data: &[u8]) -> [u8; 20] {
+        let mut input = self.key.clone();
+        input.extend_from_slice(domain.as_bytes());
+        input.push(0);
+        input.extend_from_slice(data);
+        sha1(&input)
+    }
+
+    /// Hashes a free-form token into a fixed-width base-62 name like
+    /// `8aTzlvBrbaW` (the shape of the anonymized names in the paper's
+    /// Figure 2).
+    pub fn hash_token(&self, token: &str) -> String {
+        let digest = self.prf("token", token.as_bytes());
+        // 11 base-62 characters from the first 8 bytes, first forced
+        // alphabetic so the result can never be mistaken for a number.
+        const ALPHABET: &[u8; 62] =
+            b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+        let mut value = u64::from_be_bytes(digest[..8].try_into().expect("8 bytes"));
+        let mut out = Vec::with_capacity(11);
+        out.push(ALPHABET[(value % 52) as usize]); // letters only
+        value /= 52;
+        for _ in 0..10 {
+            out.push(ALPHABET[(value % 62) as usize]);
+            value /= 62;
+        }
+        String::from_utf8(out).expect("alphabet is ASCII")
+    }
+
+    /// Prefix-preserving address anonymization.
+    pub fn anon_addr(&self, addr: Addr) -> Addr {
+        self.ip.anonymize(addr)
+    }
+
+    /// Anonymizes an AS number: private-range ASNs (64512–65534) pass
+    /// through; public ASNs map deterministically into 1..64512.
+    pub fn anon_asn(&self, asn: u32) -> u32 {
+        if (64512..=65535).contains(&asn) {
+            return asn;
+        }
+        let digest = self.prf("asn", &asn.to_be_bytes());
+        let raw = u32::from_be_bytes(digest[..4].try_into().expect("4 bytes"));
+        1 + raw % 64511
+    }
+
+    /// Anonymizes one configuration file, preserving structure.
+    pub fn anonymize_config(&self, text: &str) -> String {
+        tokens::anonymize_text(self, text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn anon() -> Anonymizer {
+        Anonymizer::new(b"test-key")
+    }
+
+    #[test]
+    fn token_hash_is_deterministic_and_name_shaped() {
+        let a = anon();
+        let h1 = a.hash_token("my-route-map");
+        let h2 = a.hash_token("my-route-map");
+        assert_eq!(h1, h2);
+        assert_eq!(h1.len(), 11);
+        assert!(h1.chars().next().unwrap().is_ascii_alphabetic());
+        assert_ne!(h1, a.hash_token("other-map"));
+        // A different key gives a different mapping.
+        let b = Anonymizer::new(b"other-key");
+        assert_ne!(h1, b.hash_token("my-route-map"));
+    }
+
+    #[test]
+    fn asn_private_range_preserved_public_hashed() {
+        let a = anon();
+        assert_eq!(a.anon_asn(64512), 64512);
+        assert_eq!(a.anon_asn(65001), 65001);
+        let mapped = a.anon_asn(7018);
+        assert_ne!(mapped, 7018);
+        assert!((1..64512).contains(&mapped));
+        assert_eq!(mapped, a.anon_asn(7018));
+    }
+}

@@ -1,0 +1,238 @@
+//! Text-level anonymization: token classification and rewriting.
+//!
+//! Mirrors the paper's regex/wordlist strategy: every whitespace-separated
+//! token of every command line is classified as (a) a known IOS keyword —
+//! kept, (b) a plain integer — kept, except AS numbers which are remapped,
+//! (c) a dotted-quad — kept if it is a netmask/wildcard, prefix-preservingly
+//! anonymized if it is an address, (d) an interface name — kept (hardware
+//! labels carry structure, not identity), or (e) anything else — hashed.
+
+use netaddr::{Addr, Netmask, Wildcard};
+
+use crate::Anonymizer;
+
+/// Anonymizes a whole configuration text, line by line.
+pub fn anonymize_text(anon: &Anonymizer, text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for raw_line in text.lines() {
+        let trimmed = raw_line.trim_end();
+        let content = trimmed.trim_start();
+        // Comments are dropped entirely; bare separators are kept.
+        if content.starts_with('!') {
+            out.push_str("!\n");
+            continue;
+        }
+        if content.is_empty() {
+            out.push('\n');
+            continue;
+        }
+        let indent = &trimmed[..trimmed.len() - content.len()];
+        out.push_str(indent);
+        out.push_str(&anonymize_line(anon, content));
+        out.push('\n');
+    }
+    out
+}
+
+/// Anonymizes one command line.
+fn anonymize_line(anon: &Anonymizer, line: &str) -> String {
+    let words: Vec<&str> = line.split_whitespace().collect();
+
+    // Free-text commands: hash the entire remainder as one token so word
+    // counts cannot leak phrasing.
+    for (head, skip) in [("description", 1), ("banner", 1), ("hostname", 1)] {
+        if words.first().is_some_and(|w| w.eq_ignore_ascii_case(head)) && words.len() > skip {
+            let rest = words[skip..].join(" ");
+            return format!("{} {}", words[0], anon.hash_token(&rest));
+        }
+    }
+    // `neighbor <ip> description ...`
+    if words.len() > 3
+        && words[0].eq_ignore_ascii_case("neighbor")
+        && words[2].eq_ignore_ascii_case("description")
+    {
+        let ip = anonymize_word(anon, &words, 1);
+        let rest = words[3..].join(" ");
+        return format!("neighbor {ip} description {}", anon.hash_token(&rest));
+    }
+
+    let mut out: Vec<String> = Vec::with_capacity(words.len());
+    for idx in 0..words.len() {
+        out.push(anonymize_word(anon, &words, idx));
+    }
+    out.join(" ")
+}
+
+/// True when the token at `idx` sits in an AS-number position.
+fn is_asn_position(words: &[&str], idx: usize) -> bool {
+    if idx == 0 {
+        return false;
+    }
+    let prev = words[idx - 1].to_ascii_lowercase();
+    if prev == "remote-as" {
+        return true;
+    }
+    if idx >= 2 {
+        let prev2 = words[idx - 2].to_ascii_lowercase();
+        if (prev2 == "router" || prev2 == "redistribute") && prev == "bgp" {
+            return true;
+        }
+    }
+    false
+}
+
+/// True if the dotted quad at `idx` is a mask rather than an address:
+/// either a contiguous netmask, or a contiguous wildcard appearing right
+/// after another dotted quad (the `A W` position of `network`/ACL syntax).
+fn is_mask_position(words: &[&str], idx: usize, token: &str) -> bool {
+    if token.parse::<Netmask>().is_ok() {
+        // Contiguous netmask shape, e.g. 255.255.255.252 or 0.0.0.0.
+        // Addresses never look like this in practice (network numbers have
+        // interior zero bits), and our generator never assigns one.
+        return true;
+    }
+    if let Ok(w) = token.parse::<Wildcard>() {
+        if w.is_contiguous() && idx > 0 && words[idx - 1].parse::<Addr>().is_ok() {
+            return true;
+        }
+    }
+    false
+}
+
+fn anonymize_word(anon: &Anonymizer, words: &[&str], idx: usize) -> String {
+    let token = words[idx];
+
+    // Plain integers: AS numbers are remapped, everything else passes.
+    if token.bytes().all(|b| b.is_ascii_digit()) {
+        if let Ok(n) = token.parse::<u32>() {
+            if is_asn_position(words, idx) {
+                return anon.anon_asn(n).to_string();
+            }
+        }
+        return token.to_string();
+    }
+
+    // Dotted quads: masks pass, addresses are anonymized.
+    if let Ok(addr) = token.parse::<Addr>() {
+        if is_mask_position(words, idx, token) {
+            return token.to_string();
+        }
+        return anon.anon_addr(addr).to_string();
+    }
+
+    // Known command keywords pass.
+    if ioscfg::is_keyword(token) {
+        return token.to_string();
+    }
+
+    // Interface names pass (type + unit designator).
+    if let Ok(name) = token.parse::<ioscfg::InterfaceName>() {
+        if !matches!(name.ty, ioscfg::InterfaceType::Other(_)) && !name.unit.is_empty() {
+            return token.to_string();
+        }
+    }
+
+    // Everything else is user data.
+    anon.hash_token(token)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn anon() -> Anonymizer {
+        Anonymizer::new(b"unit-test")
+    }
+
+    #[test]
+    fn masks_and_keywords_survive() {
+        let a = anon();
+        let out = anonymize_line(&a, "ip address 66.251.75.144 255.255.255.128");
+        let words: Vec<&str> = out.split_whitespace().collect();
+        assert_eq!(words[0], "ip");
+        assert_eq!(words[1], "address");
+        assert_ne!(words[2], "66.251.75.144");
+        assert!(words[2].parse::<Addr>().is_ok());
+        assert_eq!(words[3], "255.255.255.128");
+    }
+
+    #[test]
+    fn wildcards_after_addresses_survive() {
+        let a = anon();
+        let out = anonymize_line(&a, "network 66.251.75.128 0.0.0.127 area 0");
+        let words: Vec<&str> = out.split_whitespace().collect();
+        assert_eq!(words[2], "0.0.0.127");
+        assert_eq!(words[3], "area");
+        assert_eq!(words[4], "0");
+    }
+
+    #[test]
+    fn route_map_names_are_hashed_consistently() {
+        let a = anon();
+        let l1 = anonymize_line(&a, "redistribute ospf 64 route-map corp-policy");
+        let l2 = anonymize_line(&a, "route-map corp-policy deny 10");
+        let h1 = l1.split_whitespace().last().unwrap().to_string();
+        let h2 = l2.split_whitespace().nth(1).unwrap().to_string();
+        assert_eq!(h1, h2);
+        assert_ne!(h1, "corp-policy");
+        // OSPF pid and sequence numbers are untouched.
+        assert!(l1.contains(" 64 "));
+        assert!(l2.ends_with("deny 10"));
+    }
+
+    #[test]
+    fn asn_positions_are_remapped() {
+        let a = anon();
+        let out = anonymize_line(&a, "router bgp 7018");
+        assert_ne!(out, "router bgp 7018");
+        let mapped: u32 = out.split_whitespace().last().unwrap().parse().unwrap();
+        assert_eq!(mapped, a.anon_asn(7018));
+        // remote-as uses the same mapping, so the peering stays consistent.
+        let out2 = anonymize_line(&a, "neighbor 10.0.0.1 remote-as 7018");
+        assert!(out2.ends_with(&mapped.to_string()));
+        // Private ASNs pass through.
+        assert_eq!(anonymize_line(&a, "router bgp 65001"), "router bgp 65001");
+    }
+
+    #[test]
+    fn interface_names_survive() {
+        let a = anon();
+        assert_eq!(
+            anonymize_line(&a, "distribute-list 44 in Serial1/0.5"),
+            "distribute-list 44 in Serial1/0.5"
+        );
+        assert_eq!(
+            anonymize_line(&a, "interface Hssi2/0 point-to-point"),
+            "interface Hssi2/0 point-to-point"
+        );
+    }
+
+    #[test]
+    fn descriptions_and_hostnames_are_hashed_whole() {
+        let a = anon();
+        let out = anonymize_line(&a, "description link to Chicago POP router 7");
+        assert_eq!(out.split_whitespace().count(), 2);
+        let out = anonymize_line(&a, "hostname chicago-core-1");
+        assert!(out.starts_with("hostname "));
+        assert!(!out.contains("chicago"));
+    }
+
+    #[test]
+    fn comments_are_dropped_structure_kept() {
+        let a = anon();
+        let text = "! built by ops team 2003-05-07\nhostname secret\n!\n";
+        let out = anonymize_text(&a, text);
+        assert!(!out.contains("ops team"));
+        assert_eq!(out.lines().count(), 3);
+        assert_eq!(out.lines().next().unwrap(), "!");
+    }
+
+    #[test]
+    fn indentation_is_preserved() {
+        let a = anon();
+        let out = anonymize_text(&a, "interface Ethernet0\n ip address 10.0.0.1 255.0.0.0\n");
+        let second = out.lines().nth(1).unwrap();
+        assert!(second.starts_with(' '));
+        assert!(!second.starts_with("  "));
+    }
+}

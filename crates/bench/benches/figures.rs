@@ -1,0 +1,95 @@
+//! Criterion benchmarks for regenerating each of the paper's tables and
+//! figures (one bench per table/figure, on the small-scale study so a
+//! bench run stays tractable; the `repro` binary produces the full-scale
+//! numbers).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netgen::{repository_sizes, StudyScale};
+use rd_bench::analyzed_study;
+use routing_design::report::{FilterCdf, Section7Report, SizeHistogram, StudyReport};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    // The expensive part — generating and analyzing the corpus — is done
+    // once; each figure bench then measures its aggregation cost.
+    let networks = analyzed_study(StudyScale::Small);
+    let repo = repository_sizes(17);
+
+    c.bench_function("table1_roles", |b| {
+        b.iter(|| {
+            let mut t = routing_design::Table1::default();
+            for n in &networks {
+                t.add(&n.analysis.table1);
+            }
+            black_box(t.igp_inter_fraction())
+        })
+    });
+
+    c.bench_function("table3_census", |b| {
+        b.iter(|| {
+            let mut census = nettopo::stats::InterfaceCensus::default();
+            for n in &networks {
+                census.add(&n.analysis.network);
+            }
+            black_box(census.total)
+        })
+    });
+
+    c.bench_function("fig4_config_sizes", |b| {
+        let net5 = networks.iter().find(|n| n.name == "net5").expect("net5");
+        b.iter(|| {
+            black_box(nettopo::stats::ConfigSizeStats::of(&net5.analysis.network).mean())
+        })
+    });
+
+    c.bench_function("fig8_size_distribution", |b| {
+        let sizes: Vec<usize> =
+            networks.iter().map(|n| n.analysis.network.len()).collect();
+        b.iter(|| black_box(SizeHistogram::build(&sizes, &repo).buckets.len()))
+    });
+
+    c.bench_function("fig11_filter_cdf", |b| {
+        b.iter(|| black_box(FilterCdf::build(&networks).fraction_at_least(0.4)))
+    });
+
+    c.bench_function("section7_classify", |b| {
+        b.iter(|| black_box(Section7Report::build(&networks).bgp_into_igp))
+    });
+
+    c.bench_function("full_study_report", |b| {
+        b.iter(|| black_box(StudyReport::build(&networks).sizes.len()))
+    });
+
+    // The per-network pipeline on the case studies (generation included),
+    // the dominant cost of regenerating Figures 9/10/12.
+    c.bench_function("net5_pipeline", |b| {
+        b.iter(|| {
+            let texts = rd_bench::generate_named("net5", StudyScale::Small);
+            black_box(
+                routing_design::NetworkAnalysis::from_texts(texts)
+                    .expect("parses")
+                    .instances
+                    .len(),
+            )
+        })
+    });
+
+    c.bench_function("net15_reachability", |b| {
+        let texts = rd_bench::generate_named("net15", StudyScale::Small);
+        let analysis =
+            routing_design::NetworkAnalysis::from_texts(texts).expect("parses");
+        let ab2: netaddr::Prefix = "10.2.0.0/16".parse().expect("AB2");
+        let ab4: netaddr::Prefix = "10.4.0.0/16".parse().expect("AB4");
+        b.iter(|| {
+            let reach = analysis.reachability();
+            black_box(reach.block_reachable(ab2, ab4))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_figures
+}
+criterion_main!(benches);

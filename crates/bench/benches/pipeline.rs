@@ -1,0 +1,163 @@
+//! Criterion benchmarks for every pipeline stage, plus the representation
+//! ablations DESIGN.md calls out:
+//!
+//! - link inference: hash-join (`LinkMap::build`) vs quadratic scan;
+//! - instance computation: union-find vs BFS closure;
+//! - prefix-set membership: sorted ranges (`PrefixSet`) vs binary trie.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use netgen::StudyScale;
+use rd_bench::{bfs_instance_closure, generate_named, quadratic_link_join};
+use std::hint::black_box;
+
+/// A mid-size corpus for the stage benches (net2 = a 56-router backbone
+/// at small scale).
+fn corpus() -> Vec<(String, String)> {
+    generate_named("net2", StudyScale::Small)
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let texts = corpus();
+    let total_bytes: usize = texts.iter().map(|(_, t)| t.len()).sum();
+    let mut group = c.benchmark_group("parse");
+    group.throughput(criterion::Throughput::Bytes(total_bytes as u64));
+    group.bench_function("parse_corpus", |b| {
+        b.iter(|| {
+            for (_, text) in &texts {
+                black_box(ioscfg::parse_config(text).expect("parses"));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_link_inference(c: &mut Criterion) {
+    let net = nettopo::Network::from_texts(corpus()).expect("parses");
+    let mut group = c.benchmark_group("link_inference");
+    group.bench_function("hash_join", |b| {
+        b.iter(|| black_box(nettopo::LinkMap::build(&net).links.len()))
+    });
+    group.bench_function("quadratic_scan", |b| {
+        b.iter(|| black_box(quadratic_link_join(&net)))
+    });
+    group.finish();
+}
+
+fn bench_instances(c: &mut Criterion) {
+    let net = nettopo::Network::from_texts(corpus()).expect("parses");
+    let links = nettopo::LinkMap::build(&net);
+    let external = nettopo::ExternalAnalysis::build(&net, &links);
+    let procs = routing_design::Processes::extract(&net);
+    let adj = routing_design::Adjacencies::build(&net, &links, &procs, &external);
+    let mut group = c.benchmark_group("instances");
+    group.bench_function("union_find", |b| {
+        b.iter(|| black_box(routing_design::Instances::compute(&procs, &adj).len()))
+    });
+    group.bench_function("bfs_closure", |b| {
+        b.iter(|| black_box(bfs_instance_closure(&procs, &adj)))
+    });
+    group.finish();
+}
+
+fn bench_prefixset_repr(c: &mut Criterion) {
+    // 1,000 prefixes, 10,000 membership probes: ranges vs trie.
+    let prefixes: Vec<netaddr::Prefix> = (0..1000u32)
+        .map(|i| {
+            netaddr::Prefix::new(
+                netaddr::Addr::from_u32(0x0a00_0000 + i * 0x1_0000),
+                24,
+            )
+            .expect("valid")
+        })
+        .collect();
+    let probes: Vec<netaddr::Addr> = (0..10_000u32)
+        .map(|i| netaddr::Addr::from_u32(0x0a00_0000 + i * 0x397))
+        .collect();
+    let set = netaddr::PrefixSet::from_prefixes(prefixes.iter().copied());
+    let mut trie = netaddr::PrefixTrie::new();
+    for p in &prefixes {
+        trie.insert(*p, ());
+    }
+    let mut group = c.benchmark_group("prefixset_repr");
+    group.bench_function("sorted_ranges", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for a in &probes {
+                if set.contains(*a) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.bench_function("binary_trie", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for a in &probes {
+                if trie.lookup(*a).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let texts = corpus();
+    c.bench_function("full_pipeline/one_network", |b| {
+        b.iter_batched(
+            || texts.clone(),
+            |t| black_box(routing_design::NetworkAnalysis::from_texts(t).expect("parses")),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_anonymization(c: &mut Criterion) {
+    let texts = corpus();
+    let anon = anonymizer::Anonymizer::new(b"bench-key");
+    let total_bytes: usize = texts.iter().map(|(_, t)| t.len()).sum();
+    let mut group = c.benchmark_group("anonymization");
+    group.throughput(criterion::Throughput::Bytes(total_bytes as u64));
+    group.bench_function("anonymize_corpus", |b| {
+        b.iter(|| {
+            for (_, text) in &texts {
+                black_box(anon.anonymize_config(text));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_reachability(c: &mut Criterion) {
+    let texts = generate_named("net15", StudyScale::Small);
+    let net = nettopo::Network::from_texts(texts).expect("parses");
+    let links = nettopo::LinkMap::build(&net);
+    let external = nettopo::ExternalAnalysis::build(&net, &links);
+    let procs = routing_design::Processes::extract(&net);
+    let adj = routing_design::Adjacencies::build(&net, &links, &procs, &external);
+    let instances = routing_design::Instances::compute(&procs, &adj);
+    let ab2: netaddr::Prefix = "10.2.0.0/16".parse().expect("AB2");
+    let ab4: netaddr::Prefix = "10.4.0.0/16".parse().expect("AB4");
+    c.bench_function("reachability/net15_isolation", |b| {
+        b.iter(|| {
+            let reach =
+                reachability::ReachAnalysis::new(&net, &procs, &adj, &instances);
+            black_box(reach.block_reachable(ab2, ab4))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_link_inference,
+    bench_instances,
+    bench_prefixset_repr,
+    bench_full_pipeline,
+    bench_anonymization,
+    bench_reachability,
+);
+criterion_main!(benches);

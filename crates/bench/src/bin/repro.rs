@@ -1,0 +1,328 @@
+//! The table/figure regeneration harness.
+//!
+//! For every table and figure in the paper's evaluation, prints the
+//! paper's published value next to the value measured on the regenerated
+//! corpus. Absolute counts depend on the authors' private population; the
+//! claims to check are the *shapes* (who dominates, ratios, crossovers).
+//!
+//! ```sh
+//! cargo run --release -p rd-bench --bin repro             # full scale, all targets
+//! cargo run -p rd-bench --bin repro -- --small table1     # one target, ~10% scale
+//! ```
+//!
+//! Targets: `all` (default), `table1`, `table3`, `fig4`, `fig8`, `fig11`,
+//! `section7`, `net5`, `net15`.
+
+use netgen::{repository_sizes, StudyScale};
+use rd_bench::analyzed_study;
+use routing_design::report::{render_fig4, render_table3, StudyNetwork, StudyReport};
+use routing_design::{DesignClass, Prefix};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let small = args.iter().any(|a| a == "--small");
+    let scale = if small { StudyScale::Small } else { StudyScale::Full };
+    let targets: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let want = |t: &str| targets.is_empty() || targets.contains(&"all") || targets.contains(&t);
+
+    eprintln!(
+        "generating + analyzing the 31-network study at {} scale...",
+        if small { "small" } else { "full (paper)" }
+    );
+    let networks = analyzed_study(scale);
+    let report = StudyReport::build(&networks);
+
+    if want("fig8") {
+        fig8(&report);
+    }
+    if want("table1") {
+        table1(&report);
+    }
+    if want("fig11") {
+        fig11(&report);
+    }
+    if want("table3") {
+        table3(&report);
+    }
+    if want("section7") {
+        section7(&report);
+    }
+    if want("fig4") {
+        fig4(&networks);
+    }
+    if want("net5") {
+        net5(&networks);
+    }
+    if want("net15") {
+        net15(&networks);
+    }
+}
+
+fn heading(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+fn row(label: &str, paper: &str, measured: String) {
+    println!("{label:<46} {paper:>16} {measured:>16}");
+}
+
+fn header() {
+    println!("{:<46} {:>16} {:>16}", "claim", "paper", "measured");
+}
+
+fn fig8(report: &StudyReport) {
+    heading("Figure 8: network size distribution (study vs repository)");
+    let hist = report.size_histogram(&repository_sizes(17));
+    print!("{hist}");
+    header();
+    row(
+        "repository networks with <10 routers",
+        "~55%",
+        format!("{:.0}%", hist.buckets[0].2 * 100.0),
+    );
+    row(
+        "study networks with <10 routers",
+        "minority",
+        format!("{:.0}%", hist.buckets[0].1 * 100.0),
+    );
+    row(
+        "study overweights networks >20 routers",
+        "yes",
+        format!(
+            "{}",
+            hist.buckets[2..].iter().map(|b| b.1).sum::<f64>()
+                > hist.buckets[2..].iter().map(|b| b.2).sum::<f64>()
+        ),
+    );
+}
+
+fn table1(report: &StudyReport) {
+    heading("Table 1: protocol instances by intra-/inter-domain role");
+    print!("{}", report.table1);
+    header();
+    row(
+        "IGP instances in inter-domain role",
+        "~11%",
+        format!("{:.1}%", report.table1.igp_inter_fraction() * 100.0),
+    );
+    row(
+        "EBGP sessions used intra-network",
+        "~10%",
+        format!("{:.1}%", report.table1.ebgp_intra_fraction() * 100.0),
+    );
+    let igp = report.table1.igp_totals();
+    row("IGP instances intra (paper 22,521 total)", "22,521", igp.intra.to_string());
+    row("IGP instances inter (paper 2,664 total)", "2,664", igp.inter.to_string());
+    row(
+        "EBGP sessions inter",
+        "13,830",
+        report.table1.ebgp_sessions.inter.to_string(),
+    );
+    row(
+        "EBGP sessions intra",
+        "1,490",
+        report.table1.ebgp_sessions.intra.to_string(),
+    );
+    row(
+        "EIGRP ≥ OSPF ≥ RIP (intra ordering)",
+        "yes",
+        format!(
+            "{}",
+            report.table1.igp_row("EIGRP").intra >= report.table1.igp_row("OSPF").intra
+                && report.table1.igp_row("OSPF").intra
+                    >= report.table1.igp_row("RIP").intra
+        ),
+    );
+    row("IS-IS instances", "0", "0".to_string());
+}
+
+fn fig11(report: &StudyReport) {
+    heading("Figure 11: CDF of % filter rules on internal links");
+    print!("{}", report.filter_cdf);
+    header();
+    row("networks with no packet filters", "3", report.filter_cdf.filterless.to_string());
+    row(
+        "networks with ≥40% of rules internal",
+        ">30%",
+        format!("{:.0}%", report.filter_cdf.fraction_at_least(0.4) * 100.0),
+    );
+}
+
+fn table3(report: &StudyReport) {
+    heading("Table 3: interface census");
+    print!("{}", render_table3(&report.census));
+    header();
+    row("total interfaces", "96,487", report.census.total.to_string());
+    row("Serial (most common)", "53,337", report.census.count("Serial").to_string());
+    row("FastEthernet (second)", "20,420", report.census.count("FastEthernet").to_string());
+    row("unnumbered interfaces", "528", report.census.unnumbered.to_string());
+    row(
+        "Serial share",
+        "55%",
+        format!("{:.0}%", 100.0 * report.census.count("Serial") as f64 / report.census.total as f64),
+    );
+}
+
+fn section7(report: &StudyReport) {
+    heading("Section 7: design classification");
+    print!("{}", report.section7);
+    header();
+    row("textbook backbones", "4", report.section7.count(DesignClass::Backbone).to_string());
+    row("textbook enterprises", "7", report.section7.count(DesignClass::Enterprise).to_string());
+    row("other (defy classification)", "20", report.section7.nonclassic().len().to_string());
+    row("networks without BGP", "3", report.section7.count(DesignClass::NoBgp).to_string());
+    if let Some((min, max, mean, _)) = report.section7.size_stats(DesignClass::Backbone) {
+        row("backbone size range", "400–600", format!("{min}–{max}"));
+        row("backbone mean size", "540", format!("{mean:.0}"));
+    }
+    if let Some((min, max, _, _)) = report.section7.size_stats(DesignClass::Enterprise) {
+        row("enterprise size range", "19–101", format!("{min}–{max}"));
+    }
+    let nonclassic = report.section7.nonclassic();
+    if !nonclassic.is_empty() {
+        let median = nonclassic[nonclassic.len() / 2];
+        let mean: f64 =
+            nonclassic.iter().sum::<usize>() as f64 / nonclassic.len() as f64;
+        row("other sizes", "4–1750", format!("{}–{}", nonclassic[0], nonclassic.last().unwrap()));
+        row("other mean / median", "300 / 36", format!("{mean:.0} / {median}"));
+    }
+    row("networks redistributing BGP into IGP", "17", report.section7.bgp_into_igp.to_string());
+}
+
+fn fig4(networks: &[StudyNetwork]) {
+    heading("Figure 4: configuration sizes of net5");
+    let net5 = networks.iter().find(|n| n.name == "net5").expect("net5 present");
+    let stats = nettopo::stats::ConfigSizeStats::of(&net5.analysis.network);
+    print!("{}", render_fig4(&stats));
+    header();
+    row("routers in net5", "881", net5.analysis.network.len().to_string());
+    row("mean config lines", "~270", format!("{:.0}", stats.mean()));
+    row("total commands", "237,870", stats.total_commands.to_string());
+    row(
+        "long tail (max >> median)",
+        "yes (max ~1,900)",
+        format!("max {} vs median {}", stats.max(), stats.quantile(0.5)),
+    );
+}
+
+fn net5(networks: &[StudyNetwork]) {
+    heading("net5 case study (Figures 9 & 10, Sections 5.1 & 6.1)");
+    let a = &networks.iter().find(|n| n.name == "net5").expect("net5 present").analysis;
+    header();
+    row("routers", "881", a.network.len().to_string());
+    row("routing instances", "24", a.instances.len().to_string());
+    row("largest instance (EIGRP)", "445", a.instances.list[0].router_count().to_string());
+    row(
+        "smallest instance",
+        "1",
+        a.instances.list.last().expect("non-empty").router_count().to_string(),
+    );
+    row("internal BGP ASes", "14", a.design.internal_ases.to_string());
+    row("external peer ASes", "16", a.instance_graph.external_ases().len().to_string());
+    let inst1 = a
+        .instances
+        .list
+        .iter()
+        .find(|i| i.kind == routing_design::ProtoKind::Eigrp)
+        .expect("EIGRP instance");
+    let inst4 = a
+        .instances
+        .list
+        .iter()
+        .find(|i| i.asn == Some(netgen::designs::net5::AS_INSTANCE4))
+        .expect("AS65001 instance");
+    row(
+        "redundant redistributors (inst 4 ↔ inst 1)",
+        "6",
+        a.instance_graph.redistribution_routers(inst4.id, inst1.id).len().to_string(),
+    );
+    let spoke = a
+        .network
+        .iter()
+        .find(|(_, r)| {
+            r.config.bgp.is_none() && r.config.eigrp.first().is_some_and(|p| p.asn == 10)
+        })
+        .map(|(id, _)| id)
+        .expect("plain spoke");
+    let pathway = a.pathway(spoke);
+    row(
+        "protocol layers to interior router",
+        "≥3",
+        pathway.max_depth().to_string(),
+    );
+    row("classification", "defies textbook", a.design.class.to_string());
+}
+
+fn net15(networks: &[StudyNetwork]) {
+    heading("net15 case study (Figure 12 & Table 2, Section 6.2)");
+    let a =
+        &networks.iter().find(|n| n.name == "net15").expect("net15 present").analysis;
+    header();
+    row("routers", "79", a.network.len().to_string());
+    row("routing instances", "6", a.instances.len().to_string());
+    row(
+        "public peer ASes",
+        "2",
+        a.instance_graph.external_ases().len().to_string(),
+    );
+    let reach = a.reachability();
+    let default_anywhere = a.instances.list.iter().any(|i| {
+        reach.external_routes_entering(i.id).covers_prefix(Prefix::DEFAULT)
+    });
+    row("default route admitted", "no", format!("{}", !default_anywhere).replace("true", "no").replace("false", "YES"));
+    let ab2: Prefix = "10.2.0.0/16".parse().expect("AB2");
+    let ab4: Prefix = "10.4.0.0/16".parse().expect("AB4");
+    row(
+        "site isolation (AB2 ↮ AB4)",
+        "isolated",
+        if !reach.block_reachable(ab2, ab4) && !reach.block_reachable(ab4, ab2) {
+            "isolated".to_string()
+        } else {
+            "REACHABLE".to_string()
+        },
+    );
+    // Table 2 disjointness.
+    for (x, y) in [("A2", "A5"), ("A2", "A3"), ("A4", "A1")] {
+        let sx = policy_set(x);
+        let sy = policy_set(y);
+        row(
+            &format!("{x} ∩ {y}"),
+            "∅",
+            if sx.intersection(&sy).is_empty() { "∅".to_string() } else { "NON-EMPTY".to_string() },
+        );
+    }
+    // Ingress ceiling.
+    let ospf = a
+        .instances
+        .list
+        .iter()
+        .find(|i| i.kind == routing_design::ProtoKind::Ospf)
+        .expect("site OSPF");
+    let load = reach.load_prediction(ospf.id);
+    row(
+        "max external routes into site IGP",
+        "2 /16s + 3 /24s",
+        match load.max_external_routes {
+            Some(n) => format!("{n} prefixes"),
+            None => "unbounded".to_string(),
+        },
+    );
+}
+
+fn policy_set(policy: &str) -> routing_design::PrefixSet {
+    let blocks = netgen::designs::net15::address_blocks();
+    let contents = netgen::designs::net15::policy_blocks()
+        .into_iter()
+        .find(|(name, _)| *name == policy)
+        .expect("known policy")
+        .1;
+    let mut set = routing_design::PrefixSet::empty();
+    for ab in contents {
+        for p in &blocks.iter().find(|(n, _)| *n == ab).expect("known block").1 {
+            set = set.union(&routing_design::PrefixSet::from_prefix(*p));
+        }
+    }
+    set
+}

@@ -1,0 +1,249 @@
+//! Vulnerability assessment (paper Section 8.1).
+//!
+//! "The operator can identify connections to neighboring domains that do
+//! not have packet or route filters, or internal links and routers with
+//! incomplete routing protocol adjacencies." This module walks the
+//! analyzed design and reports exactly those findings.
+
+use std::fmt;
+
+use nettopo::{IfaceClass, IfaceRef};
+
+use crate::NetworkAnalysis;
+
+/// The kind of an audit finding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FindingKind {
+    /// An external-facing interface with no inbound packet filter.
+    UnfilteredExternalInterface,
+    /// An EBGP session to an external peer with neither a route map nor a
+    /// distribute list in the inbound direction.
+    UnfilteredExternalSession,
+    /// An internal link where one side runs a routing process covering
+    /// the link but the other side does not — an incomplete adjacency
+    /// (often a provisioning leftover).
+    IncompleteAdjacency,
+    /// A router whose failure alone disconnects part of the network.
+    SinglePointOfFailure,
+}
+
+impl fmt::Display for FindingKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FindingKind::UnfilteredExternalInterface => "unfiltered external interface",
+            FindingKind::UnfilteredExternalSession => "unfiltered external BGP session",
+            FindingKind::IncompleteAdjacency => "incomplete routing adjacency",
+            FindingKind::SinglePointOfFailure => "single point of failure",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One audit finding.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// The kind.
+    pub kind: FindingKind,
+    /// Human-readable location and detail.
+    pub detail: String,
+}
+
+/// Audits a network's design for the Section 8.1 vulnerability classes.
+pub fn audit(a: &NetworkAnalysis) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // 1. External-facing interfaces without inbound packet filters.
+    for (iref, class) in &a.external.classes {
+        if *class != IfaceClass::External {
+            continue;
+        }
+        let router = a.network.router(iref.router);
+        let iface = &router.config.interfaces[iref.iface];
+        if iface.access_group_in.is_none() {
+            findings.push(Finding {
+                kind: FindingKind::UnfilteredExternalInterface,
+                detail: format!("{} {}", router.name(), iface.name),
+            });
+        }
+    }
+
+    // 2. External EBGP sessions with no inbound route policy.
+    for s in &a.adjacencies.bgp {
+        if s.scope != routing_model::SessionScope::EbgpExternal {
+            continue;
+        }
+        let router = a.network.router(s.local.router);
+        let Some(bgp) = &router.config.bgp else { continue };
+        let Some(n) = bgp.neighbors.iter().find(|n| n.addr == s.peer_addr) else {
+            continue;
+        };
+        if n.route_map_in.is_none() && n.distribute_in.is_none() {
+            findings.push(Finding {
+                kind: FindingKind::UnfilteredExternalSession,
+                detail: format!(
+                    "{} neighbor {} (AS{})",
+                    router.name(),
+                    s.peer_addr,
+                    s.remote_as
+                ),
+            });
+        }
+    }
+
+    // 3. Incomplete adjacencies: an internal link where exactly one side
+    //    actively covers the link with an IGP process.
+    for link in a.links.internal_links() {
+        let mut covering = 0usize;
+        let mut total_sides = 0usize;
+        for endpoint in &link.endpoints {
+            total_sides += 1;
+            let covers = a
+                .processes
+                .on_router(endpoint.router)
+                .any(|p| p.key.proto.kind().is_igp() && p.active_on(endpoint.iface));
+            if covers {
+                covering += 1;
+            }
+        }
+        if covering >= 1 && covering < total_sides {
+            let lonely = link
+                .endpoints
+                .iter()
+                .find(|e| {
+                    !a.processes
+                        .on_router(e.router)
+                        .any(|p| p.key.proto.kind().is_igp() && p.active_on(e.iface))
+                })
+                .expect("some side does not cover");
+            findings.push(Finding {
+                kind: FindingKind::IncompleteAdjacency,
+                detail: format!(
+                    "{} does not speak the IGP active on {}",
+                    describe(a, *lonely),
+                    link.subnet
+                ),
+            });
+        }
+    }
+
+    // 4. Articulation routers.
+    let graph = nettopo::RouterGraph::build(&a.network, &a.links);
+    for rid in graph.articulation_routers() {
+        findings.push(Finding {
+            kind: FindingKind::SinglePointOfFailure,
+            detail: a.network.router(rid).name().to_string(),
+        });
+    }
+
+    findings.sort_by(|x, y| x.kind.cmp(&y.kind).then_with(|| x.detail.cmp(&y.detail)));
+    findings
+}
+
+fn describe(a: &NetworkAnalysis, iref: IfaceRef) -> String {
+    let router = a.network.router(iref.router);
+    format!("{} {}", router.name(), router.config.interfaces[iref.iface].name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unfiltered_border_flagged() {
+        let a = NetworkAnalysis::from_texts(vec![(
+            "config1".to_string(),
+            "hostname border\n\
+             interface Serial0\n ip address 192.0.2.1 255.255.255.252\n\
+             router bgp 65001\n neighbor 192.0.2.2 remote-as 7018\n"
+                .to_string(),
+        )])
+        .unwrap();
+        let findings = audit(&a);
+        let kinds: Vec<FindingKind> = findings.iter().map(|f| f.kind).collect();
+        assert!(kinds.contains(&FindingKind::UnfilteredExternalInterface), "{findings:?}");
+        assert!(kinds.contains(&FindingKind::UnfilteredExternalSession), "{findings:?}");
+    }
+
+    #[test]
+    fn filtered_border_not_flagged() {
+        let a = NetworkAnalysis::from_texts(vec![(
+            "config1".to_string(),
+            "hostname border\n\
+             interface Serial0\n ip address 192.0.2.1 255.255.255.252\n ip access-group 120 in\n\
+             router bgp 65001\n neighbor 192.0.2.2 remote-as 7018\n \
+              neighbor 192.0.2.2 route-map guard in\n\
+             access-list 120 permit ip any any\n\
+             route-map guard permit 10\n"
+                .to_string(),
+        )])
+        .unwrap();
+        let findings = audit(&a);
+        assert!(
+            !findings
+                .iter()
+                .any(|f| matches!(
+                    f.kind,
+                    FindingKind::UnfilteredExternalInterface
+                        | FindingKind::UnfilteredExternalSession
+                )),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn incomplete_adjacency_flagged() {
+        // Both ends in the corpus, but only one runs OSPF on the link.
+        let a = NetworkAnalysis::from_texts(vec![
+            (
+                "config1".to_string(),
+                "hostname speaks\n\
+                 interface Serial0\n ip address 10.0.0.1 255.255.255.252\n\
+                 router ospf 1\n network 10.0.0.0 0.0.0.3 area 0\n"
+                    .to_string(),
+            ),
+            (
+                "config2".to_string(),
+                "hostname silent\n\
+                 interface Serial0\n ip address 10.0.0.2 255.255.255.252\n"
+                    .to_string(),
+            ),
+        ])
+        .unwrap();
+        let findings = audit(&a);
+        let inc: Vec<&Finding> = findings
+            .iter()
+            .filter(|f| f.kind == FindingKind::IncompleteAdjacency)
+            .collect();
+        assert_eq!(inc.len(), 1, "{findings:?}");
+        assert!(inc[0].detail.contains("silent"));
+    }
+
+    #[test]
+    fn articulation_router_flagged() {
+        // A 3-router path: the middle router is a single point of failure.
+        let a = NetworkAnalysis::from_texts(vec![
+            (
+                "config1".to_string(),
+                "hostname left\ninterface Serial0\n ip address 10.0.0.1 255.255.255.252\n".to_string(),
+            ),
+            (
+                "config2".to_string(),
+                "hostname middle\ninterface Serial0\n ip address 10.0.0.2 255.255.255.252\n\
+                 interface Serial1\n ip address 10.0.0.5 255.255.255.252\n"
+                    .to_string(),
+            ),
+            (
+                "config3".to_string(),
+                "hostname right\ninterface Serial0\n ip address 10.0.0.6 255.255.255.252\n".to_string(),
+            ),
+        ])
+        .unwrap();
+        let findings = audit(&a);
+        let spof: Vec<&Finding> = findings
+            .iter()
+            .filter(|f| f.kind == FindingKind::SinglePointOfFailure)
+            .collect();
+        assert_eq!(spof.len(), 1);
+        assert_eq!(spof[0].detail, "middle");
+    }
+}

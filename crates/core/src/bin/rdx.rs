@@ -1,0 +1,417 @@
+//! `rdx` — routing design explorer.
+//!
+//! The operator-facing front end of the toolchain: point it at a directory
+//! of router configuration files and interrogate the network's routing
+//! design, exactly the workflow the paper's Section 8.1 sketches for
+//! inventory management, vulnerability assessment, and diagnosis.
+//!
+//! ```text
+//! rdx <config-dir> summary                     overview + classification
+//! rdx <config-dir> instances                   the routing instance graph
+//! rdx <config-dir> pathway <router>            route pathway of one router
+//! rdx <config-dir> dot [process|instances]     Graphviz output
+//! rdx <config-dir> roles                       Table-1 style role counts
+//! rdx <config-dir> blocks                      recovered address blocks
+//! rdx <config-dir> external                    external-facing interfaces
+//! rdx <config-dir> reach <src-prefix> <dst-prefix>   block reachability
+//! rdx <config-dir> flow <src> <dst> [proto] [port]   packet-filter verdicts
+//! rdx <config-dir> separation <inst-a> <inst-b>      min router cut
+//! rdx <config-dir> whatif <router> [...]             failure simulation
+//! rdx <config-dir> audit                       §8.1 vulnerability findings
+//! rdx <config-dir> diff <other-dir>            design changes between snapshots
+//! rdx <config-dir> anonymize <out-dir> <key>   anonymize the corpus
+//! ```
+//!
+//! `<router>` accepts `rN`, a file name, or a hostname.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use routing_design::{NetworkAnalysis, Prefix, RouterId};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (dir, rest) = match args.split_first() {
+        Some((dir, rest)) => (dir.clone(), rest.to_vec()),
+        None => return usage(),
+    };
+    let command = rest.first().map(String::as_str).unwrap_or("summary");
+
+    if command == "anonymize" {
+        return anonymize(&dir, &rest[1..]);
+    }
+
+    let analysis = match NetworkAnalysis::from_dir(Path::new(&dir)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("rdx: failed to load {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match command {
+        "summary" => summary(&analysis),
+        "instances" => print!("{}", analysis.instance_graph_text()),
+        "roles" => print!("{}", analysis.table1),
+        "blocks" => blocks(&analysis),
+        "external" => external(&analysis),
+        "pathway" => return pathway(&analysis, &rest[1..]),
+        "dot" => return dot(&analysis, &rest[1..]),
+        "reach" => return reach(&analysis, &rest[1..]),
+        "flow" => return flow(&analysis, &rest[1..]),
+        "separation" => return separation(&analysis, &rest[1..]),
+        "whatif" => return whatif(&analysis, &rest[1..]),
+        "audit" => {
+            let findings = routing_design::audit(&analysis);
+            if findings.is_empty() {
+                println!("no findings");
+            }
+            for f in findings {
+                println!("[{}] {}", f.kind, f.detail);
+            }
+        }
+        "diff" => return diff_cmd(&analysis, &rest[1..]),
+        other => {
+            eprintln!("rdx: unknown command {other:?}");
+            return usage();
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: rdx <config-dir> [summary|instances|roles|blocks|external|\
+         pathway <router>|dot [process|instances]|reach <src> <dst>|\
+         flow <src> <dst> [proto] [port]|separation <a> <b>|\
+         whatif <router> [...]|audit|diff <other-dir>|\
+         anonymize <out-dir> <key>]"
+    );
+    ExitCode::FAILURE
+}
+
+fn summary(a: &NetworkAnalysis) {
+    println!("routers:             {}", a.network.len());
+    println!("logical links:       {}", a.links.links.len());
+    let (internal, external, unaddressed) = a.external.counts();
+    println!(
+        "interfaces:          {} internal-facing, {} external-facing, {} unaddressed",
+        internal, external, unaddressed
+    );
+    println!("routing processes:   {}", a.processes.len());
+    println!("routing instances:   {}", a.instances.len());
+    for inst in a.instances.list.iter().take(10) {
+        println!("  {}: {}", inst.id, inst.label());
+    }
+    if a.instances.len() > 10 {
+        println!("  ... {} more", a.instances.len() - 10);
+    }
+    println!("external peer ASes:  {:?}", a.instance_graph.external_ases());
+    println!("classification:      {}", a.design.class);
+    println!(
+        "  bgp speakers {} | internal ASes {} | ibgp {} | ebgp {} ext / {} int | bgp→igp {}",
+        a.design.bgp_speakers,
+        a.design.internal_ases,
+        a.design.ibgp_sessions,
+        a.design.external_ebgp_sessions,
+        a.design.internal_ebgp_sessions,
+        a.design.bgp_into_igp,
+    );
+    for mesh in a.ibgp_meshes() {
+        if mesh.routers < 2 {
+            continue;
+        }
+        println!(
+            "  IBGP in {}: {} sessions over {} routers ({:.0}% of full mesh{})",
+            a.instances.get(mesh.instance).label(),
+            mesh.sessions,
+            mesh.routers,
+            mesh.completeness * 100.0,
+            if mesh.uses_reflection() {
+                format!(", {} route reflector(s)", mesh.reflectors.len())
+            } else {
+                String::new()
+            }
+        );
+    }
+    for area in a.area_structures() {
+        if area.is_flat() {
+            continue;
+        }
+        println!(
+            "  OSPF areas in {}: {} areas, {} ABR(s), backbone area {}",
+            a.instances.get(area.instance).label(),
+            area.area_count(),
+            area.abrs.len(),
+            if area.has_backbone_area() { "present" } else { "MISSING" }
+        );
+    }
+    let hints = &a.external.missing_router_hints;
+    if !hints.is_empty() {
+        println!("possible missing routers (external-facing inside internal blocks):");
+        for h in hints.iter().take(5) {
+            println!("  {} on {} (block {})", h.subnet, h.iface.router, h.block);
+        }
+    }
+}
+
+fn blocks(a: &NetworkAnalysis) {
+    println!("{:<20} {:>12} {:>8}", "block", "addresses", "used");
+    for b in &a.blocks.roots {
+        println!(
+            "{:<20} {:>12} {:>7.0}%",
+            b.prefix.to_string(),
+            b.prefix.size(),
+            b.utilization() * 100.0
+        );
+    }
+}
+
+fn external(a: &NetworkAnalysis) {
+    for (iref, class) in &a.external.classes {
+        if *class != routing_design::IfaceClass::External {
+            continue;
+        }
+        let router = a.network.router(iref.router);
+        let iface = &router.config.interfaces[iref.iface];
+        let addr = iface
+            .address
+            .map(|x| x.subnet().to_string())
+            .unwrap_or_else(|| "-".to_string());
+        println!("{} {} {}", router.name(), iface.name, addr);
+    }
+}
+
+fn resolve_router(a: &NetworkAnalysis, text: &str) -> Option<RouterId> {
+    if let Some(stripped) = text.strip_prefix('r') {
+        if let Ok(n) = stripped.parse::<usize>() {
+            if n < a.network.len() {
+                return Some(RouterId(n));
+            }
+        }
+    }
+    a.network
+        .iter()
+        .find(|(_, r)| r.file_name == text || r.name() == text)
+        .map(|(id, _)| id)
+}
+
+fn pathway(a: &NetworkAnalysis, args: &[String]) -> ExitCode {
+    let Some(text) = args.first() else {
+        eprintln!("rdx: pathway needs a router (rN, file name, or hostname)");
+        return ExitCode::FAILURE;
+    };
+    let Some(rid) = resolve_router(a, text) else {
+        eprintln!("rdx: no router named {text:?}");
+        return ExitCode::FAILURE;
+    };
+    println!("route pathway of {} ({}):", rid, a.network.router(rid).name());
+    print!("{}", a.pathway_text(rid));
+    ExitCode::SUCCESS
+}
+
+fn dot(a: &NetworkAnalysis, args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str).unwrap_or("instances") {
+        "process" => print!("{}", a.process_graph_dot()),
+        "instances" => print!("{}", a.instance_graph_dot()),
+        other => {
+            eprintln!("rdx: unknown dot target {other:?} (process|instances)");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn reach(a: &NetworkAnalysis, args: &[String]) -> ExitCode {
+    let (Some(src), Some(dst)) = (args.first(), args.get(1)) else {
+        eprintln!("rdx: reach needs <src-prefix> <dst-prefix>");
+        return ExitCode::FAILURE;
+    };
+    let (Ok(src), Ok(dst)) = (src.parse::<Prefix>(), dst.parse::<Prefix>()) else {
+        eprintln!("rdx: prefixes must look like 10.2.0.0/16");
+        return ExitCode::FAILURE;
+    };
+    let reachability = a.reachability();
+    let forward = reachability.block_reachable(src, dst);
+    let reverse = reachability.block_reachable(dst, src);
+    println!("{src} -> {dst}: {}", if forward { "reachable" } else { "UNREACHABLE" });
+    println!("{dst} -> {src}: {}", if reverse { "reachable" } else { "UNREACHABLE" });
+    ExitCode::SUCCESS
+}
+
+fn separation(a: &NetworkAnalysis, args: &[String]) -> ExitCode {
+    let parse = |t: &String| t.trim_start_matches("instance").trim().parse::<usize>().ok();
+    let (Some(x), Some(y)) = (args.first().and_then(parse), args.get(1).and_then(parse))
+    else {
+        eprintln!("rdx: separation needs two instance ids (e.g. 0 3)");
+        return ExitCode::FAILURE;
+    };
+    if x >= a.instances.len() || y >= a.instances.len() {
+        eprintln!("rdx: instance ids out of range (have {})", a.instances.len());
+        return ExitCode::FAILURE;
+    }
+    let (ia, ib) = (
+        routing_design::InstanceId(x),
+        routing_design::InstanceId(y),
+    );
+    match a.instance_separation(ia, ib) {
+        Some(n) => println!(
+            "{} and {} are separated by the failure of {n} router(s)",
+            a.instances.get(ia).label(),
+            a.instances.get(ib).label()
+        ),
+        None => println!("instances share a router or cannot be separated"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn flow(a: &NetworkAnalysis, args: &[String]) -> ExitCode {
+    let (Some(src), Some(dst)) = (args.first(), args.get(1)) else {
+        eprintln!("rdx: flow needs <src-addr> <dst-addr> [ip|tcp|udp|icmp|pim] [dst-port]");
+        return ExitCode::FAILURE;
+    };
+    let (Ok(src), Ok(dst)) =
+        (src.parse::<routing_design::Addr>(), dst.parse::<routing_design::Addr>())
+    else {
+        eprintln!("rdx: addresses must look like 10.0.0.1");
+        return ExitCode::FAILURE;
+    };
+    let proto = match args.get(2) {
+        Some(text) => match reachability::FlowProto::parse(text) {
+            Some(p) => p,
+            None => {
+                eprintln!("rdx: unknown protocol {text:?}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => reachability::FlowProto::Ip,
+    };
+    let dst_port = args.get(3).and_then(|t| t.parse::<u16>().ok());
+    let probe = reachability::Flow { src, dst, proto, src_port: None, dst_port };
+    let verdicts = reachability::flow_verdicts(&a.network, &probe);
+    if verdicts.is_empty() {
+        println!("no packet filters applied anywhere");
+        return ExitCode::SUCCESS;
+    }
+    let mut dropped = 0;
+    for v in &verdicts {
+        if v.permitted {
+            continue;
+        }
+        dropped += 1;
+        let router = a.network.router(v.iface.router);
+        let iface = &router.config.interfaces[v.iface.iface];
+        let clause = v
+            .deciding_clause
+            .map(|c| format!("clause {c}"))
+            .unwrap_or_else(|| "implicit deny".to_string());
+        println!(
+            "DROPPED at {} {} ({:?}) by access-list {} ({clause})",
+            router.name(),
+            iface.name,
+            v.direction,
+            v.acl
+        );
+    }
+    if dropped == 0 {
+        println!("permitted by all {} filter applications", verdicts.len());
+    } else {
+        println!("({dropped} of {} filter applications drop this flow)", verdicts.len());
+    }
+    ExitCode::SUCCESS
+}
+
+fn whatif(a: &NetworkAnalysis, args: &[String]) -> ExitCode {
+    if args.is_empty() {
+        eprintln!("rdx: whatif needs one or more routers (rN, file name, or hostname)");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = std::collections::BTreeSet::new();
+    for text in args {
+        let Some(rid) = resolve_router(a, text) else {
+            eprintln!("rdx: no router named {text:?}");
+            return ExitCode::FAILURE;
+        };
+        failed.insert(rid);
+    }
+    let graph = routing_design::RouterGraph::build(&a.network, &a.links);
+    let before = graph.components().len();
+    let after = graph.components_without(&failed);
+    println!(
+        "failing {} router(s): {} component(s) before, {} after",
+        failed.len(),
+        before,
+        after.len()
+    );
+    if after.len() > before {
+        println!("NETWORK PARTITIONS. resulting component sizes:");
+        for comp in &after {
+            println!("  {} routers (first: {})", comp.len(), a.network.router(comp[0]).name());
+        }
+    } else {
+        println!("network stays as connected as before");
+    }
+    let arts = graph.articulation_routers();
+    if !arts.is_empty() {
+        let names: Vec<&str> =
+            arts.iter().take(8).map(|r| a.network.router(*r).name()).collect();
+        println!("single points of failure in this network: {names:?}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn diff_cmd(old: &NetworkAnalysis, args: &[String]) -> ExitCode {
+    let Some(other) = args.first() else {
+        eprintln!("rdx: diff needs the other snapshot's directory");
+        return ExitCode::FAILURE;
+    };
+    let new = match NetworkAnalysis::from_dir(Path::new(other)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("rdx: failed to load {other}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", routing_design::DesignDiff::between(old, &new));
+    ExitCode::SUCCESS
+}
+
+fn anonymize(dir: &str, args: &[String]) -> ExitCode {
+    let (Some(out), Some(key)) = (args.first(), args.get(1)) else {
+        eprintln!("rdx: anonymize needs <out-dir> <key>");
+        return ExitCode::FAILURE;
+    };
+    let anon = anonymizer::Anonymizer::new(key.as_bytes());
+    if let Err(e) = std::fs::create_dir_all(out) {
+        eprintln!("rdx: cannot create {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let mut entries: Vec<_> = match std::fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().is_file())
+            .map(|e| e.path())
+            .collect(),
+        Err(e) => {
+            eprintln!("rdx: cannot read {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    entries.sort();
+    for (i, path) in entries.iter().enumerate() {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("rdx: cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let out_path = Path::new(out).join(format!("config{}", i + 1));
+        if let Err(e) = std::fs::write(&out_path, anon.anonymize_config(&text)) {
+            eprintln!("rdx: cannot write {}: {e}", out_path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("anonymized {} files into {out}", entries.len());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,268 @@
+//! Reverse engineering of routing designs from router configurations —
+//! a from-scratch reproduction of *Routing Design in Operational
+//! Networks: A Look from the Inside* (SIGCOMM 2004).
+//!
+//! This crate is the public face of the toolchain: point it at a directory
+//! of Cisco-IOS-style configuration files (or in-memory texts) and it
+//! derives the paper's four abstractions plus every aggregate analysis:
+//!
+//! ```
+//! use routing_design::NetworkAnalysis;
+//!
+//! let configs = vec![
+//!     ("config1".to_string(), "\
+//! hostname border
+//! interface Serial0
+//!  ip address 192.0.2.1 255.255.255.252
+//! interface Serial1
+//!  ip address 10.0.0.1 255.255.255.252
+//! router ospf 1
+//!  network 10.0.0.0 0.0.255.255 area 0
+//!  redistribute bgp 65001 subnets
+//! router bgp 65001
+//!  neighbor 192.0.2.2 remote-as 7018
+//! ".to_string()),
+//!     ("config2".to_string(), "\
+//! hostname core
+//! interface Serial0
+//!  ip address 10.0.0.2 255.255.255.252
+//! router ospf 1
+//!  network 10.0.0.0 0.0.255.255 area 0
+//! ".to_string()),
+//! ];
+//! let analysis = NetworkAnalysis::from_texts(configs).unwrap();
+//! assert_eq!(analysis.instances.len(), 2); // one OSPF + one BGP instance
+//! assert_eq!(
+//!     analysis.design.class,
+//!     routing_design::DesignClass::Enterprise
+//! );
+//! ```
+//!
+//! The [`report`] module renders the paper's tables and figures
+//! (Table 1/2/3, Figures 4/8/11, the Section 7 classification) from one
+//! or many analyzed networks; the `netgen` crate regenerates the paper's
+//! 31-network population to feed them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod diff;
+pub mod report;
+
+use std::path::Path;
+
+pub use ioscfg::{parse_config, RouterConfig};
+pub use netaddr::{Addr, BlockTree, Prefix, PrefixSet};
+pub use nettopo::{
+    ExternalAnalysis, IfaceClass, LinkMap, LoadError, Network, Router, RouterGraph,
+    RouterId,
+};
+pub use audit::{audit, Finding, FindingKind};
+pub use diff::DesignDiff;
+pub use reachability::{ReachAnalysis, RouteFilter, TaggedRoutes};
+pub use routing_model::{
+    classify_network, AreaStructure, Adjacencies, DesignClass, DesignSummary,
+    IbgpMesh, InstanceGraph, InstanceId, InstanceNode, Instances, PathwayGraph,
+    ProcKey, Processes, Proto, ProtoKind, ProcessGraph, SessionScope, Table1,
+};
+
+/// The complete static analysis of one network: every abstraction the
+/// paper derives, computed in dependency order from the parsed configs.
+pub struct NetworkAnalysis {
+    /// The parsed configurations.
+    pub network: Network,
+    /// Inferred logical links (Section 2.1).
+    pub links: LinkMap,
+    /// Internal/external classification (Section 5.2).
+    pub external: ExternalAnalysis,
+    /// Routing processes.
+    pub processes: Processes,
+    /// IGP adjacencies and BGP sessions (Section 2.2).
+    pub adjacencies: Adjacencies,
+    /// Routing instances (Section 3.2).
+    pub instances: Instances,
+    /// The routing instance graph.
+    pub instance_graph: InstanceGraph,
+    /// The routing process graph (Section 3.1).
+    pub process_graph: ProcessGraph,
+    /// Recovered address-space structure (Section 3.4).
+    pub blocks: BlockTree,
+    /// Intra/inter role counts (Table 1).
+    pub table1: Table1,
+    /// Design classification (Section 7).
+    pub design: DesignSummary,
+}
+
+impl NetworkAnalysis {
+    /// Analyzes a network already parsed into a [`Network`].
+    pub fn from_network(network: Network) -> NetworkAnalysis {
+        let links = LinkMap::build(&network);
+        let external = ExternalAnalysis::build(&network, &links);
+        let processes = Processes::extract(&network);
+        let adjacencies = Adjacencies::build(&network, &links, &processes, &external);
+        let instances = Instances::compute(&processes, &adjacencies);
+        let instance_graph =
+            InstanceGraph::build(&network, &processes, &adjacencies, &instances);
+        let process_graph = ProcessGraph::build(&network, &processes, &adjacencies);
+        let blocks = network.address_blocks();
+        let table1 = Table1::compute(&instances, &instance_graph, &adjacencies);
+        let design =
+            classify_network(&network, &instances, &instance_graph, &adjacencies, &table1);
+        NetworkAnalysis {
+            network,
+            links,
+            external,
+            processes,
+            adjacencies,
+            instances,
+            instance_graph,
+            process_graph,
+            blocks,
+            table1,
+            design,
+        }
+    }
+
+    /// Parses and analyzes `(file_name, text)` pairs.
+    pub fn from_texts<I>(texts: I) -> Result<NetworkAnalysis, LoadError>
+    where
+        I: IntoIterator<Item = (String, String)>,
+    {
+        Ok(NetworkAnalysis::from_network(Network::from_texts(texts)?))
+    }
+
+    /// Loads and analyzes a directory of configuration files.
+    pub fn from_dir(dir: &Path) -> Result<NetworkAnalysis, LoadError> {
+        Ok(NetworkAnalysis::from_network(Network::from_dir(dir)?))
+    }
+
+    /// The route pathway graph for one router (Section 3.3).
+    pub fn pathway(&self, router: RouterId) -> PathwayGraph {
+        PathwayGraph::trace(router, &self.instances, &self.instance_graph)
+    }
+
+    /// IBGP mesh structure of every BGP instance (Section 7.1's
+    /// "completeness of the IBGP mesh" dimension).
+    pub fn ibgp_meshes(&self) -> Vec<IbgpMesh> {
+        routing_model::ibgp_meshes(&self.network, &self.instances, &self.adjacencies)
+    }
+
+    /// OSPF area structure of every OSPF instance.
+    pub fn area_structures(&self) -> Vec<AreaStructure> {
+        routing_model::area_structures(&self.network, &self.processes, &self.instances)
+    }
+
+    /// Destination prefixes that several routers point static routes at —
+    /// the Section 8.1 maintenance-planning concern ("avoid disabling
+    /// multiple routers with static routes to the same destination
+    /// prefix").
+    pub fn shared_static_destinations(&self) -> Vec<(Prefix, Vec<RouterId>)> {
+        let mut by_dest: std::collections::BTreeMap<Prefix, Vec<RouterId>> =
+            Default::default();
+        for (rid, router) in self.network.iter() {
+            let mut seen: std::collections::BTreeSet<Prefix> = Default::default();
+            for sr in &router.config.static_routes {
+                if seen.insert(sr.prefix()) {
+                    by_dest.entry(sr.prefix()).or_default().push(rid);
+                }
+            }
+        }
+        by_dest.retain(|_, routers| routers.len() > 1);
+        by_dest.into_iter().collect()
+    }
+
+    /// A reachability analysis over this network (Section 6.2).
+    pub fn reachability(&self) -> ReachAnalysis<'_> {
+        ReachAnalysis::new(&self.network, &self.processes, &self.adjacencies, &self.instances)
+    }
+
+    /// Minimum routers whose failure separates two instances (the net5
+    /// question from Section 5.1), or `None` if they cannot be separated.
+    pub fn instance_separation(&self, a: InstanceId, b: InstanceId) -> Option<usize> {
+        let graph = RouterGraph::build(&self.network, &self.links);
+        let sources = self.instances.get(a).routers.iter().copied().collect();
+        let sinks = self.instances.get(b).routers.iter().copied().collect();
+        graph.min_router_cut(&sources, &sinks)
+    }
+
+    /// DOT rendering of the instance graph (Figure 6/9 style).
+    pub fn instance_graph_dot(&self) -> String {
+        routing_model::render::instance_graph_dot(&self.instances, &self.instance_graph)
+    }
+
+    /// Text rendering of the instance graph.
+    pub fn instance_graph_text(&self) -> String {
+        routing_model::render::instance_graph_text(&self.instances, &self.instance_graph)
+    }
+
+    /// DOT rendering of the process graph (Figure 5 style).
+    pub fn process_graph_dot(&self) -> String {
+        routing_model::render::process_graph_dot(&self.network, &self.process_graph)
+    }
+
+    /// Text rendering of a router's pathway graph (Figure 7/10 style).
+    pub fn pathway_text(&self, router: RouterId) -> String {
+        routing_model::render::pathway_text(&self.pathway(router), &self.instances)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enterprise_texts() -> Vec<(String, String)> {
+        vec![
+            (
+                "config1".to_string(),
+                "hostname border\n\
+                 interface Serial0\n ip address 192.0.2.1 255.255.255.252\n\
+                 interface Serial1\n ip address 10.0.0.1 255.255.255.252\n\
+                 router ospf 1\n network 10.0.0.0 0.0.255.255 area 0\n \
+                  redistribute bgp 65001 subnets\n\
+                 router bgp 65001\n neighbor 192.0.2.2 remote-as 7018\n"
+                    .to_string(),
+            ),
+            (
+                "config2".to_string(),
+                "hostname core\n\
+                 interface Serial0\n ip address 10.0.0.2 255.255.255.252\n\
+                 router ospf 1\n network 10.0.0.0 0.0.255.255 area 0\n"
+                    .to_string(),
+            ),
+        ]
+    }
+
+    #[test]
+    fn full_pipeline_smoke() {
+        let a = NetworkAnalysis::from_texts(enterprise_texts()).unwrap();
+        assert_eq!(a.network.len(), 2);
+        assert_eq!(a.instances.len(), 2);
+        assert_eq!(a.design.class, DesignClass::Enterprise);
+        assert!(a.instance_graph_dot().contains("AS7018"));
+        assert!(a.process_graph_dot().contains("digraph"));
+        assert!(a.pathway_text(RouterId(1)).contains("Router RIB"));
+        assert!(!a.blocks.is_empty());
+    }
+
+    #[test]
+    fn instance_separation_simple() {
+        // border is the only path between the OSPF instance and the BGP
+        // instance — but they share the border router, so separation is
+        // impossible (None).
+        let a = NetworkAnalysis::from_texts(enterprise_texts()).unwrap();
+        let ospf = a.instances.list.iter().find(|i| i.asn.is_none()).unwrap().id;
+        let bgp = a.instances.list.iter().find(|i| i.asn.is_some()).unwrap().id;
+        assert_eq!(a.instance_separation(ospf, bgp), None);
+    }
+
+    #[test]
+    fn reachability_accessor_works() {
+        let a = NetworkAnalysis::from_texts(enterprise_texts()).unwrap();
+        let reach = a.reachability();
+        // Unfiltered upstream: the default route can enter.
+        let ospf = a.instances.list.iter().find(|i| i.asn.is_none()).unwrap().id;
+        let external = reach.external_routes_entering(ospf);
+        assert!(external.covers_prefix(Prefix::DEFAULT));
+    }
+}

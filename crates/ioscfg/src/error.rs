@@ -1,0 +1,55 @@
+//! Parse errors with source locations.
+
+use std::fmt;
+
+/// What went wrong while parsing a known command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// An IP address field failed to parse.
+    BadAddress(String),
+    /// A netmask/wildcard field failed to parse.
+    BadMask(String),
+    /// A numeric field failed to parse.
+    BadNumber(String),
+    /// An interface name failed to parse.
+    BadInterfaceName(String),
+    /// A known command was missing a required argument.
+    MissingArgument(&'static str),
+    /// A known command had an argument outside its grammar.
+    UnexpectedArgument(String),
+    /// Two conflicting definitions (e.g. two `router bgp` with different ASNs).
+    Conflict(String),
+}
+
+impl fmt::Display for ParseErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseErrorKind::BadAddress(t) => write!(f, "bad IP address {t:?}"),
+            ParseErrorKind::BadMask(t) => write!(f, "bad mask {t:?}"),
+            ParseErrorKind::BadNumber(t) => write!(f, "bad number {t:?}"),
+            ParseErrorKind::BadInterfaceName(t) => write!(f, "bad interface name {t:?}"),
+            ParseErrorKind::MissingArgument(what) => write!(f, "missing {what}"),
+            ParseErrorKind::UnexpectedArgument(t) => write!(f, "unexpected argument {t:?}"),
+            ParseErrorKind::Conflict(t) => write!(f, "conflicting configuration: {t}"),
+        }
+    }
+}
+
+/// A parse error, located at a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// The offending command text.
+    pub command: String,
+    /// The failure.
+    pub kind: ParseErrorKind,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {} (in {:?})", self.line, self.kind, self.command)
+    }
+}
+
+impl std::error::Error for ParseError {}

@@ -1,0 +1,149 @@
+//! The grammar's keyword vocabulary.
+//!
+//! The paper's anonymizer (Section 4.1) whitelists "all of the words found
+//! in the published Cisco IOS command reference guide" and hashes every
+//! other non-numeric token. Our equivalent whitelist is the set of bare
+//! keywords this crate's grammar emits or accepts; the anonymizer treats
+//! everything outside it (hostnames, descriptions, route-map names) as
+//! user data to be hashed.
+
+/// Returns the sorted list of known IOS keywords.
+///
+/// The list covers every literal word the parser matches and the emitter
+/// writes, so an emitted configuration anonymizes to a configuration with
+/// identical structure.
+pub fn vocabulary() -> &'static [&'static str] {
+    &[
+        "access-group",
+        "access-list",
+        "address",
+        "ahp",
+        "any",
+        "area",
+        "as-path",
+        "auto-cost",
+        "auto-summary",
+        "bandwidth",
+        "banner",
+        "bgp",
+        "boot",
+        "classless",
+        "clock",
+        "community",
+        "connected",
+        "datetime",
+        "default-information",
+        "default-metric",
+        "deny",
+        "description",
+        "distribute-list",
+        "eigrp",
+        "enable",
+        "encapsulation",
+        "end",
+        "eq",
+        "esp",
+        "established",
+        "frame-relay",
+        "gre",
+        "gt",
+        "hdlc",
+        "host",
+        "hostname",
+        "icmp",
+        "igmp",
+        "igrp",
+        "in",
+        "interface",
+        "interface-dlci",
+        "ip",
+        "line",
+        "local-preference",
+        "log",
+        "log-adjacency-changes",
+        "logging",
+        "lt",
+        "mask",
+        "match",
+        "maximum-paths",
+        "metric",
+        "metric-type",
+        "multipoint",
+        "neighbor",
+        "network",
+        "next-hop-self",
+        "no",
+        "ntp",
+        "originate",
+        "ospf",
+        "out",
+        "passive-interface",
+        "permit",
+        "pim",
+        "point-to-point",
+        "ppp",
+        "range",
+        "redistribute",
+        "remote-as",
+        "rip",
+        "route",
+        "route-map",
+        "route-reflector-client",
+        "router",
+        "router-id",
+        "secondary",
+        "send-community",
+        "service",
+        "set",
+        "shutdown",
+        "snmp-server",
+        "soft-reconfiguration",
+        "static",
+        "subnet-zero",
+        "subnets",
+        "synchronization",
+        "tag",
+        "tcp",
+        "timestamps",
+        "type-1",
+        "type-2",
+        "udp",
+        "unnumbered",
+        "update-source",
+        "variance",
+        "version",
+        "weight",
+    ]
+}
+
+/// True if `word` is a known IOS keyword (case-insensitive).
+pub fn is_keyword(word: &str) -> bool {
+    vocabulary()
+        .binary_search_by(|k| {
+            k.to_ascii_lowercase()
+                .as_str()
+                .cmp(&word.to_ascii_lowercase() as &str)
+        })
+        .is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocabulary_is_sorted_for_binary_search() {
+        let v = vocabulary();
+        let mut sorted = v.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(v, sorted.as_slice());
+    }
+
+    #[test]
+    fn keyword_membership() {
+        assert!(is_keyword("redistribute"));
+        assert!(is_keyword("REDISTRIBUTE"));
+        assert!(!is_keyword("8aTzlvBrbaW"));
+        assert!(!is_keyword("my-route-map"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Robustness fuzzing: the lexer and parser must never panic, whatever
+//! bytes arrive. Real corpora contain mangled lines, and a tool meant to
+//! ingest 8,035 files cannot die on file 7,214.
+
+use proptest::prelude::*;
+
+/// Arbitrary printable-ish text, biased toward config-looking content so
+/// the fuzz reaches deep parser paths, not just the "unknown command"
+/// bailout.
+fn arb_configish() -> impl Strategy<Value = String> {
+    let word = prop_oneof![
+        Just("interface".to_string()),
+        Just("router".to_string()),
+        Just("ospf".to_string()),
+        Just("bgp".to_string()),
+        Just("eigrp".to_string()),
+        Just("rip".to_string()),
+        Just("network".to_string()),
+        Just("neighbor".to_string()),
+        Just("redistribute".to_string()),
+        Just("access-list".to_string()),
+        Just("route-map".to_string()),
+        Just("ip".to_string()),
+        Just("address".to_string()),
+        Just("permit".to_string()),
+        Just("deny".to_string()),
+        Just("match".to_string()),
+        Just("set".to_string()),
+        Just("area".to_string()),
+        Just("remote-as".to_string()),
+        Just("!".to_string()),
+        "[0-9]{1,5}",
+        "[0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}",
+        "[a-zA-Z!/.-]{1,8}",
+    ];
+    let line = (prop::collection::vec(word, 0..7), 0usize..3).prop_map(|(words, indent)| {
+        format!("{}{}", " ".repeat(indent), words.join(" "))
+    });
+    prop::collection::vec(line, 0..25).prop_map(|lines| lines.join("\n"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Lexing never panics and never loses command lines.
+    #[test]
+    fn lexer_never_panics(text in arb_configish()) {
+        let raw = ioscfg::lex_config(&text);
+        // Command-line count matches a direct count of candidate lines up
+        // to the first `end`.
+        let mut expected = 0usize;
+        for line in text.lines() {
+            let t = line.trim();
+            if t.eq_ignore_ascii_case("end") {
+                break;
+            }
+            if !t.is_empty() && !t.starts_with('!') {
+                expected += 1;
+            }
+        }
+        prop_assert_eq!(raw.command_lines, expected);
+    }
+
+    /// Parsing never panics: it either produces a model or a located
+    /// error, for any input.
+    #[test]
+    fn parser_never_panics(text in arb_configish()) {
+        match ioscfg::parse_config(&text) {
+            Ok(cfg) => {
+                // Emitting whatever was understood never panics either,
+                // and the emitted text reparses.
+                let emitted = ioscfg::emit_config(&cfg);
+                prop_assert!(ioscfg::parse_config(&emitted).is_ok());
+            }
+            Err(e) => {
+                // Errors carry a plausible location.
+                prop_assert!(e.line >= 1);
+                prop_assert!(e.line <= text.lines().count().max(1));
+            }
+        }
+    }
+
+    /// Fully arbitrary (non-config-shaped) unicode text never panics.
+    #[test]
+    fn parser_survives_arbitrary_text(text in "\\PC{0,300}") {
+        let _ = ioscfg::parse_config(&text);
+    }
+
+    /// The anonymizer never panics and always produces reparseable
+    /// structure when the input parses.
+    #[test]
+    fn anonymizer_never_panics(text in arb_configish(), key in any::<u64>()) {
+        let anon = anonymizer::Anonymizer::new(&key.to_be_bytes());
+        let out = anon.anonymize_config(&text);
+        // Line structure is preserved (comments collapse to bare "!").
+        prop_assert_eq!(out.lines().count(), text.lines().count());
+    }
+}

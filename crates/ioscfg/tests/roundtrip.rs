@@ -1,0 +1,381 @@
+//! Property tests: emit → parse round-trips on randomly generated models.
+//!
+//! The strategy builds arbitrary (but well-formed) `RouterConfig` values
+//! covering every construct the emitter can write, renders them to IOS text,
+//! reparses, and requires the models to be identical. This pins the parser
+//! and emitter against each other across the whole grammar.
+
+use ioscfg::{
+    emit_config, parse_config, AccessList, AclAction, AclAddr, AclEntry, BgpProcess,
+    DistributeList, EigrpNetwork, EigrpProcess, IfAddr, Interface, InterfaceName,
+    InterfaceType, OspfArea, OspfNetwork, OspfProcess, PortMatch, Redistribution,
+    RedistSource, RipProcess, RouteMap, RouteMapClause, RouterConfig, RmMatch, RmSet,
+    StaticRoute, StaticTarget,
+};
+use netaddr::{Addr, Netmask, Wildcard};
+use proptest::prelude::*;
+
+fn arb_addr() -> impl Strategy<Value = Addr> {
+    any::<u32>().prop_map(Addr::from_u32)
+}
+
+fn arb_mask() -> impl Strategy<Value = Netmask> {
+    (0u8..=32).prop_map(|l| Netmask::from_len(l).unwrap())
+}
+
+fn arb_contiguous_wildcard() -> impl Strategy<Value = Wildcard> {
+    (0u8..=32).prop_map(|l| Netmask::from_len(l).unwrap().to_wildcard())
+}
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9_-]{0,14}".prop_map(|s| s)
+}
+
+fn arb_ifname() -> impl Strategy<Value = InterfaceName> {
+    (0usize..6, 0u8..4, 0u8..4).prop_map(|(ty, a, b)| {
+        let ty = match ty {
+            0 => InterfaceType::Serial,
+            1 => InterfaceType::Ethernet,
+            2 => InterfaceType::FastEthernet,
+            3 => InterfaceType::Hssi,
+            4 => InterfaceType::Pos,
+            _ => InterfaceType::Atm,
+        };
+        InterfaceName::new(ty, format!("{a}/{b}"))
+    })
+}
+
+fn arb_interface() -> impl Strategy<Value = Interface> {
+    (
+        arb_ifname(),
+        prop::option::of((arb_addr(), arb_mask())),
+        prop::option::of(1u32..200),
+        prop::option::of(1u32..200),
+        any::<bool>(),
+        prop::option::of(1u32..1000),
+        prop::option::of(arb_name()),
+    )
+        .prop_map(|(name, addr, acl_in, acl_out, p2p, dlci, desc)| {
+            let mut i = Interface::new(name);
+            i.address = addr.map(|(a, m)| IfAddr { addr: a, mask: m });
+            i.access_group_in = acl_in;
+            i.access_group_out = acl_out;
+            i.point_to_point = p2p;
+            i.frame_relay_dlci = dlci;
+            i.description = desc;
+            if i.frame_relay_dlci.is_some() {
+                i.encapsulation = Some("frame-relay".to_string());
+            }
+            i
+        })
+}
+
+fn arb_redist() -> impl Strategy<Value = Redistribution> {
+    (
+        prop_oneof![
+            Just(RedistSource::Connected),
+            Just(RedistSource::Static),
+            Just(RedistSource::Rip),
+            (1u32..65000).prop_map(RedistSource::Ospf),
+            (1u32..65000).prop_map(RedistSource::Eigrp),
+            (1u32..65000).prop_map(RedistSource::Bgp),
+        ],
+        prop::option::of(1u64..10_000_000),
+        prop::option::of(1u8..3),
+        any::<bool>(),
+        prop::option::of(arb_name()),
+        prop::option::of(1u32..65536),
+    )
+        .prop_map(|(source, metric, metric_type, subnets, route_map, tag)| Redistribution {
+            source,
+            metric,
+            metric_type,
+            subnets,
+            route_map,
+            tag,
+        })
+}
+
+fn arb_ospf() -> impl Strategy<Value = OspfProcess> {
+    (
+        1u32..65536,
+        prop::collection::vec(
+            (arb_addr(), arb_contiguous_wildcard(), 0u32..100),
+            0..4,
+        ),
+        prop::collection::vec(arb_redist(), 0..3),
+        prop::collection::vec((1u32..200, prop::option::of(arb_ifname())), 0..2),
+        any::<bool>(),
+    )
+        .prop_map(|(id, nets, redist, dls, definfo)| {
+            let mut p = OspfProcess::new(id);
+            p.networks = nets
+                .into_iter()
+                .map(|(addr, wildcard, area)| OspfNetwork { addr, wildcard, area: OspfArea(area) })
+                .collect();
+            p.redistribute = redist;
+            p.distribute_in = dls
+                .into_iter()
+                .map(|(acl, interface)| DistributeList { acl, interface })
+                .collect();
+            p.default_information = definfo;
+            p
+        })
+}
+
+fn arb_eigrp() -> impl Strategy<Value = EigrpProcess> {
+    (
+        1u32..65536,
+        any::<bool>(),
+        prop::collection::vec((arb_addr(), prop::option::of(arb_contiguous_wildcard())), 0..4),
+        prop::collection::vec(arb_redist(), 0..3),
+        any::<bool>(),
+    )
+        .prop_map(|(asn, is_igrp, nets, redist, nas)| {
+            let mut p = EigrpProcess::new(asn);
+            p.is_igrp = is_igrp;
+            p.networks = nets
+                .into_iter()
+                .map(|(addr, wildcard)| EigrpNetwork { addr, wildcard })
+                .collect();
+            p.redistribute = redist;
+            p.no_auto_summary = nas;
+            p
+        })
+}
+
+fn arb_rip() -> impl Strategy<Value = RipProcess> {
+    (
+        prop::option::of(1u8..3),
+        prop::collection::vec(arb_addr(), 0..3),
+        prop::collection::vec(arb_redist(), 0..2),
+    )
+        .prop_map(|(version, networks, redistribute)| {
+            let mut p = RipProcess::new();
+            p.version = version;
+            p.networks = networks;
+            p.redistribute = redistribute;
+            p
+        })
+}
+
+fn arb_bgp() -> impl Strategy<Value = BgpProcess> {
+    (
+        1u32..65536,
+        prop::collection::vec(
+            (
+                arb_addr(),
+                1u32..65536,
+                any::<bool>(),
+                prop::option::of(arb_name()),
+                prop::option::of(1u32..200),
+            ),
+            0..4,
+        ),
+        prop::collection::vec(arb_redist(), 0..2),
+        any::<bool>(),
+        prop::collection::vec((arb_addr(), prop::option::of(arb_mask())), 0..3),
+    )
+        .prop_map(|(asn, neighbors, redistribute, nosync, networks)| {
+            let mut p = BgpProcess::new(asn);
+            for (addr, remote_as, nhs, rm_out, dl_in) in neighbors {
+                let n = p.neighbor_mut(addr);
+                n.remote_as = Some(remote_as);
+                n.next_hop_self = nhs;
+                n.route_map_out = rm_out;
+                n.distribute_in = dl_in;
+            }
+            p.redistribute = redistribute;
+            p.no_synchronization = nosync;
+            p.networks = networks;
+            p
+        })
+}
+
+fn arb_acl() -> impl Strategy<Value = AccessList> {
+    (1u32..100, prop::collection::vec(arb_std_entry(), 1..5)).prop_map(|(id, entries)| {
+        AccessList { id, entries }
+    })
+}
+
+fn arb_std_entry() -> impl Strategy<Value = AclEntry> {
+    (
+        any::<bool>(),
+        prop_oneof![
+            Just(AclAddr::Any),
+            arb_addr().prop_map(AclAddr::Host),
+            (arb_addr(), arb_contiguous_wildcard())
+                .prop_map(|(a, w)| AclAddr::Wild(a, w)),
+        ],
+    )
+        .prop_map(|(permit, addr)| AclEntry::Standard {
+            action: if permit { AclAction::Permit } else { AclAction::Deny },
+            addr,
+        })
+}
+
+fn arb_ext_acl() -> impl Strategy<Value = AccessList> {
+    (100u32..200, prop::collection::vec(arb_ext_entry(), 1..4)).prop_map(|(id, entries)| {
+        AccessList { id, entries }
+    })
+}
+
+fn arb_ext_entry() -> impl Strategy<Value = AclEntry> {
+    (
+        any::<bool>(),
+        prop_oneof![Just("ip"), Just("tcp"), Just("udp"), Just("icmp"), Just("pim")],
+        arb_acl_addr(),
+        arb_acl_addr(),
+        prop::option::of(arb_port_match()),
+        any::<bool>(),
+    )
+        .prop_map(|(permit, protocol, src, dst, dst_port, established)| {
+            let ports_ok = protocol == "tcp" || protocol == "udp";
+            AclEntry::Extended {
+                action: if permit { AclAction::Permit } else { AclAction::Deny },
+                protocol: protocol.to_string(),
+                src,
+                src_port: None,
+                dst,
+                dst_port: if ports_ok { dst_port } else { None },
+                established: established && protocol == "tcp",
+            }
+        })
+}
+
+fn arb_acl_addr() -> impl Strategy<Value = AclAddr> {
+    prop_oneof![
+        Just(AclAddr::Any),
+        arb_addr().prop_map(AclAddr::Host),
+        (arb_addr(), arb_contiguous_wildcard()).prop_map(|(a, w)| AclAddr::Wild(a, w)),
+    ]
+}
+
+fn arb_port_match() -> impl Strategy<Value = PortMatch> {
+    prop_oneof![
+        (1u16..65535).prop_map(PortMatch::Eq),
+        (1u16..65535).prop_map(PortMatch::Lt),
+        (1u16..65535).prop_map(PortMatch::Gt),
+        (1u16..1000, 1000u16..65535).prop_map(|(a, b)| PortMatch::Range(a, b)),
+    ]
+}
+
+fn arb_route_map() -> impl Strategy<Value = RouteMap> {
+    (
+        arb_name(),
+        prop::collection::vec(
+            (
+                any::<bool>(),
+                prop::collection::vec(1u32..200, 0..3),
+                prop::collection::vec(1u32..65536, 0..2),
+                prop::option::of(1u32..65536),
+            ),
+            1..4,
+        ),
+    )
+        .prop_map(|(name, clause_specs)| {
+            let mut map = RouteMap::new(name);
+            for (i, (permit, acls, tags, set_tag)) in clause_specs.into_iter().enumerate() {
+                let mut clause = RouteMapClause {
+                    seq: (i as u32 + 1) * 10,
+                    action: if permit { AclAction::Permit } else { AclAction::Deny },
+                    matches: Vec::new(),
+                    sets: Vec::new(),
+                };
+                if !acls.is_empty() {
+                    clause.matches.push(RmMatch::IpAddress(acls));
+                }
+                if !tags.is_empty() {
+                    clause.matches.push(RmMatch::Tag(tags));
+                }
+                if let Some(t) = set_tag {
+                    clause.sets.push(RmSet::Tag(t));
+                }
+                map.clauses.push(clause);
+            }
+            map
+        })
+}
+
+fn arb_static() -> impl Strategy<Value = StaticRoute> {
+    (
+        arb_addr(),
+        arb_mask(),
+        prop_oneof![
+            arb_addr().prop_map(StaticTarget::NextHop),
+            arb_ifname().prop_map(StaticTarget::Interface),
+        ],
+        prop::option::of(1u8..255),
+        prop::option::of(1u32..65536),
+    )
+        .prop_map(|(dest, mask, target, distance, tag)| StaticRoute {
+            dest: mask.apply(dest), // emitter writes canonical destinations
+            mask,
+            target,
+            distance,
+            tag,
+        })
+}
+
+prop_compose! {
+    fn arb_config()(
+        hostname in prop::option::of(arb_name()),
+        interfaces in prop::collection::vec(arb_interface(), 0..5),
+        ospf in prop::collection::vec(arb_ospf(), 0..3),
+        eigrp in prop::collection::vec(arb_eigrp(), 0..2),
+        rip in prop::option::of(arb_rip()),
+        bgp in prop::option::of(arb_bgp()),
+        static_routes in prop::collection::vec(arb_static(), 0..4),
+        std_acls in prop::collection::vec(arb_acl(), 0..3),
+        ext_acls in prop::collection::vec(arb_ext_acl(), 0..2),
+        route_maps in prop::collection::vec(arb_route_map(), 0..3),
+    ) -> RouterConfig {
+        let mut cfg = RouterConfig {
+            hostname,
+            interfaces,
+            ospf,
+            eigrp,
+            rip,
+            bgp,
+            static_routes,
+            ..RouterConfig::default()
+        };
+        // Deduplicate process ids/names so the model is well-formed.
+        cfg.ospf.sort_by_key(|p| p.id);
+        cfg.ospf.dedup_by_key(|p| p.id);
+        cfg.eigrp.sort_by_key(|p| (p.asn, p.is_igrp));
+        cfg.eigrp.dedup_by_key(|p| (p.asn, p.is_igrp));
+        for acl in std_acls.into_iter().chain(ext_acls) {
+            cfg.access_lists.insert(acl.id, acl);
+        }
+        for map in route_maps {
+            cfg.route_maps.insert(map.name.clone(), map);
+        }
+        cfg
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn emit_then_parse_is_identity(cfg in arb_config()) {
+        let text = emit_config(&cfg);
+        let reparsed = parse_config(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n--- emitted ---\n{text}"));
+        prop_assert!(
+            reparsed.unparsed.is_empty(),
+            "emitter produced lines the parser does not understand: {:?}",
+            reparsed.unparsed
+        );
+        prop_assert_eq!(reparsed, cfg);
+    }
+
+    #[test]
+    fn emitted_text_is_stable(cfg in arb_config()) {
+        // Emitting the reparsed model yields identical text (canonical form).
+        let text = emit_config(&cfg);
+        let reparsed = parse_config(&text).unwrap();
+        prop_assert_eq!(emit_config(&reparsed), text);
+    }
+}

@@ -1,0 +1,184 @@
+//! The [`Addr`] type: a compact IPv4 address.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// An IPv4 address.
+///
+/// This is a thin wrapper over `u32` (host byte order) rather than
+/// `std::net::Ipv4Addr` so that the arithmetic the analyses need — masking,
+/// ordering, successor/predecessor, bit tests — is direct and allocation-free.
+/// Conversions to and from `std::net::Ipv4Addr` are provided.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u32);
+
+impl Addr {
+    /// The all-zeros address `0.0.0.0`.
+    pub const ZERO: Addr = Addr(0);
+    /// The all-ones address `255.255.255.255`.
+    pub const BROADCAST: Addr = Addr(u32::MAX);
+
+    /// Creates an address from a host-order `u32`.
+    pub const fn from_u32(bits: u32) -> Addr {
+        Addr(bits)
+    }
+
+    /// Creates an address from four dotted-quad octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Addr {
+        Addr(((a as u32) << 24) | ((b as u32) << 16) | ((c as u32) << 8) | (d as u32))
+    }
+
+    /// Returns the address as a host-order `u32`.
+    pub const fn to_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the four octets, most significant first.
+    pub const fn octets(self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+
+    /// Tests bit `i` counting from the most significant bit (bit 0 is the
+    /// top bit). Panics if `i >= 32`.
+    pub fn bit(self, i: u8) -> bool {
+        assert!(i < 32, "bit index out of range: {i}");
+        (self.0 >> (31 - i)) & 1 == 1
+    }
+
+    /// Returns the next address, saturating at the broadcast address.
+    pub const fn saturating_next(self) -> Addr {
+        Addr(self.0.saturating_add(1))
+    }
+
+    /// Returns the previous address, saturating at zero.
+    pub const fn saturating_prev(self) -> Addr {
+        Addr(self.0.saturating_sub(1))
+    }
+
+    /// True if this address lies in one of the RFC 1918 private ranges.
+    pub fn is_rfc1918(self) -> bool {
+        let o = self.octets();
+        o[0] == 10 || (o[0] == 172 && (16..=31).contains(&o[1])) || (o[0] == 192 && o[1] == 168)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.octets();
+        write!(f, "{}.{}.{}.{}", o[0], o[1], o[2], o[3])
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({self})")
+    }
+}
+
+impl From<std::net::Ipv4Addr> for Addr {
+    fn from(a: std::net::Ipv4Addr) -> Addr {
+        Addr(u32::from(a))
+    }
+}
+
+impl From<Addr> for std::net::Ipv4Addr {
+    fn from(a: Addr) -> std::net::Ipv4Addr {
+        std::net::Ipv4Addr::from(a.0)
+    }
+}
+
+/// Error returned when parsing an [`Addr`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAddrError {
+    text: String,
+}
+
+impl ParseAddrError {
+    pub(crate) fn new(text: &str) -> ParseAddrError {
+        ParseAddrError { text: text.to_string() }
+    }
+}
+
+impl fmt::Display for ParseAddrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid IPv4 address: {:?}", self.text)
+    }
+}
+
+impl std::error::Error for ParseAddrError {}
+
+impl FromStr for Addr {
+    type Err = ParseAddrError;
+
+    fn from_str(s: &str) -> Result<Addr, ParseAddrError> {
+        let mut octets = [0u8; 4];
+        let mut parts = s.split('.');
+        for slot in &mut octets {
+            let part = parts.next().ok_or_else(|| ParseAddrError::new(s))?;
+            if part.is_empty() || part.len() > 3 || !part.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(ParseAddrError::new(s));
+            }
+            *slot = part.parse().map_err(|_| ParseAddrError::new(s))?;
+        }
+        if parts.next().is_some() {
+            return Err(ParseAddrError::new(s));
+        }
+        Ok(Addr::new(octets[0], octets[1], octets[2], octets[3]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for text in ["0.0.0.0", "10.0.0.1", "66.253.160.67", "255.255.255.255"] {
+            let a: Addr = text.parse().unwrap();
+            assert_eq!(a.to_string(), text);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for text in ["", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "1..2.3", "01x.2.3.4"] {
+            assert!(text.parse::<Addr>().is_err(), "accepted {text:?}");
+        }
+    }
+
+    #[test]
+    fn bit_indexing_is_msb_first() {
+        let a: Addr = "128.0.0.1".parse().unwrap();
+        assert!(a.bit(0));
+        assert!(!a.bit(1));
+        assert!(a.bit(31));
+    }
+
+    #[test]
+    fn ordering_matches_numeric_order() {
+        let lo: Addr = "10.0.0.0".parse().unwrap();
+        let hi: Addr = "10.0.0.1".parse().unwrap();
+        assert!(lo < hi);
+        assert_eq!(lo.saturating_next(), hi);
+        assert_eq!(hi.saturating_prev(), lo);
+        assert_eq!(Addr::BROADCAST.saturating_next(), Addr::BROADCAST);
+        assert_eq!(Addr::ZERO.saturating_prev(), Addr::ZERO);
+    }
+
+    #[test]
+    fn rfc1918_detection() {
+        assert!("10.1.2.3".parse::<Addr>().unwrap().is_rfc1918());
+        assert!("172.16.0.1".parse::<Addr>().unwrap().is_rfc1918());
+        assert!("172.31.255.255".parse::<Addr>().unwrap().is_rfc1918());
+        assert!("192.168.5.5".parse::<Addr>().unwrap().is_rfc1918());
+        assert!(!"172.32.0.1".parse::<Addr>().unwrap().is_rfc1918());
+        assert!(!"8.8.8.8".parse::<Addr>().unwrap().is_rfc1918());
+    }
+
+    #[test]
+    fn std_conversions() {
+        let a: Addr = "192.0.2.1".parse().unwrap();
+        let s: std::net::Ipv4Addr = a.into();
+        assert_eq!(Addr::from(s), a);
+    }
+}

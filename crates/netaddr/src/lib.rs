@@ -1,0 +1,42 @@
+//! IPv4 addressing primitives for static routing-design analysis.
+//!
+//! This crate provides the address-space substrate used throughout the
+//! routing-design toolchain:
+//!
+//! - [`Addr`]: a thin, `Copy`, ordered IPv4 address built on `u32`.
+//! - [`Netmask`] / [`Wildcard`]: contiguous netmasks and Cisco-style wildcard
+//!   (inverse) masks, with conversions and validity checking.
+//! - [`Prefix`]: a CIDR prefix with containment, overlap, supernet/subnet
+//!   arithmetic and canonical formatting.
+//! - [`PrefixSet`]: an exact set of IPv4 addresses represented as sorted
+//!   disjoint ranges, supporting union / intersection / difference and
+//!   conversion back to a minimal prefix list. This is the semantic domain in
+//!   which route filters (access lists, distribute lists, route maps) are
+//!   interpreted by the `reachability` crate.
+//! - [`PrefixTrie`]: a binary trie keyed by prefixes for longest-prefix match,
+//!   used for address-space structure lookups (and benchmarked against the
+//!   range representation as one of the ablations called out in DESIGN.md).
+//! - [`blocks`]: the Section 3.4 address-block recovery algorithm from the
+//!   paper, which aggregates the fragmented subnets mentioned in configuration
+//!   files into a hierarchical tree of address blocks.
+//!
+//! Everything here is deliberately IPv4-only: the paper's corpus (2004-era
+//! Cisco IOS configurations) is IPv4-only, and keeping the domain `u32`-sized
+//! keeps the set algebra exact and fast.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+pub mod blocks;
+mod mask;
+mod prefix;
+mod set;
+mod trie;
+
+pub use addr::{Addr, ParseAddrError};
+pub use blocks::{recover_blocks, AddressBlock, BlockTree};
+pub use mask::{Netmask, ParseMaskError, Wildcard};
+pub use prefix::{ParsePrefixError, Prefix};
+pub use set::{PrefixSet, Range};
+pub use trie::PrefixTrie;

@@ -1,0 +1,230 @@
+//! Netmasks and Cisco wildcard (inverse) masks.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::addr::{Addr, ParseAddrError};
+
+/// A contiguous IPv4 netmask (e.g. `255.255.255.252`).
+///
+/// Only contiguous masks are representable; IOS rejects non-contiguous
+/// netmasks on interfaces and so do we. Construct from a prefix length or
+/// parse from dotted-quad text.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Netmask {
+    len: u8,
+}
+
+impl Netmask {
+    /// The /0 mask `0.0.0.0`.
+    pub const ANY: Netmask = Netmask { len: 0 };
+    /// The /32 mask `255.255.255.255`.
+    pub const HOST: Netmask = Netmask { len: 32 };
+
+    /// Creates a netmask from a prefix length (0..=32).
+    pub fn from_len(len: u8) -> Option<Netmask> {
+        (len <= 32).then_some(Netmask { len })
+    }
+
+    /// The prefix length of this mask.
+    pub const fn len(self) -> u8 {
+        self.len
+    }
+
+    /// The mask bits as a host-order `u32`.
+    pub const fn bits(self) -> u32 {
+        if self.len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - self.len)
+        }
+    }
+
+    /// Applies the mask to an address, zeroing the host part.
+    pub const fn apply(self, addr: Addr) -> Addr {
+        Addr::from_u32(addr.to_u32() & self.bits())
+    }
+
+    /// The wildcard mask with the complementary bit pattern.
+    pub const fn to_wildcard(self) -> Wildcard {
+        Wildcard { bits: !self.bits() }
+    }
+
+    /// Number of addresses covered (2^(32-len)), saturating for /0.
+    pub fn size(self) -> u64 {
+        1u64 << (32 - self.len as u64)
+    }
+}
+
+impl fmt::Display for Netmask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        Addr::from_u32(self.bits()).fmt(f)
+    }
+}
+
+impl fmt::Debug for Netmask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Netmask(/{} = {})", self.len, self)
+    }
+}
+
+/// Error returned when parsing a [`Netmask`] or [`Wildcard`] fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseMaskError {
+    /// The text was not a dotted quad at all.
+    NotAnAddress(ParseAddrError),
+    /// The dotted quad parsed, but its bits are not a valid contiguous mask.
+    NonContiguous(Addr),
+}
+
+impl fmt::Display for ParseMaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseMaskError::NotAnAddress(e) => write!(f, "invalid mask: {e}"),
+            ParseMaskError::NonContiguous(a) => write!(f, "non-contiguous mask: {a}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseMaskError {}
+
+impl FromStr for Netmask {
+    type Err = ParseMaskError;
+
+    fn from_str(s: &str) -> Result<Netmask, ParseMaskError> {
+        let addr: Addr = s.parse().map_err(ParseMaskError::NotAnAddress)?;
+        let bits = addr.to_u32();
+        // A contiguous mask is ones followed by zeros: inverting gives
+        // zeros-then-ones, and adding 1 to that yields a power of two.
+        let inverted = !bits;
+        if inverted.wrapping_add(1) & inverted != 0 {
+            return Err(ParseMaskError::NonContiguous(addr));
+        }
+        Ok(Netmask { len: bits.count_ones() as u8 })
+    }
+}
+
+/// A Cisco wildcard ("inverse") mask, as used by `network` statements and
+/// access lists (e.g. `0.0.0.3` matching a /30).
+///
+/// Unlike [`Netmask`], wildcard masks are *not* required to be contiguous:
+/// IOS permits patterns like `0.0.255.0`. The set algebra in
+/// [`crate::PrefixSet`] handles only contiguous wildcards; callers can test
+/// with [`Wildcard::is_contiguous`] and fall back to conservative handling
+/// for the (rare, and absent from our corpus) discontiguous case.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Wildcard {
+    bits: u32,
+}
+
+impl Wildcard {
+    /// Creates a wildcard from raw bits (1 bits are "don't care").
+    pub const fn from_bits(bits: u32) -> Wildcard {
+        Wildcard { bits }
+    }
+
+    /// The raw bits; 1 bits are "don't care".
+    pub const fn bits(self) -> u32 {
+        self.bits
+    }
+
+    /// True if the don't-care bits form one contiguous low-order run,
+    /// i.e. the wildcard is the complement of a contiguous netmask.
+    pub const fn is_contiguous(self) -> bool {
+        self.bits & self.bits.wrapping_add(1) == 0
+    }
+
+    /// Converts to the complementary netmask, if contiguous.
+    pub fn to_netmask(self) -> Option<Netmask> {
+        self.is_contiguous()
+            .then(|| Netmask { len: (!self.bits).count_ones() as u8 })
+    }
+
+    /// True if `addr` matches `pattern` under this wildcard.
+    pub const fn matches(self, pattern: Addr, addr: Addr) -> bool {
+        (pattern.to_u32() | self.bits) == (addr.to_u32() | self.bits)
+    }
+}
+
+impl fmt::Display for Wildcard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        Addr::from_u32(self.bits).fmt(f)
+    }
+}
+
+impl fmt::Debug for Wildcard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Wildcard({self})")
+    }
+}
+
+impl FromStr for Wildcard {
+    type Err = ParseMaskError;
+
+    fn from_str(s: &str) -> Result<Wildcard, ParseMaskError> {
+        let addr: Addr = s.parse().map_err(ParseMaskError::NotAnAddress)?;
+        Ok(Wildcard { bits: addr.to_u32() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn netmask_lengths_roundtrip() {
+        for len in 0..=32u8 {
+            let m = Netmask::from_len(len).unwrap();
+            let parsed: Netmask = m.to_string().parse().unwrap();
+            assert_eq!(parsed, m);
+            assert_eq!(parsed.len(), len);
+        }
+        assert!(Netmask::from_len(33).is_none());
+    }
+
+    #[test]
+    fn rejects_non_contiguous_netmask() {
+        let err = "255.0.255.0".parse::<Netmask>().unwrap_err();
+        assert!(matches!(err, ParseMaskError::NonContiguous(_)));
+    }
+
+    #[test]
+    fn apply_zeroes_host_bits() {
+        let m: Netmask = "255.255.255.252".parse().unwrap();
+        let a: Addr = "66.253.32.85".parse().unwrap();
+        assert_eq!(m.apply(a).to_string(), "66.253.32.84");
+        assert_eq!(m.size(), 4);
+    }
+
+    #[test]
+    fn wildcard_netmask_duality() {
+        let m: Netmask = "255.255.255.128".parse().unwrap();
+        let w = m.to_wildcard();
+        assert_eq!(w.to_string(), "0.0.0.127");
+        assert!(w.is_contiguous());
+        assert_eq!(w.to_netmask(), Some(m));
+    }
+
+    #[test]
+    fn discontiguous_wildcard_detected() {
+        let w: Wildcard = "0.0.255.0".parse().unwrap();
+        assert!(!w.is_contiguous());
+        assert_eq!(w.to_netmask(), None);
+    }
+
+    #[test]
+    fn wildcard_matching() {
+        let w: Wildcard = "0.0.0.127".parse().unwrap();
+        let pattern: Addr = "66.251.75.128".parse().unwrap();
+        assert!(w.matches(pattern, "66.251.75.144".parse().unwrap()));
+        assert!(w.matches(pattern, "66.251.75.255".parse().unwrap()));
+        assert!(!w.matches(pattern, "66.251.75.127".parse().unwrap()));
+    }
+
+    #[test]
+    fn host_and_any_masks() {
+        assert_eq!(Netmask::HOST.to_string(), "255.255.255.255");
+        assert_eq!(Netmask::ANY.to_string(), "0.0.0.0");
+        assert_eq!(Netmask::ANY.bits(), 0);
+    }
+}

@@ -1,0 +1,345 @@
+//! Exact sets of IPv4 addresses.
+
+use std::fmt;
+
+use crate::addr::Addr;
+use crate::prefix::Prefix;
+
+/// An inclusive range of addresses, the internal unit of [`PrefixSet`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Range {
+    /// First address in the range.
+    pub start: Addr,
+    /// Last address in the range (inclusive).
+    pub end: Addr,
+}
+
+impl Range {
+    /// Creates a range; panics if `start > end`.
+    pub fn new(start: Addr, end: Addr) -> Range {
+        assert!(start <= end, "invalid range {start}..={end}");
+        Range { start, end }
+    }
+
+    /// Number of addresses in the range.
+    pub fn size(self) -> u64 {
+        u64::from(self.end.to_u32()) - u64::from(self.start.to_u32()) + 1
+    }
+}
+
+impl fmt::Debug for Range {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..={}", self.start, self.end)
+    }
+}
+
+/// An exact set of IPv4 addresses, stored as sorted, disjoint,
+/// non-adjacent inclusive ranges.
+///
+/// This is the semantic domain for route-filter analysis: an access list, a
+/// distribute list, or a route map's address matches all denote sets of
+/// addresses, and questions the paper asks ("is A2 ∩ A5 empty?",
+/// Section 6.2) are set-algebra questions. The range representation makes
+/// union, intersection, difference and emptiness exact and O(n).
+///
+/// Note the set tracks *addresses*, not (prefix, length) pairs: two filters
+/// are considered to admit the same routes when they cover the same address
+/// space. This matches how the paper reasons about reachability policies.
+#[derive(Clone, PartialEq, Eq, Default, Hash)]
+pub struct PrefixSet {
+    /// Sorted, disjoint, non-adjacent ranges.
+    ranges: Vec<Range>,
+}
+
+impl PrefixSet {
+    /// The empty set.
+    pub fn empty() -> PrefixSet {
+        PrefixSet { ranges: Vec::new() }
+    }
+
+    /// The full address space (equivalent to `permit any`).
+    pub fn all() -> PrefixSet {
+        PrefixSet { ranges: vec![Range::new(Addr::ZERO, Addr::BROADCAST)] }
+    }
+
+    /// A set containing exactly one prefix.
+    pub fn from_prefix(p: Prefix) -> PrefixSet {
+        PrefixSet { ranges: vec![Range::new(p.first(), p.last())] }
+    }
+
+    /// Builds a set as the union of many prefixes.
+    pub fn from_prefixes<I: IntoIterator<Item = Prefix>>(iter: I) -> PrefixSet {
+        let mut ranges: Vec<Range> =
+            iter.into_iter().map(|p| Range::new(p.first(), p.last())).collect();
+        ranges.sort();
+        PrefixSet { ranges: normalize(ranges) }
+    }
+
+    /// True if the set contains no addresses.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Number of addresses in the set.
+    pub fn size(&self) -> u64 {
+        self.ranges.iter().map(|r| r.size()).sum()
+    }
+
+    /// True if `addr` is in the set.
+    pub fn contains(&self, addr: Addr) -> bool {
+        self.ranges
+            .binary_search_by(|r| {
+                if r.end < addr {
+                    std::cmp::Ordering::Less
+                } else if r.start > addr {
+                    std::cmp::Ordering::Greater
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// True if every address of `p` is in the set.
+    pub fn covers_prefix(&self, p: Prefix) -> bool {
+        // The whole prefix must land inside a single range, since ranges are
+        // disjoint and non-adjacent.
+        match self.ranges.binary_search_by(|r| {
+            if r.end < p.first() {
+                std::cmp::Ordering::Less
+            } else if r.start > p.first() {
+                std::cmp::Ordering::Greater
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }) {
+            Ok(i) => self.ranges[i].end >= p.last(),
+            Err(_) => false,
+        }
+    }
+
+    /// True if any address of `p` is in the set.
+    pub fn intersects_prefix(&self, p: Prefix) -> bool {
+        !self.intersection(&PrefixSet::from_prefix(p)).is_empty()
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &PrefixSet) -> PrefixSet {
+        let mut merged: Vec<Range> =
+            self.ranges.iter().chain(other.ranges.iter()).copied().collect();
+        merged.sort();
+        PrefixSet { ranges: normalize(merged) }
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &PrefixSet) -> PrefixSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.ranges.len() && j < other.ranges.len() {
+            let a = self.ranges[i];
+            let b = other.ranges[j];
+            let start = a.start.max(b.start);
+            let end = a.end.min(b.end);
+            if start <= end {
+                out.push(Range::new(start, end));
+            }
+            if a.end <= b.end {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        PrefixSet { ranges: out }
+    }
+
+    /// Set difference (`self \ other`).
+    pub fn difference(&self, other: &PrefixSet) -> PrefixSet {
+        self.intersection(&other.complement())
+    }
+
+    /// Set complement within the full IPv4 space.
+    pub fn complement(&self) -> PrefixSet {
+        let mut out = Vec::new();
+        let mut cursor = Addr::ZERO;
+        for r in &self.ranges {
+            if r.start > cursor {
+                out.push(Range::new(cursor, r.start.saturating_prev()));
+            }
+            if r.end == Addr::BROADCAST {
+                return PrefixSet { ranges: out };
+            }
+            cursor = r.end.saturating_next();
+        }
+        out.push(Range::new(cursor, Addr::BROADCAST));
+        PrefixSet { ranges: out }
+    }
+
+    /// The ranges of the set, sorted and disjoint.
+    pub fn ranges(&self) -> &[Range] {
+        &self.ranges
+    }
+
+    /// Decomposes the set into the minimal list of CIDR prefixes covering
+    /// exactly the same addresses, in ascending order.
+    pub fn to_prefixes(&self) -> Vec<Prefix> {
+        let mut out = Vec::new();
+        for r in &self.ranges {
+            let mut start = u64::from(r.start.to_u32());
+            let end = u64::from(r.end.to_u32());
+            while start <= end {
+                // Largest aligned block starting at `start` that fits.
+                let max_align = if start == 0 { 33 } else { start.trailing_zeros() + 1 };
+                let remaining = end - start + 1;
+                let max_size = 64 - remaining.leading_zeros();
+                let bits = max_align.min(max_size).min(33) - 1; // log2 block size
+                let len = 32 - bits as u8;
+                out.push(
+                    Prefix::new(Addr::from_u32(start as u32), len)
+                        .expect("len computed in range"),
+                );
+                start += 1u64 << bits;
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for PrefixSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.to_prefixes()).finish()
+    }
+}
+
+impl fmt::Display for PrefixSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let prefixes = self.to_prefixes();
+        let mut first = true;
+        for p in prefixes {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+            first = false;
+        }
+        if first {
+            write!(f, "(empty)")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Prefix> for PrefixSet {
+    fn from_iter<I: IntoIterator<Item = Prefix>>(iter: I) -> PrefixSet {
+        PrefixSet::from_prefixes(iter)
+    }
+}
+
+/// Merges a sorted list of ranges into disjoint, non-adjacent form.
+fn normalize(sorted: Vec<Range>) -> Vec<Range> {
+    let mut out: Vec<Range> = Vec::with_capacity(sorted.len());
+    for r in sorted {
+        match out.last_mut() {
+            Some(last)
+                if r.start <= last.end
+                    || (last.end < Addr::BROADCAST
+                        && r.start == last.end.saturating_next()) =>
+            {
+                last.end = last.end.max(r.end);
+            }
+            _ => out.push(r),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(prefixes: &[&str]) -> PrefixSet {
+        PrefixSet::from_prefixes(prefixes.iter().map(|s| s.parse().unwrap()))
+    }
+
+    fn pfx(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn adjacent_prefixes_merge() {
+        let s = set(&["10.0.0.0/25", "10.0.0.128/25"]);
+        assert_eq!(s.to_prefixes(), vec![pfx("10.0.0.0/24")]);
+        assert_eq!(s.size(), 256);
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let a = set(&["10.0.0.0/8"]);
+        let b = set(&["10.128.0.0/9", "11.0.0.0/8"]);
+        // 10/8 and 11/8 are adjacent, so the union canonicalizes to 10/7.
+        assert_eq!(a.union(&b).to_prefixes(), vec![pfx("10.0.0.0/7")]);
+        assert_eq!(a.intersection(&b).to_prefixes(), vec![pfx("10.128.0.0/9")]);
+        assert_eq!(a.difference(&b).to_prefixes(), vec![pfx("10.0.0.0/9")]);
+        assert!(b.difference(&a).contains("11.0.0.1".parse().unwrap()));
+    }
+
+    #[test]
+    fn complement_roundtrip() {
+        let a = set(&["0.0.0.0/1"]);
+        assert_eq!(a.complement().to_prefixes(), vec![pfx("128.0.0.0/1")]);
+        assert_eq!(a.complement().complement(), a);
+        assert_eq!(PrefixSet::all().complement(), PrefixSet::empty());
+        assert_eq!(PrefixSet::empty().complement(), PrefixSet::all());
+    }
+
+    #[test]
+    fn complement_of_interior_range() {
+        let a = set(&["10.0.0.0/8"]);
+        let c = a.complement();
+        assert!(c.contains("9.255.255.255".parse().unwrap()));
+        assert!(c.contains("11.0.0.0".parse().unwrap()));
+        assert!(!c.contains("10.5.5.5".parse().unwrap()));
+        assert_eq!(c.size(), (1u64 << 32) - (1 << 24));
+    }
+
+    #[test]
+    fn contains_and_covers() {
+        let s = set(&["66.253.32.84/30", "10.0.0.0/16"]);
+        assert!(s.contains("66.253.32.85".parse().unwrap()));
+        assert!(!s.contains("66.253.32.88".parse().unwrap()));
+        assert!(s.covers_prefix(pfx("10.0.128.0/17")));
+        assert!(!s.covers_prefix(pfx("10.0.0.0/8")));
+        assert!(s.intersects_prefix(pfx("10.0.0.0/8")));
+        assert!(!s.intersects_prefix(pfx("192.0.2.0/24")));
+    }
+
+    #[test]
+    fn disjointness_checks_like_table2() {
+        // Mirrors the net15 policy-disjointness checks: A2 ∩ A5 = ∅ etc.
+        let a2 = set(&["10.2.0.0/16"]);
+        let a5 = set(&["10.0.0.0/24"]);
+        assert!(a2.intersection(&a5).is_empty());
+        let a1 = set(&["10.0.0.0/24", "10.1.0.0/16"]);
+        assert!(!a1.intersection(&a5).is_empty());
+    }
+
+    #[test]
+    fn to_prefixes_minimality_on_odd_range() {
+        // 10.0.0.1 .. 10.0.0.6 = /32 + /31 + /31 + /32? Check exact cover.
+        let s = PrefixSet {
+            ranges: vec![Range::new(
+                "10.0.0.1".parse().unwrap(),
+                "10.0.0.6".parse().unwrap(),
+            )],
+        };
+        let prefixes = s.to_prefixes();
+        let total: u64 = prefixes.iter().map(|p| p.size()).sum();
+        assert_eq!(total, 6);
+        let rebuilt = PrefixSet::from_prefixes(prefixes);
+        assert_eq!(rebuilt, s);
+    }
+
+    #[test]
+    fn full_space_decomposes_to_default_route() {
+        assert_eq!(PrefixSet::all().to_prefixes(), vec![Prefix::DEFAULT]);
+    }
+}

@@ -1,0 +1,218 @@
+//! A binary prefix trie for longest-prefix match.
+
+use crate::addr::Addr;
+use crate::prefix::Prefix;
+
+/// A binary trie mapping [`Prefix`]es to values, with longest-prefix match.
+///
+/// Used for address-space structure lookups ("which address block does this
+/// interface belong to?") and for next-hop resolution in the reachability
+/// analysis. The trie is the classic unibit structure: each level consumes
+/// one address bit, values hang off the node at depth `prefix.len()`.
+///
+/// DESIGN.md lists the trie-vs-range-list representation as an ablation; the
+/// bench crate compares this structure against [`crate::PrefixSet`] for
+/// membership-style queries.
+#[derive(Clone, Debug)]
+pub struct PrefixTrie<T> {
+    root: Node<T>,
+    len: usize,
+}
+
+#[derive(Clone, Debug)]
+struct Node<T> {
+    value: Option<T>,
+    children: [Option<Box<Node<T>>>; 2],
+}
+
+impl<T> Default for Node<T> {
+    fn default() -> Node<T> {
+        Node { value: None, children: [None, None] }
+    }
+}
+
+impl<T> Default for PrefixTrie<T> {
+    fn default() -> PrefixTrie<T> {
+        PrefixTrie::new()
+    }
+}
+
+impl<T> PrefixTrie<T> {
+    /// Creates an empty trie.
+    pub fn new() -> PrefixTrie<T> {
+        PrefixTrie { root: Node::default(), len: 0 }
+    }
+
+    /// Number of prefixes stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no prefixes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a value at `prefix`, returning the previous value if any.
+    pub fn insert(&mut self, prefix: Prefix, value: T) -> Option<T> {
+        let mut node = &mut self.root;
+        for i in 0..prefix.len() {
+            let bit = prefix.addr().bit(i) as usize;
+            node = node.children[bit].get_or_insert_with(Box::default);
+        }
+        let old = node.value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Returns the value stored at exactly `prefix`.
+    pub fn get(&self, prefix: Prefix) -> Option<&T> {
+        let mut node = &self.root;
+        for i in 0..prefix.len() {
+            let bit = prefix.addr().bit(i) as usize;
+            node = node.children[bit].as_deref()?;
+        }
+        node.value.as_ref()
+    }
+
+    /// Longest-prefix match: the most specific stored prefix containing
+    /// `addr`, with its value.
+    pub fn lookup(&self, addr: Addr) -> Option<(Prefix, &T)> {
+        let mut node = &self.root;
+        let mut best: Option<(u8, &T)> = node.value.as_ref().map(|v| (0, v));
+        for i in 0..32 {
+            let bit = addr.bit(i) as usize;
+            match node.children[bit].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = node.value.as_ref() {
+                        best = Some((i + 1, v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best.map(|(len, v)| {
+            (Prefix::new(addr, len).expect("len <= 32 by construction"), v)
+        })
+    }
+
+    /// Iterates over all `(prefix, value)` pairs in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = (Prefix, &T)> {
+        let mut out = Vec::new();
+        collect(&self.root, 0, 0, &mut out);
+        out.into_iter()
+    }
+
+    /// Returns all stored prefixes covered by `prefix` (including itself).
+    pub fn covered_by(&self, prefix: Prefix) -> Vec<(Prefix, &T)> {
+        let mut node = &self.root;
+        for i in 0..prefix.len() {
+            let bit = prefix.addr().bit(i) as usize;
+            match node.children[bit].as_deref() {
+                Some(child) => node = child,
+                None => return Vec::new(),
+            }
+        }
+        let mut out = Vec::new();
+        collect(node, prefix.addr().to_u32(), prefix.len(), &mut out);
+        out
+    }
+}
+
+fn collect<'a, T>(
+    node: &'a Node<T>,
+    bits: u32,
+    depth: u8,
+    out: &mut Vec<(Prefix, &'a T)>,
+) {
+    if let Some(v) = &node.value {
+        out.push((
+            Prefix::new(Addr::from_u32(bits), depth).expect("depth <= 32"),
+            v,
+        ));
+    }
+    if depth == 32 {
+        return;
+    }
+    if let Some(child) = node.children[0].as_deref() {
+        collect(child, bits, depth + 1, out);
+    }
+    if let Some(child) = node.children[1].as_deref() {
+        collect(child, bits | 1 << (31 - depth), depth + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pfx(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn addr(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn longest_prefix_match_prefers_specific() {
+        let mut t = PrefixTrie::new();
+        t.insert(pfx("10.0.0.0/8"), "eight");
+        t.insert(pfx("10.1.0.0/16"), "sixteen");
+        t.insert(pfx("0.0.0.0/0"), "default");
+        assert_eq!(t.lookup(addr("10.1.2.3")).unwrap().1, &"sixteen");
+        assert_eq!(t.lookup(addr("10.2.2.3")).unwrap().1, &"eight");
+        assert_eq!(t.lookup(addr("11.0.0.1")).unwrap().1, &"default");
+        assert_eq!(t.lookup(addr("10.1.2.3")).unwrap().0, pfx("10.1.0.0/16"));
+    }
+
+    #[test]
+    fn lookup_without_default_misses() {
+        let mut t = PrefixTrie::new();
+        t.insert(pfx("192.0.2.0/24"), ());
+        assert!(t.lookup(addr("192.0.3.1")).is_none());
+        assert!(t.lookup(addr("192.0.2.255")).is_some());
+    }
+
+    #[test]
+    fn insert_replaces_and_counts() {
+        let mut t = PrefixTrie::new();
+        assert_eq!(t.insert(pfx("10.0.0.0/8"), 1), None);
+        assert_eq!(t.insert(pfx("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(pfx("10.0.0.0/8")), Some(&2));
+        assert_eq!(t.get(pfx("10.0.0.0/9")), None);
+    }
+
+    #[test]
+    fn iter_is_lexicographic() {
+        let mut t = PrefixTrie::new();
+        t.insert(pfx("10.0.0.0/16"), ());
+        t.insert(pfx("10.0.0.0/8"), ());
+        t.insert(pfx("9.0.0.0/8"), ());
+        let keys: Vec<Prefix> = t.iter().map(|(p, _)| p).collect();
+        assert_eq!(keys, vec![pfx("9.0.0.0/8"), pfx("10.0.0.0/8"), pfx("10.0.0.0/16")]);
+    }
+
+    #[test]
+    fn covered_by_returns_subtree() {
+        let mut t = PrefixTrie::new();
+        t.insert(pfx("10.0.0.0/8"), ());
+        t.insert(pfx("10.1.0.0/16"), ());
+        t.insert(pfx("11.0.0.0/8"), ());
+        let sub: Vec<Prefix> = t.covered_by(pfx("10.0.0.0/8")).into_iter().map(|(p, _)| p).collect();
+        assert_eq!(sub, vec![pfx("10.0.0.0/8"), pfx("10.1.0.0/16")]);
+        assert!(t.covered_by(pfx("12.0.0.0/8")).is_empty());
+    }
+
+    #[test]
+    fn host_prefixes_work() {
+        let mut t = PrefixTrie::new();
+        t.insert(Prefix::host(addr("10.0.0.1")), "host");
+        assert_eq!(t.lookup(addr("10.0.0.1")).unwrap().1, &"host");
+        assert!(t.lookup(addr("10.0.0.2")).is_none());
+    }
+}

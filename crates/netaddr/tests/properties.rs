@@ -1,0 +1,156 @@
+//! Property-based tests for the netaddr primitives.
+//!
+//! The `PrefixSet` algebra is checked against a naive model built on
+//! `BTreeSet<u32>` over a small sampled universe, and the trie is checked
+//! against linear scans.
+
+use std::collections::BTreeSet;
+
+use netaddr::{Addr, Prefix, PrefixSet, PrefixTrie};
+use proptest::prelude::*;
+
+/// Strategy: arbitrary prefix with length biased toward realistic subnets.
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| {
+        Prefix::new(Addr::from_u32(bits), len).expect("len <= 32")
+    })
+}
+
+/// Strategy: a small set of prefixes.
+fn arb_prefixes() -> impl Strategy<Value = Vec<Prefix>> {
+    prop::collection::vec(arb_prefix(), 0..12)
+}
+
+/// Sample membership probes: prefix boundaries plus arbitrary addresses.
+fn probes(sets: &[&[Prefix]], extra: &[u32]) -> Vec<Addr> {
+    let mut out: BTreeSet<u32> = extra.iter().copied().collect();
+    for prefixes in sets {
+        for p in *prefixes {
+            for a in [
+                p.first().to_u32().wrapping_sub(1),
+                p.first().to_u32(),
+                p.last().to_u32(),
+                p.last().to_u32().wrapping_add(1),
+            ] {
+                out.insert(a);
+            }
+        }
+    }
+    out.into_iter().map(Addr::from_u32).collect()
+}
+
+fn naive_contains(prefixes: &[Prefix], addr: Addr) -> bool {
+    prefixes.iter().any(|p| p.contains(addr))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn prefix_parse_display_roundtrip(p in arb_prefix()) {
+        let text = p.to_string();
+        let back: Prefix = text.parse().unwrap();
+        prop_assert_eq!(back, p);
+    }
+
+    #[test]
+    fn set_union_matches_naive(a in arb_prefixes(), b in arb_prefixes(), extras in prop::collection::vec(any::<u32>(), 8)) {
+        let sa = PrefixSet::from_prefixes(a.iter().copied());
+        let sb = PrefixSet::from_prefixes(b.iter().copied());
+        let u = sa.union(&sb);
+        for probe in probes(&[&a, &b], &extras) {
+            let expect = naive_contains(&a, probe) || naive_contains(&b, probe);
+            prop_assert_eq!(u.contains(probe), expect, "probe {}", probe);
+        }
+    }
+
+    #[test]
+    fn set_intersection_matches_naive(a in arb_prefixes(), b in arb_prefixes(), extras in prop::collection::vec(any::<u32>(), 8)) {
+        let sa = PrefixSet::from_prefixes(a.iter().copied());
+        let sb = PrefixSet::from_prefixes(b.iter().copied());
+        let i = sa.intersection(&sb);
+        for probe in probes(&[&a, &b], &extras) {
+            let expect = naive_contains(&a, probe) && naive_contains(&b, probe);
+            prop_assert_eq!(i.contains(probe), expect, "probe {}", probe);
+        }
+    }
+
+    #[test]
+    fn set_difference_matches_naive(a in arb_prefixes(), b in arb_prefixes(), extras in prop::collection::vec(any::<u32>(), 8)) {
+        let sa = PrefixSet::from_prefixes(a.iter().copied());
+        let sb = PrefixSet::from_prefixes(b.iter().copied());
+        let d = sa.difference(&sb);
+        for probe in probes(&[&a, &b], &extras) {
+            let expect = naive_contains(&a, probe) && !naive_contains(&b, probe);
+            prop_assert_eq!(d.contains(probe), expect, "probe {}", probe);
+        }
+    }
+
+    #[test]
+    fn complement_is_involutive(a in arb_prefixes()) {
+        let s = PrefixSet::from_prefixes(a.iter().copied());
+        prop_assert_eq!(s.complement().complement(), s);
+    }
+
+    #[test]
+    fn complement_partitions_space(a in arb_prefixes()) {
+        let s = PrefixSet::from_prefixes(a.iter().copied());
+        let c = s.complement();
+        prop_assert!(s.intersection(&c).is_empty());
+        prop_assert_eq!(s.size() + c.size(), 1u64 << 32);
+    }
+
+    #[test]
+    fn to_prefixes_is_exact_and_canonical(a in arb_prefixes()) {
+        let s = PrefixSet::from_prefixes(a.iter().copied());
+        let decomposed = s.to_prefixes();
+        // Rebuilding yields the same set.
+        let rebuilt = PrefixSet::from_prefixes(decomposed.iter().copied());
+        prop_assert_eq!(&rebuilt, &s);
+        // The decomposition is disjoint.
+        let total: u64 = decomposed.iter().map(|p| p.size()).sum();
+        prop_assert_eq!(total, s.size());
+    }
+
+    #[test]
+    fn trie_lookup_matches_linear_scan(a in arb_prefixes(), probes_raw in prop::collection::vec(any::<u32>(), 16)) {
+        let mut trie = PrefixTrie::new();
+        for (i, p) in a.iter().enumerate() {
+            trie.insert(*p, i);
+        }
+        for raw in probes_raw {
+            let addr = Addr::from_u32(raw);
+            let expect = a
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.contains(addr))
+                .max_by_key(|(i, p)| (p.len(), *i)) // last insert wins ties
+                .map(|(_, p)| p.len());
+            let got = trie.lookup(addr).map(|(p, _)| p.len());
+            prop_assert_eq!(got, expect, "probe {}", addr);
+        }
+    }
+
+    #[test]
+    fn block_recovery_covers_all_inputs(a in arb_prefixes()) {
+        let tree = netaddr::recover_blocks(a.iter().copied());
+        for p in &a {
+            prop_assert!(
+                tree.roots.iter().any(|b| b.prefix.covers(*p)),
+                "input {} not covered by any root", p
+            );
+        }
+        // Roots are pairwise non-overlapping.
+        let roots = tree.root_prefixes();
+        for (i, x) in roots.iter().enumerate() {
+            for y in &roots[i + 1..] {
+                prop_assert!(!x.overlaps(*y), "roots {} and {} overlap", x, y);
+            }
+        }
+        // Utilization of every root respects the half-used rule (roots that
+        // are original subnets are fully used).
+        for b in &tree.roots {
+            prop_assert!(b.used <= b.prefix.size());
+        }
+    }
+}

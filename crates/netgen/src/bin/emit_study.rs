@@ -1,0 +1,31 @@
+//! Writes the generated study corpus to disk as directories of config
+//! files (`<out>/net1/config1` ...), for use with `rdx` or any external
+//! tool.
+//!
+//! ```sh
+//! cargo run --release -p netgen --bin emit_study -- <out-dir> [--small] [netNN ...]
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(out) = args.first() else {
+        eprintln!("usage: emit_study <out-dir> [--small] [netNN ...]");
+        std::process::exit(1);
+    };
+    let small = args.iter().any(|a| a == "--small");
+    let scale = if small { netgen::StudyScale::Small } else { netgen::StudyScale::Full };
+    let wanted: Vec<&String> =
+        args.iter().skip(1).filter(|a| !a.starts_with("--")).collect();
+    for spec in netgen::study_roster(scale) {
+        if !wanted.is_empty() && !wanted.iter().any(|w| **w == spec.name) {
+            continue;
+        }
+        let dir = std::path::Path::new(out).join(&spec.name);
+        std::fs::create_dir_all(&dir).expect("create network dir");
+        let generated = netgen::study::generate_network(&spec, scale);
+        for (name, text) in &generated.texts {
+            std::fs::write(dir.join(name), text).expect("write config");
+        }
+        eprintln!("{}: {} configs", spec.name, generated.texts.len());
+    }
+}

@@ -1,0 +1,204 @@
+//! Programmatic construction of router configurations.
+
+use ioscfg::{IfAddr, Interface, InterfaceName, InterfaceType, RouterConfig};
+use netaddr::Prefix;
+
+/// Builds a network as a list of typed router configurations, handling
+/// interface numbering and link address assignment.
+#[derive(Clone, Debug, Default)]
+pub struct NetworkBuilder {
+    /// The routers built so far (index = router id in emission order).
+    pub routers: Vec<RouterConfig>,
+}
+
+impl NetworkBuilder {
+    /// An empty builder.
+    pub fn new() -> NetworkBuilder {
+        NetworkBuilder::default()
+    }
+
+    /// Adds a router with the given hostname; returns its index.
+    pub fn add_router(&mut self, hostname: impl Into<String>) -> usize {
+        let mut cfg = RouterConfig::default();
+        cfg.hostname = Some(hostname.into());
+        self.routers.push(cfg);
+        self.routers.len() - 1
+    }
+
+    /// Mutable access to a router's configuration.
+    pub fn router(&mut self, idx: usize) -> &mut RouterConfig {
+        &mut self.routers[idx]
+    }
+
+    /// Next unit number for an interface type on a router (`Serial0`,
+    /// `Serial1`, ...).
+    fn next_unit(&self, idx: usize, ty: &InterfaceType) -> String {
+        let count = self.routers[idx]
+            .interfaces
+            .iter()
+            .filter(|i| &i.name.ty == ty)
+            .count();
+        count.to_string()
+    }
+
+    /// Adds an interface of type `ty` with an optional address; returns
+    /// its name.
+    pub fn add_iface(
+        &mut self,
+        idx: usize,
+        ty: InterfaceType,
+        addr: Option<IfAddr>,
+    ) -> InterfaceName {
+        let name = InterfaceName::new(ty.clone(), self.next_unit(idx, &ty));
+        let mut iface = Interface::new(name.clone());
+        iface.address = addr;
+        if let Some(a) = addr {
+            // /30s on serial-style interfaces are point-to-point.
+            if a.mask.len() == 30
+                && matches!(ty, InterfaceType::Serial | InterfaceType::Hssi | InterfaceType::Pos)
+            {
+                iface.point_to_point = true;
+            }
+        }
+        self.routers[idx].interfaces.push(iface);
+        name
+    }
+
+    /// Wires a point-to-point /30 between two routers; returns the two
+    /// interface names. `a` receives the first usable address.
+    pub fn p2p_link(
+        &mut self,
+        a: usize,
+        b: usize,
+        subnet: Prefix,
+        ty: InterfaceType,
+    ) -> (InterfaceName, InterfaceName) {
+        let (addr_a, addr_b) = subnet
+            .p2p_hosts()
+            .unwrap_or_else(|| panic!("p2p_link requires a /30, got {subnet}"));
+        let mask = subnet.mask();
+        let ia = self.add_iface(a, ty.clone(), Some(IfAddr { addr: addr_a, mask }));
+        let ib = self.add_iface(b, ty, Some(IfAddr { addr: addr_b, mask }));
+        (ia, ib)
+    }
+
+    /// Adds an external-facing /30: only our side exists in the corpus.
+    pub fn external_stub(
+        &mut self,
+        idx: usize,
+        subnet: Prefix,
+        ty: InterfaceType,
+    ) -> (InterfaceName, netaddr::Addr) {
+        let (ours, theirs) = subnet
+            .p2p_hosts()
+            .unwrap_or_else(|| panic!("external_stub requires a /30, got {subnet}"));
+        let name =
+            self.add_iface(idx, ty, Some(IfAddr { addr: ours, mask: subnet.mask() }));
+        (name, theirs)
+    }
+
+    /// Adds a LAN interface on one router (first usable host address).
+    pub fn lan(&mut self, idx: usize, subnet: Prefix, ty: InterfaceType) -> InterfaceName {
+        let addr = netaddr::Addr::from_u32(subnet.first().to_u32() + 1);
+        self.add_iface(idx, ty, Some(IfAddr { addr, mask: subnet.mask() }))
+    }
+
+    /// Puts several routers on one shared LAN (host addresses .1, .2, ...).
+    pub fn multi_lan(
+        &mut self,
+        routers: &[usize],
+        subnet: Prefix,
+        ty: InterfaceType,
+    ) -> Vec<InterfaceName> {
+        routers
+            .iter()
+            .enumerate()
+            .map(|(i, &idx)| {
+                let addr = netaddr::Addr::from_u32(subnet.first().to_u32() + 1 + i as u32);
+                self.add_iface(idx, ty.clone(), Some(IfAddr { addr, mask: subnet.mask() }))
+            })
+            .collect()
+    }
+
+    /// Emits all configurations as `(file_name, text)` pairs named
+    /// `config1..configN`, the layout of the paper's anonymized corpora.
+    pub fn to_texts(&self) -> Vec<(String, String)> {
+        self.routers
+            .iter()
+            .enumerate()
+            .map(|(i, cfg)| (format!("config{}", i + 1), ioscfg::emit_config(cfg)))
+            .collect()
+    }
+
+    /// Number of routers so far.
+    pub fn len(&self) -> usize {
+        self.routers.len()
+    }
+
+    /// True if no routers have been added.
+    pub fn is_empty(&self) -> bool {
+        self.routers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p2p_link_assigns_both_ends() {
+        let mut b = NetworkBuilder::new();
+        let r0 = b.add_router("a");
+        let r1 = b.add_router("b");
+        let (ia, ib) = b.p2p_link(r0, r1, "10.0.0.0/30".parse().unwrap(), InterfaceType::Serial);
+        assert_eq!(ia.to_string(), "Serial0");
+        assert_eq!(ib.to_string(), "Serial0");
+        assert_eq!(
+            b.routers[0].interfaces[0].address.unwrap().addr.to_string(),
+            "10.0.0.1"
+        );
+        assert_eq!(
+            b.routers[1].interfaces[0].address.unwrap().addr.to_string(),
+            "10.0.0.2"
+        );
+        assert!(b.routers[0].interfaces[0].point_to_point);
+    }
+
+    #[test]
+    fn interface_numbering_increments_per_type() {
+        let mut b = NetworkBuilder::new();
+        let r = b.add_router("a");
+        b.add_iface(r, InterfaceType::Serial, None);
+        b.add_iface(r, InterfaceType::Serial, None);
+        let fe = b.add_iface(r, InterfaceType::FastEthernet, None);
+        assert_eq!(b.routers[0].interfaces[1].name.to_string(), "Serial1");
+        assert_eq!(fe.to_string(), "FastEthernet0");
+    }
+
+    #[test]
+    fn emitted_corpus_parses_back() {
+        let mut b = NetworkBuilder::new();
+        let r0 = b.add_router("a");
+        let r1 = b.add_router("b");
+        b.p2p_link(r0, r1, "10.0.0.0/30".parse().unwrap(), InterfaceType::Serial);
+        b.lan(r0, "10.1.0.0/24".parse().unwrap(), InterfaceType::FastEthernet);
+        let texts = b.to_texts();
+        assert_eq!(texts.len(), 2);
+        assert_eq!(texts[0].0, "config1");
+        let net = nettopo::Network::from_texts(texts).unwrap();
+        assert_eq!(net.len(), 2);
+        let links = nettopo::LinkMap::build(&net);
+        assert_eq!(links.links.len(), 2);
+    }
+
+    #[test]
+    fn multi_lan_spreads_hosts() {
+        let mut b = NetworkBuilder::new();
+        let ids: Vec<usize> = (0..3).map(|i| b.add_router(format!("r{i}"))).collect();
+        b.multi_lan(&ids, "10.5.0.0/24".parse().unwrap(), InterfaceType::Ethernet);
+        let addrs: Vec<String> = (0..3)
+            .map(|i| b.routers[i].interfaces[0].address.unwrap().addr.to_string())
+            .collect();
+        assert_eq!(addrs, vec!["10.5.0.1", "10.5.0.2", "10.5.0.3"]);
+    }
+}

@@ -1,0 +1,147 @@
+//! EBGP-as-WAN designs: every spoke site is its own private AS, speaking
+//! EBGP to the hub over its access link.
+//!
+//! This is one of the paper's headline findings (Section 5.2): about 10%
+//! of all EBGP sessions in the corpus run *between routers of the same
+//! network*. The hypothesized reasons — compartment scalability, merger
+//! legacy, and BGP's fine-grained policy control over per-site routing —
+//! all fit the managed-WAN pattern this generator produces: an ISP-run
+//! enterprise WAN where the provider hands each site a private AS.
+
+use ioscfg::{BgpProcess, InterfaceType, Redistribution, RedistSource};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::alloc::AddressPlan;
+use crate::designs::DesignOutput;
+
+/// Parameters for one EBGP-WAN network.
+#[derive(Clone, Copy, Debug)]
+pub struct EbgpWanSpec {
+    /// Total routers (≥ 3): hubs + spokes.
+    pub routers: usize,
+    /// Number of hub routers (1 or 2).
+    pub hubs: usize,
+    /// The hub AS number.
+    pub hub_asn: u32,
+}
+
+/// Generates an EBGP-WAN network.
+pub fn generate(spec: EbgpWanSpec, rng: &mut StdRng) -> DesignOutput {
+    assert!(spec.routers >= 3);
+    let mut out = DesignOutput::default();
+    let mut plan = AddressPlan::for_compartment(10, 0);
+    let hubs = spec.hubs.clamp(1, 2).min(spec.routers - 1);
+
+    // Hubs with an interconnect and the upstream peering.
+    let hub_ids: Vec<usize> =
+        (0..hubs).map(|i| out.builder.add_router(format!("wan-hub{i}"))).collect();
+    for &h in &hub_ids {
+        let mut bgp = BgpProcess::new(spec.hub_asn);
+        bgp.no_synchronization = true;
+        bgp.redistribute.push(Redistribution::plain(RedistSource::Connected));
+        out.builder.router(h).bgp = Some(bgp);
+    }
+    if hubs == 2 {
+        let subnet = plan.p2p.alloc(30);
+        let (ia, ib) =
+            out.builder.p2p_link(hub_ids[0], hub_ids[1], subnet, InterfaceType::Serial);
+        out.internal_ifaces.push((hub_ids[0], ia));
+        out.internal_ifaces.push((hub_ids[1], ib));
+        let (a0, a1) = subnet.p2p_hosts().expect("/30");
+        out.builder.router(hub_ids[0]).bgp.as_mut().expect("set").neighbor_mut(a1).remote_as =
+            Some(spec.hub_asn);
+        out.builder.router(hub_ids[1]).bgp.as_mut().expect("set").neighbor_mut(a0).remote_as =
+            Some(spec.hub_asn);
+    }
+    // Upstream on hub 0.
+    {
+        let subnet = plan.external.alloc(30);
+        let (iface, peer) =
+            out.builder.external_stub(hub_ids[0], subnet, InterfaceType::Serial);
+        out.external_ifaces.push((hub_ids[0], iface));
+        out.builder
+            .router(hub_ids[0])
+            .bgp
+            .as_mut()
+            .expect("set")
+            .neighbor_mut(peer)
+            .remote_as = Some(7018);
+    }
+
+    // Spokes: one private AS each, EBGP to a hub over the access /30,
+    // local LAN redistributed via `redistribute connected`.
+    for i in 0..(spec.routers - hubs) {
+        let spoke = out.builder.add_router(format!("wan-site{i}"));
+        let hub = hub_ids[i % hubs];
+        let subnet = plan.p2p.alloc(30);
+        let (ih, is) = out.builder.p2p_link(hub, spoke, subnet, InterfaceType::Serial);
+        out.internal_ifaces.push((hub, ih));
+        out.internal_ifaces.push((spoke, is));
+        let lan = plan.lan.alloc(24);
+        let lan_ty = if rng.gen_bool(0.7) {
+            InterfaceType::FastEthernet
+        } else {
+            InterfaceType::TokenRing
+        };
+        out.builder.lan(spoke, lan, lan_ty);
+
+        // Private ASNs repeat across spokes (they never peer with each
+        // other, so reuse is safe and common practice).
+        let spoke_asn = 64512 + (i as u32 % 1000);
+        let (hub_addr, spoke_addr) = subnet.p2p_hosts().expect("/30");
+        let mut bgp = BgpProcess::new(spoke_asn);
+        bgp.no_synchronization = true;
+        bgp.redistribute.push(Redistribution::plain(RedistSource::Connected));
+        bgp.neighbor_mut(hub_addr).remote_as = Some(spec.hub_asn);
+        out.builder.router(spoke).bgp = Some(bgp);
+        out.builder
+            .router(hub)
+            .bgp
+            .as_mut()
+            .expect("hub bgp set")
+            .neighbor_mut(spoke_addr)
+            .remote_as = Some(spoke_asn);
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn build(n: usize) -> nettopo::Network {
+        let mut rng = StdRng::seed_from_u64(77);
+        let out = generate(EbgpWanSpec { routers: n, hubs: 2, hub_asn: 65000 }, &mut rng);
+        nettopo::Network::from_texts(out.builder.to_texts()).unwrap()
+    }
+
+    #[test]
+    fn every_spoke_is_an_internal_ebgp_session() {
+        let net = build(20);
+        assert_eq!(net.len(), 20);
+        let links = nettopo::LinkMap::build(&net);
+        let external = nettopo::ExternalAnalysis::build(&net, &links);
+        let procs = routing_model::Processes::extract(&net);
+        let adj = routing_model::Adjacencies::build(&net, &links, &procs, &external);
+        let internal = adj
+            .bgp
+            .iter()
+            .filter(|s| s.scope == routing_model::SessionScope::EbgpInternal)
+            .count();
+        assert_eq!(internal, 18, "18 spokes = 18 internal EBGP sessions");
+        let inst = routing_model::Instances::compute(&procs, &adj);
+        // Each spoke is its own BGP instance, plus the hub AS.
+        assert_eq!(inst.len(), 19);
+        let graph = routing_model::InstanceGraph::build(&net, &procs, &adj, &inst);
+        let t1 = routing_model::Table1::compute(&inst, &graph, &adj);
+        let summary = routing_model::classify_network(&net, &inst, &graph, &adj, &t1);
+        assert_eq!(
+            summary.class,
+            routing_model::DesignClass::Unclassifiable,
+            "{summary:?}"
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Design-archetype generators.
+//!
+//! Each generator returns a [`DesignOutput`]: the built routers plus the
+//! bookkeeping (`external_ifaces`, `internal_ifaces`) the dressing layer
+//! needs to place packet filters per the Figure 11 profile.
+
+pub mod backbone;
+pub mod ebgpwan;
+pub mod enterprise;
+pub mod hybrid;
+pub mod net15;
+pub mod net5;
+pub mod nobgp;
+pub mod tier2;
+
+use ioscfg::{InterfaceName, InterfaceType};
+use netaddr::Prefix;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::alloc::AddressPlan;
+use crate::builder::NetworkBuilder;
+
+/// A generated design plus the interface bookkeeping used for dressing.
+#[derive(Clone, Debug, Default)]
+pub struct DesignOutput {
+    /// The routers.
+    pub builder: NetworkBuilder,
+    /// External-facing interfaces (candidates for border filters).
+    pub external_ifaces: Vec<(usize, InterfaceName)>,
+    /// Internal link interfaces (candidates for internal filters).
+    pub internal_ifaces: Vec<(usize, InterfaceName)>,
+}
+
+/// A hub-and-spoke compartment: `hubs` interconnected in a ring, spokes
+/// attached round-robin by /30 serials, each spoke with one LAN. Returns
+/// `(hub_ids, spoke_ids)`.
+///
+/// The hub-and-spoke shape is the one the paper calls out as the common
+/// enterprise topology (Section 8.2).
+pub fn hub_spoke(
+    out: &mut DesignOutput,
+    plan: &mut AddressPlan,
+    rng: &mut StdRng,
+    name_prefix: &str,
+    hubs: usize,
+    spokes: usize,
+) -> (Vec<usize>, Vec<usize>) {
+    assert!(hubs >= 1);
+    let hub_ids: Vec<usize> = (0..hubs)
+        .map(|i| out.builder.add_router(format!("{name_prefix}-hub{i}")))
+        .collect();
+    // Ring (or single link) between hubs.
+    if hubs > 1 {
+        for i in 0..hubs {
+            let a = hub_ids[i];
+            let b = hub_ids[(i + 1) % hubs];
+            if hubs == 2 && i == 1 {
+                break; // avoid a duplicate 2-node "ring" link
+            }
+            let subnet = plan.p2p.alloc(30);
+            let (ia, ib) = out.builder.p2p_link(a, b, subnet, InterfaceType::Serial);
+            out.internal_ifaces.push((a, ia));
+            out.internal_ifaces.push((b, ib));
+        }
+    }
+    // Hub LAN for servers (gives hubs a LAN presence).
+    for &h in &hub_ids {
+        let lan = plan.lan.alloc(24);
+        out.builder.lan(h, lan, InterfaceType::FastEthernet);
+    }
+    // Spokes.
+    let spoke_ids: Vec<usize> = (0..spokes)
+        .map(|i| {
+            let id = out.builder.add_router(format!("{name_prefix}-r{i}"));
+            let hub = hub_ids[i % hubs];
+            let subnet = plan.p2p.alloc(30);
+            let (ih, is) = out.builder.p2p_link(hub, id, subnet, InterfaceType::Serial);
+            out.internal_ifaces.push((hub, ih));
+            out.internal_ifaces.push((id, is));
+            let lan = plan.lan.alloc(24);
+            let ty = if rng.gen_bool(0.8) {
+                InterfaceType::FastEthernet
+            } else {
+                InterfaceType::Ethernet
+            };
+            out.builder.lan(id, lan, ty);
+            id
+        })
+        .collect();
+    (hub_ids, spoke_ids)
+}
+
+/// Covers all of a compartment's space with one `network` statement for an
+/// OSPF process (wildcard form).
+pub fn ospf_cover(block: Prefix) -> ioscfg::OspfNetwork {
+    ioscfg::OspfNetwork {
+        addr: block.first(),
+        wildcard: block.mask().to_wildcard(),
+        area: ioscfg::OspfArea(0),
+    }
+}
+
+/// Covers a compartment's space for EIGRP (wildcard form).
+pub fn eigrp_cover(block: Prefix) -> ioscfg::EigrpNetwork {
+    ioscfg::EigrpNetwork { addr: block.first(), wildcard: Some(block.mask().to_wildcard()) }
+}
+
+/// The /12 slab a compartment plan draws from (for network statements
+/// that must cover p2p + LAN + external pools at once).
+pub fn compartment_slab(plan: &AddressPlan) -> Prefix {
+    let base = plan.p2p.block().first();
+    Prefix::new(base, 12).expect("/12 is valid")
+}
+
+/// The *internal* blocks of a compartment (point-to-point + LAN pools,
+/// excluding the external pool). Main IGP processes cover these so that
+/// customer-facing /30s stay outside the IGP — covering them would turn
+/// the whole instance into an inter-domain protocol, which only the
+/// designs that intend that (IGP-as-edge, staging) should do.
+pub fn internal_blocks(plan: &AddressPlan) -> [Prefix; 2] {
+    [plan.p2p.block(), plan.lan.block()]
+}
+
+/// OSPF `network` statements covering the internal blocks.
+pub fn ospf_internal_covers(plan: &AddressPlan) -> Vec<ioscfg::OspfNetwork> {
+    internal_blocks(plan).into_iter().map(ospf_cover).collect()
+}
+
+/// EIGRP `network` statements covering the internal blocks.
+pub fn eigrp_internal_covers(plan: &AddressPlan) -> Vec<ioscfg::EigrpNetwork> {
+    internal_blocks(plan).into_iter().map(eigrp_cover).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hub_spoke_builds_connected_topology() {
+        let mut out = DesignOutput::default();
+        let mut plan = AddressPlan::for_compartment(10, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (hubs, spokes) = hub_spoke(&mut out, &mut plan, &mut rng, "t", 2, 10);
+        assert_eq!(hubs.len(), 2);
+        assert_eq!(spokes.len(), 10);
+        assert_eq!(out.builder.len(), 12);
+
+        let net = nettopo::Network::from_texts(out.builder.to_texts()).unwrap();
+        let links = nettopo::LinkMap::build(&net);
+        let graph = nettopo::RouterGraph::build(&net, &links);
+        assert_eq!(graph.components().len(), 1, "hub-spoke must be connected");
+    }
+
+    #[test]
+    fn covers_include_all_pools() {
+        let plan = AddressPlan::for_compartment(10, 3);
+        let slab = compartment_slab(&plan);
+        assert!(slab.covers(plan.p2p.block()));
+        assert!(slab.covers(plan.lan.block()));
+        assert!(slab.covers(plan.external.block()));
+        let cover = ospf_cover(slab);
+        assert!(cover.covers(plan.lan.block().first()));
+    }
+}

@@ -1,0 +1,176 @@
+//! Tier-2 provider networks (paper Section 7.1).
+//!
+//! "The large tier-2 ISP has the BGP structure of a backbone network, but
+//! contains a very large number of staging IGP instances. These are
+//! routing instances of a traditional IGP protocol, like OSPF or EIGRP,
+//! that have only a single router inside the network, but a large number
+//! of external peers. Presumably these are used to connect customers that
+//! do not run BGP ... in preference to using static routes because the
+//! IGP provides ongoing validation that the link to the customer is still
+//! up."
+
+use ioscfg::{InterfaceType, OspfProcess, Redistribution, RedistSource, RipProcess};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::designs::{backbone, DesignOutput};
+
+/// Parameters for one tier-2 network.
+#[derive(Clone, Copy, Debug)]
+pub struct Tier2Spec {
+    /// Total routers.
+    pub routers: usize,
+    /// The provider's AS number.
+    pub asn: u32,
+    /// Mean non-BGP customers (staging-instance peers) per edge router.
+    pub staging_customers_per_edge: usize,
+}
+
+/// Generates a tier-2 provider.
+pub fn generate(spec: Tier2Spec, rng: &mut StdRng) -> DesignOutput {
+    // Start from a backbone core (BGP everywhere, IBGP reflection, OSPF 1
+    // for infrastructure, BGP customers).
+    let mut out = backbone::generate(
+        backbone::BackboneSpec {
+            routers: spec.routers,
+            use_pos: true,
+            asn: spec.asn,
+            peers_per_edge: 2,
+        },
+        rng,
+    );
+
+    // Staging instances: every router named "...-edge..." gets a second
+    // IGP process covering only customer-facing /30 stubs. OSPF pids vary
+    // per router — the paper stresses pids carry no network-wide meaning,
+    // and this produces same-pid processes in different instances.
+    // Customer links draw from compartment 15 of the same base: disjoint
+    // from the backbone's compartment-0 plan.
+    let mut plan = crate::alloc::AddressPlan::for_compartment(10, 15);
+
+    let edge_ids: Vec<usize> = out
+        .builder
+        .routers
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.hostname.as_deref().is_some_and(|h| h.contains("-edge")))
+        .map(|(i, _)| i)
+        .collect();
+
+    for (k, &edge) in edge_ids.iter().enumerate() {
+        // Two of every three edges host staging customers; the rest serve
+        // BGP-speaking customers only.
+        if k % 3 == 2 {
+            continue;
+        }
+        let customers = if spec.staging_customers_per_edge == 0 {
+            0
+        } else {
+            rng.gen_range(1..=spec.staging_customers_per_edge * 2)
+        };
+        if customers == 0 {
+            continue;
+        }
+        let mut stub_subnets = Vec::with_capacity(customers);
+        for _ in 0..customers {
+            let subnet = plan.external.alloc(30);
+            let (iface, _) =
+                out.builder.external_stub(edge, subnet, InterfaceType::Serial);
+            out.external_ifaces.push((edge, iface));
+            stub_subnets.push(subnet);
+        }
+        // Staging protocol: mostly OSPF, RIP on a minority of staging
+        // edges (the "easier to configure than BGP" flavour of
+        // Section 5.2).
+        if k % 6 != 1 {
+            let mut p = OspfProcess::new(200 + (k as u32 % 3)); // colliding pids on purpose
+            for s in &stub_subnets {
+                p.networks.push(ioscfg::OspfNetwork {
+                    addr: s.first(),
+                    wildcard: s.mask().to_wildcard(),
+                    area: ioscfg::OspfArea(0),
+                });
+            }
+            // Customer routes flow into BGP for network-wide distribution.
+            out.builder.router(edge).ospf.push(p);
+            let bgp = out.builder.router(edge).bgp.as_mut().expect("backbone set bgp");
+            bgp.redistribute
+                .push(Redistribution::plain(RedistSource::Ospf(200 + (k as u32 % 3))));
+        } else {
+            let mut p = RipProcess::new();
+            p.version = Some(2);
+            for s in &stub_subnets {
+                p.networks.push(s.first());
+            }
+            out.builder.router(edge).rip = Some(p);
+            let bgp = out.builder.router(edge).bgp.as_mut().expect("backbone set bgp");
+            bgp.redistribute.push(Redistribution::plain(RedistSource::Rip));
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn build() -> nettopo::Network {
+        let mut rng = StdRng::seed_from_u64(23);
+        let out = generate(
+            Tier2Spec { routers: 60, asn: 65200, staging_customers_per_edge: 3 },
+            &mut rng,
+        );
+        nettopo::Network::from_texts(out.builder.to_texts()).unwrap()
+    }
+
+    #[test]
+    fn classifies_as_tier2_with_staging_instances() {
+        let net = build();
+        let links = nettopo::LinkMap::build(&net);
+        let external = nettopo::ExternalAnalysis::build(&net, &links);
+        let procs = routing_model::Processes::extract(&net);
+        let adj = routing_model::Adjacencies::build(&net, &links, &procs, &external);
+        let inst = routing_model::Instances::compute(&procs, &adj);
+        let graph = routing_model::InstanceGraph::build(&net, &procs, &adj, &inst);
+        let t1 = routing_model::Table1::compute(&inst, &graph, &adj);
+        let summary = routing_model::classify_network(&net, &inst, &graph, &adj, &t1);
+        assert_eq!(summary.class, routing_model::DesignClass::Tier2, "{summary:?}");
+        assert!(summary.staging_instances >= 10, "{summary:?}");
+        // Staging instances are single-router and inter-domain.
+        for s in inst.staging_instances() {
+            assert_eq!(s.router_count(), 1);
+        }
+        // Same-pid OSPF processes appear in different instances (the
+        // paper's Section 3.2 observation).
+        let mut by_pid: std::collections::BTreeMap<u32, usize> = Default::default();
+        for i in inst.list.iter().filter(|i| i.kind == routing_model::ProtoKind::Ospf) {
+            for p in &i.processes {
+                if let routing_model::Proto::Ospf(pid) = p.proto {
+                    if pid >= 200 {
+                        *by_pid.entry(pid).or_default() += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            by_pid.values().any(|&c| c > 1),
+            "expected a pid shared across instances: {by_pid:?}"
+        );
+    }
+
+    #[test]
+    fn rip_staging_counts_as_inter_domain() {
+        let net = build();
+        let links = nettopo::LinkMap::build(&net);
+        let external = nettopo::ExternalAnalysis::build(&net, &links);
+        let procs = routing_model::Processes::extract(&net);
+        let adj = routing_model::Adjacencies::build(&net, &links, &procs, &external);
+        let inst = routing_model::Instances::compute(&procs, &adj);
+        let graph = routing_model::InstanceGraph::build(&net, &procs, &adj, &inst);
+        let t1 = routing_model::Table1::compute(&inst, &graph, &adj);
+        assert!(t1.igp_row("RIP").inter > 0, "{t1}");
+        assert!(t1.igp_row("OSPF").inter > 0, "{t1}");
+    }
+}

@@ -1,0 +1,40 @@
+//! Deterministic synthetic-network generator.
+//!
+//! The paper's corpus — 8,035 Cisco IOS configuration files from 31
+//! production networks — is proprietary. This crate is the substitution
+//! DESIGN.md documents: it *generates* configuration corpora whose design
+//! archetypes and aggregate statistics are calibrated to everything the
+//! paper publishes about its population, then hands plain IOS text to the
+//! same reverse-engineering pipeline the paper ran. The pipeline never
+//! sees the generator's internal model, only emitted configuration files.
+//!
+//! - [`alloc`]: structured address plans (compartment blocks, /30 pools,
+//!   LAN pools) — "the address blocks used in the network were carefully
+//!   laid out" (Section 6.1).
+//! - [`builder`]: programmatic construction of router configurations and
+//!   links on top of `ioscfg`'s typed model and emitter.
+//! - [`dressing`]: the realism layer — extra interfaces matching Table 3's
+//!   census mix, packet-filter profiles matching Figure 11's placement
+//!   distribution, static routes and secondary addresses.
+//! - [`designs`]: one generator per archetype: textbook enterprise,
+//!   textbook backbone, tier-2 with staging IGP instances, no-BGP,
+//!   "unclassifiable" hybrids, and faithful models of the two case-study
+//!   networks **net5** (Section 5.1/6.1) and **net15** (Section 6.2).
+//! - [`study`]: the 31-network roster with the paper's size distribution,
+//!   plus the 2,400-network repository model behind Figure 8.
+//!
+//! Everything is deterministic given a seed: the same roster regenerates
+//! byte-identical corpora, which the benchmark harness relies on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod builder;
+pub mod designs;
+pub mod dressing;
+pub mod study;
+
+pub use alloc::AddressPlan;
+pub use builder::NetworkBuilder;
+pub use study::{repository_sizes, study_roster, GeneratedNetwork, NetworkSpec, StudyScale};

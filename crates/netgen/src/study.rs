@@ -1,0 +1,451 @@
+//! The 31-network study roster and the Figure 8 repository model.
+//!
+//! The roster reproduces every population parameter the paper publishes:
+//!
+//! - 8,035 router configurations across 31 networks;
+//! - 4 backbones of 400–600 routers (mean 540), three POS-based and one
+//!   HSSI/ATM-based (Section 7.2/7.3);
+//! - 7 textbook enterprises of 19–101 routers, the largest splitting its
+//!   101 routers across two IGP instances;
+//! - 20 further networks of 4–1750 routers (median ≈36) including net5
+//!   (881 routers), net15 (79), three networks with no BGP, two tier-2
+//!   providers (1430 and 1750 routers — two of the four networks larger
+//!   than any backbone, alongside 760 and net5's ≈890), and a dozen
+//!   unclassifiable hybrids;
+//! - packet-filter profiles spread so that, as in Figure 11, three
+//!   networks have no filters and more than 30% of networks put at least
+//!   40% of their filter rules on internal links.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::designs::{backbone, ebgpwan, enterprise, hybrid, net15, net5, nobgp, tier2, DesignOutput};
+use crate::dressing::{self, FilterProfile, InterfaceMix};
+
+/// Which design archetype a roster entry uses.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DesignKind {
+    /// Textbook backbone; `use_pos` selects the long-haul technology.
+    Backbone {
+        /// POS long-haul (3 of 4) vs HSSI/ATM.
+        use_pos: bool,
+    },
+    /// Textbook enterprise; `split_igp` reproduces the two-instance case.
+    Enterprise {
+        /// Divide routers across two IGP instances.
+        split_igp: bool,
+        /// Hierarchical OSPF areas (the two largest enterprises).
+        multi_area: bool,
+    },
+    /// Tier-2 provider with staging IGP instances.
+    Tier2,
+    /// No BGP anywhere.
+    NoBgp {
+        /// RIP instead of OSPF.
+        use_rip: bool,
+    },
+    /// Unclassifiable hybrid.
+    Hybrid {
+        /// Number of IGP compartments.
+        compartments: usize,
+        /// Internal-EBGP glue fraction in eighths.
+        ebgp_glue_eighths: u8,
+    },
+    /// Managed WAN where every spoke site is its own private AS speaking
+    /// EBGP to the hub (the intra-network EBGP bulk of Table 1).
+    EbgpWan,
+    /// The net5 case study.
+    Net5,
+    /// The net15 case study.
+    Net15,
+}
+
+/// One roster entry.
+#[derive(Clone, Debug)]
+pub struct NetworkSpec {
+    /// Stable name (`net1` … `net31`, numbered as in the paper's spirit).
+    pub name: String,
+    /// Archetype.
+    pub kind: DesignKind,
+    /// Target router count.
+    pub routers: usize,
+    /// Packet-filter placement target (Figure 11).
+    pub filter: FilterProfile,
+    /// Extra dressing interfaces per router (Table 3 calibration).
+    pub dress_extra: usize,
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+/// Study scale: `Full` regenerates the paper-sized corpus; `Small` shrinks
+/// router counts ~10× for fast test runs while preserving every design's
+/// structure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StudyScale {
+    /// Paper-sized (8,035 routers total).
+    Full,
+    /// ≈10% size for tests.
+    Small,
+}
+
+impl StudyScale {
+    fn routers(self, full: usize) -> usize {
+        match self {
+            StudyScale::Full => full,
+            StudyScale::Small => (full / 10).max(4),
+        }
+    }
+
+    fn dress(self, full: usize) -> usize {
+        match self {
+            StudyScale::Full => full,
+            StudyScale::Small => (full / 3).max(1),
+        }
+    }
+
+    /// The net5/net15 scale factor.
+    pub fn case_scale(self) -> f64 {
+        match self {
+            StudyScale::Full => 1.0,
+            StudyScale::Small => 0.12,
+        }
+    }
+}
+
+/// A generated network: its spec and its emitted configuration files.
+#[derive(Clone, Debug)]
+pub struct GeneratedNetwork {
+    /// The roster entry.
+    pub spec: NetworkSpec,
+    /// `(file_name, config_text)` pairs.
+    pub texts: Vec<(String, String)>,
+}
+
+/// Builds the 31-network roster.
+pub fn study_roster(scale: StudyScale) -> Vec<NetworkSpec> {
+    let mut roster: Vec<(DesignKind, usize, usize)> = Vec::new(); // kind, routers, dress
+
+    // 4 backbones (mean 540; the HSSI/ATM one is net4).
+    for (routers, use_pos) in [(420, true), (560, true), (600, true), (580, false)] {
+        roster.push((DesignKind::Backbone { use_pos }, routers, 6));
+    }
+    // 7 textbook enterprises; the two largest use hierarchical areas.
+    for routers in [19, 25, 30, 40, 55] {
+        roster.push((DesignKind::Enterprise { split_igp: false, multi_area: false }, routers, 6));
+    }
+    roster.push((DesignKind::Enterprise { split_igp: false, multi_area: true }, 70, 6));
+    roster.push((DesignKind::Enterprise { split_igp: true, multi_area: true }, 101, 6));
+    // net5 and net15.
+    roster.push((DesignKind::Net5, 881, 7));
+    roster.push((DesignKind::Net15, 79, 6));
+    // 3 no-BGP networks.
+    roster.push((DesignKind::NoBgp { use_rip: true }, 4, 6));
+    roster.push((DesignKind::NoBgp { use_rip: false }, 9, 6));
+    roster.push((DesignKind::NoBgp { use_rip: true }, 15, 6));
+    // 2 tier-2 providers (the 1430- and 1750-router giants).
+    roster.push((DesignKind::Tier2, 1430, 6));
+    roster.push((DesignKind::Tier2, 1750, 6));
+    // 13 remaining networks: three EBGP-WANs (760 — the last
+    // larger-than-backbone network — plus 162 and 105) and ten hybrids.
+    roster.push((DesignKind::EbgpWan, 760, 6));
+    roster.push((DesignKind::EbgpWan, 162, 6));
+    roster.push((DesignKind::EbgpWan, 105, 6));
+    let hybrid_sizes = [6, 14, 20, 26, 31, 34, 38, 44, 52, 75];
+    for (i, routers) in hybrid_sizes.iter().enumerate() {
+        roster.push((
+            DesignKind::Hybrid {
+                compartments: 2 + i % 5,
+                ebgp_glue_eighths: (i as u8 * 3) % 9,
+            },
+            *routers,
+            6,
+        ));
+    }
+
+    assert_eq!(roster.len(), 31);
+    debug_assert_eq!(
+        roster.iter().map(|(_, r, _)| r).sum::<usize>(),
+        8035,
+        "full-scale roster must total 8,035 routers"
+    );
+
+    // Filter profiles: three networks with none; the rest spread so ≥40%
+    // internal-rule fractions cover >30% of networks (Figure 11).
+    let fractions = [
+        0.02, 0.05, 0.08, 0.10, 0.12, 0.15, 0.18, 0.20, 0.22, 0.25, 0.28, 0.30, 0.32,
+        0.35, 0.38, 0.42, 0.45, 0.50, 0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90,
+        0.95, 0.98,
+    ];
+
+    // Names: the two case studies keep the paper's labels (net5, net15);
+    // the rest take the remaining numbers in roster order.
+    let mut next_number = 1u32;
+    let mut take_number = move || {
+        while next_number == 5 || next_number == 15 {
+            next_number += 1;
+        }
+        let n = next_number;
+        next_number += 1;
+        n
+    };
+
+    let mut out = Vec::with_capacity(31);
+    let mut fraction_idx = 0;
+    for (i, (kind, routers, dress)) in roster.into_iter().enumerate() {
+        let filter = if matches!(kind, DesignKind::NoBgp { .. }) {
+            // The three no-BGP networks double as the three filterless
+            // networks.
+            FilterProfile { internal_fraction: None }
+        } else {
+            let f = fractions[fraction_idx % fractions.len()];
+            fraction_idx += 1;
+            FilterProfile { internal_fraction: Some(f) }
+        };
+        let name = match kind {
+            DesignKind::Net5 => "net5".to_string(),
+            DesignKind::Net15 => "net15".to_string(),
+            _ => format!("net{}", take_number()),
+        };
+        out.push(NetworkSpec {
+            name,
+            kind,
+            routers: scale.routers(routers),
+            filter,
+            dress_extra: scale.dress(dress),
+            seed: 0x5157_2004 + i as u64,
+        });
+    }
+    out
+}
+
+/// Generates one network from its spec.
+pub fn generate_network(spec: &NetworkSpec, scale: StudyScale) -> GeneratedNetwork {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut design: DesignOutput = match &spec.kind {
+        DesignKind::Backbone { use_pos } => backbone::generate(
+            backbone::BackboneSpec {
+                routers: spec.routers,
+                use_pos: *use_pos,
+                asn: 65100,
+                peers_per_edge: 2,
+            },
+            &mut rng,
+        ),
+        DesignKind::Enterprise { split_igp, multi_area } => enterprise::generate(
+            enterprise::EnterpriseSpec {
+                routers: spec.routers,
+                split_igp: *split_igp && spec.routers >= 12,
+                upstreams: 1 + (spec.seed as usize % 2),
+                multi_area: *multi_area,
+            },
+            &mut rng,
+        ),
+        DesignKind::Tier2 => tier2::generate(
+            tier2::Tier2Spec {
+                routers: spec.routers,
+                asn: 65200,
+                staging_customers_per_edge: 3,
+            },
+            &mut rng,
+        ),
+        DesignKind::NoBgp { use_rip } => nobgp::generate(
+            nobgp::NoBgpSpec { routers: spec.routers, use_rip: *use_rip },
+            &mut rng,
+        ),
+        DesignKind::Hybrid { compartments, ebgp_glue_eighths } => hybrid::generate(
+            hybrid::HybridSpec {
+                routers: spec.routers,
+                compartments: *compartments,
+                ebgp_glue_eighths: *ebgp_glue_eighths,
+                igp_edge_customers: 2,
+                has_upstream: true,
+            },
+            &mut rng,
+        ),
+        DesignKind::EbgpWan => ebgpwan::generate(
+            ebgpwan::EbgpWanSpec {
+                routers: spec.routers,
+                hubs: 2,
+                hub_asn: 65000,
+            },
+            &mut rng,
+        ),
+        DesignKind::Net5 => {
+            net5::generate(net5::Net5Spec { scale: scale.case_scale() }, &mut rng)
+        }
+        DesignKind::Net15 => {
+            net15::generate(net15::Net15Spec { scale: scale.case_scale() }, &mut rng)
+        }
+    };
+
+    // Dressing: interface mix + rare-type sprinkles + filters.
+    let mix = match spec.kind {
+        DesignKind::Backbone { .. } | DesignKind::Tier2 => InterfaceMix::backbone(),
+        _ => InterfaceMix::enterprise(),
+    };
+    dressing::dress_interfaces(&mut design.builder, &mut rng, &mix, spec.dress_extra);
+    // Site-local IGP processes: the intra-domain bulk of Table 1. The
+    // case studies keep fewer so their headline instance counts stay
+    // exact.
+    let site_igps = match spec.kind {
+        DesignKind::Net5 | DesignKind::Net15 => 0,
+        DesignKind::NoBgp { .. } => 1,
+        _ => 3,
+    };
+    dressing::add_site_igps(&mut design.builder, &mut rng, site_igps);
+    // Configuration bulk (Figure 4): the case-study network gets the
+    // paper's heavy profile (≈270 command lines per router).
+    let verbosity = match spec.kind {
+        DesignKind::Net5 => dressing::Verbosity::heavy(),
+        _ => dressing::Verbosity::light(),
+    };
+    dressing::add_verbosity(&mut design.builder, &mut rng, verbosity);
+    match spec.kind {
+        DesignKind::Net5 => {
+            dressing::sprinkle(&mut design.builder, &mut rng, ioscfg::InterfaceType::Cbr, 14);
+            dressing::sprinkle(&mut design.builder, &mut rng, ioscfg::InterfaceType::Null, 2);
+        }
+        DesignKind::Backbone { use_pos: false } => {
+            dressing::sprinkle(&mut design.builder, &mut rng, ioscfg::InterfaceType::Fddi, 6);
+        }
+        DesignKind::Tier2 => {
+            dressing::sprinkle(
+                &mut design.builder,
+                &mut rng,
+                ioscfg::InterfaceType::Multilink,
+                2,
+            );
+        }
+        _ => {}
+    }
+    dressing::apply_filters(
+        &mut design.builder,
+        &mut rng,
+        spec.filter,
+        &design.external_ifaces,
+        &design.internal_ifaces,
+    );
+
+    GeneratedNetwork { spec: spec.clone(), texts: design.builder.to_texts() }
+}
+
+/// Generates the whole study.
+pub fn generate_study(scale: StudyScale) -> Vec<GeneratedNetwork> {
+    study_roster(scale)
+        .iter()
+        .map(|spec| generate_network(spec, scale))
+        .collect()
+}
+
+/// Sizes of the 2,400-network repository behind Figure 8, sampled from
+/// the paper's published distribution shape ("known networks": heavily
+/// skewed toward small networks).
+pub fn repository_sizes(seed: u64) -> Vec<usize> {
+    // (bucket upper bound exclusive, share per mille).
+    const SHAPE: [(usize, usize, u32); 9] = [
+        (1, 10, 560),
+        (10, 20, 150),
+        (20, 40, 115),
+        (40, 80, 80),
+        (80, 160, 50),
+        (160, 320, 25),
+        (320, 640, 12),
+        (640, 1280, 6),
+        (1280, 2200, 2),
+    ];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total = 2400usize;
+    let mut out = Vec::with_capacity(total);
+    for (lo, hi, share) in SHAPE {
+        let count = total * share as usize / 1000;
+        for _ in 0..count {
+            out.push(rng.gen_range(lo..hi));
+        }
+    }
+    while out.len() < total {
+        out.push(rng.gen_range(1..10));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_matches_paper_population() {
+        let roster = study_roster(StudyScale::Full);
+        assert_eq!(roster.len(), 31);
+        assert_eq!(roster.iter().map(|s| s.routers).sum::<usize>(), 8035);
+        let backbones: Vec<&NetworkSpec> = roster
+            .iter()
+            .filter(|s| matches!(s.kind, DesignKind::Backbone { .. }))
+            .collect();
+        assert_eq!(backbones.len(), 4);
+        let mean: f64 = backbones.iter().map(|s| s.routers as f64).sum::<f64>() / 4.0;
+        assert!((500.0..=580.0).contains(&mean), "backbone mean {mean}");
+        // Exactly three filterless networks.
+        assert_eq!(
+            roster.iter().filter(|s| s.filter.internal_fraction.is_none()).count(),
+            3
+        );
+        // >30% of networks target ≥40% internal rules.
+        let heavy = roster
+            .iter()
+            .filter(|s| s.filter.internal_fraction.is_some_and(|f| f >= 0.4))
+            .count();
+        assert!(heavy * 10 > 31 * 3, "only {heavy} heavy-filter networks");
+        // The four larger-than-backbone networks.
+        let max_backbone = backbones.iter().map(|s| s.routers).max().unwrap();
+        let bigger = roster.iter().filter(|s| s.routers > max_backbone).count();
+        assert_eq!(bigger, 4);
+    }
+
+    #[test]
+    fn small_scale_preserves_structure() {
+        let roster = study_roster(StudyScale::Small);
+        assert_eq!(roster.len(), 31);
+        assert!(roster.iter().all(|s| s.routers >= 4));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let roster = study_roster(StudyScale::Small);
+        let spec = &roster[5];
+        let a = generate_network(spec, StudyScale::Small);
+        let b = generate_network(spec, StudyScale::Small);
+        assert_eq!(a.texts, b.texts);
+    }
+
+    #[test]
+    fn generated_networks_parse_and_match_size() {
+        // Spot-check three archetypes at small scale.
+        let roster = study_roster(StudyScale::Small);
+        for idx in [0usize, 4, 30] {
+            let spec = &roster[idx];
+            let generated = generate_network(spec, StudyScale::Small);
+            let net = nettopo::Network::from_texts(generated.texts).unwrap();
+            if !matches!(spec.kind, DesignKind::Net5 | DesignKind::Net15) {
+                assert_eq!(net.len(), spec.routers, "{}", spec.name);
+            }
+            // Everything parsed cleanly.
+            for (_, r) in net.iter() {
+                assert!(
+                    r.config.unparsed.is_empty(),
+                    "{}: unparsed lines {:?}",
+                    spec.name,
+                    r.config.unparsed
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repository_distribution_is_skewed_small() {
+        let sizes = repository_sizes(8);
+        assert_eq!(sizes.len(), 2400);
+        let small = sizes.iter().filter(|&&s| s < 10).count();
+        assert!(small as f64 / 2400.0 > 0.5, "small fraction {small}/2400");
+        assert!(sizes.iter().any(|&s| s > 1280));
+    }
+}

@@ -1,0 +1,413 @@
+//! Internal/external-facing classification (paper Sections 2.1 and 5.2).
+//!
+//! Point-to-point /30 links are internal exactly when both usable host
+//! addresses appear in the corpus. Multipoint links (and unmatched LAN
+//! subnets) are internal unless some router uses an address on the subnet
+//! as the next hop toward an *external* destination — then an external
+//! router must be present on the link to accept those packets.
+//!
+//! The same analysis yields the paper's Figure 11 metric (what fraction of
+//! packet-filter rules sit on internal links) and the address-block
+//! heuristic for detecting routers missing from the data set.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use netaddr::{Addr, BlockTree, Prefix};
+
+use crate::link::{IfaceRef, LinkMap};
+use crate::network::{Network, RouterId};
+
+/// Classification of one interface.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IfaceClass {
+    /// Both ends of the link are inside the corpus.
+    Internal,
+    /// The other side is outside the network.
+    External,
+    /// No IP address and no link (loopbacks, shutdown, unnumbered).
+    Unaddressed,
+}
+
+/// A hint that an "external-facing" interface is probably the stub of a
+/// router whose configuration is missing from the data set (Section 3.4).
+#[derive(Clone, Debug)]
+pub struct MissingRouterHint {
+    /// The suspicious interface.
+    pub iface: IfaceRef,
+    /// Its subnet.
+    pub subnet: Prefix,
+    /// The internal address block the subnet falls inside.
+    pub block: Prefix,
+}
+
+/// Results of the external-facing analysis.
+#[derive(Clone, Debug)]
+pub struct ExternalAnalysis {
+    /// Per-interface classification.
+    pub classes: BTreeMap<IfaceRef, IfaceClass>,
+    /// Subnets classified as external-facing links.
+    pub external_subnets: BTreeSet<Prefix>,
+    /// Candidate missing routers.
+    pub missing_router_hints: Vec<MissingRouterHint>,
+}
+
+impl ExternalAnalysis {
+    /// Runs the analysis.
+    ///
+    /// The "known to be inside the network" test uses address blocks
+    /// recovered from *interface* subnets only — static-route and BGP
+    /// `network` destinations may well be external space, which is exactly
+    /// what the next-hop rule needs to detect.
+    pub fn build(net: &Network, links: &LinkMap) -> ExternalAnalysis {
+        let blocks: BlockTree =
+            netaddr::recover_blocks(net.iter().flat_map(|(_, r)| r.config.interface_subnets()));
+        // Every interface address in the corpus (for next-hop matching).
+        let mut internal_addrs: BTreeSet<Addr> = BTreeSet::new();
+        for (_, router) in net.iter() {
+            for iface in &router.config.interfaces {
+                for a in iface.address.iter().chain(iface.secondary.iter()) {
+                    internal_addrs.insert(a.addr);
+                }
+            }
+        }
+
+        // Destinations "known to be inside the network": covered by a
+        // recovered address block.
+        let is_internal_dest = |p: Prefix| -> bool {
+            blocks.roots.iter().any(|b| b.prefix.covers(p))
+        };
+
+        // Next-hop addresses used toward external destinations, plus all
+        // EBGP neighbor addresses that are not internal interfaces.
+        let mut external_next_hops: BTreeSet<Addr> = BTreeSet::new();
+        for (_, router) in net.iter() {
+            for sr in &router.config.static_routes {
+                if let ioscfg::StaticTarget::NextHop(nh) = sr.target {
+                    if !internal_addrs.contains(&nh) && !is_internal_dest(sr.prefix()) {
+                        external_next_hops.insert(nh);
+                    }
+                }
+            }
+            if let Some(bgp) = &router.config.bgp {
+                for n in bgp.ebgp_neighbors() {
+                    if !internal_addrs.contains(&n.addr) {
+                        external_next_hops.insert(n.addr);
+                    }
+                }
+            }
+        }
+
+        let mut classes = BTreeMap::new();
+        let mut external_subnets = BTreeSet::new();
+        for (rid, router) in net.iter() {
+            for (idx, iface) in router.config.interfaces.iter().enumerate() {
+                let this = IfaceRef { router: rid, iface: idx };
+                let class = classify_iface(iface, links, &external_next_hops);
+                if class == IfaceClass::External {
+                    if let Some(a) = iface.address {
+                        external_subnets.insert(a.subnet());
+                    }
+                }
+                classes.insert(this, class);
+            }
+        }
+
+        let missing_router_hints =
+            find_missing_hints(net, &classes, &blocks, &external_subnets);
+
+        ExternalAnalysis { classes, external_subnets, missing_router_hints }
+    }
+
+    /// The classification of one interface.
+    pub fn class_of(&self, iface: IfaceRef) -> IfaceClass {
+        self.classes.get(&iface).copied().unwrap_or(IfaceClass::Unaddressed)
+    }
+
+    /// Counts `(internal, external, unaddressed)` interfaces.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for class in self.classes.values() {
+            match class {
+                IfaceClass::Internal => c.0 += 1,
+                IfaceClass::External => c.1 += 1,
+                IfaceClass::Unaddressed => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// Figure 11 metric: `(rules_on_internal, total_applied_rules)`.
+    ///
+    /// Each access-list clause counts once per interface application, so a
+    /// 47-clause filter on one interface contributes 47 rules (the paper
+    /// counts "each clause as a separate filter rule").
+    pub fn filter_placement(&self, net: &Network) -> (usize, usize) {
+        let mut internal = 0usize;
+        let mut total = 0usize;
+        for (rid, router) in net.iter() {
+            for (idx, iface) in router.config.interfaces.iter().enumerate() {
+                let class = self.class_of(IfaceRef { router: rid, iface: idx });
+                for acl_id in [iface.access_group_in, iface.access_group_out]
+                    .into_iter()
+                    .flatten()
+                {
+                    let rules = router
+                        .config
+                        .access_lists
+                        .get(&acl_id)
+                        .map(|acl| acl.entries.len())
+                        .unwrap_or(0);
+                    total += rules;
+                    if class == IfaceClass::Internal {
+                        internal += rules;
+                    }
+                }
+            }
+        }
+        (internal, total)
+    }
+
+    /// Routers that have at least one external-facing interface (the
+    /// network's border routers).
+    pub fn border_routers(&self) -> BTreeSet<RouterId> {
+        self.classes
+            .iter()
+            .filter(|(_, c)| **c == IfaceClass::External)
+            .map(|(i, _)| i.router)
+            .collect()
+    }
+}
+
+fn classify_iface(
+    iface: &ioscfg::Interface,
+    links: &LinkMap,
+    external_next_hops: &BTreeSet<Addr>,
+) -> IfaceClass {
+    let Some(addr) = iface.address else {
+        return IfaceClass::Unaddressed;
+    };
+    if iface.shutdown {
+        return IfaceClass::Unaddressed;
+    }
+    let subnet = addr.subnet();
+    if subnet.len() == 32 {
+        return IfaceClass::Unaddressed; // loopback-style host address
+    }
+    let endpoints = links.link_of(subnet).map(|l| l.endpoints.len()).unwrap_or(1);
+
+    if subnet.is_p2p() {
+        // Internal iff both usable host addresses are in the corpus.
+        return if endpoints >= 2 { IfaceClass::Internal } else { IfaceClass::External };
+    }
+
+    // Multipoint (or stub LAN): external if some address of the subnet is
+    // used as a next hop toward external destinations.
+    let has_external_next_hop =
+        external_next_hops.iter().any(|nh| subnet.contains(*nh));
+    if has_external_next_hop {
+        IfaceClass::External
+    } else {
+        IfaceClass::Internal
+    }
+}
+
+/// Section 3.4's heuristic: an external-facing interface whose address
+/// falls *inside* an internal address block probably points at a missing
+/// router, not a real external peer.
+fn find_missing_hints(
+    net: &Network,
+    classes: &BTreeMap<IfaceRef, IfaceClass>,
+    blocks: &BlockTree,
+    external_subnets: &BTreeSet<Prefix>,
+) -> Vec<MissingRouterHint> {
+    // A block counts as "internal" when most of its leaves are internal
+    // link subnets — approximate by requiring the block to contain at
+    // least 4 subnets, of which at most one is external-facing.
+    let mut hints = Vec::new();
+    for (iref, class) in classes {
+        if *class != IfaceClass::External {
+            continue;
+        }
+        let router = net.router(iref.router);
+        let Some(addr) = router.config.interfaces[iref.iface].address else { continue };
+        let subnet = addr.subnet();
+        let Some(block) = blocks.block_of(addr.addr) else { continue };
+        let leaves = block.leaves();
+        if leaves.len() < 4 {
+            continue;
+        }
+        let external_leaves =
+            leaves.iter().filter(|l| external_subnets.contains(l)).count();
+        if external_leaves <= 1 {
+            hints.push(MissingRouterHint { iface: *iref, subnet, block: block.prefix });
+        }
+    }
+    hints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkMap;
+    use crate::network::Network;
+
+    fn analyze(net: &Network) -> ExternalAnalysis {
+        let links = LinkMap::build(net);
+        ExternalAnalysis::build(net, &links)
+    }
+
+    #[test]
+    fn p2p_with_both_ends_is_internal() {
+        let net = Network::from_texts(vec![
+            (
+                "config1".into(),
+                "interface Serial0\n ip address 10.0.0.1 255.255.255.252\n".into(),
+            ),
+            (
+                "config2".into(),
+                "interface Serial0\n ip address 10.0.0.2 255.255.255.252\n".into(),
+            ),
+        ])
+        .unwrap();
+        let a = analyze(&net);
+        assert_eq!(a.counts(), (2, 0, 0));
+        assert!(a.external_subnets.is_empty());
+    }
+
+    #[test]
+    fn p2p_with_one_end_is_external() {
+        let net = Network::from_texts(vec![(
+            "config1".into(),
+            "interface Serial0\n ip address 10.0.0.1 255.255.255.252\n".into(),
+        )])
+        .unwrap();
+        let a = analyze(&net);
+        assert_eq!(a.counts(), (0, 1, 0));
+        assert_eq!(a.border_routers().len(), 1);
+    }
+
+    #[test]
+    fn lan_is_internal_without_external_next_hops() {
+        let net = Network::from_texts(vec![(
+            "config1".into(),
+            "interface Ethernet0\n ip address 10.1.0.1 255.255.255.0\n".into(),
+        )])
+        .unwrap();
+        let a = analyze(&net);
+        assert_eq!(a.counts(), (1, 0, 0));
+    }
+
+    #[test]
+    fn lan_with_external_next_hop_is_external() {
+        // A static route to a destination outside every internal block,
+        // via a next hop on the Ethernet that is not any internal iface.
+        let net = Network::from_texts(vec![(
+            "config1".into(),
+            "interface Ethernet0\n ip address 10.1.0.1 255.255.255.0\n\
+             ip route 198.51.100.0 255.255.255.0 10.1.0.254\n"
+                .into(),
+        )])
+        .unwrap();
+        let a = analyze(&net);
+        assert_eq!(a.counts(), (0, 1, 0));
+    }
+
+    #[test]
+    fn ebgp_neighbor_marks_link_external() {
+        let net = Network::from_texts(vec![(
+            "config1".into(),
+            "interface Serial0\n ip address 192.0.2.1 255.255.255.252\n\
+             router bgp 65001\n neighbor 192.0.2.2 remote-as 7018\n"
+                .into(),
+        )])
+        .unwrap();
+        let a = analyze(&net);
+        assert_eq!(a.counts(), (0, 1, 0));
+    }
+
+    #[test]
+    fn filter_placement_counts_rules_per_application() {
+        let net = Network::from_texts(vec![
+            (
+                "config1".into(),
+                "interface Serial0\n ip address 10.0.0.1 255.255.255.252\n ip access-group 10 in\n\
+                 access-list 10 deny 192.0.2.0 0.0.0.255\n\
+                 access-list 10 permit any\n"
+                    .into(),
+            ),
+            (
+                "config2".into(),
+                "interface Serial0\n ip address 10.0.0.2 255.255.255.252\n".into(),
+            ),
+        ])
+        .unwrap();
+        let a = analyze(&net);
+        let (internal, total) = a.filter_placement(&net);
+        assert_eq!((internal, total), (2, 2));
+    }
+
+    #[test]
+    fn missing_router_hint_fires_inside_internal_block() {
+        // Five /30s from one block: four fully-populated (internal) and
+        // one with a single end — the signature of a router whose config
+        // file is missing from the data set (Section 3.4).
+        let mk = |n: u32, both: bool| {
+            let base = n * 4;
+            let mut texts = vec![format!(
+                "interface Serial0\n ip address 10.0.0.{} 255.255.255.252\n",
+                base + 1
+            )];
+            if both {
+                texts.push(format!(
+                    "interface Serial0\n ip address 10.0.0.{} 255.255.255.252\n",
+                    base + 2
+                ));
+            }
+            texts
+        };
+        let mut configs = Vec::new();
+        for n in 0..4 {
+            for t in mk(n, true) {
+                configs.push((format!("config{}", configs.len() + 1), t));
+            }
+        }
+        for t in mk(4, false) {
+            configs.push((format!("config{}", configs.len() + 1), t));
+        }
+        let net = Network::from_texts(configs).unwrap();
+        let a = analyze(&net);
+        assert_eq!(a.counts().1, 1, "one external-facing interface");
+        assert_eq!(a.missing_router_hints.len(), 1, "{:?}", a.missing_router_hints);
+        let hint = &a.missing_router_hints[0];
+        assert_eq!(hint.subnet.to_string(), "10.0.0.16/30");
+        assert!(hint.block.covers(hint.subnet));
+    }
+
+    #[test]
+    fn no_hint_for_genuinely_external_block() {
+        // A lone external /30 from its own distant block: no hint.
+        let net = Network::from_texts(vec![(
+            "config1".into(),
+            "interface Serial0\n ip address 192.0.2.1 255.255.255.252\n\
+             interface Serial1\n ip address 10.0.0.1 255.255.255.252\n"
+                .into(),
+        ), (
+            "config2".into(),
+            "interface Serial0\n ip address 10.0.0.2 255.255.255.252\n".into(),
+        )])
+        .unwrap();
+        let a = analyze(&net);
+        assert!(a.missing_router_hints.is_empty(), "{:?}", a.missing_router_hints);
+    }
+
+    #[test]
+    fn loopbacks_are_unaddressed_class() {
+        let net = Network::from_texts(vec![(
+            "config1".into(),
+            "interface Loopback0\n ip address 10.9.9.9 255.255.255.255\n".into(),
+        )])
+        .unwrap();
+        let a = analyze(&net);
+        assert_eq!(a.counts(), (0, 0, 1));
+    }
+}

@@ -1,0 +1,31 @@
+//! Link-level topology recovery and configuration statistics.
+//!
+//! Given a directory of parsed router configurations (a [`Network`]), this
+//! crate recovers what the paper's Section 2.1 and 5.2 derive from static
+//! analysis alone:
+//!
+//! - [`link`]: logical IP links, inferred by matching interfaces that share
+//!   a subnet; point-to-point, multipoint and unmatched (candidate
+//!   external) links.
+//! - [`external`]: the internal/external-facing classification of
+//!   interfaces and links, including the next-hop rule for multipoint
+//!   links and the address-block heuristic for spotting routers missing
+//!   from the data set.
+//! - [`stats`]: the interface census of Table 3 and the configuration-size
+//!   distribution of Figure 4.
+//! - [`graph`]: the router-level adjacency graph with connectivity and
+//!   articulation analyses ("how many routers must fail to partition...").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod external;
+pub mod graph;
+pub mod link;
+mod network;
+pub mod stats;
+
+pub use external::{ExternalAnalysis, IfaceClass, MissingRouterHint};
+pub use graph::RouterGraph;
+pub use link::{IfaceRef, Link, LinkKind, LinkMap};
+pub use network::{LoadError, Network, Router, RouterId};

@@ -1,0 +1,215 @@
+//! The [`Network`]: one administrative domain's configuration files.
+
+use std::fmt;
+use std::path::Path;
+
+use ioscfg::{lex_config, parse_raw, ParseError, RouterConfig};
+
+/// Index of a router within a [`Network`] (stable for the network's life).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RouterId(pub usize);
+
+impl fmt::Display for RouterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One router: its source file name, parsed configuration, and raw size.
+#[derive(Clone, Debug)]
+pub struct Router {
+    /// The configuration file name (`config1`, `config2`, ... in the
+    /// paper's anonymized corpora).
+    pub file_name: String,
+    /// The parsed configuration.
+    pub config: RouterConfig,
+    /// Number of configuration command lines (Figure 4's metric).
+    pub command_lines: usize,
+}
+
+impl Router {
+    /// A display name: the hostname if present, else the file name.
+    pub fn name(&self) -> &str {
+        self.config.hostname.as_deref().unwrap_or(&self.file_name)
+    }
+}
+
+/// A set of router configurations belonging to one network.
+#[derive(Clone, Debug, Default)]
+pub struct Network {
+    /// Routers in load order; [`RouterId`] indexes into this.
+    pub routers: Vec<Router>,
+}
+
+/// Error loading a network from disk or text.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A configuration failed to parse; the file name is attached.
+    Parse {
+        /// The offending file.
+        file: String,
+        /// The underlying parse error.
+        error: ParseError,
+    },
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadError::Parse { file, error } => write!(f, "{file}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> LoadError {
+        LoadError::Io(e)
+    }
+}
+
+impl Network {
+    /// Builds a network from `(file_name, config_text)` pairs.
+    pub fn from_texts<I>(texts: I) -> Result<Network, LoadError>
+    where
+        I: IntoIterator<Item = (String, String)>,
+    {
+        let mut routers = Vec::new();
+        for (file_name, text) in texts {
+            let raw = lex_config(&text);
+            let config = parse_raw(&raw)
+                .map_err(|error| LoadError::Parse { file: file_name.clone(), error })?;
+            routers.push(Router { file_name, config, command_lines: raw.command_lines });
+        }
+        Ok(Network { routers })
+    }
+
+    /// Loads every file in a directory as a configuration, in file-name
+    /// order (the paper's corpora are directories of `config1..configN`).
+    pub fn from_dir(dir: &Path) -> Result<Network, LoadError> {
+        let mut names: Vec<_> = std::fs::read_dir(dir)?
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().is_file())
+            .map(|e| e.path())
+            .collect();
+        names.sort();
+        let mut texts = Vec::with_capacity(names.len());
+        for path in names {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            texts.push((name, std::fs::read_to_string(&path)?));
+        }
+        Network::from_texts(texts)
+    }
+
+    /// Number of routers.
+    pub fn len(&self) -> usize {
+        self.routers.len()
+    }
+
+    /// True if the network has no routers.
+    pub fn is_empty(&self) -> bool {
+        self.routers.is_empty()
+    }
+
+    /// Iterates `(RouterId, &Router)`.
+    pub fn iter(&self) -> impl Iterator<Item = (RouterId, &Router)> {
+        self.routers.iter().enumerate().map(|(i, r)| (RouterId(i), r))
+    }
+
+    /// The router behind an id. Panics on out-of-range ids, which can only
+    /// be constructed by misuse.
+    pub fn router(&self, id: RouterId) -> &Router {
+        &self.routers[id.0]
+    }
+
+    /// All subnets mentioned anywhere in the network's configurations
+    /// (interfaces, static-route destinations, BGP network statements) —
+    /// the input to address-space structure recovery (Section 3.4).
+    pub fn mentioned_subnets(&self) -> Vec<netaddr::Prefix> {
+        let mut subnets = Vec::new();
+        for r in &self.routers {
+            subnets.extend(r.config.interface_subnets());
+            for sr in &r.config.static_routes {
+                // Default routes say nothing about the address plan; a /0
+                // "subnet" would swallow the whole block tree.
+                if !sr.is_default() {
+                    subnets.push(sr.prefix());
+                }
+            }
+            if let Some(bgp) = &r.config.bgp {
+                for (addr, mask) in &bgp.networks {
+                    let prefix = match mask {
+                        Some(m) => netaddr::Prefix::from_mask(*addr, *m),
+                        None => ioscfg::classful_prefix(*addr),
+                    };
+                    subnets.push(prefix);
+                }
+            }
+        }
+        subnets
+    }
+
+    /// Recovers the address-block structure for this network.
+    pub fn address_blocks(&self) -> netaddr::BlockTree {
+        netaddr::recover_blocks(self.mentioned_subnets())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_texts_parses_and_counts_lines() {
+        let net = Network::from_texts(vec![
+            (
+                "config1".to_string(),
+                "hostname a\ninterface Ethernet0\n ip address 10.0.0.1 255.255.255.0\n"
+                    .to_string(),
+            ),
+            ("config2".to_string(), "hostname b\n".to_string()),
+        ])
+        .unwrap();
+        assert_eq!(net.len(), 2);
+        assert_eq!(net.router(RouterId(0)).command_lines, 3);
+        assert_eq!(net.router(RouterId(0)).name(), "a");
+        assert_eq!(net.router(RouterId(1)).command_lines, 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_file_names() {
+        let err = Network::from_texts(vec![(
+            "config9".to_string(),
+            "interface Ethernet0\n ip address nope 255.0.0.0\n".to_string(),
+        )])
+        .unwrap_err();
+        match err {
+            LoadError::Parse { file, .. } => assert_eq!(file, "config9"),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn mentioned_subnets_gathers_all_sources() {
+        let net = Network::from_texts(vec![(
+            "config1".to_string(),
+            "interface Ethernet0\n ip address 10.0.0.1 255.255.255.0\n\
+             ip route 192.168.0.0 255.255.0.0 10.0.0.2\n\
+             router bgp 65000\n network 172.16.0.0 mask 255.255.0.0\n"
+                .to_string(),
+        )])
+        .unwrap();
+        let subnets = net.mentioned_subnets();
+        let texts: Vec<String> = subnets.iter().map(|p| p.to_string()).collect();
+        assert!(texts.contains(&"10.0.0.0/24".to_string()));
+        assert!(texts.contains(&"192.168.0.0/16".to_string()));
+        assert!(texts.contains(&"172.16.0.0/16".to_string()));
+    }
+}

@@ -1,0 +1,195 @@
+//! Corpus statistics: the interface census (Table 3) and configuration
+//! size distributions (Figure 4).
+
+use std::collections::BTreeMap;
+
+use crate::network::Network;
+
+/// Table 3: interface counts by type, plus the unnumbered count quoted in
+/// Section 2.1 (528 of 96,487 in the paper's corpus).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct InterfaceCensus {
+    /// Count per census label (`Serial`, `FastEthernet`, ..., `Port`).
+    pub by_type: BTreeMap<String, usize>,
+    /// Total interfaces.
+    pub total: usize,
+    /// Interfaces configured as `ip unnumbered <other>`.
+    pub unnumbered: usize,
+}
+
+impl InterfaceCensus {
+    /// Censuses one network.
+    pub fn of(net: &Network) -> InterfaceCensus {
+        let mut census = InterfaceCensus::default();
+        census.add(net);
+        census
+    }
+
+    /// Accumulates another network into this census (the paper's Table 3
+    /// aggregates all 31 networks).
+    pub fn add(&mut self, net: &Network) {
+        for (_, router) in net.iter() {
+            for iface in &router.config.interfaces {
+                *self
+                    .by_type
+                    .entry(iface.name.ty.census_label().to_string())
+                    .or_insert(0) += 1;
+                self.total += 1;
+                if iface.is_unnumbered() {
+                    self.unnumbered += 1;
+                }
+            }
+        }
+    }
+
+    /// Count for one type label (0 if absent).
+    pub fn count(&self, label: &str) -> usize {
+        self.by_type.get(label).copied().unwrap_or(0)
+    }
+
+    /// Rows sorted ascending by count, as the paper's Table 3 prints them.
+    pub fn rows_ascending(&self) -> Vec<(&str, usize)> {
+        let mut rows: Vec<(&str, usize)> =
+            self.by_type.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        rows.sort_by_key(|(name, count)| (*count, name.to_string()));
+        rows
+    }
+
+    /// Whether POS interfaces are present (Section 7.3 uses POS as the
+    /// backbone signature).
+    pub fn uses_pos(&self) -> bool {
+        self.count("POS") > 0
+    }
+}
+
+/// Figure 4: configuration-file size distribution for one network.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigSizeStats {
+    /// Command-line counts, sorted ascending.
+    pub sizes: Vec<usize>,
+    /// Sum of all command lines ("237,870 commands" for net5).
+    pub total_commands: usize,
+}
+
+impl ConfigSizeStats {
+    /// Gathers the distribution for a network.
+    pub fn of(net: &Network) -> ConfigSizeStats {
+        let mut sizes: Vec<usize> =
+            net.routers.iter().map(|r| r.command_lines).collect();
+        sizes.sort_unstable();
+        let total_commands = sizes.iter().sum();
+        ConfigSizeStats { sizes, total_commands }
+    }
+
+    /// Mean command lines per file.
+    pub fn mean(&self) -> f64 {
+        if self.sizes.is_empty() {
+            return 0.0;
+        }
+        self.total_commands as f64 / self.sizes.len() as f64
+    }
+
+    /// The `q`-quantile (0.0..=1.0) of the size distribution.
+    pub fn quantile(&self, q: f64) -> usize {
+        if self.sizes.is_empty() {
+            return 0;
+        }
+        let pos = ((self.sizes.len() - 1) as f64 * q).round() as usize;
+        self.sizes[pos]
+    }
+
+    /// Largest configuration.
+    pub fn max(&self) -> usize {
+        self.sizes.last().copied().unwrap_or(0)
+    }
+
+    /// Smallest configuration.
+    pub fn min(&self) -> usize {
+        self.sizes.first().copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+    use ioscfg::InterfaceType;
+
+    fn sample_net() -> Network {
+        Network::from_texts(vec![
+            (
+                "config1".into(),
+                "interface Serial0\n ip address 10.0.0.1 255.255.255.252\n\
+                 interface FastEthernet0/0\n ip address 10.1.0.1 255.255.255.0\n\
+                 interface POS3/0\n ip address 10.2.0.1 255.255.255.252\n"
+                    .into(),
+            ),
+            (
+                "config2".into(),
+                "interface Serial0\n ip address 10.0.0.2 255.255.255.252\n\
+                 interface Loopback0\n ip address 10.9.9.9 255.255.255.255\n\
+                 interface Serial1\n ip unnumbered Loopback0\n\
+                 interface Port-channel1\n ip address 10.3.0.1 255.255.255.0\n"
+                    .into(),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn census_counts_by_label() {
+        let census = InterfaceCensus::of(&sample_net());
+        assert_eq!(census.total, 7);
+        assert_eq!(census.count("Serial"), 3);
+        assert_eq!(census.count("FastEthernet"), 1);
+        assert_eq!(census.count("POS"), 1);
+        assert_eq!(census.count("Port"), 1);
+        assert_eq!(census.count("Loopback"), 1);
+        assert_eq!(census.unnumbered, 1);
+        assert!(census.uses_pos());
+    }
+
+    #[test]
+    fn rows_sorted_ascending_like_table3() {
+        let census = InterfaceCensus::of(&sample_net());
+        let rows = census.rows_ascending();
+        assert_eq!(rows.last().unwrap().0, "Serial");
+        assert!(rows.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn census_accumulates_across_networks() {
+        let mut census = InterfaceCensus::of(&sample_net());
+        census.add(&sample_net());
+        assert_eq!(census.total, 14);
+        assert_eq!(census.count("Serial"), 6);
+    }
+
+    #[test]
+    fn size_stats() {
+        let stats = ConfigSizeStats::of(&sample_net());
+        assert_eq!(stats.sizes, vec![6, 8]);
+        assert_eq!(stats.total_commands, 14);
+        assert_eq!(stats.mean(), 7.0);
+        assert_eq!(stats.min(), 6);
+        assert_eq!(stats.max(), 8);
+        assert_eq!(stats.quantile(0.5), 8);
+    }
+
+    #[test]
+    fn interface_type_labels_cover_table3() {
+        // All 19 labels the paper's Table 3 lists are producible.
+        let labels: Vec<&str> = InterfaceType::all_known()
+            .iter()
+            .map(|t| t.census_label())
+            .map(|s| Box::leak(s.to_string().into_boxed_str()) as &str)
+            .collect();
+        for expect in [
+            "Null", "Multilink", "Fddi", "CBR", "Channel", "Virtual", "Async", "Port",
+            "Tunnel", "BRI", "Dialer", "TokenRing", "GigabitEthernet", "Hssi",
+            "Ethernet", "POS", "ATM", "FastEthernet", "Serial",
+        ] {
+            assert!(labels.contains(&expect), "missing label {expect}");
+        }
+    }
+}

@@ -1,0 +1,528 @@
+//! Route propagation over the instance graph.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ioscfg::RedistSource;
+use netaddr::{Prefix, PrefixSet};
+use nettopo::Network;
+use routing_model::{
+    Adjacencies, InstanceId, InstanceNode, Instances, ProcKey, Processes, SessionScope,
+};
+
+use crate::filter::{acl_prefix_set, resolve_route_map_filter, RouteFilter};
+use crate::routeset::TaggedRoutes;
+
+/// A directed route-flow edge with its compiled policy.
+#[derive(Clone, Debug)]
+struct FlowEdge {
+    from: InstanceNode,
+    to: InstanceNode,
+    filter: RouteFilter,
+    /// Tag stamped on routes crossing this edge (`redistribute ... tag N`).
+    retag: Option<u32>,
+}
+
+/// Prediction of the route load an instance must carry (Section 6.2:
+/// "the maximum load on the OSPF processes can be predicted").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoadPrediction {
+    /// The instance.
+    pub instance: InstanceId,
+    /// Routers in the instance (each carries the full route load).
+    pub routers: usize,
+    /// Maximum external routes injectable, as a minimal prefix count.
+    /// `None` when a default route (or unfiltered full space) can enter,
+    /// making the bound meaningless.
+    pub max_external_routes: Option<usize>,
+}
+
+/// The static reachability analysis for one network.
+pub struct ReachAnalysis<'a> {
+    net: &'a Network,
+    instances: &'a Instances,
+    edges: Vec<FlowEdge>,
+    nodes: BTreeSet<InstanceNode>,
+    origination: BTreeMap<InstanceId, TaggedRoutes>,
+}
+
+impl<'a> ReachAnalysis<'a> {
+    /// Compiles the propagation graph.
+    pub fn new(
+        net: &'a Network,
+        procs: &'a Processes,
+        adj: &'a Adjacencies,
+        instances: &'a Instances,
+    ) -> ReachAnalysis<'a> {
+        let mut nodes: BTreeSet<InstanceNode> = instances
+            .list
+            .iter()
+            .map(|i| InstanceNode::Instance(i.id))
+            .collect();
+        let mut edges = Vec::new();
+        let mut origination: BTreeMap<InstanceId, TaggedRoutes> = BTreeMap::new();
+
+        // --- Origination ---
+        for p in &procs.list {
+            let Some(inst) = instances.instance_of(p.key) else { continue };
+            let entry = origination.entry(inst).or_default();
+            let cfg = &net.router(p.key.router).config;
+
+            // Covered interface subnets are carried natively.
+            for &idx in &p.covered_ifaces {
+                if let Some(a) = cfg.interfaces[idx].address {
+                    entry.merge(&TaggedRoutes::untagged(PrefixSet::from_prefix(
+                        a.subnet(),
+                    )));
+                }
+            }
+            // BGP `network` statements.
+            if let Proto::Bgp(_) = p.key.proto {
+                if let Some(bgp) = &cfg.bgp {
+                    for (addr, mask) in &bgp.networks {
+                        let prefix = match mask {
+                            Some(m) => Prefix::from_mask(*addr, *m),
+                            None => ioscfg::classful_prefix(*addr),
+                        };
+                        entry.merge(&TaggedRoutes::untagged(PrefixSet::from_prefix(
+                            prefix,
+                        )));
+                    }
+                }
+            }
+            // Redistribution of the local RIB (connected / static).
+            for r in &p.redistributes {
+                let seeds = match r.source {
+                    RedistSource::Connected => {
+                        let mut set = PrefixSet::empty();
+                        for iface in &cfg.interfaces {
+                            for s in iface.subnets() {
+                                set = set.union(&PrefixSet::from_prefix(s));
+                            }
+                        }
+                        set
+                    }
+                    RedistSource::Static => {
+                        let mut set = PrefixSet::empty();
+                        for sr in &cfg.static_routes {
+                            set = set.union(&PrefixSet::from_prefix(sr.prefix()));
+                        }
+                        set
+                    }
+                    _ => continue,
+                };
+                let filter = match &r.route_map {
+                    Some(name) => resolve_route_map_filter(cfg, name),
+                    None => RouteFilter::Pass,
+                };
+                let mut routes = filter.apply(&TaggedRoutes::untagged(seeds));
+                if let Some(tag) = r.tag {
+                    routes = routes.retag(tag);
+                }
+                entry.merge(&routes);
+            }
+        }
+
+        // --- Inter-instance redistribution edges ---
+        for p in &procs.list {
+            let Some(to_inst) = instances.instance_of(p.key) else { continue };
+            let cfg = &net.router(p.key.router).config;
+            for r in &p.redistributes {
+                let Some(src_key) = procs.resolve_source(p.key.router, r.source) else {
+                    continue;
+                };
+                let Some(from_inst) = instances.instance_of(src_key) else { continue };
+                if from_inst == to_inst {
+                    continue;
+                }
+                let filter = match &r.route_map {
+                    Some(name) => resolve_route_map_filter(cfg, name),
+                    None => RouteFilter::Pass,
+                };
+                edges.push(FlowEdge {
+                    from: InstanceNode::Instance(from_inst),
+                    to: InstanceNode::Instance(to_inst),
+                    filter,
+                    retag: r.tag,
+                });
+            }
+        }
+
+        // --- BGP session edges ---
+        for s in &adj.bgp {
+            match s.scope {
+                SessionScope::Ibgp => {}
+                SessionScope::EbgpInternal => {
+                    let (Some(a), Some(peer_key)) =
+                        (instances.instance_of(s.local), s.peer)
+                    else {
+                        continue;
+                    };
+                    let Some(b) = instances.instance_of(peer_key) else { continue };
+                    // local → peer: local out-policy, then peer in-policy.
+                    let peer_addr_of_local = session_local_addr(net, s.local, peer_key);
+                    edges.push(FlowEdge {
+                        from: InstanceNode::Instance(a),
+                        to: InstanceNode::Instance(b),
+                        filter: neighbor_filter(net, s.local, s.peer_addr, Dir::Out).then(
+                            neighbor_filter_opt(net, peer_key, peer_addr_of_local, Dir::In),
+                        ),
+                        retag: None,
+                    });
+                    edges.push(FlowEdge {
+                        from: InstanceNode::Instance(b),
+                        to: InstanceNode::Instance(a),
+                        filter: neighbor_filter_opt(net, peer_key, peer_addr_of_local, Dir::Out)
+                            .then(neighbor_filter(net, s.local, s.peer_addr, Dir::In)),
+                        retag: None,
+                    });
+                }
+                SessionScope::EbgpExternal => {
+                    let Some(a) = instances.instance_of(s.local) else { continue };
+                    let ext = InstanceNode::ExternalAs(s.remote_as);
+                    nodes.insert(ext);
+                    edges.push(FlowEdge {
+                        from: ext,
+                        to: InstanceNode::Instance(a),
+                        filter: neighbor_filter(net, s.local, s.peer_addr, Dir::In),
+                        retag: None,
+                    });
+                    edges.push(FlowEdge {
+                        from: InstanceNode::Instance(a),
+                        to: ext,
+                        filter: neighbor_filter(net, s.local, s.peer_addr, Dir::Out),
+                        retag: None,
+                    });
+                }
+            }
+        }
+
+        // --- IGP edges to the external world ---
+        let mut seen: BTreeSet<InstanceId> = BTreeSet::new();
+        for (key, _) in &adj.igp_external {
+            let Some(inst) = instances.instance_of(*key) else { continue };
+            if !seen.insert(inst) {
+                continue;
+            }
+            nodes.insert(InstanceNode::ExternalWorld);
+            edges.push(FlowEdge {
+                from: InstanceNode::ExternalWorld,
+                to: InstanceNode::Instance(inst),
+                filter: igp_distribute_filter(net, procs, instances, inst, Dir::In),
+                retag: None,
+            });
+            edges.push(FlowEdge {
+                from: InstanceNode::Instance(inst),
+                to: InstanceNode::ExternalWorld,
+                filter: igp_distribute_filter(net, procs, instances, inst, Dir::Out),
+                retag: None,
+            });
+        }
+
+        ReachAnalysis { net, instances, edges, nodes, origination }
+    }
+
+    /// Routes an instance originates (connected subnets, BGP networks,
+    /// redistributed local RIB entries).
+    pub fn origination(&self, id: InstanceId) -> TaggedRoutes {
+        self.origination.get(&id).cloned().unwrap_or_default()
+    }
+
+    /// Propagates `seed` routes from `origin` to a fixpoint; returns the
+    /// routes visible at every node.
+    pub fn propagate(
+        &self,
+        origin: InstanceNode,
+        seed: TaggedRoutes,
+    ) -> BTreeMap<InstanceNode, TaggedRoutes> {
+        let mut state: BTreeMap<InstanceNode, TaggedRoutes> = BTreeMap::new();
+        state.entry(origin).or_default().merge(&seed);
+        // Monotone fixpoint; the round cap is a safety net (tag rewrites
+        // can only produce tags present in some `set tag`, so the lattice
+        // is finite).
+        let max_rounds = 4 * self.edges.len().max(4);
+        for _ in 0..max_rounds {
+            let mut changed = false;
+            for e in &self.edges {
+                let Some(input) = state.get(&e.from).cloned() else { continue };
+                if input.is_empty() {
+                    continue;
+                }
+                let mut out = e.filter.apply(&input);
+                if let Some(tag) = e.retag {
+                    out = out.retag(tag);
+                }
+                if out.is_empty() {
+                    continue;
+                }
+                if state.entry(e.to).or_default().merge(&out) {
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        state
+    }
+
+    /// The external routes (from any external AS or the external world)
+    /// that can appear in `id`'s RIBs.
+    pub fn external_routes_entering(&self, id: InstanceId) -> PrefixSet {
+        let mut total = PrefixSet::empty();
+        for node in &self.nodes {
+            if matches!(node, InstanceNode::Instance(_)) {
+                continue;
+            }
+            let state = self.propagate(*node, TaggedRoutes::untagged(PrefixSet::all()));
+            if let Some(routes) = state.get(&InstanceNode::Instance(id)) {
+                total = total.union(&routes.all_prefixes());
+            }
+        }
+        total
+    }
+
+    /// The routes this network can announce to a given external AS.
+    pub fn routes_announced_to(&self, asn: u32) -> PrefixSet {
+        let mut total = PrefixSet::empty();
+        for inst in &self.instances.list {
+            let seed = self.origination(inst.id);
+            if seed.is_empty() {
+                continue;
+            }
+            let state = self.propagate(InstanceNode::Instance(inst.id), seed);
+            if let Some(routes) = state.get(&InstanceNode::ExternalAs(asn)) {
+                total = total.union(&routes.all_prefixes());
+            }
+        }
+        total
+    }
+
+    /// Instances that have an interface inside `block` (where those hosts
+    /// attach to the routing design).
+    pub fn instances_attached_to(&self, block: Prefix) -> Vec<InstanceId> {
+        let block_set = PrefixSet::from_prefix(block);
+        let mut out = Vec::new();
+        for inst in &self.instances.list {
+            let orig = self.origination(inst.id);
+            if !orig.all_prefixes().intersection(&block_set).is_empty() {
+                out.push(inst.id);
+            }
+        }
+        out
+    }
+
+    /// Can hosts in `src_block` send packets that reach hosts in
+    /// `dst_block`? True when routes toward `dst_block` propagate to an
+    /// instance serving `src_block` (the paper's route-policy middle
+    /// ground: no route ⟹ no reachability).
+    pub fn block_reachable(&self, src_block: Prefix, dst_block: Prefix) -> bool {
+        let dst_set = PrefixSet::from_prefix(dst_block);
+        let src_instances = self.instances_attached_to(src_block);
+        if src_instances.is_empty() {
+            return false;
+        }
+        for dst_inst in self.instances_attached_to(dst_block) {
+            if src_instances.contains(&dst_inst) {
+                return true; // same instance: intra-instance routing
+            }
+            let seed = self.origination(dst_inst).restrict(&dst_set);
+            if seed.is_empty() {
+                continue;
+            }
+            let state = self.propagate(InstanceNode::Instance(dst_inst), seed);
+            for src_inst in &src_instances {
+                if let Some(routes) = state.get(&InstanceNode::Instance(*src_inst)) {
+                    if !routes.all_prefixes().intersection(&dst_set).is_empty() {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Predicts the maximum external-route load on an instance.
+    pub fn load_prediction(&self, id: InstanceId) -> LoadPrediction {
+        let external = self.external_routes_entering(id);
+        let max_external_routes = if external.covers_prefix(Prefix::DEFAULT) {
+            None
+        } else {
+            Some(external.to_prefixes().len())
+        };
+        LoadPrediction {
+            instance: id,
+            routers: self.instances.get(id).router_count(),
+            max_external_routes,
+        }
+    }
+
+    /// The underlying network (handy for callers composing reports).
+    pub fn network(&self) -> &Network {
+        self.net
+    }
+}
+
+use routing_model::Proto;
+
+/// Direction of a per-neighbor policy.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    In,
+    Out,
+}
+
+/// The local side's address a peer would configure as its neighbor —
+/// needed to look up the peer's per-neighbor policies for this session.
+fn session_local_addr(
+    net: &Network,
+    local: ProcKey,
+    peer: ProcKey,
+) -> Option<netaddr::Addr> {
+    let peer_cfg = &net.router(peer.router).config;
+    let local_cfg = &net.router(local.router).config;
+    let local_addrs: BTreeSet<netaddr::Addr> = local_cfg
+        .interfaces
+        .iter()
+        .flat_map(|i| i.address.iter().chain(i.secondary.iter()))
+        .map(|a| a.addr)
+        .collect();
+    peer_cfg
+        .bgp
+        .as_ref()?
+        .neighbors
+        .iter()
+        .map(|n| n.addr)
+        .find(|a| local_addrs.contains(a))
+}
+
+/// Per-neighbor policy of `local` toward `peer_addr`.
+fn neighbor_filter(
+    net: &Network,
+    local: ProcKey,
+    peer_addr: netaddr::Addr,
+    dir: Dir,
+) -> RouteFilter {
+    let cfg = &net.router(local.router).config;
+    let Some(bgp) = &cfg.bgp else { return RouteFilter::Pass };
+    let Some(n) = bgp.neighbors.iter().find(|n| n.addr == peer_addr) else {
+        return RouteFilter::Pass;
+    };
+    let (dl, rm) = match dir {
+        Dir::In => (n.distribute_in, &n.route_map_in),
+        Dir::Out => (n.distribute_out, &n.route_map_out),
+    };
+    let mut filter = RouteFilter::Pass;
+    if let Some(acl) = dl {
+        filter = filter.then(match acl_prefix_set(cfg, acl) {
+            Some(set) => RouteFilter::Restrict(set),
+            None => RouteFilter::Block,
+        });
+    }
+    if let Some(name) = rm {
+        filter = filter.then(resolve_route_map_filter(cfg, name));
+    }
+    filter
+}
+
+/// Like [`neighbor_filter`] but tolerant of a missing address (one-sided
+/// sessions).
+fn neighbor_filter_opt(
+    net: &Network,
+    local: ProcKey,
+    peer_addr: Option<netaddr::Addr>,
+    dir: Dir,
+) -> RouteFilter {
+    match peer_addr {
+        Some(addr) => neighbor_filter(net, local, addr, dir),
+        None => RouteFilter::Pass,
+    }
+}
+
+/// Global (interface-unscoped) distribute lists of an IGP instance's
+/// member processes, unioned. Interface-scoped lists are conservatively
+/// ignored (they admit at most what the global list admits in our
+/// corpora).
+fn igp_distribute_filter(
+    net: &Network,
+    procs: &Processes,
+    instances: &Instances,
+    id: InstanceId,
+    dir: Dir,
+) -> RouteFilter {
+    let inst = instances.get(id);
+    let mut sets: Vec<PrefixSet> = Vec::new();
+    let mut any_unfiltered = false;
+    for key in &inst.processes {
+        let Some(proc_) = procs.get(*key) else { continue };
+        let cfg = &net.router(key.router).config;
+        let lists = collect_distribute_lists(cfg, key.proto, dir);
+        let global: Vec<u32> = lists
+            .iter()
+            .filter(|dl| dl.interface.is_none())
+            .map(|dl| dl.acl)
+            .collect();
+        if global.is_empty() {
+            any_unfiltered = true;
+            continue;
+        }
+        for acl in global {
+            if let Some(set) = acl_prefix_set(cfg, acl) {
+                sets.push(set);
+            }
+        }
+        let _ = proc_;
+    }
+    if any_unfiltered || sets.is_empty() {
+        return RouteFilter::Pass;
+    }
+    let mut union = PrefixSet::empty();
+    for s in sets {
+        union = union.union(&s);
+    }
+    RouteFilter::Restrict(union)
+}
+
+fn collect_distribute_lists(
+    cfg: &ioscfg::RouterConfig,
+    proto: Proto,
+    dir: Dir,
+) -> Vec<ioscfg::DistributeList> {
+    match proto {
+        Proto::Ospf(id) => cfg
+            .ospf
+            .iter()
+            .find(|p| p.id == id)
+            .map(|p| {
+                if dir == Dir::In {
+                    p.distribute_in.clone()
+                } else {
+                    p.distribute_out.clone()
+                }
+            })
+            .unwrap_or_default(),
+        Proto::Eigrp(asn) | Proto::Igrp(asn) => cfg
+            .eigrp
+            .iter()
+            .find(|p| p.asn == asn)
+            .map(|p| {
+                if dir == Dir::In {
+                    p.distribute_in.clone()
+                } else {
+                    p.distribute_out.clone()
+                }
+            })
+            .unwrap_or_default(),
+        Proto::Rip => cfg
+            .rip
+            .as_ref()
+            .map(|p| {
+                if dir == Dir::In {
+                    p.distribute_in.clone()
+                } else {
+                    p.distribute_out.clone()
+                }
+            })
+            .unwrap_or_default(),
+        Proto::Bgp(_) => Vec::new(),
+    }
+}

@@ -1,0 +1,215 @@
+//! Route filters as set transformers.
+//!
+//! Every policy mechanism the corpus uses to control route exchange —
+//! numbered access lists behind `distribute-list`, and route maps with
+//! `match ip address` / `match tag` / `set tag` — is compiled to a
+//! [`RouteFilter`] that maps an input [`TaggedRoutes`] to the routes that
+//! survive.
+
+use ioscfg::{AclAction, RmMatch, RmSet, RouterConfig};
+use netaddr::PrefixSet;
+
+use crate::routeset::TaggedRoutes;
+
+/// One resolved route-map clause.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouteMapClauseFilter {
+    /// Permit or deny.
+    pub action: AclAction,
+    /// Address restriction (`match ip address`), `None` = match all.
+    pub match_addrs: Option<PrefixSet>,
+    /// Tag restriction (`match tag`), `None` = match all.
+    pub match_tags: Option<Vec<u32>>,
+    /// Tag rewrite on permit (`set tag`).
+    pub set_tag: Option<u32>,
+}
+
+/// A compiled route filter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RouteFilter {
+    /// No policy: everything passes.
+    Pass,
+    /// Nothing passes (e.g. a reference to an undefined ACL — IOS's
+    /// distribute-list treats a missing list as permit-any, but a missing
+    /// list in our corpora indicates a generator bug, so we fail closed).
+    Block,
+    /// A prefix-set restriction (distribute lists).
+    Restrict(PrefixSet),
+    /// An ordered route map (first matching clause decides).
+    Map(Vec<RouteMapClauseFilter>),
+    /// Sequential composition: apply the first filter, then the second.
+    Chain(Box<RouteFilter>, Box<RouteFilter>),
+}
+
+impl RouteFilter {
+    /// Applies the filter.
+    pub fn apply(&self, input: &TaggedRoutes) -> TaggedRoutes {
+        match self {
+            RouteFilter::Pass => input.clone(),
+            RouteFilter::Block => TaggedRoutes::empty(),
+            RouteFilter::Restrict(set) => input.restrict(set),
+            RouteFilter::Map(clauses) => {
+                let mut remaining = input.clone();
+                let mut out = TaggedRoutes::empty();
+                for clause in clauses {
+                    // Select the routes this clause matches.
+                    let mut matched = remaining.clone();
+                    if let Some(tags) = &clause.match_tags {
+                        matched = matched.restrict_tags(tags);
+                    }
+                    if let Some(addrs) = &clause.match_addrs {
+                        matched = matched.restrict(addrs);
+                    }
+                    if matched.is_empty() {
+                        continue;
+                    }
+                    // First match wins: remove from further consideration.
+                    remaining = remaining.subtract(&matched.all_prefixes());
+                    if clause.action == AclAction::Permit {
+                        let result = match clause.set_tag {
+                            Some(t) => matched.retag(t),
+                            None => matched,
+                        };
+                        out.merge(&result);
+                    }
+                }
+                // Implicit deny at the end of a route map.
+                out
+            }
+            RouteFilter::Chain(a, b) => b.apply(&a.apply(input)),
+        }
+    }
+
+    /// Composes two filters (apply `self`, then `next`).
+    pub fn then(self, next: RouteFilter) -> RouteFilter {
+        match (self, next) {
+            (RouteFilter::Pass, f) | (f, RouteFilter::Pass) => f,
+            (RouteFilter::Block, _) | (_, RouteFilter::Block) => RouteFilter::Block,
+            (RouteFilter::Restrict(a), RouteFilter::Restrict(b)) => {
+                RouteFilter::Restrict(a.intersection(&b))
+            }
+            // Route maps do not compose algebraically with restrictions
+            // in general; keep both and apply in sequence.
+            (a, b) => RouteFilter::Chain(Box::new(a), Box::new(b)),
+        }
+    }
+}
+
+/// Resolves an ACL on a router to the prefix set it permits.
+pub fn acl_prefix_set(cfg: &RouterConfig, acl_id: u32) -> Option<PrefixSet> {
+    cfg.access_lists.get(&acl_id).map(|acl| acl.permitted_source_set())
+}
+
+/// Resolves a named route map on a router into a compiled filter.
+///
+/// Unknown ACL references inside `match ip address` fail closed (match
+/// nothing); an unknown route-map name yields [`RouteFilter::Block`] —
+/// IOS drops everything when a referenced route map does not exist.
+pub fn resolve_route_map_filter(cfg: &RouterConfig, name: &str) -> RouteFilter {
+    let Some(map) = cfg.route_maps.get(name) else {
+        return RouteFilter::Block;
+    };
+    let clauses = map
+        .clauses
+        .iter()
+        .map(|clause| {
+            let mut match_addrs: Option<PrefixSet> = None;
+            let mut match_tags: Option<Vec<u32>> = None;
+            for m in &clause.matches {
+                match m {
+                    RmMatch::IpAddress(acls) => {
+                        let mut set = PrefixSet::empty();
+                        for id in acls {
+                            if let Some(s) = acl_prefix_set(cfg, *id) {
+                                set = set.union(&s);
+                            }
+                        }
+                        match_addrs = Some(set);
+                    }
+                    RmMatch::Tag(tags) => match_tags = Some(tags.clone()),
+                    // AS-path and community matches are outside the static
+                    // model; treat them as match-all so the filter is an
+                    // over-approximation (safe for reachability bounds).
+                    RmMatch::AsPath(_) | RmMatch::Community(_) => {}
+                }
+            }
+            let set_tag = clause.sets.iter().find_map(|s| match s {
+                RmSet::Tag(t) => Some(*t),
+                _ => None,
+            });
+            RouteMapClauseFilter { action: clause.action, match_addrs, match_tags, set_tag }
+        })
+        .collect();
+    RouteFilter::Map(clauses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioscfg::parse_config;
+    use netaddr::Prefix;
+
+    fn set(prefixes: &[&str]) -> PrefixSet {
+        prefixes.iter().map(|s| s.parse::<Prefix>().unwrap()).collect()
+    }
+
+    #[test]
+    fn restrict_filter() {
+        let f = RouteFilter::Restrict(set(&["10.0.0.0/8"]));
+        let input = TaggedRoutes::untagged(set(&["10.1.0.0/16", "192.168.0.0/16"]));
+        assert_eq!(f.apply(&input).all_prefixes(), set(&["10.1.0.0/16"]));
+    }
+
+    #[test]
+    fn route_map_first_match_and_set_tag() {
+        let cfg = parse_config(
+            "access-list 4 permit 10.0.0.0 0.255.255.255\n\
+             route-map m deny 10\n match ip address 4\n\
+             route-map m permit 20\n set tag 99\n",
+        )
+        .unwrap();
+        let f = resolve_route_map_filter(&cfg, "m");
+        let input = TaggedRoutes::untagged(set(&["10.1.0.0/16", "192.168.0.0/16"]));
+        let out = f.apply(&input);
+        // 10/8 space denied by clause 10; the rest permitted and tagged 99.
+        assert!(out.tagged(Some(99)).contains("192.168.1.1".parse().unwrap()));
+        assert!(!out.all_prefixes().contains("10.1.2.3".parse().unwrap()));
+    }
+
+    #[test]
+    fn route_map_tag_matching() {
+        let cfg = parse_config("route-map m permit 10\n match tag 7\n").unwrap();
+        let f = resolve_route_map_filter(&cfg, "m");
+        let mut input = TaggedRoutes::with_tag(Some(7), set(&["10.0.0.0/8"]));
+        input.merge(&TaggedRoutes::with_tag(Some(8), set(&["11.0.0.0/8"])));
+        let out = f.apply(&input);
+        assert_eq!(out.all_prefixes(), set(&["10.0.0.0/8"]));
+    }
+
+    #[test]
+    fn missing_route_map_blocks() {
+        let cfg = parse_config("hostname r1\n").unwrap();
+        let f = resolve_route_map_filter(&cfg, "nope");
+        assert_eq!(f, RouteFilter::Block);
+        assert!(f.apply(&TaggedRoutes::untagged(set(&["10.0.0.0/8"]))).is_empty());
+    }
+
+    #[test]
+    fn implicit_deny_with_no_matching_clause() {
+        let cfg = parse_config(
+            "access-list 5 permit 10.0.0.0 0.255.255.255\n\
+             route-map m permit 10\n match ip address 5\n",
+        )
+        .unwrap();
+        let f = resolve_route_map_filter(&cfg, "m");
+        let input = TaggedRoutes::untagged(set(&["192.168.0.0/16"]));
+        assert!(f.apply(&input).is_empty());
+    }
+
+    #[test]
+    fn pass_and_block() {
+        let input = TaggedRoutes::untagged(set(&["10.0.0.0/8"]));
+        assert_eq!(RouteFilter::Pass.apply(&input), input);
+        assert!(RouteFilter::Block.apply(&input).is_empty());
+    }
+}

@@ -1,0 +1,35 @@
+//! Static reachability analysis (paper Section 6.2 and the companion tech
+//! report CMU-CS-04-146, "On static reachability analysis of IP networks").
+//!
+//! The paper's "middle ground" avoids modelling per-router route selection:
+//! routes are propagated over the *routing instance graph*, with the
+//! policies on each edge (route maps, distribute lists, tags) interpreted
+//! as set transformers over [`netaddr::PrefixSet`]s. The analysis answers:
+//!
+//! - which external routes can enter a given instance (net15's ingress
+//!   policies A1/A3/A5 — and hence the absence of a default route);
+//! - whether hosts in one address block can reach hosts in another
+//!   (net15's site isolation: A2 ∩ A5 = A2 ∩ A3 = A4 ∩ A1 = ∅);
+//! - an upper bound on the number of external routes injected into an IGP
+//!   instance — the OSPF load prediction of Section 6.2.
+//!
+//! Routes are modelled as `(prefix set, tag)` pairs ([`TaggedRoutes`])
+//! because tag-based route selection is exactly the mechanism net5 uses to
+//! avoid an IBGP mesh (Section 6.1): tags are set at redistribution
+//! points, carried by the IGP, and matched downstream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod filter;
+pub mod packet;
+mod routeset;
+
+pub use analysis::{LoadPrediction, ReachAnalysis};
+pub use filter::{resolve_route_map_filter, RouteFilter, RouteMapClauseFilter};
+pub use packet::{
+    acl_verdict, dropped_anywhere, flow_verdicts, FilterDirection, FilterVerdict, Flow,
+    FlowProto,
+};
+pub use routeset::TaggedRoutes;

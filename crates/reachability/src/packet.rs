@@ -1,0 +1,276 @@
+//! Packet-filter evaluation: "where would this flow be dropped?"
+//!
+//! Packet filters work directly on the data plane (paper Section 2.4) and
+//! the paper's Section 8.1 lists exactly this diagnosis workflow: "the
+//! routing design also reveals situations where two hosts should not be
+//! able to reach each other, due to packet or route filtering policies".
+//! Route-filter reachability lives in [`crate::ReachAnalysis`]; this
+//! module answers the complementary data-plane question by evaluating
+//! every *applied* access list in the network against a concrete flow.
+
+use ioscfg::{AccessList, AclAction, AclEntry, PortMatch};
+use netaddr::Addr;
+use nettopo::{IfaceRef, Network};
+
+/// The protocol of a flow being checked.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlowProto {
+    /// A generic IP probe (judged only by protocol-agnostic clauses).
+    Ip,
+    /// TCP with optional ports.
+    Tcp,
+    /// UDP with optional ports.
+    Udp,
+    /// ICMP.
+    Icmp,
+    /// PIM (the protocol the paper saw disabled by internal filters).
+    Pim,
+}
+
+impl FlowProto {
+    /// Parses a protocol keyword.
+    pub fn parse(text: &str) -> Option<FlowProto> {
+        Some(match text.to_ascii_lowercase().as_str() {
+            "ip" => FlowProto::Ip,
+            "tcp" => FlowProto::Tcp,
+            "udp" => FlowProto::Udp,
+            "icmp" => FlowProto::Icmp,
+            "pim" => FlowProto::Pim,
+            _ => return None,
+        })
+    }
+
+    /// True if an ACL entry's protocol keyword applies to this flow:
+    /// `ip` clauses match every flow; protocol-specific clauses match
+    /// only flows of that protocol (a generic [`FlowProto::Ip`] probe is
+    /// not judged by tcp/udp/icmp/pim-specific clauses).
+    fn matched_by(self, acl_proto: &str) -> bool {
+        match acl_proto.to_ascii_lowercase().as_str() {
+            "ip" => true,
+            "tcp" => self == FlowProto::Tcp,
+            "udp" => self == FlowProto::Udp,
+            "icmp" => self == FlowProto::Icmp,
+            "pim" => self == FlowProto::Pim,
+            _ => false,
+        }
+    }
+}
+
+/// One concrete packet flow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Flow {
+    /// Source address.
+    pub src: Addr,
+    /// Destination address.
+    pub dst: Addr,
+    /// Protocol.
+    pub proto: FlowProto,
+    /// Source port (TCP/UDP).
+    pub src_port: Option<u16>,
+    /// Destination port (TCP/UDP).
+    pub dst_port: Option<u16>,
+}
+
+impl Flow {
+    /// A plain IP flow between two addresses.
+    pub fn ip(src: Addr, dst: Addr) -> Flow {
+        Flow { src, dst, proto: FlowProto::Ip, src_port: None, dst_port: None }
+    }
+
+    /// A TCP flow to a destination port.
+    pub fn tcp(src: Addr, dst: Addr, dst_port: u16) -> Flow {
+        Flow { src, dst, proto: FlowProto::Tcp, src_port: None, dst_port: Some(dst_port) }
+    }
+}
+
+/// Direction of a filter application.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FilterDirection {
+    /// `ip access-group <n> in`.
+    In,
+    /// `ip access-group <n> out`.
+    Out,
+}
+
+/// One filter application's verdict on a flow.
+#[derive(Clone, Debug)]
+pub struct FilterVerdict {
+    /// Where the filter is applied.
+    pub iface: IfaceRef,
+    /// In or out.
+    pub direction: FilterDirection,
+    /// The access list number.
+    pub acl: u32,
+    /// Whether the flow is permitted (false = dropped here).
+    pub permitted: bool,
+    /// The 1-based clause that decided, or `None` for the implicit deny.
+    pub deciding_clause: Option<usize>,
+}
+
+/// Evaluates a full access list against a flow (first match wins,
+/// implicit deny). Returns `(permitted, deciding_clause)`.
+pub fn acl_verdict(acl: &AccessList, flow: &Flow) -> (bool, Option<usize>) {
+    for (i, entry) in acl.entries.iter().enumerate() {
+        let matched = match entry {
+            AclEntry::Standard { addr, .. } => addr.matches(flow.src),
+            AclEntry::Extended { protocol, src, src_port, dst, dst_port, .. } => {
+                flow.proto.matched_by(protocol)
+                    && src.matches(flow.src)
+                    && dst.matches(flow.dst)
+                    && port_ok(*src_port, flow.src_port)
+                    && port_ok(*dst_port, flow.dst_port)
+            }
+        };
+        if matched {
+            return (entry.action() == AclAction::Permit, Some(i + 1));
+        }
+    }
+    (false, None)
+}
+
+fn port_ok(matcher: Option<PortMatch>, port: Option<u16>) -> bool {
+    match (matcher, port) {
+        (None, _) => true,
+        // A port-specific clause cannot match a flow with no port
+        // information; conservative for `ip`-protocol probes.
+        (Some(_), None) => false,
+        (Some(m), Some(p)) => m.matches(p),
+    }
+}
+
+/// Evaluates every applied packet filter in the network against `flow`;
+/// returns one verdict per (interface, direction) application, drops
+/// first.
+pub fn flow_verdicts(net: &Network, flow: &Flow) -> Vec<FilterVerdict> {
+    let mut out = Vec::new();
+    for (rid, router) in net.iter() {
+        for (idx, iface) in router.config.interfaces.iter().enumerate() {
+            for (acl_id, direction) in [
+                (iface.access_group_in, FilterDirection::In),
+                (iface.access_group_out, FilterDirection::Out),
+            ] {
+                let Some(acl_id) = acl_id else { continue };
+                let Some(acl) = router.config.access_lists.get(&acl_id) else {
+                    continue;
+                };
+                let (permitted, deciding_clause) = acl_verdict(acl, flow);
+                out.push(FilterVerdict {
+                    iface: IfaceRef { router: rid, iface: idx },
+                    direction,
+                    acl: acl_id,
+                    permitted,
+                    deciding_clause,
+                });
+            }
+        }
+    }
+    out.sort_by_key(|v| (v.permitted, v.iface.router, v.iface.iface));
+    out
+}
+
+/// True if some applied filter would drop the flow.
+pub fn dropped_anywhere(net: &Network, flow: &Flow) -> bool {
+    flow_verdicts(net, flow).iter().any(|v| !v.permitted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+
+    fn net_with_filter() -> Network {
+        Network::from_texts(vec![(
+            "config1".into(),
+            "interface Ethernet0\n ip address 10.0.0.1 255.255.255.0\n ip access-group 120 in\n\
+             access-list 120 deny pim any any\n\
+             access-list 120 deny tcp any any eq 445\n\
+             access-list 120 permit udp any range 5000 5010 any\n\
+             access-list 120 deny udp any any\n\
+             access-list 120 permit ip any any\n"
+                .into(),
+        )])
+        .unwrap()
+    }
+
+    #[test]
+    fn first_match_decides_with_clause_number() {
+        let net = net_with_filter();
+        let acl = &net.router(nettopo::RouterId(0)).config.access_lists[&120];
+
+        // PIM disabled network-wide (the paper's example).
+        let pim = Flow {
+            proto: FlowProto::Pim,
+            ..Flow::ip(addr("10.0.0.5"), addr("10.0.1.5"))
+        };
+        assert_eq!(acl_verdict(acl, &pim), (false, Some(1)));
+
+        // Port-based application blocking.
+        let smb = Flow::tcp(addr("10.0.0.5"), addr("10.0.1.5"), 445);
+        assert_eq!(acl_verdict(acl, &smb), (false, Some(2)));
+        let web = Flow::tcp(addr("10.0.0.5"), addr("10.0.1.5"), 80);
+        assert_eq!(acl_verdict(acl, &web), (true, Some(5)));
+
+        // Source-port ranges.
+        let game = Flow {
+            proto: FlowProto::Udp,
+            src_port: Some(5005),
+            dst_port: Some(9999),
+            ..Flow::ip(addr("10.0.0.5"), addr("10.0.1.5"))
+        };
+        assert_eq!(acl_verdict(acl, &game), (true, Some(3)));
+        let other_udp = Flow {
+            proto: FlowProto::Udp,
+            src_port: Some(53),
+            dst_port: Some(53),
+            ..Flow::ip(addr("10.0.0.5"), addr("10.0.1.5"))
+        };
+        assert_eq!(acl_verdict(acl, &other_udp), (false, Some(4)));
+    }
+
+    #[test]
+    fn implicit_deny_reports_no_clause() {
+        let net = Network::from_texts(vec![(
+            "config1".into(),
+            "access-list 10 permit 10.0.0.0 0.0.0.255\n".into(),
+        )])
+        .unwrap();
+        let acl = &net.router(nettopo::RouterId(0)).config.access_lists[&10];
+        let flow = Flow::ip(addr("192.168.1.1"), addr("10.0.0.1"));
+        assert_eq!(acl_verdict(acl, &flow), (false, None));
+    }
+
+    #[test]
+    fn verdicts_enumerate_applications() {
+        let net = net_with_filter();
+        let pim = Flow {
+            proto: FlowProto::Pim,
+            ..Flow::ip(addr("10.0.0.5"), addr("10.0.1.5"))
+        };
+        let verdicts = flow_verdicts(&net, &pim);
+        assert_eq!(verdicts.len(), 1);
+        assert!(!verdicts[0].permitted);
+        assert_eq!(verdicts[0].direction, FilterDirection::In);
+        assert!(dropped_anywhere(&net, &pim));
+        let web = Flow::tcp(addr("10.0.0.5"), addr("10.0.1.5"), 80);
+        assert!(!dropped_anywhere(&net, &web));
+    }
+
+    #[test]
+    fn ip_probe_does_not_match_port_clauses() {
+        let net = net_with_filter();
+        // A portless IP probe must not be judged by the tcp/445 clause;
+        // it falls through to `permit ip any any`.
+        let probe = Flow::ip(addr("10.0.0.5"), addr("10.0.1.5"));
+        assert!(!dropped_anywhere(&net, &probe));
+    }
+
+    #[test]
+    fn flow_proto_parse() {
+        assert_eq!(FlowProto::parse("TCP"), Some(FlowProto::Tcp));
+        assert_eq!(FlowProto::parse("pim"), Some(FlowProto::Pim));
+        assert_eq!(FlowProto::parse("ospf"), None);
+    }
+}

@@ -1,0 +1,172 @@
+//! Sets of routes with administrative tags.
+
+use std::collections::BTreeMap;
+
+use netaddr::PrefixSet;
+
+/// A set of routes, partitioned by administrative tag.
+///
+/// `None` holds untagged routes. Within one tag, routes are an exact
+/// [`PrefixSet`]. This is the value propagated across instance-graph edges
+/// during reachability analysis; tags matter because route maps can match
+/// and set them (net5's IBGP-mesh-avoidance trick).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TaggedRoutes {
+    routes: BTreeMap<Option<u32>, PrefixSet>,
+}
+
+impl TaggedRoutes {
+    /// The empty route set.
+    pub fn empty() -> TaggedRoutes {
+        TaggedRoutes::default()
+    }
+
+    /// Untagged routes covering `set`.
+    pub fn untagged(set: PrefixSet) -> TaggedRoutes {
+        TaggedRoutes::with_tag(None, set)
+    }
+
+    /// Routes covering `set` carrying `tag`.
+    pub fn with_tag(tag: Option<u32>, set: PrefixSet) -> TaggedRoutes {
+        let mut routes = BTreeMap::new();
+        if !set.is_empty() {
+            routes.insert(tag, set);
+        }
+        TaggedRoutes { routes }
+    }
+
+    /// True if no routes are present.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// Union with another route set. Returns true if `self` grew (used as
+    /// the fixpoint test during propagation).
+    pub fn merge(&mut self, other: &TaggedRoutes) -> bool {
+        let mut grew = false;
+        for (tag, set) in &other.routes {
+            let slot = self.routes.entry(*tag).or_insert_with(PrefixSet::empty);
+            let merged = slot.union(set);
+            if &merged != slot {
+                *slot = merged;
+                grew = true;
+            }
+        }
+        grew
+    }
+
+    /// All routes regardless of tag, as one prefix set.
+    pub fn all_prefixes(&self) -> PrefixSet {
+        let mut out = PrefixSet::empty();
+        for set in self.routes.values() {
+            out = out.union(set);
+        }
+        out
+    }
+
+    /// Routes carrying a specific tag.
+    pub fn tagged(&self, tag: Option<u32>) -> PrefixSet {
+        self.routes.get(&tag).cloned().unwrap_or_else(PrefixSet::empty)
+    }
+
+    /// Iterates `(tag, set)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Option<u32>, &PrefixSet)> {
+        self.routes.iter().map(|(t, s)| (*t, s))
+    }
+
+    /// Restricts every tag class to `set` (intersection), dropping empties.
+    pub fn restrict(&self, set: &PrefixSet) -> TaggedRoutes {
+        let mut out = TaggedRoutes::empty();
+        for (tag, routes) in &self.routes {
+            let restricted = routes.intersection(set);
+            if !restricted.is_empty() {
+                out.routes.insert(*tag, restricted);
+            }
+        }
+        out
+    }
+
+    /// Removes `set` from every tag class.
+    pub fn subtract(&self, set: &PrefixSet) -> TaggedRoutes {
+        let mut out = TaggedRoutes::empty();
+        for (tag, routes) in &self.routes {
+            let remaining = routes.difference(set);
+            if !remaining.is_empty() {
+                out.routes.insert(*tag, remaining);
+            }
+        }
+        out
+    }
+
+    /// Keeps only routes whose tag is in `tags`.
+    pub fn restrict_tags(&self, tags: &[u32]) -> TaggedRoutes {
+        let mut out = TaggedRoutes::empty();
+        for (tag, routes) in &self.routes {
+            if let Some(t) = tag {
+                if tags.contains(t) {
+                    out.routes.insert(*tag, routes.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Rewrites every route's tag to `tag`.
+    pub fn retag(&self, tag: u32) -> TaggedRoutes {
+        TaggedRoutes::with_tag(Some(tag), self.all_prefixes())
+    }
+
+    /// Total number of addresses covered (for sanity checks).
+    pub fn size(&self) -> u64 {
+        self.all_prefixes().size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netaddr::Prefix;
+
+    fn set(prefixes: &[&str]) -> PrefixSet {
+        prefixes.iter().map(|s| s.parse::<Prefix>().unwrap()).collect()
+    }
+
+    #[test]
+    fn merge_reports_growth() {
+        let mut r = TaggedRoutes::untagged(set(&["10.0.0.0/8"]));
+        assert!(!r.merge(&TaggedRoutes::untagged(set(&["10.1.0.0/16"]))));
+        assert!(r.merge(&TaggedRoutes::untagged(set(&["11.0.0.0/8"]))));
+        assert!(r.merge(&TaggedRoutes::with_tag(Some(7), set(&["10.0.0.0/8"]))));
+        assert_eq!(r.tagged(Some(7)), set(&["10.0.0.0/8"]));
+    }
+
+    #[test]
+    fn restrict_and_subtract() {
+        let r = TaggedRoutes::with_tag(Some(1), set(&["10.0.0.0/8", "192.168.0.0/16"]));
+        let only10 = r.restrict(&set(&["10.0.0.0/8"]));
+        assert_eq!(only10.all_prefixes(), set(&["10.0.0.0/8"]));
+        let no10 = r.subtract(&set(&["10.0.0.0/8"]));
+        assert_eq!(no10.all_prefixes(), set(&["192.168.0.0/16"]));
+        assert_eq!(no10.tagged(Some(1)), set(&["192.168.0.0/16"]));
+    }
+
+    #[test]
+    fn tag_restriction_and_retag() {
+        let mut r = TaggedRoutes::with_tag(Some(1), set(&["10.0.0.0/8"]));
+        r.merge(&TaggedRoutes::with_tag(Some(2), set(&["11.0.0.0/8"])));
+        r.merge(&TaggedRoutes::untagged(set(&["12.0.0.0/8"])));
+        let only1 = r.restrict_tags(&[1]);
+        assert_eq!(only1.all_prefixes(), set(&["10.0.0.0/8"]));
+        let retagged = r.retag(9);
+        assert_eq!(retagged.tagged(Some(9)).size(), 3 << 24);
+        assert!(retagged.tagged(Some(1)).is_empty());
+    }
+
+    #[test]
+    fn empty_sets_are_dropped() {
+        let r = TaggedRoutes::untagged(PrefixSet::empty());
+        assert!(r.is_empty());
+        let r2 = TaggedRoutes::untagged(set(&["10.0.0.0/8"]));
+        assert!(r2.restrict(&set(&["192.0.2.0/24"])).is_empty());
+    }
+}

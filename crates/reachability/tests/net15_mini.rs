@@ -1,0 +1,195 @@
+//! A miniature of the paper's net15 case study (Section 6.2, Figure 12):
+//! two sites, each with an OSPF instance and a border BGP instance
+//! peering with a public AS; ingress/egress policies restrict which
+//! routes cross, isolating the sites from each other while giving each
+//! site partial external reachability.
+
+use netaddr::{Prefix, PrefixSet};
+use nettopo::{ExternalAnalysis, LinkMap, Network};
+use reachability::{ReachAnalysis, TaggedRoutes};
+use routing_model::{Adjacencies, InstanceNode, Instances, Processes};
+
+fn pfx(s: &str) -> Prefix {
+    s.parse().unwrap()
+}
+
+/// Left site: hosts in AB2 = 10.2.0.0/16, OSPF + border BGP AS 65001,
+/// EBGP to public AS 25286.
+///   - A1 (ingress): permit 172.20.0.0/16 (an allowed external block, AB0).
+///   - A2 (egress): permit 10.2.0.0/16 (AB2's routes allowed out).
+/// Right site: hosts in AB4 = 10.4.0.0/16, OSPF + border BGP AS 65002,
+/// EBGP to public AS 12762.
+///   - A5 (ingress): permit 172.20.0.0/16 only (NOT 10.2/16!).
+///   - A4 (egress): permit 10.4.0.0/16.
+/// Site isolation: A2 ∩ A5 = ∅ and A4 ∩ A1 = ∅, so neither site's routes
+/// can enter the other even through the public ASes.
+fn net15_mini() -> Network {
+    let left_border = "\
+hostname left-border
+interface Serial0
+ ip address 192.0.2.1 255.255.255.252
+interface Ethernet0
+ ip address 10.2.0.1 255.255.255.0
+router ospf 1
+ network 10.2.0.0 0.0.255.255 area 0
+ redistribute bgp 65001 subnets
+router bgp 65001
+ redistribute ospf 1 route-map egress
+ redistribute connected
+ neighbor 192.0.2.2 remote-as 25286
+ neighbor 192.0.2.2 route-map ingress in
+ neighbor 192.0.2.2 route-map egress out
+access-list 10 permit 172.20.0.0 0.0.255.255
+access-list 20 permit 10.2.0.0 0.0.255.255
+route-map ingress permit 10
+ match ip address 10
+route-map egress permit 10
+ match ip address 20
+";
+    let left_core = "\
+hostname left-core
+interface Ethernet0
+ ip address 10.2.0.2 255.255.255.0
+router ospf 1
+ network 10.2.0.0 0.0.255.255 area 0
+";
+    let right_border = "\
+hostname right-border
+interface Serial0
+ ip address 198.51.100.1 255.255.255.252
+interface Ethernet0
+ ip address 10.4.0.1 255.255.255.0
+router ospf 2
+ network 10.4.0.0 0.0.255.255 area 0
+ redistribute bgp 65002 subnets
+router bgp 65002
+ redistribute ospf 2 route-map egress
+ redistribute connected
+ neighbor 198.51.100.2 remote-as 12762
+ neighbor 198.51.100.2 route-map ingress in
+ neighbor 198.51.100.2 route-map egress out
+access-list 10 permit 172.20.0.0 0.0.255.255
+access-list 20 permit 10.4.0.0 0.0.255.255
+route-map ingress permit 10
+ match ip address 10
+route-map egress permit 10
+ match ip address 20
+";
+    let right_core = "\
+hostname right-core
+interface Ethernet0
+ ip address 10.4.0.2 255.255.255.0
+router ospf 2
+ network 10.4.0.0 0.0.255.255 area 0
+";
+    Network::from_texts(vec![
+        ("config1".into(), left_border.into()),
+        ("config2".into(), left_core.into()),
+        ("config3".into(), right_border.into()),
+        ("config4".into(), right_core.into()),
+    ])
+    .unwrap()
+}
+
+struct Built {
+    net: Network,
+    procs: Processes,
+    adj: Adjacencies,
+    instances: Instances,
+}
+
+fn build() -> Built {
+    let net = net15_mini();
+    let links = LinkMap::build(&net);
+    let external = ExternalAnalysis::build(&net, &links);
+    let procs = Processes::extract(&net);
+    let adj = Adjacencies::build(&net, &links, &procs, &external);
+    let instances = Instances::compute(&procs, &adj);
+    Built { net, procs, adj, instances }
+}
+
+#[test]
+fn structure_matches_figure12() {
+    let b = build();
+    // Two OSPF instances + two BGP instances.
+    assert_eq!(b.instances.len(), 4);
+    let reach = ReachAnalysis::new(&b.net, &b.procs, &b.adj, &b.instances);
+    let _ = reach;
+    // Two public peer ASes.
+    let mut ases: Vec<u32> = b
+        .adj
+        .bgp
+        .iter()
+        .filter(|s| s.peer.is_none())
+        .map(|s| s.remote_as)
+        .collect();
+    ases.sort_unstable();
+    assert_eq!(ases, vec![12762, 25286]);
+}
+
+#[test]
+fn no_default_route_enters_either_site() {
+    let b = build();
+    let reach = ReachAnalysis::new(&b.net, &b.procs, &b.adj, &b.instances);
+    for inst in &b.instances.list {
+        let external = reach.external_routes_entering(inst.id);
+        assert!(
+            !external.covers_prefix(Prefix::DEFAULT),
+            "default route leaked into {}",
+            inst.label()
+        );
+    }
+}
+
+#[test]
+fn ingress_policy_bounds_external_routes() {
+    let b = build();
+    let reach = ReachAnalysis::new(&b.net, &b.procs, &b.adj, &b.instances);
+    // Each OSPF instance sees exactly the A1/A5-permitted block AB0.
+    for inst in b.instances.list.iter().filter(|i| i.asn.is_none()) {
+        let external = reach.external_routes_entering(inst.id);
+        assert_eq!(
+            external,
+            PrefixSet::from_prefix(pfx("172.20.0.0/16")),
+            "wrong ingress for {}",
+            inst.label()
+        );
+        // Load prediction: 1 external prefix across the instance.
+        let load = reach.load_prediction(inst.id);
+        assert_eq!(load.max_external_routes, Some(1));
+    }
+}
+
+#[test]
+fn sites_are_mutually_unreachable() {
+    let b = build();
+    let reach = ReachAnalysis::new(&b.net, &b.procs, &b.adj, &b.instances);
+    // AB2 ↔ AB4 isolation (the paper's A2 ∩ A5 = A4 ∩ A1 = ∅ finding).
+    assert!(!reach.block_reachable(pfx("10.2.0.0/16"), pfx("10.4.0.0/16")));
+    assert!(!reach.block_reachable(pfx("10.4.0.0/16"), pfx("10.2.0.0/16")));
+    // Hosts within one site still reach each other.
+    assert!(reach.block_reachable(pfx("10.2.0.0/24"), pfx("10.2.0.0/16")));
+}
+
+#[test]
+fn egress_announces_only_site_blocks() {
+    let b = build();
+    let reach = ReachAnalysis::new(&b.net, &b.procs, &b.adj, &b.instances);
+    let to_left_peer = reach.routes_announced_to(25286);
+    assert!(to_left_peer.covers_prefix(pfx("10.2.0.0/24")));
+    assert!(!to_left_peer.intersects_prefix(pfx("10.4.0.0/16")));
+    let to_right_peer = reach.routes_announced_to(12762);
+    assert!(to_right_peer.covers_prefix(pfx("10.4.0.0/24")));
+    assert!(!to_right_peer.intersects_prefix(pfx("10.2.0.0/16")));
+}
+
+#[test]
+fn propagation_is_monotone_and_stable() {
+    let b = build();
+    let reach = ReachAnalysis::new(&b.net, &b.procs, &b.adj, &b.instances);
+    // Propagating the same seed twice yields identical states.
+    let seed = TaggedRoutes::untagged(PrefixSet::from_prefix(pfx("172.20.0.0/16")));
+    let s1 = reach.propagate(InstanceNode::ExternalAs(25286), seed.clone());
+    let s2 = reach.propagate(InstanceNode::ExternalAs(25286), seed);
+    assert_eq!(s1, s2);
+}

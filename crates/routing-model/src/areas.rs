@@ -1,0 +1,189 @@
+//! OSPF area structure analysis.
+//!
+//! The paper's Figure 2 already shows one router in two areas (area 0 and
+//! area 11), and hierarchical area design is one of the scalability
+//! levers a routing designer has. This module summarizes, per OSPF
+//! instance: the areas in use, whether a backbone area exists, and which
+//! routers sit on area borders (ABRs — interfaces in two or more areas).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ioscfg::OspfArea;
+use nettopo::{Network, RouterId};
+
+use crate::instance::{InstanceId, Instances};
+use crate::process::{Processes, Proto};
+
+/// The area structure of one OSPF instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AreaStructure {
+    /// The instance.
+    pub instance: InstanceId,
+    /// Routers per area (a router with interfaces in several areas counts
+    /// in each).
+    pub areas: BTreeMap<OspfArea, BTreeSet<RouterId>>,
+    /// Area border routers: members with covered interfaces in ≥2 areas.
+    pub abrs: Vec<RouterId>,
+}
+
+impl AreaStructure {
+    /// Number of distinct areas.
+    pub fn area_count(&self) -> usize {
+        self.areas.len()
+    }
+
+    /// True if area 0 (the backbone area) is present.
+    pub fn has_backbone_area(&self) -> bool {
+        self.areas.contains_key(&OspfArea(0))
+    }
+
+    /// True for the flat single-area design.
+    pub fn is_flat(&self) -> bool {
+        self.area_count() <= 1
+    }
+}
+
+/// Computes the area structure of every OSPF instance.
+pub fn area_structures(
+    net: &Network,
+    procs: &Processes,
+    instances: &Instances,
+) -> Vec<AreaStructure> {
+    let mut out: BTreeMap<InstanceId, AreaStructure> = BTreeMap::new();
+
+    for p in &procs.list {
+        let Proto::Ospf(pid) = p.key.proto else { continue };
+        let Some(inst) = instances.instance_of(p.key) else { continue };
+        let cfg = &net.router(p.key.router).config;
+        let Some(ospf) = cfg.ospf.iter().find(|o| o.id == pid) else { continue };
+
+        let entry = out.entry(inst).or_insert_with(|| AreaStructure {
+            instance: inst,
+            areas: BTreeMap::new(),
+            abrs: Vec::new(),
+        });
+
+        // Which areas does this process put this router's interfaces in?
+        // The first matching network statement decides per interface
+        // (IOS first-match semantics).
+        let mut router_areas: BTreeSet<OspfArea> = BTreeSet::new();
+        for &idx in &p.covered_ifaces {
+            let Some(addr) = cfg.interfaces[idx].address.map(|a| a.addr) else {
+                continue;
+            };
+            if let Some(n) = ospf.networks.iter().find(|n| n.covers(addr)) {
+                router_areas.insert(n.area);
+            }
+        }
+        for area in &router_areas {
+            entry.areas.entry(*area).or_default().insert(p.key.router);
+        }
+        if router_areas.len() >= 2 && !entry.abrs.contains(&p.key.router) {
+            entry.abrs.push(p.key.router);
+        }
+    }
+
+    let mut list: Vec<AreaStructure> = out.into_values().collect();
+    for s in &mut list {
+        s.abrs.sort();
+    }
+    list
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjacency::Adjacencies;
+    use nettopo::{ExternalAnalysis, LinkMap};
+
+    fn analyze(net: &Network) -> Vec<AreaStructure> {
+        let links = LinkMap::build(net);
+        let external = ExternalAnalysis::build(net, &links);
+        let procs = Processes::extract(net);
+        let adj = Adjacencies::build(net, &links, &procs, &external);
+        let inst = Instances::compute(&procs, &adj);
+        area_structures(net, &procs, &inst)
+    }
+
+    #[test]
+    fn flat_single_area() {
+        let net = Network::from_texts(vec![
+            (
+                "config1".into(),
+                "interface Serial0\n ip address 10.0.0.1 255.255.255.252\n\
+                 router ospf 1\n network 10.0.0.0 0.0.255.255 area 0\n"
+                    .into(),
+            ),
+            (
+                "config2".into(),
+                "interface Serial0\n ip address 10.0.0.2 255.255.255.252\n\
+                 router ospf 1\n network 10.0.0.0 0.0.255.255 area 0\n"
+                    .into(),
+            ),
+        ])
+        .unwrap();
+        let areas = analyze(&net);
+        assert_eq!(areas.len(), 1);
+        assert!(areas[0].is_flat());
+        assert!(areas[0].has_backbone_area());
+        assert!(areas[0].abrs.is_empty());
+    }
+
+    #[test]
+    fn abr_between_two_areas() {
+        // r0 is the ABR: one interface in area 0, one in area 5; r1 is
+        // pure area 0, r2 pure area 5.
+        let net = Network::from_texts(vec![
+            (
+                "config1".into(),
+                "interface Serial0\n ip address 10.0.0.1 255.255.255.252\n\
+                 interface Serial1\n ip address 10.5.0.1 255.255.255.252\n\
+                 router ospf 1\n network 10.0.0.0 0.0.255.255 area 0\n \
+                  network 10.5.0.0 0.0.255.255 area 5\n"
+                    .into(),
+            ),
+            (
+                "config2".into(),
+                "interface Serial0\n ip address 10.0.0.2 255.255.255.252\n\
+                 router ospf 1\n network 10.0.0.0 0.0.255.255 area 0\n"
+                    .into(),
+            ),
+            (
+                "config3".into(),
+                "interface Serial0\n ip address 10.5.0.2 255.255.255.252\n\
+                 router ospf 1\n network 10.5.0.0 0.0.255.255 area 5\n"
+                    .into(),
+            ),
+        ])
+        .unwrap();
+        let areas = analyze(&net);
+        assert_eq!(areas.len(), 1);
+        let s = &areas[0];
+        assert_eq!(s.area_count(), 2);
+        assert!(s.has_backbone_area());
+        assert_eq!(s.abrs, vec![RouterId(0)]);
+        assert_eq!(s.areas[&OspfArea(0)].len(), 2);
+        assert_eq!(s.areas[&OspfArea(5)].len(), 2);
+    }
+
+    #[test]
+    fn figure2_router_spans_areas_via_two_processes() {
+        // Figure 2's R2 runs two OSPF processes in areas 0 and 11 — two
+        // *instances*, each flat, no ABR (different processes, not areas
+        // of one process).
+        let net = Network::from_texts(vec![(
+            "config1".into(),
+            "interface Ethernet0\n ip address 66.251.75.144 255.255.255.128\n\
+             interface Serial0\n ip address 66.253.32.85 255.255.255.252\n\
+             router ospf 64\n network 66.251.75.128 0.0.0.127 area 0\n\
+             router ospf 128\n network 66.253.32.84 0.0.0.3 area 11\n"
+                .into(),
+        )])
+        .unwrap();
+        let areas = analyze(&net);
+        assert_eq!(areas.len(), 2);
+        assert!(areas.iter().all(|a| a.is_flat()));
+        assert!(areas.iter().any(|a| a.has_backbone_area()));
+        assert!(areas.iter().any(|a| !a.has_backbone_area()));
+    }
+}

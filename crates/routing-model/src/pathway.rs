@@ -1,0 +1,238 @@
+//! Route pathway graphs (paper Section 3.3, Figures 7 and 10).
+//!
+//! For a chosen router, a breadth-first search backward through the
+//! instance graph records every instance (and external source) whose
+//! routes can reach that router's RIB, and at what depth. The result
+//! locates all the routing policies that affect the routes the router
+//! sees, and makes structural differences between designs visible: a
+//! textbook enterprise router is fed by one IGP instance fed by one BGP
+//! instance; net5's router 3 sits behind three layers of protocols and
+//! redistributions.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use nettopo::RouterId;
+
+use crate::instance::{InstanceId, Instances};
+use crate::instance_graph::{ExchangeKind, InstanceGraph, InstanceNode};
+
+/// One node of a pathway graph, with its BFS depth from the router RIB.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathwayNode {
+    /// The instance-graph node.
+    pub node: InstanceNode,
+    /// Hops from the router RIB (0 = instances the router belongs to).
+    pub depth: usize,
+}
+
+/// The route pathway graph for one router.
+#[derive(Clone, Debug)]
+pub struct PathwayGraph {
+    /// The router whose routes are being traced.
+    pub router: RouterId,
+    /// Reached nodes with depths, in BFS order.
+    pub nodes: Vec<PathwayNode>,
+    /// The pathway edges: `(source, dest, policy)` meaning routes flow
+    /// from `source` toward the router via `dest`.
+    pub edges: Vec<(InstanceNode, InstanceNode, Option<String>)>,
+}
+
+impl PathwayGraph {
+    /// Traces where `router`'s routes come from.
+    pub fn trace(
+        router: RouterId,
+        instances: &Instances,
+        graph: &InstanceGraph,
+    ) -> PathwayGraph {
+        let mut depths: BTreeMap<InstanceNode, usize> = BTreeMap::new();
+        let mut edges = Vec::new();
+        let mut queue: VecDeque<InstanceNode> = VecDeque::new();
+
+        // Depth 0: instances this router participates in feed its RIB.
+        for inst in &instances.list {
+            if inst.routers.binary_search(&router).is_ok() {
+                let node = InstanceNode::Instance(inst.id);
+                depths.insert(node, 0);
+                queue.push_back(node);
+            }
+        }
+
+        // Walk edges *backwards* along route flow: routes flow into a node
+        // we have reached from (a) redistribution edges whose `to` is the
+        // node, and (b) undirected exchange edges (EBGP, IGP edges) at
+        // either endpoint.
+        while let Some(current) = queue.pop_front() {
+            let depth = depths[&current];
+            for e in &graph.edges {
+                let (source, policy) = match &e.kind {
+                    ExchangeKind::Redistribution { policy, .. } => {
+                        if e.to == current {
+                            (e.from, policy.clone())
+                        } else {
+                            continue;
+                        }
+                    }
+                    ExchangeKind::Ebgp { .. } | ExchangeKind::IgpEdge { .. } => {
+                        if e.to == current {
+                            (e.from, None)
+                        } else if e.from == current {
+                            (e.to, None)
+                        } else {
+                            continue;
+                        }
+                    }
+                };
+                edges.push((source, current, policy));
+                if !depths.contains_key(&source) {
+                    depths.insert(source, depth + 1);
+                    queue.push_back(source);
+                }
+            }
+        }
+
+        let mut nodes: Vec<PathwayNode> = depths
+            .into_iter()
+            .map(|(node, depth)| PathwayNode { node, depth })
+            .collect();
+        nodes.sort_by_key(|n| (n.depth, n.node));
+        edges.sort_by_key(|(a, b, _)| (*a, *b));
+        edges.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1 && a.2 == b.2);
+
+        PathwayGraph { router, nodes, edges }
+    }
+
+    /// The maximum depth (number of protocol layers routes must traverse
+    /// to reach this router) — net5's router 3 shows "at least 3 layers".
+    pub fn max_depth(&self) -> usize {
+        self.nodes.iter().map(|n| n.depth).max().unwrap_or(0)
+    }
+
+    /// True if routes from the external world can reach this router.
+    pub fn reaches_external_world(&self) -> bool {
+        self.nodes.iter().any(|n| {
+            matches!(n.node, InstanceNode::ExternalAs(_) | InstanceNode::ExternalWorld)
+        })
+    }
+
+    /// Instances on the pathway (excluding external nodes).
+    pub fn instances(&self) -> Vec<InstanceId> {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n.node {
+                InstanceNode::Instance(id) => Some(id),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjacency::Adjacencies;
+    use crate::instance_graph::InstanceGraph;
+    use crate::process::Processes;
+    use nettopo::{ExternalAnalysis, LinkMap, Network};
+
+    fn build(net: &Network) -> (Instances, InstanceGraph) {
+        let links = LinkMap::build(net);
+        let external = ExternalAnalysis::build(net, &links);
+        let procs = Processes::extract(net);
+        let adj = Adjacencies::build(net, &links, &procs, &external);
+        let inst = Instances::compute(&procs, &adj);
+        let graph = InstanceGraph::build(net, &procs, &adj, &inst);
+        (inst, graph)
+    }
+
+    /// Figure 7(a): interior enterprise router learns everything from the
+    /// IGP, which learns from BGP, which learns from the world.
+    #[test]
+    fn enterprise_interior_pathway_is_layered() {
+        let net = Network::from_texts(vec![
+            (
+                "config1".into(), // border
+                "interface Serial0\n ip address 192.0.2.1 255.255.255.252\n\
+                 interface Serial1\n ip address 10.0.0.1 255.255.255.252\n\
+                 router ospf 1\n network 10.0.0.0 0.0.255.255 area 0\n \
+                  redistribute bgp 65001 subnets\n\
+                 router bgp 65001\n neighbor 192.0.2.2 remote-as 7018\n"
+                    .into(),
+            ),
+            (
+                "config2".into(), // interior: router 1 of Fig. 7(a)
+                "interface Serial0\n ip address 10.0.0.2 255.255.255.252\n\
+                 router ospf 1\n network 10.0.0.0 0.0.255.255 area 0\n"
+                    .into(),
+            ),
+        ])
+        .unwrap();
+        let (inst, graph) = build(&net);
+        let pathway = PathwayGraph::trace(RouterId(1), &inst, &graph);
+        // OSPF at depth 0, BGP at depth 1, external AS at depth 2.
+        assert_eq!(pathway.max_depth(), 2);
+        assert!(pathway.reaches_external_world());
+        assert_eq!(pathway.instances().len(), 2);
+        let depth0: Vec<&PathwayNode> =
+            pathway.nodes.iter().filter(|n| n.depth == 0).collect();
+        assert_eq!(depth0.len(), 1);
+    }
+
+    /// A router cut off from external routes never reaches the world node.
+    #[test]
+    fn isolated_igp_island() {
+        let net = Network::from_texts(vec![
+            (
+                "config1".into(),
+                "interface Serial0\n ip address 10.0.0.1 255.255.255.252\n\
+                 router ospf 1\n network 10.0.0.0 0.0.0.3 area 0\n"
+                    .into(),
+            ),
+            (
+                "config2".into(),
+                "interface Serial0\n ip address 10.0.0.2 255.255.255.252\n\
+                 router ospf 1\n network 10.0.0.0 0.0.0.3 area 0\n"
+                    .into(),
+            ),
+        ])
+        .unwrap();
+        let (inst, graph) = build(&net);
+        let pathway = PathwayGraph::trace(RouterId(0), &inst, &graph);
+        assert_eq!(pathway.max_depth(), 0);
+        assert!(!pathway.reaches_external_world());
+    }
+
+    /// Redistribution direction matters: routes flow along redistribution
+    /// arrows, so an instance that only *receives* our routes does not
+    /// appear in our pathway.
+    #[test]
+    fn one_way_redistribution_respected() {
+        let net = Network::from_texts(vec![
+            (
+                "config1".into(),
+                // OSPF→RIP redistribution only: RIP hears OSPF routes but
+                // OSPF hears nothing from RIP.
+                "interface Serial0\n ip address 10.0.0.1 255.255.255.252\n\
+                 interface Ethernet0\n ip address 10.2.0.1 255.255.255.0\n\
+                 router ospf 1\n network 10.0.0.0 0.0.0.3 area 0\n\
+                 router rip\n network 10.2.0.0\n redistribute ospf 1\n"
+                    .into(),
+            ),
+            (
+                "config2".into(),
+                "interface Serial0\n ip address 10.0.0.2 255.255.255.252\n\
+                 router ospf 1\n network 10.0.0.0 0.0.0.3 area 0\n"
+                    .into(),
+            ),
+        ])
+        .unwrap();
+        let (inst, graph) = build(&net);
+        // Router 1 runs only OSPF: its pathway must not include RIP.
+        let pathway = PathwayGraph::trace(RouterId(1), &inst, &graph);
+        let kinds: Vec<_> = pathway
+            .instances()
+            .iter()
+            .map(|id| inst.get(*id).kind)
+            .collect();
+        assert!(!kinds.contains(&crate::ProtoKind::Rip));
+    }
+}

@@ -1,0 +1,116 @@
+//! The full 31-network study: regenerates the corpus, runs the complete
+//! reverse-engineering pipeline on every network, and prints every table
+//! and figure the paper's evaluation reports.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example full_study               # paper scale (8,035 routers)
+//! cargo run --example full_study -- --small              # ~10% scale
+//! ```
+
+use netgen::{repository_sizes, study_roster, StudyScale};
+use routing_design::report::{
+    render_fig4, render_table3, StudyNetwork, StudyReport,
+};
+use routing_design::NetworkAnalysis;
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let scale = if small { StudyScale::Small } else { StudyScale::Full };
+
+    let roster = study_roster(scale);
+    let mut networks = Vec::with_capacity(roster.len());
+    for spec in &roster {
+        eprintln!("generating + analyzing {} ({} routers)...", spec.name, spec.routers);
+        let generated = netgen::study::generate_network(spec, scale);
+        let analysis = NetworkAnalysis::from_texts(generated.texts)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        networks.push(StudyNetwork { name: spec.name.clone(), analysis });
+    }
+
+    let report = StudyReport::build(&networks);
+
+    println!("================================================================");
+    println!("Study population: {} networks, {} routers total", networks.len(),
+        report.sizes.iter().map(|(_, s)| s).sum::<usize>());
+    println!("================================================================");
+
+    println!("\n--- Figure 8: network sizes, study vs repository ---");
+    print!("{}", report.size_histogram(&repository_sizes(17)));
+
+    println!("\n--- Table 1: protocol instances by intra/inter role ---");
+    print!("{}", report.table1);
+    println!(
+        "IGP instances in an inter-domain role: {:.1}% (paper: ≈11%)",
+        report.table1.igp_inter_fraction() * 100.0
+    );
+    println!(
+        "EBGP sessions used intra-network:      {:.1}% (paper: ≈10%)",
+        report.table1.ebgp_intra_fraction() * 100.0
+    );
+
+    println!("\n--- Figure 11: packet-filter rules on internal links ---");
+    print!("{}", report.filter_cdf);
+    println!(
+        "networks with ≥40% of rules internal: {:.0}% (paper: >30%)",
+        report.filter_cdf.fraction_at_least(0.4) * 100.0
+    );
+
+    println!("\n--- Table 3: interface census ---");
+    print!("{}", render_table3(&report.census));
+
+    println!("\n--- Section 7: design classification ---");
+    print!("{}", report.section7);
+
+    println!("\n--- Figure 4: config sizes of net5 ---");
+    let net5 = networks.iter().find(|n| n.name == "net5").expect("net5 present");
+    let stats = nettopo::stats::ConfigSizeStats::of(&net5.analysis.network);
+    print!("{}", render_fig4(&stats));
+
+    println!("\n--- Hierarchy structures (IBGP meshes, OSPF areas) ---");
+    for n in &networks {
+        for mesh in n.analysis.ibgp_meshes() {
+            if mesh.routers < 3 {
+                continue;
+            }
+            println!(
+                "{}: IBGP {} routers, {:.0}% of full mesh{}",
+                n.name,
+                mesh.routers,
+                mesh.completeness * 100.0,
+                if mesh.uses_reflection() {
+                    format!(" ({} route reflectors)", mesh.reflectors.len())
+                } else {
+                    String::new()
+                }
+            );
+        }
+        for area in n.analysis.area_structures() {
+            if !area.is_flat() {
+                println!(
+                    "{}: OSPF {} areas, {} ABRs",
+                    n.name,
+                    area.area_count(),
+                    area.abrs.len()
+                );
+            }
+        }
+    }
+
+    println!("\n--- Per-network summary ---");
+    println!(
+        "{:<8} {:>8} {:>10} {:>8} {:>8} {:>16}",
+        "name", "routers", "instances", "intlASes", "extASes", "class"
+    );
+    for n in &networks {
+        println!(
+            "{:<8} {:>8} {:>10} {:>8} {:>8} {:>16}",
+            n.name,
+            n.analysis.network.len(),
+            n.analysis.instances.len(),
+            n.analysis.design.internal_ases,
+            n.analysis.instance_graph.external_ases().len(),
+            n.analysis.design.class.to_string(),
+        );
+    }
+}

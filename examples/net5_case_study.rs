@@ -1,0 +1,106 @@
+//! The net5 case study (paper Sections 5.1 and 6.1, Figures 9 and 10).
+//!
+//! Regenerates net5 — 881 routers, 24 routing instances, 14 internal BGP
+//! ASes, 16 external peer ASes — runs the full reverse-engineering
+//! pipeline over its configuration files, and answers the paper's
+//! questions: what does the instance graph look like, how many routers
+//! must fail to partition instance 1 from instance 4, and through how
+//! many protocol layers do external routes travel to reach an interior
+//! router?
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example net5_case_study            # full 881 routers
+//! cargo run --example net5_case_study -- --small           # 12% scale
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use routing_design::NetworkAnalysis;
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let scale = if small { 0.12 } else { 1.0 };
+
+    eprintln!("generating net5 at scale {scale}...");
+    let mut rng = StdRng::seed_from_u64(55);
+    let design = netgen::designs::net5::generate(
+        netgen::designs::net5::Net5Spec { scale },
+        &mut rng,
+    );
+    let texts = design.builder.to_texts();
+    let total_lines: usize = texts.iter().map(|(_, t)| t.lines().count()).sum();
+    eprintln!("analyzing {} configuration files ({total_lines} lines)...", texts.len());
+
+    let analysis = NetworkAnalysis::from_texts(texts).expect("net5 parses");
+
+    println!("=== net5 ===");
+    println!("routers:            {}", analysis.network.len());
+    println!("routing instances:  {}", analysis.instances.len());
+    println!(
+        "largest instance:   {} routers ({})",
+        analysis.instances.list[0].router_count(),
+        analysis.instances.list[0].label()
+    );
+    println!(
+        "smallest instance:  {} router(s)",
+        analysis.instances.list.last().expect("non-empty").router_count()
+    );
+    println!("internal BGP ASes:  {}", analysis.design.internal_ases);
+    println!("external peer ASes: {}", analysis.instance_graph.external_ases().len());
+    println!(
+        "EBGP sessions:      {} internal, {} external",
+        analysis.design.internal_ebgp_sessions, analysis.design.external_ebgp_sessions
+    );
+    println!("classification:     {}", analysis.design.class);
+
+    println!("\n=== Routing instance graph (Figure 9) ===");
+    print!("{}", analysis.instance_graph_text());
+
+    // The redundancy question: instance 4 (BGP AS65001) ↔ instance 1 (the
+    // big EIGRP compartment).
+    let inst1 = analysis
+        .instances
+        .list
+        .iter()
+        .find(|i| i.kind == routing_design::ProtoKind::Eigrp)
+        .expect("EIGRP compartments exist");
+    let inst4 = analysis
+        .instances
+        .list
+        .iter()
+        .find(|i| i.asn == Some(netgen::designs::net5::AS_INSTANCE4))
+        .expect("AS65001 exists");
+    let redistributors =
+        analysis.instance_graph.redistribution_routers(inst4.id, inst1.id);
+    println!(
+        "\nrouters redistributing between {} and {}: {} ({:?})",
+        inst4.label(),
+        inst1.label(),
+        redistributors.len(),
+        redistributors
+    );
+
+    // Pathway of an interior spoke (Figure 10).
+    let spoke = analysis
+        .network
+        .iter()
+        .find(|(_, r)| {
+            r.config.bgp.is_none()
+                && r.config.eigrp.first().is_some_and(|p| p.asn == 10)
+        })
+        .map(|(id, _)| id)
+        .expect("compartment 0 has plain spokes");
+    println!("\n=== Route pathway of interior router {spoke} (Figure 10) ===");
+    print!("{}", analysis.pathway_text(spoke));
+    let pathway = analysis.pathway(spoke);
+    println!(
+        "\nexternal routes traverse {} protocol layers to reach {spoke}",
+        pathway.max_depth()
+    );
+
+    // Figure 4: configuration-size distribution.
+    let stats = nettopo::stats::ConfigSizeStats::of(&analysis.network);
+    println!("\n=== Configuration sizes (Figure 4) ===");
+    print!("{}", routing_design::report::render_fig4(&stats));
+}

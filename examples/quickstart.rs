@@ -1,0 +1,140 @@
+//! Quickstart: reverse-engineer the routing design of the paper's own
+//! 7-router example (Figure 1): a 3-router enterprise customer attached
+//! to a 3-router transit backbone that also serves another customer.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! Prints the routing process graph, the routing instance graph
+//! (Figures 5 and 6), and the route pathway graphs of an enterprise
+//! interior router and a backbone router (Figure 7).
+
+use routing_design::{NetworkAnalysis, RouterId};
+
+/// Configurations for the Figure 1 topology. R1–R3: enterprise (OSPF +
+/// border BGP redistributed into OSPF). R4–R6: backbone (OSPF for
+/// infrastructure, IBGP mesh, EBGP at the borders). R7 (another customer)
+/// is outside the corpus, exactly like the paper's external routers.
+fn figure1_configs() -> Vec<(String, String)> {
+    let r1 = "\
+hostname enterprise-r1
+interface Ethernet0
+ ip address 10.1.1.1 255.255.255.0
+interface Serial0
+ ip address 10.1.0.1 255.255.255.252
+router ospf 64
+ network 10.1.0.0 0.0.255.255 area 0
+ redistribute connected metric-type 1 subnets
+";
+    // R2 is the enterprise border: Figure 2's configlet, essentially.
+    let r2 = "\
+hostname enterprise-r2
+interface Serial0
+ ip address 10.1.0.2 255.255.255.252
+interface Serial1
+ ip address 10.1.0.5 255.255.255.252
+interface Hssi2/0 point-to-point
+ ip address 66.253.160.67 255.255.255.252
+router ospf 64
+ network 10.1.0.0 0.0.255.255 area 0
+ redistribute connected metric-type 1 subnets
+ redistribute bgp 64780 metric 1 subnets
+router bgp 64780
+ redistribute ospf 64 route-map corp-export
+ neighbor 66.253.160.68 remote-as 12762
+ neighbor 66.253.160.68 distribute-list 4 in
+ neighbor 66.253.160.68 distribute-list 3 out
+access-list 3 permit 10.1.0.0 0.0.255.255
+access-list 4 permit any
+route-map corp-export permit 10
+ match ip address 3
+";
+    let r3 = "\
+hostname enterprise-r3
+interface Ethernet0
+ ip address 10.1.2.1 255.255.255.0
+interface Serial0
+ ip address 10.1.0.6 255.255.255.252
+router ospf 64
+ network 10.1.0.0 0.0.255.255 area 0
+ redistribute connected metric-type 1 subnets
+";
+    // Backbone: R4 peers with the enterprise (R2) via EBGP; R5 carries
+    // transit; R6 peers with customer R7 (absent from the corpus).
+    let r4 = "\
+hostname backbone-r4
+interface Hssi2/0 point-to-point
+ ip address 66.253.160.68 255.255.255.252
+interface POS0/0
+ ip address 66.254.0.1 255.255.255.252
+router ospf 1
+ network 66.254.0.0 0.0.15.255 area 0
+router bgp 12762
+ neighbor 66.253.160.67 remote-as 64780
+ neighbor 66.254.0.2 remote-as 12762
+ neighbor 66.254.0.6 remote-as 12762
+";
+    let r5 = "\
+hostname backbone-r5
+interface POS0/0
+ ip address 66.254.0.2 255.255.255.252
+interface POS0/1
+ ip address 66.254.0.5 255.255.255.252
+router ospf 1
+ network 66.254.0.0 0.0.15.255 area 0
+router bgp 12762
+ neighbor 66.254.0.1 remote-as 12762
+ neighbor 66.254.0.6 remote-as 12762
+";
+    let r6 = "\
+hostname backbone-r6
+interface POS0/1
+ ip address 66.254.0.6 255.255.255.252
+interface Serial3/0
+ ip address 66.254.16.1 255.255.255.252
+router ospf 1
+ network 66.254.0.0 0.0.15.255 area 0
+router bgp 12762
+ neighbor 66.254.0.5 remote-as 12762
+ neighbor 66.254.0.1 remote-as 12762
+ neighbor 66.254.16.2 remote-as 8342
+";
+    [r1, r2, r3, r4, r5, r6]
+        .iter()
+        .enumerate()
+        .map(|(i, text)| (format!("config{}", i + 1), text.to_string()))
+        .collect()
+}
+
+fn main() {
+    let analysis = NetworkAnalysis::from_texts(figure1_configs())
+        .expect("example configs are well-formed");
+
+    println!("=== Figure 1: {} routers, {} links ===\n", analysis.network.len(), analysis.links.links.len());
+
+    println!("=== Routing instances (Figure 6) ===");
+    print!("{}", analysis.instance_graph_text());
+
+    println!("\n=== Routing process graph (Figure 5, DOT) ===");
+    print!("{}", analysis.process_graph_dot());
+
+    println!("\n=== Pathway of enterprise interior router r0 (Figure 7a) ===");
+    print!("{}", analysis.pathway_text(RouterId(0)));
+
+    println!("\n=== Pathway of backbone router r4 (Figure 7b) ===");
+    print!("{}", analysis.pathway_text(RouterId(4)));
+
+    println!("\n=== Design classification ===");
+    println!(
+        "class: {} ({} routers, {} BGP speakers, bgp→igp redistribution: {})",
+        analysis.design.class,
+        analysis.design.routers,
+        analysis.design.bgp_speakers,
+        analysis.design.bgp_into_igp,
+    );
+
+    println!("\n=== Table 1 roles for this network ===");
+    print!("{}", analysis.table1);
+}

@@ -1,0 +1,176 @@
+//! End-to-end pipeline invariants over the generated study population.
+//!
+//! Every network of the (small-scale) 31-network roster is generated,
+//! emitted to IOS text, re-parsed, and fully analyzed; the tests assert
+//! the cross-module invariants that must hold for *any* corpus, not just
+//! the calibrated one.
+
+use netgen::{study_roster, StudyScale};
+use routing_design::{NetworkAnalysis, ProtoKind};
+
+fn analyzed_study() -> Vec<(String, NetworkAnalysis)> {
+    study_roster(StudyScale::Small)
+        .iter()
+        .map(|spec| {
+            let generated = netgen::study::generate_network(spec, StudyScale::Small);
+            let analysis = NetworkAnalysis::from_texts(generated.texts)
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            (spec.name.clone(), analysis)
+        })
+        .collect()
+}
+
+/// Every generated config parses without unknown commands.
+#[test]
+fn corpus_parses_cleanly() {
+    for (name, analysis) in analyzed_study() {
+        for (_, router) in analysis.network.iter() {
+            assert!(
+                router.config.unparsed.is_empty(),
+                "{name}/{}: unparsed {:?}",
+                router.file_name,
+                router.config.unparsed
+            );
+        }
+    }
+}
+
+/// Instances partition the processes, and every instance is
+/// protocol-homogeneous (same kind; same ASN for BGP).
+#[test]
+fn instances_partition_processes() {
+    for (name, analysis) in analyzed_study() {
+        let total: usize =
+            analysis.instances.list.iter().map(|i| i.processes.len()).sum();
+        assert_eq!(total, analysis.processes.len(), "{name}");
+        for inst in &analysis.instances.list {
+            let kinds: std::collections::BTreeSet<ProtoKind> =
+                inst.processes.iter().map(|p| p.proto.kind()).collect();
+            assert_eq!(kinds.len(), 1, "{name}: mixed-kind instance");
+            if inst.kind == ProtoKind::Bgp {
+                let asns: std::collections::BTreeSet<Option<u32>> =
+                    inst.processes.iter().map(|p| p.proto.bgp_asn()).collect();
+                assert_eq!(asns.len(), 1, "{name}: mixed-ASN BGP instance");
+            }
+        }
+    }
+}
+
+/// Every adjacency's endpoints are in the same instance; every
+/// EBGP-internal session's endpoints are in different instances.
+#[test]
+fn adjacency_instance_consistency() {
+    for (name, analysis) in analyzed_study() {
+        for adj in &analysis.adjacencies.igp {
+            assert_eq!(
+                analysis.instances.instance_of(adj.a),
+                analysis.instances.instance_of(adj.b),
+                "{name}: IGP adjacency spans instances"
+            );
+        }
+        for s in &analysis.adjacencies.bgp {
+            let Some(peer) = s.peer else { continue };
+            let (a, b) = (
+                analysis.instances.instance_of(s.local),
+                analysis.instances.instance_of(peer),
+            );
+            match s.scope {
+                routing_design::SessionScope::Ibgp => {
+                    assert_eq!(a, b, "{name}: IBGP across instances")
+                }
+                routing_design::SessionScope::EbgpInternal => {
+                    assert_ne!(a, b, "{name}: internal EBGP within an instance")
+                }
+                routing_design::SessionScope::EbgpExternal => {
+                    unreachable!("external sessions have no internal peer")
+                }
+            }
+        }
+    }
+}
+
+/// Link endpoints are consistent: every endpoint's interface really has an
+/// address in the link's subnet, and /30 links never exceed 2 endpoints.
+#[test]
+fn link_endpoint_consistency() {
+    for (name, analysis) in analyzed_study() {
+        for link in analysis.links.links.values() {
+            assert!(!link.endpoints.is_empty());
+            if link.subnet.is_p2p() {
+                assert!(
+                    link.endpoints.len() <= 2,
+                    "{name}: /30 {} with {} endpoints",
+                    link.subnet,
+                    link.endpoints.len()
+                );
+            }
+            for e in &link.endpoints {
+                let iface =
+                    &analysis.network.router(e.router).config.interfaces[e.iface];
+                assert!(
+                    iface.subnets().contains(&link.subnet),
+                    "{name}: endpoint not on subnet {}",
+                    link.subnet
+                );
+            }
+        }
+    }
+}
+
+/// Pathway graphs are consistent with instance membership: depth-0 nodes
+/// are exactly the instances containing the router.
+#[test]
+fn pathway_depth_zero_is_membership() {
+    for (name, analysis) in analyzed_study().into_iter().take(8) {
+        for (rid, _) in analysis.network.iter().take(5) {
+            let pathway = analysis.pathway(rid);
+            let depth0: std::collections::BTreeSet<_> = pathway
+                .nodes
+                .iter()
+                .filter(|n| n.depth == 0)
+                .map(|n| n.node)
+                .collect();
+            let member: std::collections::BTreeSet<_> = analysis
+                .instances
+                .list
+                .iter()
+                .filter(|i| i.routers.binary_search(&rid).is_ok())
+                .map(|i| routing_design::InstanceNode::Instance(i.id))
+                .collect();
+            assert_eq!(depth0, member, "{name} router {rid}");
+        }
+    }
+}
+
+/// Emitting the parsed configs again reproduces the identical model
+/// (emit∘parse is idempotent over the whole corpus).
+#[test]
+fn emit_parse_idempotent_over_corpus() {
+    for spec in study_roster(StudyScale::Small).iter().take(6) {
+        let generated = netgen::study::generate_network(spec, StudyScale::Small);
+        for (name, text) in &generated.texts {
+            let model = ioscfg::parse_config(text)
+                .unwrap_or_else(|e| panic!("{}/{name}: {e}", spec.name));
+            let emitted = ioscfg::emit_config(&model);
+            let reparsed = ioscfg::parse_config(&emitted).unwrap();
+            assert_eq!(model, reparsed, "{}/{name}", spec.name);
+        }
+    }
+}
+
+/// The router graph of each generated network is connected, except for
+/// designs that are intentionally split (net15's two sites).
+#[test]
+fn topologies_are_connected_where_expected() {
+    for (name, analysis) in analyzed_study() {
+        let graph =
+            routing_design::RouterGraph::build(&analysis.network, &analysis.links);
+        let components = graph.components().len();
+        if name == "net15" {
+            // net15's two sites are deliberately not interconnected.
+            assert_eq!(components, 2, "{name}");
+        } else {
+            assert_eq!(components, 1, "{name} has {components} components");
+        }
+    }
+}

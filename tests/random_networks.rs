@@ -1,0 +1,168 @@
+//! Property-based fuzzing of the whole pipeline on *random* networks —
+//! not the calibrated study roster, but arbitrary topologies with
+//! arbitrary process/policy assignments. The pipeline must never panic,
+//! and its structural invariants must hold for any input.
+
+use ioscfg::{InterfaceType, OspfProcess, Redistribution, RedistSource, RipProcess};
+use netgen::{AddressPlan, NetworkBuilder};
+use proptest::prelude::*;
+use routing_design::{NetworkAnalysis, ProtoKind};
+
+/// A compact random network description that the strategy shrinks well:
+/// a list of spanning-tree edges plus per-router protocol choices.
+#[derive(Clone, Debug)]
+struct RandomNet {
+    /// parent[i] < i: router i links to parent[i] (router 0 is the root).
+    parents: Vec<usize>,
+    /// Extra chord edges (a, b).
+    chords: Vec<(usize, usize)>,
+    /// Per-router protocol selector.
+    protos: Vec<u8>,
+    /// Per-router: add an external stub?
+    stubs: Vec<bool>,
+}
+
+fn arb_net(max_routers: usize) -> impl Strategy<Value = RandomNet> {
+    (2..=max_routers)
+        .prop_flat_map(|n| {
+            let parents: Vec<BoxedStrategy<usize>> =
+                (1..n).map(|i| (0..i).boxed()).collect();
+            (
+                parents,
+                prop::collection::vec((0..n, 0..n), 0..4),
+                prop::collection::vec(0u8..6, n),
+                prop::collection::vec(any::<bool>(), n),
+            )
+        })
+        .prop_map(|(parents, chords, protos, stubs)| RandomNet {
+            parents,
+            chords,
+            protos,
+            stubs,
+        })
+}
+
+/// Materializes the description into configuration texts.
+fn build(desc: &RandomNet) -> Vec<(String, String)> {
+    let n = desc.protos.len();
+    let mut b = NetworkBuilder::new();
+    let mut plan = AddressPlan::for_compartment(10, 0);
+    for i in 0..n {
+        b.add_router(format!("r{i}"));
+    }
+    for (i, &p) in desc.parents.iter().enumerate() {
+        let subnet = plan.p2p.alloc(30);
+        b.p2p_link(p, i + 1, subnet, InterfaceType::Serial);
+    }
+    for &(x, y) in &desc.chords {
+        if x == y {
+            continue;
+        }
+        let subnet = plan.p2p.alloc(30);
+        b.p2p_link(x, y, subnet, InterfaceType::Serial);
+    }
+    let slab: netaddr::Prefix = "10.0.0.0/12".parse().expect("slab");
+    for i in 0..n {
+        let lan = plan.lan.alloc(24);
+        b.lan(i, lan, InterfaceType::FastEthernet);
+        if desc.stubs[i] {
+            let stub = plan.external.alloc(30);
+            b.external_stub(i, stub, InterfaceType::Serial);
+        }
+        let cfg = b.router(i);
+        match desc.protos[i] {
+            0 => {} // static-only router
+            1 | 2 => {
+                let mut p = OspfProcess::new(1 + (desc.protos[i] as u32 - 1) * 7);
+                p.networks.push(ioscfg::OspfNetwork {
+                    addr: slab.first(),
+                    wildcard: slab.mask().to_wildcard(),
+                    area: ioscfg::OspfArea(0),
+                });
+                p.redistribute.push(Redistribution::plain(RedistSource::Connected));
+                cfg.ospf.push(p);
+            }
+            3 | 4 => {
+                let mut p = ioscfg::EigrpProcess::new(100 + (desc.protos[i] as u32 % 2));
+                p.networks.push(ioscfg::EigrpNetwork {
+                    addr: slab.first(),
+                    wildcard: Some(slab.mask().to_wildcard()),
+                });
+                cfg.eigrp.push(p);
+            }
+            _ => {
+                let mut p = RipProcess::new();
+                p.version = Some(2);
+                p.networks.push(netaddr::Addr::new(10, 0, 0, 0));
+                cfg.rip = Some(p);
+            }
+        }
+    }
+    b.to_texts()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The pipeline runs to completion and its invariants hold on
+    /// arbitrary networks.
+    #[test]
+    fn pipeline_invariants_on_random_networks(desc in arb_net(12)) {
+        let texts = build(&desc);
+        let analysis = NetworkAnalysis::from_texts(texts).expect("generated configs parse");
+
+        // Instances partition the processes, homogeneously.
+        let total: usize = analysis.instances.list.iter().map(|i| i.processes.len()).sum();
+        prop_assert_eq!(total, analysis.processes.len());
+        for inst in &analysis.instances.list {
+            let kinds: std::collections::BTreeSet<ProtoKind> =
+                inst.processes.iter().map(|p| p.proto.kind()).collect();
+            prop_assert_eq!(kinds.len(), 1);
+            // Instance sizes are ordered descending.
+        }
+        for w in analysis.instances.list.windows(2) {
+            prop_assert!(w[0].router_count() >= w[1].router_count());
+        }
+
+        // Adjacencies stay inside instances.
+        for adj in &analysis.adjacencies.igp {
+            prop_assert_eq!(
+                analysis.instances.instance_of(adj.a),
+                analysis.instances.instance_of(adj.b)
+            );
+        }
+
+        // The topology is connected by construction (spanning tree).
+        let graph = routing_design::RouterGraph::build(&analysis.network, &analysis.links);
+        prop_assert_eq!(graph.components().len(), 1);
+
+        // Pathways never include instances that cannot feed the router.
+        for (rid, _) in analysis.network.iter().take(3) {
+            let pathway = analysis.pathway(rid);
+            prop_assert!(pathway.nodes.iter().all(|n| n.depth <= analysis.instances.len()));
+        }
+
+        // Rendering never panics.
+        let _ = analysis.instance_graph_text();
+        let _ = analysis.process_graph_dot();
+    }
+
+    /// Anonymization invariance holds on arbitrary networks, not just the
+    /// calibrated roster.
+    #[test]
+    fn anonymization_invariance_on_random_networks(desc in arb_net(8), key in any::<u64>()) {
+        let texts = build(&desc);
+        let anon = anonymizer::Anonymizer::new(&key.to_be_bytes());
+        let anonymized: Vec<(String, String)> = texts
+            .iter()
+            .map(|(n, t)| (n.clone(), anon.anonymize_config(t)))
+            .collect();
+        let a = NetworkAnalysis::from_texts(texts).expect("original parses");
+        let b = NetworkAnalysis::from_texts(anonymized).expect("anonymized parses");
+        prop_assert_eq!(a.instances.len(), b.instances.len());
+        prop_assert_eq!(a.links.links.len(), b.links.links.len());
+        prop_assert_eq!(a.external.counts(), b.external.counts());
+        prop_assert_eq!(a.design.class, b.design.class);
+        prop_assert_eq!(&a.table1, &b.table1);
+    }
+}
