@@ -8,28 +8,64 @@
 //! ```sh
 //! cargo run --release -p rd-bench --bin repro             # full scale, all targets
 //! cargo run -p rd-bench --bin repro -- --small table1     # one target, ~10% scale
+//! cargo run --release -p rd-bench --bin repro -- --bench  # write BENCH_repro.json
 //! ```
 //!
 //! Targets: `all` (default), `table1`, `table3`, `fig4`, `fig8`, `fig11`,
 //! `section7`, `net5`, `net15`.
+//!
+//! Flags: `--small` runs the ~10%-scale corpus; `--timings` prints
+//! aggregate per-stage wall-clock times to stderr; `--bench` skips the
+//! tables and instead times the generate + analyze pipeline per network
+//! and per stage — at both scales, or only the small one under `--small`
+//! — writing `BENCH_repro.json` to the current directory. Worker count
+//! for all of these comes from `RD_THREADS` (default: all cores).
 
 use netgen::{repository_sizes, StudyScale};
 use rd_bench::analyzed_study;
+use rd_bench::timing::{bench_scale, render_json};
 use routing_design::report::{render_fig4, render_table3, StudyNetwork, StudyReport};
-use routing_design::{DesignClass, Prefix};
+use routing_design::{DesignClass, Prefix, StageTimings};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(bad) = args
+        .iter()
+        .find(|a| a.starts_with("--") && !matches!(a.as_str(), "--small" | "--bench" | "--timings"))
+    {
+        eprintln!("repro: unknown flag {bad} (flags: --small --bench --timings)");
+        std::process::exit(2);
+    }
     let small = args.iter().any(|a| a == "--small");
     let scale = if small { StudyScale::Small } else { StudyScale::Full };
+    if args.iter().any(|a| a == "--bench") {
+        return bench(small);
+    }
+    let timings = args.iter().any(|a| a == "--timings");
     let targets: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    const KNOWN: &[&str] = &[
+        "all", "table1", "table3", "fig4", "fig8", "fig11", "section7", "net5", "net15",
+    ];
+    if let Some(bad) = targets.iter().find(|t| !KNOWN.contains(t)) {
+        eprintln!("repro: unknown target {bad} (targets: {})", KNOWN.join(" "));
+        std::process::exit(2);
+    }
     let want = |t: &str| targets.is_empty() || targets.contains(&"all") || targets.contains(&t);
 
     eprintln!(
-        "generating + analyzing the 31-network study at {} scale...",
-        if small { "small" } else { "full (paper)" }
+        "generating + analyzing the 31-network study at {} scale on {} thread(s)...",
+        if small { "small" } else { "full (paper)" },
+        rd_par::thread_count(),
     );
     let networks = analyzed_study(scale);
+    if timings {
+        let mut totals = StageTimings::new();
+        for n in &networks {
+            totals.merge(&n.analysis.timings);
+        }
+        eprintln!("aggregate stage timings across {} networks:", networks.len());
+        eprint!("{totals}");
+    }
     let report = StudyReport::build(&networks);
 
     if want("fig8") {
@@ -56,6 +92,44 @@ fn main() {
     if want("net15") {
         net15(&networks);
     }
+}
+
+fn bench(small_only: bool) {
+    let scales: &[StudyScale] = if small_only {
+        &[StudyScale::Small]
+    } else {
+        &[StudyScale::Small, StudyScale::Full]
+    };
+    let results: Vec<_> = scales
+        .iter()
+        .map(|&scale| {
+            eprintln!(
+                "benching {} scale on {} thread(s)...",
+                match scale {
+                    StudyScale::Small => "small",
+                    StudyScale::Full => "full",
+                },
+                rd_par::thread_count(),
+            );
+            let result = bench_scale(scale);
+            eprintln!(
+                "  wall {:.1} ms{}",
+                result.wall.as_secs_f64() * 1e3,
+                match result.speedup() {
+                    Some(s) => format!(
+                        " (sequential {:.1} ms, speedup {s:.2}x)",
+                        result.sequential_wall.expect("measured").as_secs_f64() * 1e3
+                    ),
+                    None => String::new(),
+                }
+            );
+            eprint!("{}", result.stage_totals());
+            result
+        })
+        .collect();
+    let path = "BENCH_repro.json";
+    std::fs::write(path, render_json(&results)).expect("write BENCH_repro.json");
+    eprintln!("wrote {path}");
 }
 
 fn heading(title: &str) {

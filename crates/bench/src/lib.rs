@@ -5,23 +5,28 @@
 
 #![forbid(unsafe_code)]
 
+pub mod timing;
+
 use netgen::{study_roster, StudyScale};
 use routing_design::report::StudyNetwork;
 use routing_design::NetworkAnalysis;
 
 /// Generates and fully analyzes the whole study at the given scale.
+///
+/// The per-network generate + analyze pipeline fans out across
+/// `RD_THREADS` workers (see [`rd_par::thread_count`]); each network owns
+/// its generator seed, so the results are identical at any thread count
+/// and come back in roster order.
 pub fn analyzed_study(scale: StudyScale) -> Vec<StudyNetwork> {
-    study_roster(scale)
-        .iter()
-        .map(|spec| {
-            let generated = netgen::study::generate_network(spec, scale);
-            StudyNetwork {
-                name: spec.name.clone(),
-                analysis: NetworkAnalysis::from_texts(generated.texts)
-                    .unwrap_or_else(|e| panic!("{}: {e}", spec.name)),
-            }
-        })
-        .collect()
+    let roster = study_roster(scale);
+    rd_par::par_map(&roster, |_, spec| {
+        let generated = netgen::study::generate_network(spec, scale);
+        StudyNetwork {
+            name: spec.name.clone(),
+            analysis: NetworkAnalysis::from_texts(generated.texts)
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name)),
+        }
+    })
 }
 
 /// Generates the raw config texts of one roster entry by name.

@@ -1,0 +1,221 @@
+//! The self-contained bench mode behind `repro --bench`: times the
+//! generate + analyze pipeline per network and per stage, and renders the
+//! result as `BENCH_repro.json` — hand-rolled JSON, so the harness works
+//! with no external crates and no network access (criterion stays an
+//! opt-in feature; see `criterion-benches` in this crate's manifest).
+
+use std::time::{Duration, Instant};
+
+use netgen::{study_roster, StudyScale};
+use rd_par::StageTimings;
+use routing_design::NetworkAnalysis;
+
+/// Timing record of one network's generate + analyze run.
+pub struct NetworkBench {
+    /// Roster name (`net1`...).
+    pub name: String,
+    /// Router count of the generated corpus.
+    pub routers: usize,
+    /// Wall-clock of corpus generation (netgen).
+    pub generate: Duration,
+    /// Per-stage wall-clock of the analysis (includes `"parse"`).
+    pub stages: StageTimings,
+}
+
+impl NetworkBench {
+    /// Generation plus every analysis stage.
+    pub fn total(&self) -> Duration {
+        self.generate + self.stages.total()
+    }
+}
+
+/// Timing record of one whole-study run at one scale.
+pub struct ScaleBench {
+    /// `"small"` or `"full"`.
+    pub scale: &'static str,
+    /// Worker threads the parallel run used.
+    pub threads: usize,
+    /// End-to-end wall-clock of the parallel run.
+    pub wall: Duration,
+    /// End-to-end wall-clock of the same work on one thread, measured
+    /// only when `threads > 1` (it is the same run otherwise).
+    pub sequential_wall: Option<Duration>,
+    /// Per-network records from the parallel run, in roster order.
+    pub networks: Vec<NetworkBench>,
+}
+
+impl ScaleBench {
+    /// Stage durations summed across every network.
+    pub fn stage_totals(&self) -> StageTimings {
+        let mut totals = StageTimings::new();
+        totals.stages.push(("generate", self.networks.iter().map(|n| n.generate).sum()));
+        for n in &self.networks {
+            totals.merge(&n.stages);
+        }
+        totals
+    }
+
+    /// `sequential_wall / wall`, when both were measured.
+    pub fn speedup(&self) -> Option<f64> {
+        self.sequential_wall.map(|s| s.as_secs_f64() / self.wall.as_secs_f64())
+    }
+}
+
+/// Runs the whole study at `scale` on `threads` workers, timing each
+/// network's generation and each analysis stage. Per-network work runs
+/// through the same `rd_par` fan-out as `analyzed_study`.
+pub fn bench_study(scale: StudyScale, threads: usize) -> Vec<NetworkBench> {
+    let roster = study_roster(scale);
+    rd_par::par_map_threads(threads, &roster, |_, spec| {
+        let started = Instant::now();
+        let generated = netgen::study::generate_network(spec, scale);
+        let generate = started.elapsed();
+        let analysis = NetworkAnalysis::from_texts(generated.texts)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        NetworkBench {
+            name: spec.name.clone(),
+            routers: analysis.network.len(),
+            generate,
+            stages: analysis.timings,
+        }
+    })
+}
+
+/// Benches one scale end to end: a parallel run on [`rd_par::thread_count`]
+/// workers plus, when that is more than one, a single-thread run of the
+/// same work for the speedup baseline.
+pub fn bench_scale(scale: StudyScale) -> ScaleBench {
+    let threads = rd_par::thread_count();
+    let started = Instant::now();
+    let networks = bench_study(scale, threads);
+    let wall = started.elapsed();
+    let sequential_wall = (threads > 1).then(|| {
+        let started = Instant::now();
+        // The inner parse fan-out still sees RD_THREADS; pin it to 1 so
+        // the baseline is truly sequential, then restore.
+        let saved = std::env::var(rd_par::THREADS_ENV).ok();
+        std::env::set_var(rd_par::THREADS_ENV, "1");
+        let baseline = bench_study(scale, 1);
+        match saved {
+            Some(v) => std::env::set_var(rd_par::THREADS_ENV, v),
+            None => std::env::remove_var(rd_par::THREADS_ENV),
+        }
+        drop(baseline);
+        started.elapsed()
+    });
+    ScaleBench {
+        scale: match scale {
+            StudyScale::Small => "small",
+            StudyScale::Full => "full",
+        },
+        threads,
+        wall,
+        sequential_wall,
+        networks,
+    }
+}
+
+fn json_ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+fn json_stages(indent: &str, t: &StageTimings) -> String {
+    let body: Vec<String> = t
+        .stages
+        .iter()
+        .map(|(name, d)| format!("{indent}  \"{name}\": {}", json_ms(*d)))
+        .collect();
+    format!("{{\n{}\n{indent}}}", body.join(",\n"))
+}
+
+/// Renders bench results as the `BENCH_repro.json` document.
+pub fn render_json(scales: &[ScaleBench]) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"repro\",\n  \"unit\": \"ms\",\n");
+    out.push_str("  \"scales\": [\n");
+    let rendered: Vec<String> = scales
+        .iter()
+        .map(|s| {
+            let mut block = String::from("    {\n");
+            block.push_str(&format!("      \"scale\": \"{}\",\n", s.scale));
+            block.push_str(&format!("      \"threads\": {},\n", s.threads));
+            block.push_str(&format!("      \"wall_ms\": {},\n", json_ms(s.wall)));
+            if let Some(seq) = s.sequential_wall {
+                block.push_str(&format!("      \"sequential_wall_ms\": {},\n", json_ms(seq)));
+                block.push_str(&format!(
+                    "      \"speedup\": {:.2},\n",
+                    s.speedup().expect("speedup measured")
+                ));
+            }
+            block.push_str(&format!(
+                "      \"stage_totals_ms\": {},\n",
+                json_stages("      ", &s.stage_totals())
+            ));
+            let nets: Vec<String> = s
+                .networks
+                .iter()
+                .map(|n| {
+                    format!(
+                        "        {{\n          \"name\": \"{}\",\n          \"routers\": {},\n          \"total_ms\": {},\n          \"generate_ms\": {},\n          \"stages_ms\": {}\n        }}",
+                        n.name,
+                        n.routers,
+                        json_ms(n.total()),
+                        json_ms(n.generate),
+                        json_stages("          ", &n.stages)
+                    )
+                })
+                .collect();
+            block.push_str(&format!("      \"networks\": [\n{}\n      ]\n", nets.join(",\n")));
+            block.push_str("    }");
+            block
+        })
+        .collect();
+    out.push_str(&rendered.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_small_scale_records_every_network_and_stage() {
+        let networks = bench_study(StudyScale::Small, 1);
+        assert_eq!(networks.len(), study_roster(StudyScale::Small).len());
+        for n in &networks {
+            assert!(n.routers > 0, "{} generated no routers", n.name);
+            for stage in
+                ["parse", "links", "external", "processes", "adjacencies", "instances"]
+            {
+                assert!(n.stages.get(stage).is_some(), "{} missing stage {stage}", n.name);
+            }
+        }
+    }
+
+    #[test]
+    fn json_document_is_well_formed_enough() {
+        let scales = vec![ScaleBench {
+            scale: "small",
+            threads: 2,
+            wall: Duration::from_millis(10),
+            sequential_wall: Some(Duration::from_millis(18)),
+            networks: vec![NetworkBench {
+                name: "net1".into(),
+                routers: 7,
+                generate: Duration::from_millis(1),
+                stages: {
+                    let mut t = StageTimings::new();
+                    t.stages.push(("parse", Duration::from_millis(2)));
+                    t.stages.push(("links", Duration::from_millis(3)));
+                    t
+                },
+            }],
+        }];
+        let text = render_json(&scales);
+        assert!(text.contains("\"speedup\": 1.80"));
+        assert!(text.contains("\"parse\": 2.000"));
+        assert!(text.contains("\"routers\": 7"));
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        assert_eq!(text.matches('[').count(), text.matches(']').count());
+    }
+}

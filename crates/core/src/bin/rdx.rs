@@ -23,6 +23,10 @@
 //! ```
 //!
 //! `<router>` accepts `rN`, a file name, or a hostname.
+//!
+//! `--timings` (anywhere on the line) prints per-stage wall-clock times of
+//! the analysis pipeline to stderr after the command's own output. The
+//! parse stage honors the `RD_THREADS` worker-count override.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -30,7 +34,9 @@ use std::process::ExitCode;
 use routing_design::{NetworkAnalysis, Prefix, RouterId};
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let show_timings = args.iter().any(|a| a == "--timings");
+    args.retain(|a| a != "--timings");
     let (dir, rest) = match args.split_first() {
         Some((dir, rest)) => (dir.clone(), rest.to_vec()),
         None => return usage(),
@@ -49,20 +55,33 @@ fn main() -> ExitCode {
         }
     };
 
+    let code = run_command(&analysis, command, &rest);
+    if show_timings {
+        eprintln!(
+            "pipeline stage timings ({} routers, {} worker thread(s)):",
+            analysis.network.len(),
+            rd_par::thread_count()
+        );
+        eprint!("{}", analysis.timings);
+    }
+    code
+}
+
+fn run_command(analysis: &NetworkAnalysis, command: &str, rest: &[String]) -> ExitCode {
     match command {
-        "summary" => summary(&analysis),
+        "summary" => summary(analysis),
         "instances" => print!("{}", analysis.instance_graph_text()),
         "roles" => print!("{}", analysis.table1),
-        "blocks" => blocks(&analysis),
-        "external" => external(&analysis),
-        "pathway" => return pathway(&analysis, &rest[1..]),
-        "dot" => return dot(&analysis, &rest[1..]),
-        "reach" => return reach(&analysis, &rest[1..]),
-        "flow" => return flow(&analysis, &rest[1..]),
-        "separation" => return separation(&analysis, &rest[1..]),
-        "whatif" => return whatif(&analysis, &rest[1..]),
+        "blocks" => blocks(analysis),
+        "external" => external(analysis),
+        "pathway" => return pathway(analysis, &rest[1..]),
+        "dot" => return dot(analysis, &rest[1..]),
+        "reach" => return reach(analysis, &rest[1..]),
+        "flow" => return flow(analysis, &rest[1..]),
+        "separation" => return separation(analysis, &rest[1..]),
+        "whatif" => return whatif(analysis, &rest[1..]),
         "audit" => {
-            let findings = routing_design::audit(&analysis);
+            let findings = routing_design::audit(analysis);
             if findings.is_empty() {
                 println!("no findings");
             }
@@ -70,7 +89,7 @@ fn main() -> ExitCode {
                 println!("[{}] {}", f.kind, f.detail);
             }
         }
-        "diff" => return diff_cmd(&analysis, &rest[1..]),
+        "diff" => return diff_cmd(analysis, &rest[1..]),
         other => {
             eprintln!("rdx: unknown command {other:?}");
             return usage();
@@ -85,7 +104,7 @@ fn usage() -> ExitCode {
          pathway <router>|dot [process|instances]|reach <src> <dst>|\
          flow <src> <dst> [proto] [port]|separation <a> <b>|\
          whatif <router> [...]|audit|diff <other-dir>|\
-         anonymize <out-dir> <key>]"
+         anonymize <out-dir> <key>] [--timings]"
     );
     ExitCode::FAILURE
 }

@@ -66,6 +66,7 @@ pub use routing_model::{
     IbgpMesh, InstanceGraph, InstanceId, InstanceNode, Instances, PathwayGraph,
     ProcKey, Processes, Proto, ProtoKind, ProcessGraph, SessionScope, Table1,
 };
+pub use rd_par::{StageTimings, Stopwatch};
 
 /// The complete static analysis of one network: every abstraction the
 /// paper derives, computed in dependency order from the parsed configs.
@@ -92,23 +93,36 @@ pub struct NetworkAnalysis {
     pub table1: Table1,
     /// Design classification (Section 7).
     pub design: DesignSummary,
+    /// Wall-clock time of every pipeline stage of this analysis (and of
+    /// the parse, when loaded through [`from_texts`] or [`from_dir`]).
+    /// See `rdx --timings` and `repro --bench`.
+    pub timings: StageTimings,
 }
 
 impl NetworkAnalysis {
     /// Analyzes a network already parsed into a [`Network`].
     pub fn from_network(network: Network) -> NetworkAnalysis {
+        let mut sw = Stopwatch::start();
         let links = LinkMap::build(&network);
+        sw.lap("links");
         let external = ExternalAnalysis::build(&network, &links);
+        sw.lap("external");
         let processes = Processes::extract(&network);
+        sw.lap("processes");
         let adjacencies = Adjacencies::build(&network, &links, &processes, &external);
+        sw.lap("adjacencies");
         let instances = Instances::compute(&processes, &adjacencies);
+        sw.lap("instances");
         let instance_graph =
             InstanceGraph::build(&network, &processes, &adjacencies, &instances);
         let process_graph = ProcessGraph::build(&network, &processes, &adjacencies);
+        sw.lap("graphs");
         let blocks = network.address_blocks();
+        sw.lap("blocks");
         let table1 = Table1::compute(&instances, &instance_graph, &adjacencies);
         let design =
             classify_network(&network, &instances, &instance_graph, &adjacencies, &table1);
+        sw.lap("classify");
         NetworkAnalysis {
             network,
             links,
@@ -121,20 +135,33 @@ impl NetworkAnalysis {
             blocks,
             table1,
             design,
+            timings: sw.finish(),
         }
     }
 
-    /// Parses and analyzes `(file_name, text)` pairs.
+    /// Parses and analyzes `(file_name, text)` pairs. The parse itself is
+    /// recorded as the `"parse"` stage in [`timings`](NetworkAnalysis::timings).
     pub fn from_texts<I>(texts: I) -> Result<NetworkAnalysis, LoadError>
     where
         I: IntoIterator<Item = (String, String)>,
     {
-        Ok(NetworkAnalysis::from_network(Network::from_texts(texts)?))
+        let started = std::time::Instant::now();
+        let network = Network::from_texts(texts)?;
+        let parse_time = started.elapsed();
+        let mut analysis = NetworkAnalysis::from_network(network);
+        analysis.timings.prepend("parse", parse_time);
+        Ok(analysis)
     }
 
-    /// Loads and analyzes a directory of configuration files.
+    /// Loads and analyzes a directory of configuration files. Reading and
+    /// parsing together are recorded as the `"parse"` stage.
     pub fn from_dir(dir: &Path) -> Result<NetworkAnalysis, LoadError> {
-        Ok(NetworkAnalysis::from_network(Network::from_dir(dir)?))
+        let started = std::time::Instant::now();
+        let network = Network::from_dir(dir)?;
+        let parse_time = started.elapsed();
+        let mut analysis = NetworkAnalysis::from_network(network);
+        analysis.timings.prepend("parse", parse_time);
+        Ok(analysis)
     }
 
     /// The route pathway graph for one router (Section 3.3).

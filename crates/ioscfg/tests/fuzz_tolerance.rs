@@ -1,6 +1,12 @@
 //! Robustness fuzzing: the lexer and parser must never panic, whatever
 //! bytes arrive. Real corpora contain mangled lines, and a tool meant to
 //! ingest 8,035 files cannot die on file 7,214.
+//!
+//! Gated behind the `proptest-tests` feature because proptest is an
+//! external crate and the default build must work offline; the always-on
+//! fixed-seed equivalents live in `tests/fixed_seed.rs`. See DESIGN.md.
+
+#![cfg(feature = "proptest-tests")]
 
 use proptest::prelude::*;
 

@@ -4,6 +4,12 @@
 //! covering every construct the emitter can write, renders them to IOS text,
 //! reparses, and requires the models to be identical. This pins the parser
 //! and emitter against each other across the whole grammar.
+//!
+//! Gated behind the `proptest-tests` feature because proptest is an
+//! external crate and the default build must work offline; the always-on
+//! fixed-seed equivalents live in `tests/fixed_seed.rs`. See DESIGN.md.
+
+#![cfg(feature = "proptest-tests")]
 
 use ioscfg::{
     emit_config, parse_config, AccessList, AclAction, AclAddr, AclEntry, BgpProcess,

@@ -1,0 +1,155 @@
+//! Fixed-seed sampled versions of the `tests/properties.rs` proptest
+//! suite: the same invariants (set algebra vs a naive model, trie vs
+//! linear scan, block recovery coverage), exercised over a deterministic
+//! `rd_rng` stream so they run in every build with no external crates.
+
+use std::collections::BTreeSet;
+
+use netaddr::{Addr, Prefix, PrefixSet, PrefixTrie};
+use rd_rng::StdRng;
+
+fn random_prefix(rng: &mut StdRng) -> Prefix {
+    let bits = rng.next_u32();
+    let len: u8 = rng.gen_range(0..=32);
+    Prefix::new(Addr::from_u32(bits), len).expect("len <= 32")
+}
+
+fn random_prefixes(rng: &mut StdRng) -> Vec<Prefix> {
+    let n: usize = rng.gen_range(0..12);
+    (0..n).map(|_| random_prefix(rng)).collect()
+}
+
+/// Sample membership probes: prefix boundaries plus arbitrary addresses.
+fn probes(sets: &[&[Prefix]], rng: &mut StdRng) -> Vec<Addr> {
+    let mut out: BTreeSet<u32> = (0..8).map(|_| rng.next_u32()).collect();
+    for prefixes in sets {
+        for p in *prefixes {
+            for a in [
+                p.first().to_u32().wrapping_sub(1),
+                p.first().to_u32(),
+                p.last().to_u32(),
+                p.last().to_u32().wrapping_add(1),
+            ] {
+                out.insert(a);
+            }
+        }
+    }
+    out.into_iter().map(Addr::from_u32).collect()
+}
+
+fn naive_contains(prefixes: &[Prefix], addr: Addr) -> bool {
+    prefixes.iter().any(|p| p.contains(addr))
+}
+
+#[test]
+fn prefix_parse_display_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xB1);
+    for _ in 0..500 {
+        let p = random_prefix(&mut rng);
+        let back: Prefix = p.to_string().parse().unwrap();
+        assert_eq!(back, p);
+    }
+}
+
+#[test]
+fn set_algebra_matches_naive() {
+    let mut rng = StdRng::seed_from_u64(0xB2);
+    for _ in 0..200 {
+        let a = random_prefixes(&mut rng);
+        let b = random_prefixes(&mut rng);
+        let sa = PrefixSet::from_prefixes(a.iter().copied());
+        let sb = PrefixSet::from_prefixes(b.iter().copied());
+        let union = sa.union(&sb);
+        let intersection = sa.intersection(&sb);
+        let difference = sa.difference(&sb);
+        for probe in probes(&[&a, &b], &mut rng) {
+            let in_a = naive_contains(&a, probe);
+            let in_b = naive_contains(&b, probe);
+            assert_eq!(union.contains(probe), in_a || in_b, "union probe {probe}");
+            assert_eq!(
+                intersection.contains(probe),
+                in_a && in_b,
+                "intersection probe {probe}"
+            );
+            assert_eq!(
+                difference.contains(probe),
+                in_a && !in_b,
+                "difference probe {probe}"
+            );
+        }
+    }
+}
+
+#[test]
+fn complement_is_involutive_and_partitions_space() {
+    let mut rng = StdRng::seed_from_u64(0xB3);
+    for _ in 0..200 {
+        let a = random_prefixes(&mut rng);
+        let s = PrefixSet::from_prefixes(a.iter().copied());
+        let c = s.complement();
+        assert_eq!(c.complement(), s);
+        assert!(s.intersection(&c).is_empty());
+        assert_eq!(s.size() + c.size(), 1u64 << 32);
+    }
+}
+
+#[test]
+fn to_prefixes_is_exact_and_canonical() {
+    let mut rng = StdRng::seed_from_u64(0xB4);
+    for _ in 0..200 {
+        let a = random_prefixes(&mut rng);
+        let s = PrefixSet::from_prefixes(a.iter().copied());
+        let decomposed = s.to_prefixes();
+        let rebuilt = PrefixSet::from_prefixes(decomposed.iter().copied());
+        assert_eq!(rebuilt, s);
+        let total: u64 = decomposed.iter().map(|p| p.size()).sum();
+        assert_eq!(total, s.size());
+    }
+}
+
+#[test]
+fn trie_lookup_matches_linear_scan() {
+    let mut rng = StdRng::seed_from_u64(0xB5);
+    for _ in 0..200 {
+        let a = random_prefixes(&mut rng);
+        let mut trie = PrefixTrie::new();
+        for (i, p) in a.iter().enumerate() {
+            trie.insert(*p, i);
+        }
+        for _ in 0..16 {
+            let addr = Addr::from_u32(rng.next_u32());
+            let expect = a
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.contains(addr))
+                .max_by_key(|(i, p)| (p.len(), *i)) // last insert wins ties
+                .map(|(_, p)| p.len());
+            let got = trie.lookup(addr).map(|(p, _)| p.len());
+            assert_eq!(got, expect, "probe {addr}");
+        }
+    }
+}
+
+#[test]
+fn block_recovery_covers_all_inputs() {
+    let mut rng = StdRng::seed_from_u64(0xB6);
+    for _ in 0..200 {
+        let a = random_prefixes(&mut rng);
+        let tree = netaddr::recover_blocks(a.iter().copied());
+        for p in &a {
+            assert!(
+                tree.roots.iter().any(|b| b.prefix.covers(*p)),
+                "input {p} not covered by any root"
+            );
+        }
+        let roots = tree.root_prefixes();
+        for (i, x) in roots.iter().enumerate() {
+            for y in &roots[i + 1..] {
+                assert!(!x.overlaps(*y), "roots {x} and {y} overlap");
+            }
+        }
+        for b in &tree.roots {
+            assert!(b.used <= b.prefix.size());
+        }
+    }
+}

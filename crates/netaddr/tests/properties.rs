@@ -3,6 +3,12 @@
 //! The `PrefixSet` algebra is checked against a naive model built on
 //! `BTreeSet<u32>` over a small sampled universe, and the trie is checked
 //! against linear scans.
+//!
+//! Gated behind the `proptest-tests` feature because proptest is an
+//! external crate and the default build must work offline; the always-on
+//! fixed-seed equivalents live in `tests/fixed_seed.rs`. See DESIGN.md.
+
+#![cfg(feature = "proptest-tests")]
 
 use std::collections::BTreeSet;
 

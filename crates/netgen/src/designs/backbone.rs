@@ -10,8 +10,7 @@
 //! reproduces.
 
 use ioscfg::{BgpProcess, InterfaceType, OspfProcess, Redistribution, RedistSource};
-use rand::rngs::StdRng;
-use rand::Rng;
+use rd_rng::StdRng;
 
 use crate::alloc::AddressPlan;
 use crate::designs::{ospf_internal_covers, DesignOutput};
@@ -224,7 +223,6 @@ fn peer(out: &mut DesignOutput, router: usize, addr: netaddr::Addr, asn: u32, rr
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn build(routers: usize, use_pos: bool) -> nettopo::Network {
         let mut rng = StdRng::seed_from_u64(11);

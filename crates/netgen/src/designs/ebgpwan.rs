@@ -9,8 +9,7 @@
 //! enterprise WAN where the provider hands each site a private AS.
 
 use ioscfg::{BgpProcess, InterfaceType, Redistribution, RedistSource};
-use rand::rngs::StdRng;
-use rand::Rng;
+use rd_rng::StdRng;
 
 use crate::alloc::AddressPlan;
 use crate::designs::DesignOutput;
@@ -110,7 +109,6 @@ pub fn generate(spec: EbgpWanSpec, rng: &mut StdRng) -> DesignOutput {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn build(n: usize) -> nettopo::Network {
         let mut rng = StdRng::seed_from_u64(77);

@@ -10,7 +10,7 @@ use ioscfg::{
     AccessList, AclAction, AclAddr, AclEntry, BgpProcess, InterfaceType, OspfProcess,
     Redistribution, RedistSource, RouteMap, RouteMapClause, RmMatch, RmSet,
 };
-use rand::rngs::StdRng;
+use rd_rng::StdRng;
 
 use crate::alloc::AddressPlan;
 use crate::designs::{hub_spoke, ospf_internal_covers, DesignOutput};
@@ -211,7 +211,6 @@ fn std_entry(addr: &str, wild: &str) -> AclEntry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn build(spec: EnterpriseSpec) -> nettopo::Network {
         let mut rng = StdRng::seed_from_u64(7);

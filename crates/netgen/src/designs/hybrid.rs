@@ -12,8 +12,7 @@ use ioscfg::{
     BgpProcess, EigrpProcess, InterfaceType, OspfProcess, Redistribution, RedistSource,
     RipProcess,
 };
-use rand::rngs::StdRng;
-use rand::Rng;
+use rd_rng::StdRng;
 
 use crate::alloc::AddressPlan;
 use crate::designs::{compartment_slab, eigrp_cover, hub_spoke, ospf_cover, DesignOutput};
@@ -285,7 +284,6 @@ fn ensure_bgp(out: &mut DesignOutput, id: usize, asn: u32) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn build(seed: u64, spec: HybridSpec) -> nettopo::Network {
         let mut rng = StdRng::seed_from_u64(seed);

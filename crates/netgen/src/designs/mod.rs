@@ -15,8 +15,7 @@ pub mod tier2;
 
 use ioscfg::{InterfaceName, InterfaceType};
 use netaddr::Prefix;
-use rand::rngs::StdRng;
-use rand::Rng;
+use rd_rng::StdRng;
 
 use crate::alloc::AddressPlan;
 use crate::builder::NetworkBuilder;
@@ -135,7 +134,6 @@ pub fn eigrp_internal_covers(plan: &AddressPlan) -> Vec<ioscfg::EigrpNetwork> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn hub_spoke_builds_connected_topology() {

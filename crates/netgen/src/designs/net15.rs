@@ -19,7 +19,7 @@ use ioscfg::{
     Redistribution, RedistSource, RouteMap, RouteMapClause, RmMatch,
 };
 use netaddr::Prefix;
-use rand::rngs::StdRng;
+use rd_rng::StdRng;
 
 use crate::alloc::AddressPlan;
 use crate::builder::NetworkBuilder;
@@ -310,7 +310,6 @@ pub fn generate(spec: Net15Spec, rng: &mut StdRng) -> DesignOutput {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn build(scale: f64) -> nettopo::Network {
         let mut rng = StdRng::seed_from_u64(15);

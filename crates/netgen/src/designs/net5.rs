@@ -18,7 +18,7 @@ use ioscfg::{
     AccessList, AclAction, AclAddr, AclEntry, BgpProcess, InterfaceType, Redistribution,
     RedistSource, RouteMap, RouteMapClause, RmMatch, RmSet,
 };
-use rand::rngs::StdRng;
+use rd_rng::StdRng;
 
 use crate::alloc::AddressPlan;
 use crate::designs::{compartment_slab, eigrp_internal_covers, hub_spoke, DesignOutput};
@@ -313,7 +313,6 @@ pub fn generate(spec: Net5Spec, rng: &mut StdRng) -> DesignOutput {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn build(scale: f64) -> (Net5Params, nettopo::Network) {
         let spec = Net5Spec { scale };

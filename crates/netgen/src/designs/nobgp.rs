@@ -6,7 +6,7 @@
 
 use ioscfg::{InterfaceType, Redistribution, RedistSource, RipProcess, StaticRoute, StaticTarget};
 use netaddr::{Addr, Netmask};
-use rand::rngs::StdRng;
+use rd_rng::StdRng;
 
 use crate::alloc::AddressPlan;
 use crate::designs::{hub_spoke, ospf_internal_covers, DesignOutput};
@@ -68,7 +68,6 @@ pub fn generate(spec: NoBgpSpec, rng: &mut StdRng) -> DesignOutput {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn build(use_rip: bool) -> nettopo::Network {
         let mut rng = StdRng::seed_from_u64(3);

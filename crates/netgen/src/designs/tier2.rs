@@ -10,8 +10,7 @@
 //! up."
 
 use ioscfg::{InterfaceType, OspfProcess, Redistribution, RedistSource, RipProcess};
-use rand::rngs::StdRng;
-use rand::Rng;
+use rd_rng::StdRng;
 
 use crate::designs::{backbone, DesignOutput};
 
@@ -114,7 +113,6 @@ pub fn generate(spec: Tier2Spec, rng: &mut StdRng) -> DesignOutput {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn build() -> nettopo::Network {
         let mut rng = StdRng::seed_from_u64(23);

@@ -11,8 +11,7 @@ use ioscfg::{
     AccessList, AclAction, AclAddr, AclEntry, InterfaceType, PortMatch,
 };
 use netaddr::{Addr, Wildcard};
-use rand::rngs::StdRng;
-use rand::Rng;
+use rd_rng::StdRng;
 
 use crate::builder::NetworkBuilder;
 
@@ -156,6 +155,28 @@ pub fn add_site_igps(builder: &mut NetworkBuilder, rng: &mut StdRng, mean_per_ro
     if mean_per_router == 0 {
         return;
     }
+    // Subnets visible from more than one router: a site OSPF/RIP process
+    // speaking on one of these would form an adjacency with a neighbor's
+    // process and stop being single-router, so they are excluded.
+    let shared_subnets: std::collections::BTreeSet<netaddr::Prefix> = {
+        let mut owner: std::collections::BTreeMap<netaddr::Prefix, usize> =
+            std::collections::BTreeMap::new();
+        let mut shared = std::collections::BTreeSet::new();
+        for (idx, cfg) in builder.routers.iter().enumerate() {
+            for subnet in cfg.interfaces.iter().filter_map(|i| i.address.map(|a| a.subnet())) {
+                match owner.get(&subnet) {
+                    Some(&first) if first != idx => {
+                        shared.insert(subnet);
+                    }
+                    Some(_) => {}
+                    None => {
+                        owner.insert(subnet, idx);
+                    }
+                }
+            }
+        }
+        shared
+    };
     for idx in 0..builder.len() {
         let lan_subnets: Vec<netaddr::Prefix> = builder.routers[idx]
             .interfaces
@@ -170,6 +191,7 @@ pub fn add_site_igps(builder: &mut NetworkBuilder, rng: &mut StdRng, mean_per_ro
                 )
             })
             .filter_map(|i| i.address.map(|a| a.subnet()))
+            .filter(|s| !shared_subnets.contains(s))
             .collect();
         if lan_subnets.is_empty() {
             continue;
@@ -527,7 +549,6 @@ pub fn apply_filters(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(42)

@@ -16,8 +16,7 @@
 //!   networks have no filters and more than 30% of networks put at least
 //!   40% of their filter rules on internal links.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rd_rng::StdRng;
 
 use crate::designs::{backbone, ebgpwan, enterprise, hybrid, net15, net5, nobgp, tier2, DesignOutput};
 use crate::dressing::{self, FilterProfile, InterfaceMix};
@@ -330,11 +329,13 @@ pub fn generate_network(spec: &NetworkSpec, scale: StudyScale) -> GeneratedNetwo
 }
 
 /// Generates the whole study.
+///
+/// Networks are generated in parallel (`RD_THREADS` workers). Every
+/// network owns its seed, so the corpus is byte-identical whatever the
+/// thread count; results come back in roster order.
 pub fn generate_study(scale: StudyScale) -> Vec<GeneratedNetwork> {
-    study_roster(scale)
-        .iter()
-        .map(|spec| generate_network(spec, scale))
-        .collect()
+    let roster = study_roster(scale);
+    rd_par::par_map(&roster, |_, spec| generate_network(spec, scale))
 }
 
 /// Sizes of the 2,400-network repository behind Figure 8, sampled from

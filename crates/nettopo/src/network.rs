@@ -74,16 +74,28 @@ impl From<std::io::Error> for LoadError {
 
 impl Network {
     /// Builds a network from `(file_name, config_text)` pairs.
+    ///
+    /// Files are lexed and parsed in parallel (`RD_THREADS` workers; see
+    /// [`rd_par::thread_count`]). Results keep input order, and if several
+    /// files fail to parse the error reported is the one from the
+    /// *earliest* file — exactly what the sequential loop reported — so
+    /// the thread count never changes observable behavior.
     pub fn from_texts<I>(texts: I) -> Result<Network, LoadError>
     where
         I: IntoIterator<Item = (String, String)>,
     {
-        let mut routers = Vec::new();
-        for (file_name, text) in texts {
-            let raw = lex_config(&text);
-            let config = parse_raw(&raw)
-                .map_err(|error| LoadError::Parse { file: file_name.clone(), error })?;
-            routers.push(Router { file_name, config, command_lines: raw.command_lines });
+        let texts: Vec<(String, String)> = texts.into_iter().collect();
+        let parsed = rd_par::par_map(&texts, |_, (file_name, text)| {
+            let raw = lex_config(text);
+            match parse_raw(&raw) {
+                Ok(config) => Ok((config, raw.command_lines)),
+                Err(error) => Err(LoadError::Parse { file: file_name.clone(), error }),
+            }
+        });
+        let mut routers = Vec::with_capacity(texts.len());
+        for ((file_name, _), result) in texts.into_iter().zip(parsed) {
+            let (config, command_lines) = result?;
+            routers.push(Router { file_name, config, command_lines });
         }
         Ok(Network { routers })
     }

@@ -1,0 +1,184 @@
+//! The parallel execution layer of the toolchain: a small, deterministic
+//! fan-out built on `std::thread::scope`, plus the stage-timing types the
+//! benchmark harness records.
+//!
+//! The paper's pipeline is embarrassingly parallel at two granularities —
+//! per configuration file (lex + parse) and per network (generate +
+//! analyze across the 31-network roster) — and both run through
+//! [`par_map`] here. There are **no external dependencies**: workers are
+//! scoped threads pulling indices from a shared atomic counter (a
+//! self-scheduling work queue, so a 1,750-router giant and a 4-router
+//! stub can share the same pool without static partitioning skew).
+//!
+//! Determinism guarantee: [`par_map`] always returns results in **input
+//! order**, whatever order workers finish in, and the function it applies
+//! receives the item index so callers can implement order-sensitive
+//! policies (e.g. "report the *first* parse error by file order"). With
+//! one thread — `RD_THREADS=1` or a single-core machine — it takes the
+//! exact sequential code path: a plain in-order loop, no threads spawned.
+//!
+//! Thread count resolution, in priority order:
+//! 1. the `RD_THREADS` environment variable (a positive integer);
+//! 2. [`std::thread::available_parallelism`];
+//! 3. 1, if the platform will not say.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod timing;
+
+pub use timing::{StageTimings, Stopwatch};
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable overriding the worker-thread count.
+pub const THREADS_ENV: &str = "RD_THREADS";
+
+/// Resolves the worker-thread count: `RD_THREADS` if set to a positive
+/// integer, else available parallelism, else 1. Read fresh on every call
+/// so tests and harnesses can switch modes at runtime.
+pub fn thread_count() -> usize {
+    if let Ok(text) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = text.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Maps `f` over `items` on [`thread_count`] workers, returning results
+/// in input order. `f` gets `(index, &item)`.
+///
+/// With an effective thread count of 1 (or ≤1 item) this is exactly the
+/// sequential loop — same call order, same stack, no threads.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_map_threads(thread_count(), items, f)
+}
+
+/// [`par_map`] with an explicit thread count (the env-independent core,
+/// used directly by tests and the bench harness).
+pub fn par_map_threads<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let threads = threads.min(items.len()).max(1);
+    if threads == 1 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+
+    // Self-scheduling work queue: each worker pulls the next unclaimed
+    // index, computes, and keeps `(index, result)` locally; results are
+    // reassembled into input order afterwards.
+    let next = AtomicUsize::new(0);
+    let parts: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(part) => part,
+                // A worker panicked: re-raise its payload on the caller's
+                // thread so behavior matches the sequential path.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+
+    let mut slots: Vec<Option<U>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+    for part in parts {
+        for (i, value) in part {
+            debug_assert!(slots[i].is_none(), "index {i} computed twice");
+            slots[i] = Some(value);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("work queue visits every index exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        for threads in [1, 2, 4, 8] {
+            let out = par_map_threads(threads, &items, |i, &x| {
+                assert_eq!(i, x);
+                x * 3
+            });
+            assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn uneven_work_still_orders_correctly() {
+        // Early items sleep so later items finish first; order must hold.
+        let items: Vec<u64> = (0..16).collect();
+        let out = par_map_threads(4, &items, |_, &x| {
+            if x < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            x
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map_threads(8, &empty, |_, &x| x).is_empty());
+        assert_eq!(par_map_threads(8, &[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let items: Vec<usize> = (0..32).collect();
+        let result = std::panic::catch_unwind(|| {
+            par_map_threads(4, &items, |_, &x| {
+                if x == 13 {
+                    panic!("boom at 13");
+                }
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn thread_count_is_at_least_one() {
+        assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_pure_functions() {
+        let items: Vec<u64> = (0..1000).map(|i| i * 17 % 255).collect();
+        let seq = par_map_threads(1, &items, |i, &x| x.wrapping_mul(i as u64));
+        let par = par_map_threads(6, &items, |i, &x| x.wrapping_mul(i as u64));
+        assert_eq!(seq, par);
+    }
+}

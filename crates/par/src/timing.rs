@@ -1,0 +1,136 @@
+//! Stage timing: a [`Stopwatch`] that records named laps into
+//! [`StageTimings`], the per-stage wall-clock record the analysis
+//! pipeline attaches to every run and the bench harness aggregates into
+//! `BENCH_repro.json`.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Named wall-clock durations for the stages of one pipeline run, in
+/// execution order.
+#[derive(Clone, Debug, Default)]
+pub struct StageTimings {
+    /// `(stage name, wall-clock duration)`, in the order recorded.
+    pub stages: Vec<(&'static str, Duration)>,
+}
+
+impl StageTimings {
+    /// An empty record.
+    pub fn new() -> StageTimings {
+        StageTimings::default()
+    }
+
+    /// Prepends a stage (used for stages measured before the record
+    /// existed, e.g. parse time measured by the caller).
+    pub fn prepend(&mut self, name: &'static str, duration: Duration) {
+        self.stages.insert(0, (name, duration));
+    }
+
+    /// The duration of one named stage, if recorded.
+    pub fn get(&self, name: &str) -> Option<Duration> {
+        self.stages.iter().find(|(n, _)| *n == name).map(|(_, d)| *d)
+    }
+
+    /// Sum of all recorded stages.
+    pub fn total(&self) -> Duration {
+        self.stages.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Accumulates another record stage-by-stage (summing durations of
+    /// equally named stages; new names are appended in their order).
+    pub fn merge(&mut self, other: &StageTimings) {
+        for (name, duration) in &other.stages {
+            match self.stages.iter_mut().find(|(n, _)| n == name) {
+                Some((_, d)) => *d += *duration,
+                None => self.stages.push((name, *duration)),
+            }
+        }
+    }
+}
+
+impl fmt::Display for StageTimings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total();
+        writeln!(f, "{:<14} {:>12} {:>7}", "stage", "wall", "share")?;
+        for (name, duration) in &self.stages {
+            let share = if total.is_zero() {
+                0.0
+            } else {
+                duration.as_secs_f64() / total.as_secs_f64() * 100.0
+            };
+            writeln!(f, "{:<14} {:>9.3} ms {:>6.1}%", name, duration.as_secs_f64() * 1e3, share)?;
+        }
+        writeln!(f, "{:<14} {:>9.3} ms", "total", total.as_secs_f64() * 1e3)
+    }
+}
+
+/// Records wall-clock laps between pipeline stages.
+pub struct Stopwatch {
+    last: Instant,
+    timings: StageTimings,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Stopwatch {
+        Stopwatch { last: Instant::now(), timings: StageTimings::new() }
+    }
+
+    /// Ends the current stage, recording the time since the previous lap
+    /// (or since [`start`](Stopwatch::start)) under `name`.
+    pub fn lap(&mut self, name: &'static str) {
+        let now = Instant::now();
+        self.timings.stages.push((name, now - self.last));
+        self.last = now;
+    }
+
+    /// Finishes, yielding the recorded stages.
+    pub fn finish(self) -> StageTimings {
+        self.timings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laps_record_in_order() {
+        let mut sw = Stopwatch::start();
+        sw.lap("a");
+        sw.lap("b");
+        let t = sw.finish();
+        assert_eq!(t.stages.len(), 2);
+        assert_eq!(t.stages[0].0, "a");
+        assert_eq!(t.stages[1].0, "b");
+        assert!(t.get("a").is_some() && t.get("c").is_none());
+        assert_eq!(t.total(), t.stages[0].1 + t.stages[1].1);
+    }
+
+    #[test]
+    fn prepend_and_merge() {
+        let mut a = StageTimings::new();
+        a.stages.push(("links", Duration::from_millis(2)));
+        a.prepend("parse", Duration::from_millis(5));
+        assert_eq!(a.stages[0].0, "parse");
+
+        let mut b = StageTimings::new();
+        b.stages.push(("parse", Duration::from_millis(1)));
+        b.stages.push(("classify", Duration::from_millis(3)));
+        a.merge(&b);
+        assert_eq!(a.get("parse"), Some(Duration::from_millis(6)));
+        assert_eq!(a.get("classify"), Some(Duration::from_millis(3)));
+        assert_eq!(a.stages.len(), 3);
+    }
+
+    #[test]
+    fn display_renders_every_stage() {
+        let mut t = StageTimings::new();
+        t.stages.push(("parse", Duration::from_millis(10)));
+        t.stages.push(("links", Duration::from_millis(30)));
+        let text = t.to_string();
+        assert!(text.contains("parse"));
+        assert!(text.contains("links"));
+        assert!(text.contains("total"));
+    }
+}

@@ -15,8 +15,7 @@
 
 use netaddr::Prefix;
 use netgen::designs::net15;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rd_rng::StdRng;
 use routing_design::NetworkAnalysis;
 
 fn main() {

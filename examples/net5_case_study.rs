@@ -14,8 +14,7 @@
 //! cargo run --example net5_case_study -- --small           # 12% scale
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rd_rng::StdRng;
 use routing_design::NetworkAnalysis;
 
 fn main() {

@@ -1,0 +1,34 @@
+#!/bin/sh
+# Tier-1 verification: everything here must pass offline, with no
+# network access and no crates beyond the workspace itself.
+#
+#   scripts/verify.sh          build + full test suite + small repro
+#   scripts/verify.sh --bench  additionally run the offline bench harness
+#                              (writes BENCH_repro.json to the repo root)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> repro --small all (offline reproduction smoke test)"
+./target/release/repro --small all > /dev/null
+echo "    ok"
+
+echo "==> parallel determinism spot check (RD_THREADS=4 vs 1)"
+RD_THREADS=4 ./target/release/repro --small all > /tmp/rd_verify_par.txt
+RD_THREADS=1 ./target/release/repro --small all > /tmp/rd_verify_seq.txt
+cmp /tmp/rd_verify_par.txt /tmp/rd_verify_seq.txt
+rm -f /tmp/rd_verify_par.txt /tmp/rd_verify_seq.txt
+echo "    identical output at both thread counts"
+
+if [ "${1:-}" = "--bench" ]; then
+    echo "==> repro --bench (stage timings, both scales)"
+    ./target/release/repro --bench
+fi
+
+echo "verify: all checks passed"

@@ -1,0 +1,91 @@
+//! The parallel fan-out must be observationally invisible: any
+//! `RD_THREADS` setting produces byte-identical corpora, reports, and
+//! error messages. One test function drives every check, because the
+//! worker count comes from process-global environment state.
+
+use netgen::StudyScale;
+use routing_design::report::{render_table3, StudyNetwork, StudyReport};
+use routing_design::{LoadError, Network, NetworkAnalysis};
+
+/// Renders everything a `StudyReport` can say into one comparable string
+/// (`StudyReport` itself is not `PartialEq`).
+fn render_report(networks: &[StudyNetwork]) -> String {
+    let report = StudyReport::build(networks);
+    let mut out = String::new();
+    out.push_str(&report.table1.to_string());
+    out.push_str(&report.filter_cdf.to_string());
+    out.push_str(&report.section7.to_string());
+    out.push_str(&render_table3(&report.census));
+    for n in networks {
+        out.push_str(&format!(
+            "{}: routers={} links={} instances={} class={}\n",
+            n.name,
+            n.analysis.network.len(),
+            n.analysis.links.links.len(),
+            n.analysis.instances.len(),
+            n.analysis.design.class,
+        ));
+        out.push_str(&n.analysis.instance_graph_text());
+    }
+    out
+}
+
+fn small_study() -> (Vec<(String, Vec<(String, String)>)>, String) {
+    let corpora: Vec<(String, Vec<(String, String)>)> =
+        netgen::study::generate_study(StudyScale::Small)
+            .into_iter()
+            .map(|g| (g.spec.name.clone(), g.texts))
+            .collect();
+    let networks: Vec<StudyNetwork> = corpora
+        .iter()
+        .map(|(name, texts)| StudyNetwork {
+            name: name.clone(),
+            analysis: NetworkAnalysis::from_texts(texts.clone())
+                .unwrap_or_else(|e| panic!("{name}: {e}")),
+        })
+        .collect();
+    (corpora, render_report(&networks))
+}
+
+/// A corpus where several files fail to parse; the reported error must be
+/// the one from the earliest file, whatever order workers finish in.
+fn first_error() -> (String, String) {
+    let good = "hostname ok\ninterface Serial0/0\n ip address 10.0.0.1 255.255.255.252\n";
+    let bad = "interface Serial0/0\n ip address not-an-address 255.0.0.0\n";
+    let texts: Vec<(String, String)> = (0..64)
+        .map(|i| {
+            let body = if i == 17 || i == 40 { bad } else { good };
+            (format!("config{i:02}"), body.to_string())
+        })
+        .collect();
+    match Network::from_texts(texts) {
+        Err(LoadError::Parse { file, error }) => (file, error.to_string()),
+        other => panic!("expected a parse error, got {other:?}"),
+    }
+}
+
+#[test]
+fn thread_count_never_changes_observable_output() {
+    std::env::set_var(rd_par::THREADS_ENV, "1");
+    let (corpus_seq, report_seq) = small_study();
+    let (err_file_seq, err_text_seq) = first_error();
+
+    std::env::set_var(rd_par::THREADS_ENV, "4");
+    let (corpus_par, report_par) = small_study();
+    let (err_file_par, err_text_par) = first_error();
+    std::env::remove_var(rd_par::THREADS_ENV);
+
+    // Generated corpora are byte-identical.
+    assert_eq!(corpus_seq.len(), corpus_par.len());
+    for ((name_s, texts_s), (name_p, texts_p)) in corpus_seq.iter().zip(&corpus_par) {
+        assert_eq!(name_s, name_p);
+        assert_eq!(texts_s, texts_p, "{name_s}: corpus differs by thread count");
+    }
+
+    // The whole rendered study report is identical.
+    assert_eq!(report_seq, report_par, "study report differs by thread count");
+
+    // Multi-failure corpora report the same (earliest) error.
+    assert_eq!(err_file_seq, "config17");
+    assert_eq!((err_file_seq, err_text_seq), (err_file_par, err_text_par));
+}

@@ -1,15 +1,19 @@
-//! Property-based fuzzing of the whole pipeline on *random* networks —
-//! not the calibrated study roster, but arbitrary topologies with
-//! arbitrary process/policy assignments. The pipeline must never panic,
-//! and its structural invariants must hold for any input.
+//! Fuzzing of the whole pipeline on *random* networks — not the
+//! calibrated study roster, but arbitrary topologies with arbitrary
+//! process/policy assignments. The pipeline must never panic, and its
+//! structural invariants must hold for any input.
+//!
+//! Driven by a fixed-seed `rd_rng` stream so the suite is deterministic
+//! and runs offline (this file previously used proptest; the sampled
+//! space is the same).
 
 use ioscfg::{InterfaceType, OspfProcess, Redistribution, RedistSource, RipProcess};
 use netgen::{AddressPlan, NetworkBuilder};
-use proptest::prelude::*;
+use rd_rng::StdRng;
 use routing_design::{NetworkAnalysis, ProtoKind};
 
-/// A compact random network description that the strategy shrinks well:
-/// a list of spanning-tree edges plus per-router protocol choices.
+/// A compact random network description: a list of spanning-tree edges
+/// plus per-router protocol choices.
 #[derive(Clone, Debug)]
 struct RandomNet {
     /// parent[i] < i: router i links to parent[i] (router 0 is the root).
@@ -22,24 +26,16 @@ struct RandomNet {
     stubs: Vec<bool>,
 }
 
-fn arb_net(max_routers: usize) -> impl Strategy<Value = RandomNet> {
-    (2..=max_routers)
-        .prop_flat_map(|n| {
-            let parents: Vec<BoxedStrategy<usize>> =
-                (1..n).map(|i| (0..i).boxed()).collect();
-            (
-                parents,
-                prop::collection::vec((0..n, 0..n), 0..4),
-                prop::collection::vec(0u8..6, n),
-                prop::collection::vec(any::<bool>(), n),
-            )
-        })
-        .prop_map(|(parents, chords, protos, stubs)| RandomNet {
-            parents,
-            chords,
-            protos,
-            stubs,
-        })
+fn random_net(rng: &mut StdRng, max_routers: usize) -> RandomNet {
+    let n: usize = rng.gen_range(2..=max_routers);
+    let parents = (1..n).map(|i| rng.gen_range(0..i)).collect();
+    let chord_count: usize = rng.gen_range(0..4);
+    let chords = (0..chord_count)
+        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+        .collect();
+    let protos = (0..n).map(|_| rng.gen_range(0..6u8)).collect();
+    let stubs = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+    RandomNet { parents, chords, protos, stubs }
 }
 
 /// Materializes the description into configuration texts.
@@ -101,56 +97,65 @@ fn build(desc: &RandomNet) -> Vec<(String, String)> {
     b.to_texts()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The pipeline runs to completion and its invariants hold on
-    /// arbitrary networks.
-    #[test]
-    fn pipeline_invariants_on_random_networks(desc in arb_net(12)) {
+/// The pipeline runs to completion and its invariants hold on arbitrary
+/// networks.
+#[test]
+fn pipeline_invariants_on_random_networks() {
+    let mut rng = StdRng::seed_from_u64(0xD1);
+    for case in 0..48 {
+        let desc = random_net(&mut rng, 12);
         let texts = build(&desc);
         let analysis = NetworkAnalysis::from_texts(texts).expect("generated configs parse");
 
         // Instances partition the processes, homogeneously.
         let total: usize = analysis.instances.list.iter().map(|i| i.processes.len()).sum();
-        prop_assert_eq!(total, analysis.processes.len());
+        assert_eq!(total, analysis.processes.len(), "case {case}: {desc:?}");
         for inst in &analysis.instances.list {
             let kinds: std::collections::BTreeSet<ProtoKind> =
                 inst.processes.iter().map(|p| p.proto.kind()).collect();
-            prop_assert_eq!(kinds.len(), 1);
-            // Instance sizes are ordered descending.
+            assert_eq!(kinds.len(), 1, "case {case}: mixed-kind instance");
         }
+        // Instance sizes are ordered descending.
         for w in analysis.instances.list.windows(2) {
-            prop_assert!(w[0].router_count() >= w[1].router_count());
+            assert!(w[0].router_count() >= w[1].router_count(), "case {case}");
         }
 
         // Adjacencies stay inside instances.
         for adj in &analysis.adjacencies.igp {
-            prop_assert_eq!(
+            assert_eq!(
                 analysis.instances.instance_of(adj.a),
-                analysis.instances.instance_of(adj.b)
+                analysis.instances.instance_of(adj.b),
+                "case {case}"
             );
         }
 
         // The topology is connected by construction (spanning tree).
         let graph = routing_design::RouterGraph::build(&analysis.network, &analysis.links);
-        prop_assert_eq!(graph.components().len(), 1);
+        assert_eq!(graph.components().len(), 1, "case {case}: {desc:?}");
 
         // Pathways never include instances that cannot feed the router.
         for (rid, _) in analysis.network.iter().take(3) {
             let pathway = analysis.pathway(rid);
-            prop_assert!(pathway.nodes.iter().all(|n| n.depth <= analysis.instances.len()));
+            assert!(
+                pathway.nodes.iter().all(|n| n.depth <= analysis.instances.len()),
+                "case {case}"
+            );
         }
 
         // Rendering never panics.
         let _ = analysis.instance_graph_text();
         let _ = analysis.process_graph_dot();
     }
+}
 
-    /// Anonymization invariance holds on arbitrary networks, not just the
-    /// calibrated roster.
-    #[test]
-    fn anonymization_invariance_on_random_networks(desc in arb_net(8), key in any::<u64>()) {
+/// Anonymization invariance holds on arbitrary networks, not just the
+/// calibrated roster.
+#[test]
+fn anonymization_invariance_on_random_networks() {
+    let mut rng = StdRng::seed_from_u64(0xD2);
+    for case in 0..32 {
+        let desc = random_net(&mut rng, 8);
+        let key: u64 = rng.gen_range(0..=u64::MAX);
         let texts = build(&desc);
         let anon = anonymizer::Anonymizer::new(&key.to_be_bytes());
         let anonymized: Vec<(String, String)> = texts
@@ -159,10 +164,10 @@ proptest! {
             .collect();
         let a = NetworkAnalysis::from_texts(texts).expect("original parses");
         let b = NetworkAnalysis::from_texts(anonymized).expect("anonymized parses");
-        prop_assert_eq!(a.instances.len(), b.instances.len());
-        prop_assert_eq!(a.links.links.len(), b.links.links.len());
-        prop_assert_eq!(a.external.counts(), b.external.counts());
-        prop_assert_eq!(a.design.class, b.design.class);
-        prop_assert_eq!(&a.table1, &b.table1);
+        assert_eq!(a.instances.len(), b.instances.len(), "case {case}: {desc:?}");
+        assert_eq!(a.links.links.len(), b.links.links.len(), "case {case}");
+        assert_eq!(a.external.counts(), b.external.counts(), "case {case}");
+        assert_eq!(a.design.class, b.design.class, "case {case}");
+        assert_eq!(a.table1, b.table1, "case {case}");
     }
 }
