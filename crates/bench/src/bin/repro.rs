@@ -12,14 +12,20 @@
 //! ```
 //!
 //! Targets: `all` (default), `table1`, `table3`, `fig4`, `fig8`, `fig11`,
-//! `section7`, `net5`, `net15`.
+//! `section7`, `net5`, `net15`, `diag` (per-network diagnostic totals
+//! from the `rd-obs` channel; not part of `all`).
 //!
 //! Flags: `--small` runs the ~10%-scale corpus; `--timings` prints
-//! aggregate per-stage wall-clock times to stderr; `--bench` skips the
-//! tables and instead times the generate + analyze pipeline per network
-//! and per stage — at both scales, or only the small one under `--small`
-//! — writing `BENCH_repro.json` to the current directory. Worker count
-//! for all of these comes from `RD_THREADS` (default: all cores).
+//! aggregate per-stage wall-clock times to stderr, followed by one
+//! `analyze:netNN` row per network; `--metrics` dumps the `rd-obs`
+//! metrics registry to stderr; `--trace <path>` (or `--trace=<path>`,
+//! `--trace -` for stderr) writes the structured JSONL event stream
+//! there — without it the `RD_TRACE` environment variable picks the
+//! sink; `--bench` skips the tables and instead times the generate +
+//! analyze pipeline per network and per stage — at both scales, or only
+//! the small one under `--small` — writing `BENCH_repro.json` (including
+//! a `metrics` section) to the current directory. Worker count for all
+//! of these comes from `RD_THREADS` (default: all cores).
 
 use netgen::{repository_sizes, StudyScale};
 use rd_bench::analyzed_study;
@@ -28,23 +34,59 @@ use routing_design::report::{render_fig4, render_table3, StudyNetwork, StudyRepo
 use routing_design::{DesignClass, Prefix, StageTimings};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if let Some(bad) = args
-        .iter()
-        .find(|a| a.starts_with("--") && !matches!(a.as_str(), "--small" | "--bench" | "--timings"))
-    {
-        eprintln!("repro: unknown flag {bad} (flags: --small --bench --timings)");
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut trace: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--trace" {
+            if i + 1 >= args.len() {
+                eprintln!("repro: --trace needs a path (or '-')");
+                std::process::exit(2);
+            }
+            trace = Some(args.remove(i + 1));
+            args.remove(i);
+        } else if let Some(path) = args[i].strip_prefix("--trace=") {
+            trace = Some(path.to_string());
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    if let Some(bad) = args.iter().find(|a| {
+        a.starts_with("--")
+            && !matches!(a.as_str(), "--small" | "--bench" | "--timings" | "--metrics")
+    }) {
+        eprintln!("repro: unknown flag {bad} (flags: --small --bench --timings --metrics --trace <path>)");
+        std::process::exit(2);
+    }
+    let sink_result = match &trace {
+        Some(path) if path == "-" || path == "stderr" => {
+            rd_obs::trace::set_stderr_sink();
+            Ok(())
+        }
+        Some(path) => rd_obs::trace::set_file_sink(path),
+        None => rd_obs::trace::init_from_env(),
+    };
+    if let Err(e) = sink_result {
+        eprintln!("repro: cannot open trace sink: {e}");
         std::process::exit(2);
     }
     let small = args.iter().any(|a| a == "--small");
+    let show_metrics = args.iter().any(|a| a == "--metrics");
     let scale = if small { StudyScale::Small } else { StudyScale::Full };
     if args.iter().any(|a| a == "--bench") {
-        return bench(small);
+        bench(small);
+        if show_metrics {
+            eprint!("{}", rd_obs::metrics::dump());
+        }
+        rd_obs::trace::flush();
+        return;
     }
     let timings = args.iter().any(|a| a == "--timings");
     let targets: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
     const KNOWN: &[&str] = &[
         "all", "table1", "table3", "fig4", "fig8", "fig11", "section7", "net5", "net15",
+        "diag",
     ];
     if let Some(bad) = targets.iter().find(|t| !KNOWN.contains(t)) {
         eprintln!("repro: unknown target {bad} (targets: {})", KNOWN.join(" "));
@@ -63,8 +105,19 @@ fn main() {
         for n in &networks {
             totals.merge(&n.analysis.timings);
         }
+        // Per-network rows ride along under dynamic Cow labels.
+        for n in &networks {
+            totals.push(format!("analyze:{}", n.name), n.analysis.timings.total());
+        }
         eprintln!("aggregate stage timings across {} networks:", networks.len());
         eprint!("{totals}");
+    }
+    if targets.contains(&"diag") {
+        diag(&networks);
+        if targets.len() == 1 {
+            finish(show_metrics);
+            return;
+        }
     }
     let report = StudyReport::build(&networks);
 
@@ -92,6 +145,45 @@ fn main() {
     if want("net15") {
         net15(&networks);
     }
+    finish(show_metrics);
+}
+
+/// End-of-run bookkeeping shared by every mode: optional metrics dump,
+/// then a trace flush so the JSONL sink is complete on exit.
+fn finish(show_metrics: bool) {
+    if show_metrics {
+        eprint!("{}", rd_obs::metrics::dump());
+    }
+    rd_obs::trace::flush();
+}
+
+/// The `diag` target: per-network diagnostic totals from the `rd-obs`
+/// channel (parse, topology, and design level all counted).
+fn diag(networks: &[StudyNetwork]) {
+    heading("Pipeline diagnostics per network");
+    println!("{:<10} {:>7} {:>7} {:>8} {:>6}", "network", "errors", "warns", "infos", "total");
+    let mut totals = (0usize, 0usize, 0usize);
+    for n in networks {
+        let d = &n.analysis.diagnostics;
+        let (errors, warnings, infos) = d.counts();
+        totals = (totals.0 + errors, totals.1 + warnings, totals.2 + infos);
+        println!(
+            "{:<10} {:>7} {:>7} {:>8} {:>6}",
+            n.name,
+            errors,
+            warnings,
+            infos,
+            d.len()
+        );
+    }
+    println!(
+        "{:<10} {:>7} {:>7} {:>8} {:>6}",
+        "total",
+        totals.0,
+        totals.1,
+        totals.2,
+        totals.0 + totals.1 + totals.2
+    );
 }
 
 fn bench(small_only: bool) {

@@ -48,7 +48,7 @@ impl ScaleBench {
     /// Stage durations summed across every network.
     pub fn stage_totals(&self) -> StageTimings {
         let mut totals = StageTimings::new();
-        totals.stages.push(("generate", self.networks.iter().map(|n| n.generate).sum()));
+        totals.push("generate", self.networks.iter().map(|n| n.generate).sum());
         for n in &self.networks {
             totals.merge(&n.stages);
         }
@@ -72,6 +72,13 @@ pub fn bench_study(scale: StudyScale, threads: usize) -> Vec<NetworkBench> {
         let generate = started.elapsed();
         let analysis = NetworkAnalysis::from_texts(generated.texts)
             .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        rd_obs::trace::event(
+            "bench.network",
+            &[
+                ("name", spec.name.as_str().into()),
+                ("routers", analysis.network.len().into()),
+            ],
+        );
         NetworkBench {
             name: spec.name.clone(),
             routers: analysis.network.len(),
@@ -128,9 +135,17 @@ fn json_stages(indent: &str, t: &StageTimings) -> String {
     format!("{{\n{}\n{indent}}}", body.join(",\n"))
 }
 
-/// Renders bench results as the `BENCH_repro.json` document.
+/// Renders bench results as the `BENCH_repro.json` document. The
+/// document additionally carries the `rd-obs` metrics registry as a
+/// top-level `"metrics"` object (counters/gauges as numbers, histograms
+/// as objects) — additive, so existing consumers of `"scales"` are
+/// unaffected.
 pub fn render_json(scales: &[ScaleBench]) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"repro\",\n  \"unit\": \"ms\",\n");
+    out.push_str(&format!(
+        "  \"metrics\": {},\n",
+        rd_obs::metrics::render_json("  ")
+    ));
     out.push_str("  \"scales\": [\n");
     let rendered: Vec<String> = scales
         .iter()
@@ -205,8 +220,8 @@ mod tests {
                 generate: Duration::from_millis(1),
                 stages: {
                     let mut t = StageTimings::new();
-                    t.stages.push(("parse", Duration::from_millis(2)));
-                    t.stages.push(("links", Duration::from_millis(3)));
+                    t.push("parse", Duration::from_millis(2));
+                    t.push("links", Duration::from_millis(3));
                     t
                 },
             }],

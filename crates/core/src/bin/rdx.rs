@@ -18,25 +18,88 @@
 //! rdx <config-dir> separation <inst-a> <inst-b>      min router cut
 //! rdx <config-dir> whatif <router> [...]             failure simulation
 //! rdx <config-dir> audit                       §8.1 vulnerability findings
+//! rdx <config-dir> diag                        pipeline diagnostics
 //! rdx <config-dir> diff <other-dir>            design changes between snapshots
 //! rdx <config-dir> anonymize <out-dir> <key>   anonymize the corpus
 //! ```
 //!
 //! `<router>` accepts `rN`, a file name, or a hostname.
 //!
-//! `--timings` (anywhere on the line) prints per-stage wall-clock times of
-//! the analysis pipeline to stderr after the command's own output. The
-//! parse stage honors the `RD_THREADS` worker-count override.
+//! Flags (anywhere on the line; anything else starting with `--` is a
+//! usage error):
+//!
+//! - `--timings` prints per-stage wall-clock times of the analysis
+//!   pipeline to stderr after the command's own output — **even when the
+//!   command itself fails**, and on a load failure it still reports the
+//!   time spent loading, so a slow failure is as diagnosable as a slow
+//!   success. The parse stage honors the `RD_THREADS` worker-count
+//!   override.
+//! - `--metrics` dumps the `rd-obs` metrics registry (counters, gauges,
+//!   histograms accumulated during the run) to stderr.
+//! - `--trace <path>` (or `--trace=<path>`) writes the structured JSONL
+//!   event stream to `path`; `--trace -` streams it to stderr. Without
+//!   the flag, the `RD_TRACE` environment variable picks the sink.
 
 use std::path::Path;
 use std::process::ExitCode;
 
-use routing_design::{NetworkAnalysis, Prefix, RouterId};
+use routing_design::{NetworkAnalysis, Prefix, RouterId, Severity};
+
+/// Flags recognized anywhere on the command line, split off before the
+/// positional arguments. Unknown `--flags` are usage errors.
+struct Flags {
+    timings: bool,
+    metrics: bool,
+    trace: Option<String>,
+}
+
+fn parse_flags(args: &mut Vec<String>) -> Result<Flags, String> {
+    let mut flags = Flags { timings: false, metrics: false, trace: None };
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = std::mem::take(args).into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--timings" => flags.timings = true,
+            "--metrics" => flags.metrics = true,
+            "--trace" => match it.next() {
+                Some(path) => flags.trace = Some(path),
+                None => return Err("--trace needs a path (or '-')".to_string()),
+            },
+            other if other.starts_with("--trace=") => {
+                flags.trace = Some(other["--trace=".len()..].to_string());
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other:?}"));
+            }
+            _ => rest.push(arg),
+        }
+    }
+    *args = rest;
+    Ok(flags)
+}
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let show_timings = args.iter().any(|a| a == "--timings");
-    args.retain(|a| a != "--timings");
+    let flags = match parse_flags(&mut args) {
+        Ok(f) => f,
+        Err(msg) => {
+            eprintln!("rdx: {msg}");
+            return usage();
+        }
+    };
+    let sink_result = match &flags.trace {
+        Some(path) if path == "-" || path == "stderr" => {
+            rd_obs::trace::set_stderr_sink();
+            Ok(())
+        }
+        Some(path) => rd_obs::trace::set_file_sink(path),
+        None => rd_obs::trace::init_from_env(),
+    };
+    if let Err(e) = sink_result {
+        eprintln!("rdx: cannot open trace sink: {e}");
+        return ExitCode::FAILURE;
+    }
+
     let (dir, rest) = match args.split_first() {
         Some((dir, rest)) => (dir.clone(), rest.to_vec()),
         None => return usage(),
@@ -47,16 +110,25 @@ fn main() -> ExitCode {
         return anonymize(&dir, &rest[1..]);
     }
 
+    let load_started = std::time::Instant::now();
     let analysis = match NetworkAnalysis::from_dir(Path::new(&dir)) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("rdx: failed to load {dir}: {e}");
+            if flags.timings {
+                eprintln!(
+                    "load failed after {:.3} ms ({} worker thread(s))",
+                    load_started.elapsed().as_secs_f64() * 1e3,
+                    rd_par::thread_count()
+                );
+            }
+            rd_obs::trace::flush();
             return ExitCode::FAILURE;
         }
     };
 
     let code = run_command(&analysis, command, &rest);
-    if show_timings {
+    if flags.timings {
         eprintln!(
             "pipeline stage timings ({} routers, {} worker thread(s)):",
             analysis.network.len(),
@@ -64,6 +136,10 @@ fn main() -> ExitCode {
         );
         eprint!("{}", analysis.timings);
     }
+    if flags.metrics {
+        eprint!("{}", rd_obs::metrics::dump());
+    }
+    rd_obs::trace::flush();
     code
 }
 
@@ -89,6 +165,7 @@ fn run_command(analysis: &NetworkAnalysis, command: &str, rest: &[String]) -> Ex
                 println!("[{}] {}", f.kind, f.detail);
             }
         }
+        "diag" => return diag(analysis),
         "diff" => return diff_cmd(analysis, &rest[1..]),
         other => {
             eprintln!("rdx: unknown command {other:?}");
@@ -103,8 +180,8 @@ fn usage() -> ExitCode {
         "usage: rdx <config-dir> [summary|instances|roles|blocks|external|\
          pathway <router>|dot [process|instances]|reach <src> <dst>|\
          flow <src> <dst> [proto] [port]|separation <a> <b>|\
-         whatif <router> [...]|audit|diff <other-dir>|\
-         anonymize <out-dir> <key>] [--timings]"
+         whatif <router> [...]|audit|diag|diff <other-dir>|\
+         anonymize <out-dir> <key>] [--timings] [--metrics] [--trace <path>]"
     );
     ExitCode::FAILURE
 }
@@ -171,6 +248,21 @@ fn summary(a: &NetworkAnalysis) {
         for h in hints.iter().take(5) {
             println!("  {} on {} (block {})", h.subnet, h.iface.router, h.block);
         }
+    }
+}
+
+/// Prints every pipeline diagnostic (parse, topology, design level) and
+/// a severity summary. Exits with failure iff any error-severity
+/// diagnostic exists, so scripts can gate on corpus health.
+fn diag(a: &NetworkAnalysis) -> ExitCode {
+    for d in a.diagnostics.iter() {
+        println!("{d}");
+    }
+    println!("{}", a.diagnostics.summary());
+    if a.diagnostics.count(Severity::Error) > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 

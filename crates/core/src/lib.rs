@@ -66,6 +66,7 @@ pub use routing_model::{
     IbgpMesh, InstanceGraph, InstanceId, InstanceNode, Instances, PathwayGraph,
     ProcKey, Processes, Proto, ProtoKind, ProcessGraph, SessionScope, Table1,
 };
+pub use rd_obs::{Diagnostic, Diagnostics, Severity};
 pub use rd_par::{StageTimings, Stopwatch};
 
 /// The complete static analysis of one network: every abstraction the
@@ -93,6 +94,12 @@ pub struct NetworkAnalysis {
     pub table1: Table1,
     /// Design classification (Section 7).
     pub design: DesignSummary,
+    /// Everything the pipeline could not vouch for, end to end: parse
+    /// diagnostics (unknown stanzas, dangling policy references), topology
+    /// hints (possible missing routers), and design smells (inert
+    /// redistribution, missing backbone area, neighborless BGP). See
+    /// `rdx <dir> diag`.
+    pub diagnostics: Diagnostics,
     /// Wall-clock time of every pipeline stage of this analysis (and of
     /// the parse, when loaded through [`from_texts`] or [`from_dir`]).
     /// See `rdx --timings` and `repro --bench`.
@@ -102,6 +109,10 @@ pub struct NetworkAnalysis {
 impl NetworkAnalysis {
     /// Analyzes a network already parsed into a [`Network`].
     pub fn from_network(network: Network) -> NetworkAnalysis {
+        let _span = rd_obs::trace::span(
+            "analyze",
+            &[("routers", network.len().into())],
+        );
         let mut sw = Stopwatch::start();
         let links = LinkMap::build(&network);
         sw.lap("links");
@@ -123,6 +134,45 @@ impl NetworkAnalysis {
         let design =
             classify_network(&network, &instances, &instance_graph, &adjacencies, &table1);
         sw.lap("classify");
+
+        // Fold the whole pipeline's diagnostics into one channel: parse
+        // level, then topology hints, then design smells.
+        let mut diagnostics = network.diagnostics.clone();
+        for hint in &external.missing_router_hints {
+            let router = network.router(hint.iface.router);
+            diagnostics.push(Diagnostic {
+                file: router.file_name.clone(),
+                line: 0,
+                severity: Severity::Warning,
+                code: "possible-missing-router",
+                message: format!(
+                    "interface {} ({}) is external-facing inside internal block {} — \
+                     a router configuration may be missing from the data set",
+                    router.config.interfaces[hint.iface.iface].name,
+                    hint.subnet,
+                    hint.block,
+                ),
+            });
+        }
+        diagnostics
+            .extend(routing_model::design_diagnostics(&network, &processes, &instances));
+        sw.lap("diagnose");
+
+        rd_obs::metrics::counter_add("instances.count", instances.len() as u64);
+        rd_obs::metrics::counter_add("links.count", links.links.len() as u64);
+        let (errors, warnings, _) = diagnostics.counts();
+        rd_obs::metrics::counter_add("diag.errors", errors as u64);
+        rd_obs::metrics::counter_add("diag.warnings", warnings as u64);
+        rd_obs::metrics::record_peak_rss("analyze");
+        rd_obs::trace::event(
+            "analyze.done",
+            &[
+                ("routers", network.len().into()),
+                ("instances", instances.len().into()),
+                ("diagnostics", diagnostics.len().into()),
+            ],
+        );
+
         NetworkAnalysis {
             network,
             links,
@@ -135,6 +185,7 @@ impl NetworkAnalysis {
             blocks,
             table1,
             design,
+            diagnostics,
             timings: sw.finish(),
         }
     }
@@ -148,6 +199,7 @@ impl NetworkAnalysis {
         let started = std::time::Instant::now();
         let network = Network::from_texts(texts)?;
         let parse_time = started.elapsed();
+        rd_obs::metrics::record_peak_rss("parse");
         let mut analysis = NetworkAnalysis::from_network(network);
         analysis.timings.prepend("parse", parse_time);
         Ok(analysis)
@@ -159,6 +211,7 @@ impl NetworkAnalysis {
         let started = std::time::Instant::now();
         let network = Network::from_dir(dir)?;
         let parse_time = started.elapsed();
+        rd_obs::metrics::record_peak_rss("parse");
         let mut analysis = NetworkAnalysis::from_network(network);
         analysis.timings.prepend("parse", parse_time);
         Ok(analysis)

@@ -14,6 +14,10 @@
 //!   commands outside any parser's grammar; unknown lines are preserved in
 //!   [`RouterConfig::unparsed`] rather than failing the file, while
 //!   malformed *known* commands are hard errors with line numbers.
+//! - [`diagnose`]: per-configuration diagnostics — everything the tolerant
+//!   parser skipped (unknown stanzas) or cannot vouch for (dangling ACL /
+//!   route-map / unnumbered references), as `rd_obs::Diagnostic`s with
+//!   file, line, and severity.
 //! - [`emit`]: canonical serialization back to IOS text. `netgen` uses this
 //!   to produce the synthetic corpus, and round-trip property tests pin the
 //!   parser and emitter against each other.
@@ -30,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diagnose;
 pub mod emit;
 mod error;
 mod ifname;
@@ -38,6 +43,7 @@ pub mod parse;
 pub mod raw;
 mod vocab;
 
+pub use diagnose::config_diagnostics;
 pub use error::{ParseError, ParseErrorKind};
 pub use ifname::{InterfaceName, InterfaceType};
 pub use emit::emit_config;

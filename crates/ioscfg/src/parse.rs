@@ -626,7 +626,7 @@ fn parse_route_map(stanza: &Stanza, cfg: &mut RouterConfig) -> Result<(), ParseE
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::ifname::InterfaceType;
 

@@ -325,7 +325,13 @@ pub fn generate_network(spec: &NetworkSpec, scale: StudyScale) -> GeneratedNetwo
         &design.internal_ifaces,
     );
 
-    GeneratedNetwork { spec: spec.clone(), texts: design.builder.to_texts() }
+    let texts = design.builder.to_texts();
+    rd_obs::metrics::counter_add("netgen.configs", texts.len() as u64);
+    rd_obs::trace::event(
+        "netgen.network",
+        &[("name", spec.name.as_str().into()), ("configs", texts.len().into())],
+    );
+    GeneratedNetwork { spec: spec.clone(), texts }
 }
 
 /// Generates the whole study.

@@ -39,6 +39,11 @@ impl Router {
 pub struct Network {
     /// Routers in load order; [`RouterId`] indexes into this.
     pub routers: Vec<Router>,
+    /// Parse-level diagnostics for every router, in load order: unknown
+    /// stanzas the tolerant parser skipped and dangling policy references
+    /// ([`ioscfg::config_diagnostics`]). Downstream analyses append their
+    /// own design-level diagnostics to a copy of this.
+    pub diagnostics: rd_obs::Diagnostics,
 }
 
 /// Error loading a network from disk or text.
@@ -88,16 +93,42 @@ impl Network {
         let parsed = rd_par::par_map(&texts, |_, (file_name, text)| {
             let raw = lex_config(text);
             match parse_raw(&raw) {
-                Ok(config) => Ok((config, raw.command_lines)),
+                Ok(config) => {
+                    let diags = ioscfg::config_diagnostics(file_name, &config);
+                    rd_obs::trace::event(
+                        "parse.file",
+                        &[
+                            ("file", file_name.as_str().into()),
+                            ("lines", raw.command_lines.into()),
+                            ("unrecognized", config.unparsed.len().into()),
+                            ("diagnostics", diags.len().into()),
+                        ],
+                    );
+                    Ok((config, raw.command_lines, diags))
+                }
                 Err(error) => Err(LoadError::Parse { file: file_name.clone(), error }),
             }
         });
         let mut routers = Vec::with_capacity(texts.len());
+        let mut diagnostics = rd_obs::Diagnostics::new();
+        let mut total_lines = 0u64;
+        let mut unrecognized = 0u64;
         for ((file_name, _), result) in texts.into_iter().zip(parsed) {
-            let (config, command_lines) = result?;
+            let (config, command_lines, diags) = result?;
+            total_lines += command_lines as u64;
+            unrecognized += config.unparsed.len() as u64;
+            rd_obs::metrics::histogram_record(
+                "parse.file_lines",
+                command_lines as u64,
+                &[16, 64, 256, 1024, 4096],
+            );
+            diagnostics.extend(diags);
             routers.push(Router { file_name, config, command_lines });
         }
-        Ok(Network { routers })
+        rd_obs::metrics::counter_add("parse.files", routers.len() as u64);
+        rd_obs::metrics::counter_add("parse.lines", total_lines);
+        rd_obs::metrics::counter_add("parse.unrecognized_lines", unrecognized);
+        Ok(Network { routers, diagnostics })
     }
 
     /// Loads every file in a directory as a configuration, in file-name

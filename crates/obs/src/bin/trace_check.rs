@@ -1,0 +1,57 @@
+//! `trace_check` — validates an emitted JSONL trace file.
+//!
+//! Every line must be a syntactically valid JSON object carrying the
+//! required event keys (`ev`, `name`, `ts_us`). Used by `scripts/verify.sh`
+//! as the self-check over traces emitted by `rdx` and `repro`.
+//!
+//! ```sh
+//! trace_check <trace.jsonl>
+//! ```
+//!
+//! Exits 0 printing a line/kind summary, or 1 naming the first bad line.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [path] = args.as_slice() else {
+        eprintln!("usage: trace_check <trace.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut total = 0usize;
+    let mut opens = 0usize;
+    let mut closes = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Err(e) = rd_obs::json::validate_event_line(line) {
+            eprintln!("trace_check: {path}:{}: {e}", i + 1);
+            eprintln!("  {line}");
+            return ExitCode::FAILURE;
+        }
+        total += 1;
+        // Cheap kind census; the schema puts "ev" first.
+        if line.starts_with("{\"ev\":\"span_open\"") {
+            opens += 1;
+        } else if line.starts_with("{\"ev\":\"span_close\"") {
+            closes += 1;
+        }
+    }
+    if opens != closes {
+        eprintln!("trace_check: {path}: {opens} span_open vs {closes} span_close");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "trace_check: {path}: {total} valid event line(s) ({opens} spans, {} point events)",
+        total - opens - closes
+    );
+    ExitCode::SUCCESS
+}

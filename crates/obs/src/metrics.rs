@@ -1,0 +1,243 @@
+//! The metrics registry: named counters, gauges, and fixed-bucket
+//! histograms, collected process-wide and dumped deterministically.
+//!
+//! Metrics are always on (unlike tracing, which needs a sink): updates are
+//! coarse-grained — once per file or per stage, never per line — so a
+//! single mutex-guarded `BTreeMap` is cheap, keeps the dump ordering
+//! deterministic, and needs no unsafe or external crates.
+//!
+//! Conventions: dotted lowercase names (`parse.lines`,
+//! `parse.unrecognized_lines`, `instances.count`); `rss.peak_kb[.stage]`
+//! gauges carry the peak resident set read from `/proc/self/status` on
+//! Linux (portable fallback: absent). Counters and histograms over
+//! pipeline inputs are deterministic at any thread count; `rss.*` gauges
+//! are not, and determinism checks skip them.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// A histogram with caller-fixed bucket bounds: `buckets[i]` counts values
+/// `<= bounds[i]`, with one final overflow bucket.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    /// Inclusive upper bounds, ascending.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; `bounds.len() + 1` entries (last = overflow).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Histogram {
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    fn record(&mut self, value: u64) {
+        let slot = self.bounds.iter().position(|b| value <= *b).unwrap_or(self.bounds.len());
+        self.buckets[slot] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+}
+
+/// One registered metric.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Metric {
+    /// Monotonic counter.
+    Counter(u64),
+    /// Last-write (or max-tracked) gauge.
+    Gauge(i64),
+    /// Fixed-bucket histogram.
+    Histogram(Histogram),
+}
+
+static REGISTRY: Mutex<BTreeMap<String, Metric>> = Mutex::new(BTreeMap::new());
+
+fn with_registry<R>(f: impl FnOnce(&mut BTreeMap<String, Metric>) -> R) -> R {
+    f(&mut REGISTRY.lock().expect("metrics registry poisoned"))
+}
+
+/// Adds `n` to the named counter (creating it at zero).
+pub fn counter_add(name: &str, n: u64) {
+    with_registry(|reg| match reg.entry(name.to_string()).or_insert(Metric::Counter(0)) {
+        Metric::Counter(v) => *v += n,
+        other => debug_assert!(false, "{name} is not a counter: {other:?}"),
+    });
+}
+
+/// Sets the named gauge.
+pub fn gauge_set(name: &str, value: i64) {
+    with_registry(|reg| match reg.entry(name.to_string()).or_insert(Metric::Gauge(value)) {
+        Metric::Gauge(v) => *v = value,
+        other => debug_assert!(false, "{name} is not a gauge: {other:?}"),
+    });
+}
+
+/// Raises the named gauge to `value` if larger (peak tracking).
+pub fn gauge_max(name: &str, value: i64) {
+    with_registry(|reg| match reg.entry(name.to_string()).or_insert(Metric::Gauge(value)) {
+        Metric::Gauge(v) => *v = (*v).max(value),
+        other => debug_assert!(false, "{name} is not a gauge: {other:?}"),
+    });
+}
+
+/// Records `value` into the named fixed-bucket histogram. The first call
+/// fixes the bounds; later calls reuse them (`bounds` is then ignored).
+pub fn histogram_record(name: &str, value: u64, bounds: &[u64]) {
+    with_registry(|reg| {
+        match reg
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new(bounds)))
+        {
+            Metric::Histogram(h) => h.record(value),
+            other => debug_assert!(false, "{name} is not a histogram: {other:?}"),
+        }
+    });
+}
+
+/// Clears every metric (tests and determinism comparisons).
+pub fn reset() {
+    with_registry(|reg| reg.clear());
+}
+
+/// A deterministic copy of the registry (sorted by name).
+pub fn snapshot() -> Vec<(String, Metric)> {
+    with_registry(|reg| reg.iter().map(|(k, v)| (k.clone(), v.clone())).collect())
+}
+
+/// The process's peak resident set size in kB, from `/proc/self/status`
+/// (`VmHWM`). `None` where the proc filesystem is unavailable — the
+/// portable fallback is to simply not record the gauge.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Records the current peak RSS under `rss.peak_kb` and, when `label` is
+/// non-empty, `rss.peak_kb.<label>` — the per-stage memory high-water
+/// marks the bench harness folds into `BENCH_repro.json`.
+pub fn record_peak_rss(label: &str) {
+    let Some(kb) = peak_rss_kb() else {
+        return;
+    };
+    gauge_max("rss.peak_kb", kb as i64);
+    if !label.is_empty() {
+        gauge_max(&format!("rss.peak_kb.{label}"), kb as i64);
+    }
+}
+
+/// Renders the registry as an aligned text table, one metric per line,
+/// sorted by name (`rdx --metrics`).
+pub fn dump() -> String {
+    let mut out = String::new();
+    let snap = snapshot();
+    if snap.is_empty() {
+        return "no metrics recorded\n".to_string();
+    }
+    let width = snap.iter().map(|(name, _)| name.len()).max().unwrap_or(0).max(6);
+    let _ = writeln!(out, "{:<width$} {:>14}", "metric", "value");
+    for (name, metric) in snap {
+        match metric {
+            Metric::Counter(v) => {
+                let _ = writeln!(out, "{name:<width$} {v:>14}");
+            }
+            Metric::Gauge(v) => {
+                let _ = writeln!(out, "{name:<width$} {v:>14}");
+            }
+            Metric::Histogram(h) => {
+                let mean = if h.count == 0 { 0.0 } else { h.sum as f64 / h.count as f64 };
+                let _ = writeln!(
+                    out,
+                    "{name:<width$} {:>14} (sum {}, mean {mean:.1}, buckets {:?} ≤ {:?})",
+                    h.count, h.sum, h.buckets, h.bounds
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Renders the registry as a JSON object (every line indented by
+/// `indent`), for the `metrics` section of `BENCH_repro.json`.
+pub fn render_json(indent: &str) -> String {
+    let snap = snapshot();
+    if snap.is_empty() {
+        return "{}".to_string();
+    }
+    let body: Vec<String> = snap
+        .iter()
+        .map(|(name, metric)| {
+            let name = crate::json::escape(name);
+            match metric {
+                Metric::Counter(v) => format!("{indent}  \"{name}\": {v}"),
+                Metric::Gauge(v) => format!("{indent}  \"{name}\": {v}"),
+                Metric::Histogram(h) => format!(
+                    "{indent}  \"{name}\": {{\"count\": {}, \"sum\": {}, \"bounds\": {:?}, \"buckets\": {:?}}}",
+                    h.count, h.sum, h.bounds, h.buckets
+                ),
+            }
+        })
+        .collect();
+    format!("{{\n{}\n{indent}}}", body.join(",\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test function: the registry is process-global state and `cargo
+    // test` runs #[test] functions concurrently.
+    #[test]
+    fn registry_lifecycle() {
+        reset();
+        counter_add("t.files", 2);
+        counter_add("t.files", 3);
+        gauge_set("t.gauge", 7);
+        gauge_max("t.gauge", 5); // lower: ignored
+        gauge_max("t.gauge", 11);
+        for v in [1, 8, 9, 100] {
+            histogram_record("t.hist", v, &[8, 16]);
+        }
+
+        let snap: BTreeMap<String, Metric> = snapshot().into_iter().collect();
+        assert_eq!(snap["t.files"], Metric::Counter(5));
+        assert_eq!(snap["t.gauge"], Metric::Gauge(11));
+        match &snap["t.hist"] {
+            Metric::Histogram(h) => {
+                assert_eq!(h.buckets, vec![2, 1, 1]);
+                assert_eq!((h.count, h.sum), (4, 118));
+            }
+            other => panic!("wrong metric: {other:?}"),
+        }
+
+        let text = dump();
+        assert!(text.contains("t.files") && text.contains("5"));
+        let json = render_json("  ");
+        assert!(json.contains("\"t.files\": 5"));
+        assert!(json.contains("\"count\": 4"));
+        crate::json::validate_object(&json.replace('\n', " ")).unwrap();
+
+        // Peak RSS: on Linux this must parse; elsewhere it may be None.
+        if cfg!(target_os = "linux") {
+            assert!(peak_rss_kb().unwrap() > 0);
+            record_peak_rss("stage");
+            let snap: BTreeMap<String, Metric> = snapshot().into_iter().collect();
+            assert!(matches!(snap["rss.peak_kb"], Metric::Gauge(v) if v > 0));
+            assert!(snap.contains_key("rss.peak_kb.stage"));
+        }
+
+        reset();
+        assert!(snapshot().is_empty());
+        assert_eq!(render_json(""), "{}");
+    }
+}

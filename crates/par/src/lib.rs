@@ -21,6 +21,12 @@
 //! 1. the `RD_THREADS` environment variable (a positive integer);
 //! 2. [`std::thread::available_parallelism`];
 //! 3. 1, if the platform will not say.
+//!
+//! Observability: when an `rd_obs` trace sink is active, [`par_map`]
+//! buffers each item's trace events on the worker (`rd_obs::trace::scoped`)
+//! and flushes them in input order after the join, so trace output is as
+//! deterministic as the results themselves. Nested fan-outs compose: an
+//! inner `par_map`'s flush lands in the outer item's buffer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -64,6 +70,12 @@ where
 
 /// [`par_map`] with an explicit thread count (the env-independent core,
 /// used directly by tests and the bench harness).
+///
+/// Trace determinism: when an `rd_obs` trace sink is installed, each
+/// item's events are captured in a per-item buffer
+/// ([`rd_obs::trace::scoped`]) and flushed in **input order** after the
+/// workers join — so the emitted event stream is identical to the
+/// sequential path's, whatever order workers finish in.
 pub fn par_map_threads<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
 where
     T: Sync,
@@ -72,14 +84,16 @@ where
 {
     let threads = threads.min(items.len()).max(1);
     if threads == 1 {
+        // Sequential path: events stream to the caller's buffer/sink in
+        // item order already, exactly the order the parallel path flushes.
         return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
     }
 
     // Self-scheduling work queue: each worker pulls the next unclaimed
-    // index, computes, and keeps `(index, result)` locally; results are
-    // reassembled into input order afterwards.
+    // index, computes, and keeps `(index, result, trace events)` locally;
+    // results are reassembled into input order afterwards.
     let next = AtomicUsize::new(0);
-    let parts: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
+    let parts: Vec<Vec<(usize, U, Vec<rd_obs::Event>)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
@@ -89,7 +103,8 @@ where
                         if i >= items.len() {
                             break;
                         }
-                        local.push((i, f(i, &items[i])));
+                        let (value, events) = rd_obs::trace::scoped(|| f(i, &items[i]));
+                        local.push((i, value, events));
                     }
                     local
                 })
@@ -106,16 +121,21 @@ where
             .collect()
     });
 
-    let mut slots: Vec<Option<U>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+    let mut slots: Vec<Option<(U, Vec<rd_obs::Event>)>> =
+        std::iter::repeat_with(|| None).take(items.len()).collect();
     for part in parts {
-        for (i, value) in part {
+        for (i, value, events) in part {
             debug_assert!(slots[i].is_none(), "index {i} computed twice");
-            slots[i] = Some(value);
+            slots[i] = Some((value, events));
         }
     }
     slots
         .into_iter()
-        .map(|slot| slot.expect("work queue visits every index exactly once"))
+        .map(|slot| {
+            let (value, events) = slot.expect("work queue visits every index exactly once");
+            rd_obs::trace::emit_events(events);
+            value
+        })
         .collect()
 }
 
@@ -172,6 +192,33 @@ mod tests {
     #[test]
     fn thread_count_is_at_least_one() {
         assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn trace_events_flush_in_input_order_at_any_thread_count() {
+        // One test function drives every thread count: the trace sink is
+        // process-global state.
+        let run = |threads: usize| -> Vec<String> {
+            rd_obs::trace::install_memory_sink(true);
+            let items: Vec<usize> = (0..64).collect();
+            // Uneven work so completion order differs from input order.
+            par_map_threads(threads, &items, |i, &x| {
+                if x % 7 == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                rd_obs::trace::event("item", &[("i", i.into())]);
+                x
+            });
+            let lines = rd_obs::trace::take_memory();
+            rd_obs::trace::clear_sink();
+            lines
+        };
+        let seq = run(1);
+        assert_eq!(seq.len(), 64);
+        assert!(seq[0].contains("\"i\":0") && seq[63].contains("\"i\":63"));
+        for threads in [2, 4, 8] {
+            assert_eq!(run(threads), seq, "trace differs at {threads} threads");
+        }
     }
 
     #[test]

@@ -2,16 +2,25 @@
 //! [`StageTimings`], the per-stage wall-clock record the analysis
 //! pipeline attaches to every run and the bench harness aggregates into
 //! `BENCH_repro.json`.
+//!
+//! Stage names are `Cow<'static, str>`: the fixed pipeline stages cost
+//! nothing (`"parse"`, `"links"`, ...), while harnesses can record
+//! per-network labels (`format!("analyze:{name}")`) without leaking.
 
+use std::borrow::Cow;
 use std::fmt;
 use std::time::{Duration, Instant};
+
+/// A stage label: a static string for the fixed pipeline stages, or an
+/// owned one for dynamic labels like `analyze:net15`.
+pub type StageName = Cow<'static, str>;
 
 /// Named wall-clock durations for the stages of one pipeline run, in
 /// execution order.
 #[derive(Clone, Debug, Default)]
 pub struct StageTimings {
     /// `(stage name, wall-clock duration)`, in the order recorded.
-    pub stages: Vec<(&'static str, Duration)>,
+    pub stages: Vec<(StageName, Duration)>,
 }
 
 impl StageTimings {
@@ -20,15 +29,20 @@ impl StageTimings {
         StageTimings::default()
     }
 
+    /// Appends a stage.
+    pub fn push(&mut self, name: impl Into<StageName>, duration: Duration) {
+        self.stages.push((name.into(), duration));
+    }
+
     /// Prepends a stage (used for stages measured before the record
     /// existed, e.g. parse time measured by the caller).
-    pub fn prepend(&mut self, name: &'static str, duration: Duration) {
-        self.stages.insert(0, (name, duration));
+    pub fn prepend(&mut self, name: impl Into<StageName>, duration: Duration) {
+        self.stages.insert(0, (name.into(), duration));
     }
 
     /// The duration of one named stage, if recorded.
     pub fn get(&self, name: &str) -> Option<Duration> {
-        self.stages.iter().find(|(n, _)| *n == name).map(|(_, d)| *d)
+        self.stages.iter().find(|(n, _)| n == name).map(|(_, d)| *d)
     }
 
     /// Sum of all recorded stages.
@@ -42,7 +56,7 @@ impl StageTimings {
         for (name, duration) in &other.stages {
             match self.stages.iter_mut().find(|(n, _)| n == name) {
                 Some((_, d)) => *d += *duration,
-                None => self.stages.push((name, *duration)),
+                None => self.stages.push((name.clone(), *duration)),
             }
         }
     }
@@ -51,16 +65,29 @@ impl StageTimings {
 impl fmt::Display for StageTimings {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let total = self.total();
-        writeln!(f, "{:<14} {:>12} {:>7}", "stage", "wall", "share")?;
+        let width = self
+            .stages
+            .iter()
+            .map(|(n, _)| n.len())
+            .max()
+            .unwrap_or(0)
+            .max(14);
+        writeln!(f, "{:<width$} {:>12} {:>7}", "stage", "wall", "share")?;
         for (name, duration) in &self.stages {
             let share = if total.is_zero() {
                 0.0
             } else {
                 duration.as_secs_f64() / total.as_secs_f64() * 100.0
             };
-            writeln!(f, "{:<14} {:>9.3} ms {:>6.1}%", name, duration.as_secs_f64() * 1e3, share)?;
+            writeln!(
+                f,
+                "{:<width$} {:>9.3} ms {:>6.1}%",
+                name,
+                duration.as_secs_f64() * 1e3,
+                share
+            )?;
         }
-        writeln!(f, "{:<14} {:>9.3} ms", "total", total.as_secs_f64() * 1e3)
+        writeln!(f, "{:<width$} {:>9.3} ms", "total", total.as_secs_f64() * 1e3)
     }
 }
 
@@ -78,9 +105,9 @@ impl Stopwatch {
 
     /// Ends the current stage, recording the time since the previous lap
     /// (or since [`start`](Stopwatch::start)) under `name`.
-    pub fn lap(&mut self, name: &'static str) {
+    pub fn lap(&mut self, name: impl Into<StageName>) {
         let now = Instant::now();
-        self.timings.stages.push((name, now - self.last));
+        self.timings.stages.push((name.into(), now - self.last));
         self.last = now;
     }
 
@@ -98,11 +125,11 @@ mod tests {
     fn laps_record_in_order() {
         let mut sw = Stopwatch::start();
         sw.lap("a");
-        sw.lap("b");
+        sw.lap(format!("b:{}", 15)); // dynamic labels are first-class
         let t = sw.finish();
         assert_eq!(t.stages.len(), 2);
         assert_eq!(t.stages[0].0, "a");
-        assert_eq!(t.stages[1].0, "b");
+        assert_eq!(t.stages[1].0, "b:15");
         assert!(t.get("a").is_some() && t.get("c").is_none());
         assert_eq!(t.total(), t.stages[0].1 + t.stages[1].1);
     }
@@ -110,27 +137,27 @@ mod tests {
     #[test]
     fn prepend_and_merge() {
         let mut a = StageTimings::new();
-        a.stages.push(("links", Duration::from_millis(2)));
+        a.push("links", Duration::from_millis(2));
         a.prepend("parse", Duration::from_millis(5));
         assert_eq!(a.stages[0].0, "parse");
 
         let mut b = StageTimings::new();
-        b.stages.push(("parse", Duration::from_millis(1)));
-        b.stages.push(("classify", Duration::from_millis(3)));
+        b.push("parse", Duration::from_millis(1));
+        b.push(format!("analyze:net{}", 15), Duration::from_millis(3));
         a.merge(&b);
         assert_eq!(a.get("parse"), Some(Duration::from_millis(6)));
-        assert_eq!(a.get("classify"), Some(Duration::from_millis(3)));
+        assert_eq!(a.get("analyze:net15"), Some(Duration::from_millis(3)));
         assert_eq!(a.stages.len(), 3);
     }
 
     #[test]
     fn display_renders_every_stage() {
         let mut t = StageTimings::new();
-        t.stages.push(("parse", Duration::from_millis(10)));
-        t.stages.push(("links", Duration::from_millis(30)));
+        t.push("parse", Duration::from_millis(10));
+        t.push("analyze:net15-long-label", Duration::from_millis(30));
         let text = t.to_string();
         assert!(text.contains("parse"));
-        assert!(text.contains("links"));
+        assert!(text.contains("analyze:net15-long-label"));
         assert!(text.contains("total"));
     }
 }

@@ -1,0 +1,155 @@
+//! Design-level diagnostics: routing-design smells the abstractions make
+//! visible — all warnings, because the configuration is self-consistent
+//! but the derived design looks suspicious (paper Section 6's "errors in
+//! routing design" direction).
+//!
+//! Codes:
+//!
+//! - `redistribute-unknown-source` — a `redistribute` statement names a
+//!   process that does not exist on that router; IOS accepts it and it
+//!   silently does nothing, so the intended route exchange never happens.
+//! - `missing-backbone-area` — a multi-area OSPF instance with no area 0;
+//!   inter-area routes will not propagate.
+//! - `bgp-no-neighbors` — a BGP process with no `neighbor` statements:
+//!   configured but inert.
+
+use ioscfg::RedistSource;
+use nettopo::Network;
+use rd_obs::{Diagnostic, Severity};
+
+use crate::areas::area_structures;
+use crate::instance::Instances;
+use crate::process::Processes;
+
+fn warn(file: &str, code: &'static str, message: String) -> Diagnostic {
+    Diagnostic { file: file.to_string(), line: 0, severity: Severity::Warning, code, message }
+}
+
+/// Collects design-level diagnostics for a network, in deterministic
+/// order (process order, then area structures, then BGP stanzas by
+/// router).
+pub fn design_diagnostics(
+    net: &Network,
+    procs: &Processes,
+    instances: &Instances,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // Redistribution statements whose source resolves to no process.
+    for p in &procs.list {
+        for r in &p.redistributes {
+            if matches!(r.source, RedistSource::Connected | RedistSource::Static) {
+                continue;
+            }
+            if procs.resolve_source(p.key.router, r.source).is_none() {
+                out.push(warn(
+                    &net.router(p.key.router).file_name,
+                    "redistribute-unknown-source",
+                    format!(
+                        "{} redistributes from {}, but no such process exists on this router",
+                        p.key.proto, r.source
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Multi-area OSPF instances missing the backbone area.
+    for s in area_structures(net, procs, instances) {
+        if !s.is_flat() && !s.has_backbone_area() {
+            let file = s
+                .areas
+                .values()
+                .flatten()
+                .next()
+                .map(|rid| net.router(*rid).file_name.as_str())
+                .unwrap_or("<network>");
+            let areas: Vec<String> =
+                s.areas.keys().map(|a| a.to_string()).collect();
+            out.push(warn(
+                file,
+                "missing-backbone-area",
+                format!(
+                    "OSPF instance spans areas {} but has no backbone area 0",
+                    areas.join(", ")
+                ),
+            ));
+        }
+    }
+
+    // BGP processes with no neighbors.
+    for (_, router) in net.iter() {
+        if let Some(bgp) = &router.config.bgp {
+            if bgp.neighbors.is_empty() {
+                out.push(warn(
+                    &router.file_name,
+                    "bgp-no-neighbors",
+                    format!("router bgp {} has no neighbor statements", bgp.asn),
+                ));
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjacency::Adjacencies;
+    use nettopo::{ExternalAnalysis, LinkMap};
+
+    fn diagnose(net: &Network) -> Vec<Diagnostic> {
+        let links = LinkMap::build(net);
+        let external = ExternalAnalysis::build(net, &links);
+        let procs = Processes::extract(net);
+        let adj = Adjacencies::build(net, &links, &procs, &external);
+        let instances = Instances::compute(&procs, &adj);
+        design_diagnostics(net, &procs, &instances)
+    }
+
+    #[test]
+    fn design_smells_surface_as_warnings() {
+        let text = "\
+interface Ethernet0
+ ip address 10.1.0.1 255.255.255.0
+interface Ethernet1
+ ip address 10.2.0.1 255.255.255.0
+router ospf 1
+ network 10.1.0.0 0.0.0.255 area 1
+ network 10.2.0.0 0.0.0.255 area 2
+ redistribute eigrp 7
+router bgp 65000
+";
+        let net =
+            Network::from_texts(vec![("config1".to_string(), text.to_string())]).unwrap();
+        let diags = diagnose(&net);
+        let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+        assert_eq!(
+            codes,
+            vec![
+                "redistribute-unknown-source",
+                "missing-backbone-area",
+                "bgp-no-neighbors",
+            ],
+        );
+        assert!(diags.iter().all(|d| d.severity == Severity::Warning));
+        assert!(diags.iter().all(|d| d.file == "config1"));
+        assert!(diags[0].message.contains("eigrp 7"));
+        assert!(diags[1].message.contains("areas 1, 2"));
+    }
+
+    #[test]
+    fn clean_designs_yield_nothing() {
+        let text = "\
+interface Ethernet0
+ ip address 10.1.0.1 255.255.255.0
+router ospf 1
+ network 10.1.0.0 0.0.0.255 area 0
+ redistribute connected
+";
+        let net =
+            Network::from_texts(vec![("config1".to_string(), text.to_string())]).unwrap();
+        assert!(diagnose(&net).is_empty());
+    }
+}

@@ -24,6 +24,8 @@
 //! - [`classify`]: the design-archetype classification of Section 7
 //!   (textbook backbone, textbook enterprise, tier-2 with staging IGPs,
 //!   no-BGP, unclassifiable).
+//! - [`diagnose`]: design-level diagnostics (inert redistribution,
+//!   missing backbone area, neighborless BGP) on the `rd-obs` channel.
 //! - [`render`]: Graphviz DOT output for the three graph abstractions.
 
 #![forbid(unsafe_code)]
@@ -32,6 +34,7 @@
 pub mod adjacency;
 pub mod areas;
 pub mod classify;
+pub mod diagnose;
 pub mod instance;
 pub mod instance_graph;
 pub mod mesh;
@@ -44,6 +47,7 @@ pub mod roles;
 pub use adjacency::{Adjacencies, BgpSession, IgpAdjacency, SessionScope};
 pub use areas::{area_structures, AreaStructure};
 pub use classify::{classify_network, DesignClass, DesignSummary};
+pub use diagnose::design_diagnostics;
 pub use instance::{InstanceId, Instances, RoutingInstance};
 pub use instance_graph::{ExchangeKind, InstanceEdge, InstanceGraph, InstanceNode};
 pub use mesh::{ibgp_meshes, IbgpMesh};

@@ -26,9 +26,23 @@ cmp /tmp/rd_verify_par.txt /tmp/rd_verify_seq.txt
 rm -f /tmp/rd_verify_par.txt /tmp/rd_verify_seq.txt
 echo "    identical output at both thread counts"
 
+echo "==> observability: rdx diag + trace JSONL validation"
+./target/release/emit_study /tmp/rd_verify_study --small net15 > /dev/null
+RD_TRACE_ZERO=1 RD_THREADS=1 ./target/release/rdx /tmp/rd_verify_study/net15 \
+    summary --trace /tmp/rd_verify_t1.jsonl > /dev/null
+RD_TRACE_ZERO=1 RD_THREADS=8 ./target/release/rdx /tmp/rd_verify_study/net15 \
+    summary --trace /tmp/rd_verify_t8.jsonl > /dev/null
+cmp /tmp/rd_verify_t1.jsonl /tmp/rd_verify_t8.jsonl
+echo "    trace byte-identical at RD_THREADS=1 and 8 (timestamps zeroed)"
+./target/release/trace_check /tmp/rd_verify_t1.jsonl
+./target/release/rdx /tmp/rd_verify_study/net15 diag
+rm -rf /tmp/rd_verify_study /tmp/rd_verify_t1.jsonl /tmp/rd_verify_t8.jsonl
+
 if [ "${1:-}" = "--bench" ]; then
-    echo "==> repro --bench (stage timings, both scales)"
-    ./target/release/repro --bench
+    echo "==> repro --bench (stage timings, both scales, traced)"
+    ./target/release/repro --bench --trace /tmp/rd_verify_bench.jsonl
+    ./target/release/trace_check /tmp/rd_verify_bench.jsonl
+    rm -f /tmp/rd_verify_bench.jsonl
 fi
 
 echo "verify: all checks passed"

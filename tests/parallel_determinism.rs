@@ -30,6 +30,27 @@ fn render_report(networks: &[StudyNetwork]) -> String {
     out
 }
 
+/// Runs the small study with a memory trace sink (timestamps zeroed) and a
+/// freshly reset metrics registry; returns the trace lines and the metrics
+/// dump with the nondeterministic `rss.*` gauges filtered out. Both must be
+/// byte-identical at any thread count.
+fn traced_small_study() -> (Vec<String>, String) {
+    rd_obs::metrics::reset();
+    rd_obs::trace::install_memory_sink(true);
+    for g in netgen::study::generate_study(StudyScale::Small) {
+        let name = g.spec.name.clone();
+        NetworkAnalysis::from_texts(g.texts).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+    let lines = rd_obs::trace::take_memory();
+    rd_obs::trace::clear_sink();
+    let metrics: String = rd_obs::metrics::dump()
+        .lines()
+        .filter(|l| !l.contains("rss."))
+        .collect::<Vec<_>>()
+        .join("\n");
+    (lines, metrics)
+}
+
 fn small_study() -> (Vec<(String, Vec<(String, String)>)>, String) {
     let corpora: Vec<(String, Vec<(String, String)>)> =
         netgen::study::generate_study(StudyScale::Small)
@@ -69,10 +90,12 @@ fn thread_count_never_changes_observable_output() {
     std::env::set_var(rd_par::THREADS_ENV, "1");
     let (corpus_seq, report_seq) = small_study();
     let (err_file_seq, err_text_seq) = first_error();
+    let (trace_seq, metrics_seq) = traced_small_study();
 
     std::env::set_var(rd_par::THREADS_ENV, "4");
     let (corpus_par, report_par) = small_study();
     let (err_file_par, err_text_par) = first_error();
+    let (trace_par, metrics_par) = traced_small_study();
     std::env::remove_var(rd_par::THREADS_ENV);
 
     // Generated corpora are byte-identical.
@@ -88,4 +111,18 @@ fn thread_count_never_changes_observable_output() {
     // Multi-failure corpora report the same (earliest) error.
     assert_eq!(err_file_seq, "config17");
     assert_eq!((err_file_seq, err_text_seq), (err_file_par, err_text_par));
+
+    // With timestamps zeroed, the trace byte stream is identical too: the
+    // parallel layer buffers per-item events and flushes in input order.
+    assert!(!trace_seq.is_empty(), "traced run emitted no events");
+    assert_eq!(trace_seq, trace_par, "trace stream differs by thread count");
+    for line in &trace_seq {
+        rd_obs::json::validate_event_line(line)
+            .unwrap_or_else(|e| panic!("invalid trace line {line:?}: {e}"));
+    }
+
+    // So is the metrics dump, once the nondeterministic `rss.*` peak-RSS
+    // gauges are excluded (documented carve-out in `rd_obs::metrics`).
+    assert!(!metrics_seq.is_empty(), "traced run recorded no metrics");
+    assert_eq!(metrics_seq, metrics_par, "metrics dump differs by thread count");
 }
