@@ -35,6 +35,10 @@ use routing_design::{DesignClass, Prefix, StageTimings};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--version" || a == "-V") {
+        println!("repro {}", env!("CARGO_PKG_VERSION"));
+        return;
+    }
     let mut trace: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -56,7 +60,7 @@ fn main() {
         a.starts_with("--")
             && !matches!(a.as_str(), "--small" | "--bench" | "--timings" | "--metrics")
     }) {
-        eprintln!("repro: unknown flag {bad} (flags: --small --bench --timings --metrics --trace <path>)");
+        eprintln!("repro: unknown flag {bad} (flags: --small --bench --timings --metrics --trace <path> --version)");
         std::process::exit(2);
     }
     let sink_result = match &trace {
@@ -105,6 +109,11 @@ fn main() {
         for n in &networks {
             totals.merge(&n.analysis.timings);
         }
+        // The rd-snap round trip rides along so a slow snapshot path is
+        // as visible as a slow pipeline stage.
+        let (snap, _) = rd_bench::timing::bench_snapshot_ref(&networks);
+        totals.push("snap:write", snap.write);
+        totals.push("snap:load", snap.load);
         // Per-network rows ride along under dynamic Cow labels.
         for n in &networks {
             totals.push(format!("analyze:{}", n.name), n.analysis.timings.total());
@@ -192,6 +201,7 @@ fn bench(small_only: bool) {
     } else {
         &[StudyScale::Small, StudyScale::Full]
     };
+    let bench_scale_for_snap = if small_only { StudyScale::Small } else { StudyScale::Full };
     let results: Vec<_> = scales
         .iter()
         .map(|&scale| {
@@ -219,8 +229,25 @@ fn bench(small_only: bool) {
             result
         })
         .collect();
+    eprintln!("benching snapshot round trip + query server...");
+    let networks = analyzed_study(bench_scale_for_snap);
+    let (snap, corpus) = rd_bench::timing::bench_snapshot(networks);
+    eprintln!(
+        "  snapshot: {} bytes, write {:.1} ms, load {:.1} ms vs analyze {:.1} ms ({:.0}x)",
+        snap.bytes,
+        snap.write.as_secs_f64() * 1e3,
+        snap.load.as_secs_f64() * 1e3,
+        snap.analyze.as_secs_f64() * 1e3,
+        snap.speedup(),
+    );
+    let serve = rd_bench::timing::bench_serve(corpus, 200);
+    eprintln!(
+        "  serve: {} requests, p50 {} us, p99 {} us, {:.0} req/s",
+        serve.requests, serve.p50_us, serve.p99_us, serve.throughput_rps,
+    );
     let path = "BENCH_repro.json";
-    std::fs::write(path, render_json(&results)).expect("write BENCH_repro.json");
+    std::fs::write(path, render_json(&results, Some(&snap), Some(&serve)))
+        .expect("write BENCH_repro.json");
     eprintln!("wrote {path}");
 }
 

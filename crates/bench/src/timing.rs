@@ -4,10 +4,14 @@
 //! with no external crates and no network access (criterion stays an
 //! opt-in feature; see `criterion-benches` in this crate's manifest).
 
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 use netgen::{study_roster, StudyScale};
 use rd_par::StageTimings;
+use rd_snap::Corpus;
+use routing_design::report::StudyNetwork;
 use routing_design::NetworkAnalysis;
 
 /// Timing record of one network's generate + analyze run.
@@ -122,6 +126,149 @@ pub fn bench_scale(scale: StudyScale) -> ScaleBench {
     }
 }
 
+/// Timing record of the snapshot (`rd-snap`) round trip over an analyzed
+/// study: encode-to-bytes vs decode-from-bytes vs the analysis wall that
+/// produced the corpus in the first place.
+pub struct SnapBench {
+    /// Networks in the snapshotted corpus.
+    pub networks: usize,
+    /// Encoded container size.
+    pub bytes: usize,
+    /// Wall-clock of encoding the whole corpus (`snap:write`).
+    pub write: Duration,
+    /// Wall-clock of decoding it back (`snap:load`).
+    pub load: Duration,
+    /// Summed per-stage analysis wall of the same corpus — what a load
+    /// replaces, measured on the same (sequential) terms.
+    pub analyze: Duration,
+}
+
+impl SnapBench {
+    /// How many times faster loading the snapshot is than re-analyzing.
+    pub fn speedup(&self) -> f64 {
+        self.analyze.as_secs_f64() / self.load.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Snapshots an analyzed study in memory, timing the encode and decode
+/// halves. Returns the record plus the decoded corpus (handy for pushing
+/// straight into [`bench_serve`]).
+///
+/// Consumes the analyses so at most one full copy of the study is alive
+/// at a time — on memory-tight machines, extra resident copies perturb
+/// the very timings being measured.
+pub fn bench_snapshot(networks: Vec<StudyNetwork>) -> (SnapBench, Corpus) {
+    let count = networks.len();
+    let mut analyze = Duration::ZERO;
+    let mut snaps = Vec::with_capacity(count);
+    for n in networks {
+        analyze += n.analysis.timings.total();
+        snaps.push(routing_design::snapshot::capture(&n.name, n.analysis));
+    }
+    let corpus = Corpus::new(snaps);
+    let started = Instant::now();
+    let bytes = corpus.to_bytes();
+    let write = started.elapsed();
+    drop(corpus);
+    let started = Instant::now();
+    let loaded = Corpus::from_bytes(&bytes).expect("snapshot roundtrip");
+    let load = started.elapsed();
+    (SnapBench { networks: count, bytes: bytes.len(), write, load, analyze }, loaded)
+}
+
+/// Borrowing variant of [`bench_snapshot`] for callers that still need
+/// the analyses afterwards (`repro --timings`): clones each analysis
+/// into its snapshot form first.
+pub fn bench_snapshot_ref(networks: &[StudyNetwork]) -> (SnapBench, Corpus) {
+    let analyze = networks.iter().map(|n| n.analysis.timings.total()).sum();
+    let snaps = networks
+        .iter()
+        .map(|n| routing_design::snapshot::capture_ref(&n.name, &n.analysis))
+        .collect();
+    let corpus = Corpus::new(snaps);
+    let started = Instant::now();
+    let bytes = corpus.to_bytes();
+    let write = started.elapsed();
+    drop(corpus);
+    let started = Instant::now();
+    let loaded = Corpus::from_bytes(&bytes).expect("snapshot roundtrip");
+    let load = started.elapsed();
+    (
+        SnapBench { networks: networks.len(), bytes: bytes.len(), write, load, analyze },
+        loaded,
+    )
+}
+
+/// Latency record of a short `rd-serve` request burst.
+pub struct ServeBench {
+    /// Requests measured (after warmup).
+    pub requests: usize,
+    /// Median request latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: u64,
+    /// Requests per second over the whole burst.
+    pub throughput_rps: f64,
+}
+
+/// One HTTP/1.1 GET over an existing keep-alive connection, framed by
+/// `content-length`. Returns the body length.
+fn keepalive_get(stream: &mut TcpStream, path: &str) -> usize {
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nhost: bench\r\n\r\n").as_bytes())
+        .expect("request written");
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        stream.read_exact(&mut byte).expect("response head");
+        head.push(byte[0]);
+    }
+    let head = String::from_utf8(head).expect("ascii head");
+    assert!(head.starts_with("HTTP/1.1 200"), "unexpected status: {head}");
+    let len: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("content-length: "))
+        .expect("content-length")
+        .parse()
+        .expect("numeric length");
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body).expect("response body");
+    len
+}
+
+/// Serves `corpus` on an ephemeral port and measures `requests` GETs of
+/// `/networks/{first}` over one keep-alive connection.
+pub fn bench_serve(corpus: Corpus, requests: usize) -> ServeBench {
+    let path = match corpus.networks.first() {
+        Some(n) => format!("/networks/{}", n.name),
+        None => "/networks".to_string(),
+    };
+    let server = rd_serve::Server::start(corpus, "127.0.0.1:0", 0).expect("bench server");
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    for _ in 0..5 {
+        keepalive_get(&mut stream, &path);
+    }
+    let mut latencies = Vec::with_capacity(requests);
+    let started = Instant::now();
+    for _ in 0..requests {
+        let t = Instant::now();
+        keepalive_get(&mut stream, &path);
+        latencies.push(t.elapsed().as_micros() as u64);
+    }
+    let wall = started.elapsed();
+    drop(stream);
+    server.shutdown();
+    latencies.sort_unstable();
+    let pick = |q: f64| latencies[((latencies.len() - 1) as f64 * q) as usize];
+    ServeBench {
+        requests,
+        p50_us: pick(0.50),
+        p99_us: pick(0.99),
+        throughput_rps: requests as f64 / wall.as_secs_f64().max(1e-9),
+    }
+}
+
 fn json_ms(d: Duration) -> String {
     format!("{:.3}", d.as_secs_f64() * 1e3)
 }
@@ -138,14 +285,40 @@ fn json_stages(indent: &str, t: &StageTimings) -> String {
 /// Renders bench results as the `BENCH_repro.json` document. The
 /// document additionally carries the `rd-obs` metrics registry as a
 /// top-level `"metrics"` object (counters/gauges as numbers, histograms
-/// as objects) — additive, so existing consumers of `"scales"` are
-/// unaffected.
-pub fn render_json(scales: &[ScaleBench]) -> String {
+/// as objects), and — when measured — `"snap"` (snapshot size and
+/// write/load timings vs re-analysis) and `"serve"` (request latency
+/// percentiles) objects. All additive, so existing consumers of
+/// `"scales"` are unaffected.
+pub fn render_json(
+    scales: &[ScaleBench],
+    snap: Option<&SnapBench>,
+    serve: Option<&ServeBench>,
+) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"repro\",\n  \"unit\": \"ms\",\n");
     out.push_str(&format!(
         "  \"metrics\": {},\n",
         rd_obs::metrics::render_json("  ")
     ));
+    if let Some(s) = snap {
+        out.push_str(&format!(
+            "  \"snap\": {{\n    \"networks\": {},\n    \"bytes\": {},\n    \
+             \"write_ms\": {},\n    \"load_ms\": {},\n    \"analyze_ms\": {},\n    \
+             \"load_speedup\": {:.1}\n  }},\n",
+            s.networks,
+            s.bytes,
+            json_ms(s.write),
+            json_ms(s.load),
+            json_ms(s.analyze),
+            s.speedup(),
+        ));
+    }
+    if let Some(s) = serve {
+        out.push_str(&format!(
+            "  \"serve\": {{\n    \"requests\": {},\n    \"p50_us\": {},\n    \
+             \"p99_us\": {},\n    \"throughput_rps\": {:.0}\n  }},\n",
+            s.requests, s.p50_us, s.p99_us, s.throughput_rps,
+        ));
+    }
     out.push_str("  \"scales\": [\n");
     let rendered: Vec<String> = scales
         .iter()
@@ -226,11 +399,68 @@ mod tests {
                 },
             }],
         }];
-        let text = render_json(&scales);
+        let snap = SnapBench {
+            networks: 1,
+            bytes: 4096,
+            write: Duration::from_millis(1),
+            load: Duration::from_millis(2),
+            analyze: Duration::from_millis(40),
+        };
+        let serve = ServeBench {
+            requests: 100,
+            p50_us: 180,
+            p99_us: 950,
+            throughput_rps: 5000.0,
+        };
+        let text = render_json(&scales, Some(&snap), Some(&serve));
         assert!(text.contains("\"speedup\": 1.80"));
         assert!(text.contains("\"parse\": 2.000"));
         assert!(text.contains("\"routers\": 7"));
+        assert!(text.contains("\"load_speedup\": 20.0"));
+        assert!(text.contains("\"p99_us\": 950"));
         assert_eq!(text.matches('{').count(), text.matches('}').count());
         assert_eq!(text.matches('[').count(), text.matches(']').count());
+
+        // Without the optional sections the legacy shape is untouched.
+        let legacy = render_json(&scales, None, None);
+        assert!(!legacy.contains("\"snap\""));
+        assert!(!legacy.contains("\"serve\""));
+    }
+
+    #[test]
+    fn snapshot_bench_roundtrips_and_beats_reanalysis_floor() {
+        let networks = rd_bench_study_subset();
+        let count = networks.len();
+        let (snap, corpus) = bench_snapshot_ref(&networks);
+        assert_eq!(snap.networks, count);
+        assert_eq!(corpus.networks.len(), count);
+        assert!(snap.bytes > 0);
+        // No wall-clock assertion beyond sanity: timings are environment
+        // dependent, the ≥10x claim is checked by the verify harness.
+        assert!(snap.speedup() > 0.0);
+    }
+
+    #[test]
+    fn serve_bench_measures_latency_percentiles() {
+        let networks = rd_bench_study_subset();
+        let (_, corpus) = bench_snapshot(networks);
+        let result = bench_serve(corpus, 20);
+        assert_eq!(result.requests, 20);
+        assert!(result.p50_us <= result.p99_us);
+        assert!(result.throughput_rps > 0.0);
+    }
+
+    /// Two small study networks analyzed for the snapshot/serve benches.
+    fn rd_bench_study_subset() -> Vec<StudyNetwork> {
+        study_roster(StudyScale::Small)
+            .into_iter()
+            .filter(|spec| spec.name == "net1" || spec.name == "net2")
+            .map(|spec| {
+                let generated = netgen::study::generate_network(&spec, StudyScale::Small);
+                let analysis =
+                    NetworkAnalysis::from_texts(generated.texts).expect("subset analyzes");
+                StudyNetwork { name: spec.name.clone(), analysis }
+            })
+            .collect()
     }
 }

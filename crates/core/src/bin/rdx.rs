@@ -21,13 +21,24 @@
 //! rdx <config-dir> diag                        pipeline diagnostics
 //! rdx <config-dir> diff <other-dir>            design changes between snapshots
 //! rdx <config-dir> anonymize <out-dir> <key>   anonymize the corpus
+//! rdx snap <dir> -o study.rdsnap               snapshot a corpus's analysis
+//! rdx serve study.rdsnap --addr 127.0.0.1:0    serve a snapshot over HTTP
 //! ```
 //!
 //! `<router>` accepts `rN`, a file name, or a hostname.
 //!
+//! Exit codes are consistent across commands: `0` success, `1` analysis
+//! or diagnostic errors (load failures, error-severity diagnostics from
+//! `diag`, unknown routers/instances), `2` usage errors (unknown
+//! commands/flags, missing or malformed arguments).
+//!
 //! Flags (anywhere on the line; anything else starting with `--` is a
 //! usage error):
 //!
+//! - `--version` prints the tool version and exits.
+//! - `--help` prints the full command/flag/exit-code reference.
+//! - `--json` renders `summary` as JSON (the same body `rdx serve`
+//!   answers for `/networks/{id}`).
 //! - `--timings` prints per-stage wall-clock times of the analysis
 //!   pipeline to stderr after the command's own output — **even when the
 //!   command itself fails**, and on a load failure it still reports the
@@ -50,17 +61,19 @@ use routing_design::{NetworkAnalysis, Prefix, RouterId, Severity};
 struct Flags {
     timings: bool,
     metrics: bool,
+    json: bool,
     trace: Option<String>,
 }
 
 fn parse_flags(args: &mut Vec<String>) -> Result<Flags, String> {
-    let mut flags = Flags { timings: false, metrics: false, trace: None };
+    let mut flags = Flags { timings: false, metrics: false, json: false, trace: None };
     let mut rest = Vec::with_capacity(args.len());
     let mut it = std::mem::take(args).into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--timings" => flags.timings = true,
             "--metrics" => flags.metrics = true,
+            "--json" => flags.json = true,
             "--trace" => match it.next() {
                 Some(path) => flags.trace = Some(path),
                 None => return Err("--trace needs a path (or '-')".to_string()),
@@ -80,6 +93,21 @@ fn parse_flags(args: &mut Vec<String>) -> Result<Flags, String> {
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--version" || a == "-V") {
+        println!("rdx {}", env!("CARGO_PKG_VERSION"));
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", help_text());
+        return ExitCode::SUCCESS;
+    }
+    // `snap` and `serve` own their argument parsing (their flags, like
+    // `-o` and `--addr`, are not global flags).
+    match args.first().map(String::as_str) {
+        Some("snap") => return snap_cmd(&args[1..]),
+        Some("serve") => return serve_cmd(&args[1..]),
+        _ => {}
+    }
     let flags = match parse_flags(&mut args) {
         Ok(f) => f,
         Err(msg) => {
@@ -127,7 +155,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let code = run_command(&analysis, command, &rest);
+    let code = run_command(&analysis, &dir, command, &rest, &flags);
     if flags.timings {
         eprintln!(
             "pipeline stage timings ({} routers, {} worker thread(s)):",
@@ -143,8 +171,19 @@ fn main() -> ExitCode {
     code
 }
 
-fn run_command(analysis: &NetworkAnalysis, command: &str, rest: &[String]) -> ExitCode {
+fn run_command(
+    analysis: &NetworkAnalysis,
+    dir: &str,
+    command: &str,
+    rest: &[String],
+    flags: &Flags,
+) -> ExitCode {
     match command {
+        "summary" if flags.json => {
+            let name = network_name(dir);
+            let snap = routing_design::snapshot::capture_ref(&name, analysis);
+            print!("{}", rd_serve::render::network_summary(&snap));
+        }
         "summary" => summary(analysis),
         "instances" => print!("{}", analysis.instance_graph_text()),
         "roles" => print!("{}", analysis.table1),
@@ -181,9 +220,195 @@ fn usage() -> ExitCode {
          pathway <router>|dot [process|instances]|reach <src> <dst>|\
          flow <src> <dst> [proto] [port]|separation <a> <b>|\
          whatif <router> [...]|audit|diag|diff <other-dir>|\
-         anonymize <out-dir> <key>] [--timings] [--metrics] [--trace <path>]"
+         anonymize <out-dir> <key>] [--json] [--timings] [--metrics] [--trace <path>]\n\
+         \x20      rdx snap <dir> -o <file.rdsnap>\n\
+         \x20      rdx serve <file.rdsnap> [--addr HOST:PORT] [--workers N]\n\
+         rdx --help shows the full reference (commands, flags, exit codes)"
     );
-    ExitCode::FAILURE
+    ExitCode::from(2)
+}
+
+fn help_text() -> String {
+    format!(
+        "rdx {} — routing design explorer
+
+usage:
+  rdx <config-dir> [command] [flags]     analyze a config directory
+  rdx snap <dir> -o <file.rdsnap>        analyze once, write a snapshot
+  rdx serve <file.rdsnap> [--addr HOST:PORT] [--workers N]
+                                         serve a snapshot over HTTP
+
+commands (default: summary):
+  summary [--json]           overview + design classification
+  instances                  the routing instance graph
+  roles                      Table-1 style role counts
+  blocks                     recovered address blocks
+  external                   external-facing interfaces
+  pathway <router>           route pathway of one router
+  dot [process|instances]    Graphviz output
+  reach <src> <dst>          block reachability between prefixes
+  flow <src> <dst> [proto] [port]
+                             packet-filter verdicts for one flow
+  separation <a> <b>         minimum router cut between instances
+  whatif <router> [...]      failure simulation
+  audit                      vulnerability findings (paper section 8.1)
+  diag                       pipeline diagnostics
+  diff <other-dir>           design changes between snapshots
+  anonymize <out-dir> <key>  anonymize the corpus
+
+  <router> accepts rN, a file name, or a hostname.
+
+flags:
+  --json             render summary as JSON (the body `rdx serve`
+                     answers for /networks/{{id}})
+  --timings          per-stage pipeline wall-clock times on stderr
+  --metrics          dump the metrics registry on stderr
+  --trace <path>     structured JSONL trace to path ('-' for stderr)
+  --version, -V      print the version and exit
+  --help, -h         print this reference and exit
+
+serve endpoints:
+  /healthz /networks /networks/{{id}} /networks/{{id}}/processes
+  /instances /pathways /diag /metrics
+
+exit codes:
+  0  success
+  1  analysis or diagnostic errors (load failures, error-severity
+     diagnostics from diag, unknown routers or instances)
+  2  usage errors (unknown command or flag, missing or malformed
+     arguments)
+",
+        env!("CARGO_PKG_VERSION")
+    )
+}
+
+/// The network name a directory is published under: its basename (the
+/// same rule `rdx snap` applies), so `rdx <dir> summary --json` matches
+/// the served `/networks/{id}` body for that directory.
+fn network_name(dir: &str) -> String {
+    Path::new(dir)
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "network".to_string())
+}
+
+fn snap_cmd(args: &[String]) -> ExitCode {
+    let mut dir: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-o" | "--out" => match it.next() {
+                Some(path) => out = Some(path.clone()),
+                None => {
+                    eprintln!("rdx: snap: -o needs an output path");
+                    return ExitCode::from(2);
+                }
+            },
+            other if other.starts_with('-') => {
+                eprintln!("rdx: snap: unknown flag {other:?}");
+                return ExitCode::from(2);
+            }
+            other if dir.is_none() => dir = Some(other.to_string()),
+            other => {
+                eprintln!("rdx: snap: unexpected argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("usage: rdx snap <dir> -o <file.rdsnap>");
+        return ExitCode::from(2);
+    };
+    let out = out.unwrap_or_else(|| "study.rdsnap".to_string());
+
+    let started = std::time::Instant::now();
+    let corpus = match routing_design::snapshot::snap_dir(Path::new(&dir)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("rdx: failed to analyze {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let analyze_ms = started.elapsed().as_secs_f64() * 1e3;
+    let write_started = std::time::Instant::now();
+    let bytes = corpus.to_bytes();
+    if let Err(e) = std::fs::write(&out, &bytes) {
+        eprintln!("rdx: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "snapshotted {} network(s) into {out}: {} bytes \
+         (analyze {analyze_ms:.1} ms, encode+write {:.1} ms)",
+        corpus.networks.len(),
+        bytes.len(),
+        write_started.elapsed().as_secs_f64() * 1e3,
+    );
+    ExitCode::SUCCESS
+}
+
+fn serve_cmd(args: &[String]) -> ExitCode {
+    let mut file: Option<String> = None;
+    let mut addr = "127.0.0.1:8080".to_string();
+    let mut workers = 0usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => match it.next() {
+                Some(a) => addr = a.clone(),
+                None => {
+                    eprintln!("rdx: serve: --addr needs HOST:PORT");
+                    return ExitCode::from(2);
+                }
+            },
+            "--workers" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) => workers = n,
+                None => {
+                    eprintln!("rdx: serve: --workers needs a number");
+                    return ExitCode::from(2);
+                }
+            },
+            other if other.starts_with("--addr=") => {
+                addr = other["--addr=".len()..].to_string();
+            }
+            other if other.starts_with('-') => {
+                eprintln!("rdx: serve: unknown flag {other:?}");
+                return ExitCode::from(2);
+            }
+            other if file.is_none() => file = Some(other.to_string()),
+            other => {
+                eprintln!("rdx: serve: unexpected argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("usage: rdx serve <file.rdsnap> [--addr HOST:PORT] [--workers N]");
+        return ExitCode::from(2);
+    };
+    let corpus = match rd_snap::Corpus::read_file(Path::new(&file)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("rdx: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let networks = corpus.networks.len();
+    rd_serve::install_signal_handlers();
+    let server = match rd_serve::Server::start(corpus, &addr, workers) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rdx: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Scripts parse this line for the bound (possibly ephemeral) port.
+    println!("listening on http://{} ({networks} network(s) from {file})", server.local_addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    server.run_until_shutdown();
+    eprintln!("rdx: shut down cleanly");
+    ExitCode::SUCCESS
 }
 
 fn summary(a: &NetworkAnalysis) {
@@ -310,7 +535,7 @@ fn resolve_router(a: &NetworkAnalysis, text: &str) -> Option<RouterId> {
 fn pathway(a: &NetworkAnalysis, args: &[String]) -> ExitCode {
     let Some(text) = args.first() else {
         eprintln!("rdx: pathway needs a router (rN, file name, or hostname)");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     let Some(rid) = resolve_router(a, text) else {
         eprintln!("rdx: no router named {text:?}");
@@ -327,7 +552,7 @@ fn dot(a: &NetworkAnalysis, args: &[String]) -> ExitCode {
         "instances" => print!("{}", a.instance_graph_dot()),
         other => {
             eprintln!("rdx: unknown dot target {other:?} (process|instances)");
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     }
     ExitCode::SUCCESS
@@ -336,11 +561,11 @@ fn dot(a: &NetworkAnalysis, args: &[String]) -> ExitCode {
 fn reach(a: &NetworkAnalysis, args: &[String]) -> ExitCode {
     let (Some(src), Some(dst)) = (args.first(), args.get(1)) else {
         eprintln!("rdx: reach needs <src-prefix> <dst-prefix>");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     let (Ok(src), Ok(dst)) = (src.parse::<Prefix>(), dst.parse::<Prefix>()) else {
         eprintln!("rdx: prefixes must look like 10.2.0.0/16");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     let reachability = a.reachability();
     let forward = reachability.block_reachable(src, dst);
@@ -355,7 +580,7 @@ fn separation(a: &NetworkAnalysis, args: &[String]) -> ExitCode {
     let (Some(x), Some(y)) = (args.first().and_then(parse), args.get(1).and_then(parse))
     else {
         eprintln!("rdx: separation needs two instance ids (e.g. 0 3)");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     if x >= a.instances.len() || y >= a.instances.len() {
         eprintln!("rdx: instance ids out of range (have {})", a.instances.len());
@@ -379,20 +604,20 @@ fn separation(a: &NetworkAnalysis, args: &[String]) -> ExitCode {
 fn flow(a: &NetworkAnalysis, args: &[String]) -> ExitCode {
     let (Some(src), Some(dst)) = (args.first(), args.get(1)) else {
         eprintln!("rdx: flow needs <src-addr> <dst-addr> [ip|tcp|udp|icmp|pim] [dst-port]");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     let (Ok(src), Ok(dst)) =
         (src.parse::<routing_design::Addr>(), dst.parse::<routing_design::Addr>())
     else {
         eprintln!("rdx: addresses must look like 10.0.0.1");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     let proto = match args.get(2) {
         Some(text) => match reachability::FlowProto::parse(text) {
             Some(p) => p,
             None => {
                 eprintln!("rdx: unknown protocol {text:?}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(2);
             }
         },
         None => reachability::FlowProto::Ip,
@@ -435,7 +660,7 @@ fn flow(a: &NetworkAnalysis, args: &[String]) -> ExitCode {
 fn whatif(a: &NetworkAnalysis, args: &[String]) -> ExitCode {
     if args.is_empty() {
         eprintln!("rdx: whatif needs one or more routers (rN, file name, or hostname)");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     }
     let mut failed = std::collections::BTreeSet::new();
     for text in args {
@@ -474,7 +699,7 @@ fn whatif(a: &NetworkAnalysis, args: &[String]) -> ExitCode {
 fn diff_cmd(old: &NetworkAnalysis, args: &[String]) -> ExitCode {
     let Some(other) = args.first() else {
         eprintln!("rdx: diff needs the other snapshot's directory");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     let new = match NetworkAnalysis::from_dir(Path::new(other)) {
         Ok(a) => a,
@@ -490,7 +715,7 @@ fn diff_cmd(old: &NetworkAnalysis, args: &[String]) -> ExitCode {
 fn anonymize(dir: &str, args: &[String]) -> ExitCode {
     let (Some(out), Some(key)) = (args.first(), args.get(1)) else {
         eprintln!("rdx: anonymize needs <out-dir> <key>");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     let anon = anonymizer::Anonymizer::new(key.as_bytes());
     if let Err(e) = std::fs::create_dir_all(out) {

@@ -49,6 +49,7 @@
 pub mod audit;
 pub mod diff;
 pub mod report;
+pub mod snapshot;
 
 use std::path::Path;
 

@@ -1,0 +1,128 @@
+//! Bridging [`NetworkAnalysis`] to the `rd-snap` persistence layer.
+//!
+//! `rdx snap <dir> -o study.rdsnap` lands here: a config directory (one
+//! network, or a study directory of `netN` subdirectories) is analyzed
+//! once and serialized; [`restore`] turns a loaded snapshot back into a
+//! [`NetworkAnalysis`] without invoking the IOS parser — stage timings
+//! are the only field not carried over (the snapshot stores the analysis,
+//! not the run that produced it).
+
+use std::path::Path;
+
+use rd_snap::{Corpus, NetworkSnapshot};
+
+use crate::{LoadError, NetworkAnalysis};
+
+/// Converts a finished analysis into its snapshot form, named `name`.
+pub fn capture(name: &str, analysis: NetworkAnalysis) -> NetworkSnapshot {
+    NetworkSnapshot {
+        name: name.to_string(),
+        network: analysis.network,
+        links: analysis.links,
+        external: analysis.external,
+        processes: analysis.processes,
+        adjacencies: analysis.adjacencies,
+        instances: analysis.instances,
+        instance_graph: analysis.instance_graph,
+        process_graph: analysis.process_graph,
+        blocks: analysis.blocks,
+        table1: analysis.table1,
+        design: analysis.design,
+        diagnostics: analysis.diagnostics,
+    }
+}
+
+/// Like [`capture`], but clones out of a borrowed analysis — for callers
+/// that still need the analysis afterwards (e.g. `rdx summary --json`,
+/// which prints timings after rendering).
+pub fn capture_ref(name: &str, analysis: &NetworkAnalysis) -> NetworkSnapshot {
+    NetworkSnapshot {
+        name: name.to_string(),
+        network: analysis.network.clone(),
+        links: analysis.links.clone(),
+        external: analysis.external.clone(),
+        processes: analysis.processes.clone(),
+        adjacencies: analysis.adjacencies.clone(),
+        instances: analysis.instances.clone(),
+        instance_graph: analysis.instance_graph.clone(),
+        process_graph: analysis.process_graph.clone(),
+        blocks: analysis.blocks.clone(),
+        table1: analysis.table1.clone(),
+        design: analysis.design.clone(),
+        diagnostics: analysis.diagnostics.clone(),
+    }
+}
+
+/// Reconstitutes an analysis from a loaded snapshot. No parsing, no
+/// recomputation: every derived product comes straight from the snapshot
+/// (`timings` is empty — nothing ran).
+pub fn restore(snap: NetworkSnapshot) -> NetworkAnalysis {
+    NetworkAnalysis {
+        network: snap.network,
+        links: snap.links,
+        external: snap.external,
+        processes: snap.processes,
+        adjacencies: snap.adjacencies,
+        instances: snap.instances,
+        instance_graph: snap.instance_graph,
+        process_graph: snap.process_graph,
+        blocks: snap.blocks,
+        table1: snap.table1,
+        design: snap.design,
+        diagnostics: snap.diagnostics,
+        timings: Default::default(),
+    }
+}
+
+/// True when `dir` looks like a study directory (subdirectories holding
+/// config files) rather than a single network's config directory.
+fn is_study_dir(dir: &Path) -> bool {
+    let mut has_subdir_with_files = false;
+    let mut has_plain_file = false;
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                if std::fs::read_dir(&path)
+                    .map(|mut sub| sub.any(|e| e.is_ok_and(|e| e.path().is_file())))
+                    .unwrap_or(false)
+                {
+                    has_subdir_with_files = true;
+                }
+            } else if path.is_file() {
+                has_plain_file = true;
+            }
+        }
+    }
+    has_subdir_with_files && !has_plain_file
+}
+
+/// Analyzes `dir` — one network, or a whole study directory of `netN`
+/// subdirectories (analyzed in parallel with `rd-par`) — and returns the
+/// snapshot corpus. Network names are the directory basenames.
+pub fn snap_dir(dir: &Path) -> Result<Corpus, LoadError> {
+    let name_of = |p: &Path| {
+        p.file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "network".to_string())
+    };
+    if !is_study_dir(dir) {
+        let analysis = NetworkAnalysis::from_dir(dir)?;
+        return Ok(Corpus::new(vec![capture(&name_of(dir), analysis)]));
+    }
+    let mut subdirs: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(LoadError::Io)?
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    subdirs.sort();
+    let results = rd_par::par_map(&subdirs, |_, sub| {
+        NetworkAnalysis::from_dir(sub).map(|a| capture(&name_of(sub), a))
+    });
+    let mut networks = Vec::with_capacity(results.len());
+    for r in results {
+        networks.push(r?);
+    }
+    Ok(Corpus::new(networks))
+}

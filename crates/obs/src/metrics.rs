@@ -191,6 +191,60 @@ pub fn render_json(indent: &str) -> String {
     format!("{{\n{}\n{indent}}}", body.join(",\n"))
 }
 
+/// Maps a dotted metric name onto the Prometheus name charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): dots and other illegal characters become
+/// underscores, and a leading digit gets an underscore prefix.
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else if ok {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders the registry in the Prometheus text exposition format
+/// (version 0.0.4), sorted by metric name — served at `/metrics` by
+/// `rdx serve`.
+///
+/// Counters gain a `_total` suffix per convention; histograms render as
+/// cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
+pub fn render_prometheus() -> String {
+    let mut out = String::new();
+    for (name, metric) in snapshot() {
+        let pname = prometheus_name(&name);
+        match metric {
+            Metric::Counter(v) => {
+                let _ = writeln!(out, "# TYPE {pname}_total counter");
+                let _ = writeln!(out, "{pname}_total {v}");
+            }
+            Metric::Gauge(v) => {
+                let _ = writeln!(out, "# TYPE {pname} gauge");
+                let _ = writeln!(out, "{pname} {v}");
+            }
+            Metric::Histogram(h) => {
+                let _ = writeln!(out, "# TYPE {pname} histogram");
+                let mut cumulative = 0u64;
+                for (bound, count) in h.bounds.iter().zip(&h.buckets) {
+                    cumulative += count;
+                    let _ = writeln!(out, "{pname}_bucket{{le=\"{bound}\"}} {cumulative}");
+                }
+                let _ = writeln!(out, "{pname}_bucket{{le=\"+Inf\"}} {}", h.count);
+                let _ = writeln!(out, "{pname}_sum {}", h.sum);
+                let _ = writeln!(out, "{pname}_count {}", h.count);
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,6 +280,18 @@ mod tests {
         assert!(json.contains("\"t.files\": 5"));
         assert!(json.contains("\"count\": 4"));
         crate::json::validate_object(&json.replace('\n', " ")).unwrap();
+
+        let prom = render_prometheus();
+        assert!(prom.contains("# TYPE t_files_total counter"));
+        assert!(prom.contains("t_files_total 5"));
+        assert!(prom.contains("# TYPE t_gauge gauge"));
+        assert!(prom.contains("t_gauge 11"));
+        assert!(prom.contains("t_hist_bucket{le=\"8\"} 2"));
+        assert!(prom.contains("t_hist_bucket{le=\"16\"} 3"));
+        assert!(prom.contains("t_hist_bucket{le=\"+Inf\"} 4"));
+        assert!(prom.contains("t_hist_sum 118"));
+        assert!(prom.contains("t_hist_count 4"));
+        assert_eq!(prometheus_name("9lives.x-y"), "_9lives_x_y");
 
         // Peak RSS: on Linux this must parse; elsewhere it may be None.
         if cfg!(target_os = "linux") {

@@ -50,7 +50,7 @@ impl fmt::Display for DesignClass {
 }
 
 /// The evidence behind a classification, kept for reporting.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DesignSummary {
     /// The verdict.
     pub class: DesignClass,

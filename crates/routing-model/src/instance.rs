@@ -139,6 +139,20 @@ impl Instances {
         Instances { list, membership }
     }
 
+    /// Rebuilds an `Instances` from an already-computed list (e.g. one
+    /// restored from a snapshot). Ids are trusted to match list positions
+    /// — which `compute` guarantees — and the membership index is derived
+    /// from each instance's process set.
+    pub fn from_list(list: Vec<RoutingInstance>) -> Instances {
+        let mut membership = BTreeMap::new();
+        for inst in &list {
+            for p in &inst.processes {
+                membership.insert(*p, inst.id);
+            }
+        }
+        Instances { list, membership }
+    }
+
     /// The instance a process belongs to.
     pub fn instance_of(&self, key: ProcKey) -> Option<InstanceId> {
         self.membership.get(&key).copied()

@@ -164,6 +164,16 @@ impl Processes {
         Processes { list, index }
     }
 
+    /// Rebuilds a `Processes` from an already-extracted, key-sorted list
+    /// (e.g. one restored from a snapshot). The lookup index is derived
+    /// from the list, so the result is identical to the `extract` output
+    /// the list came from.
+    pub fn from_list(mut list: Vec<RoutingProcess>) -> Processes {
+        list.sort_by_key(|p| p.key);
+        let index = list.iter().enumerate().map(|(i, p)| (p.key, i)).collect();
+        Processes { list, index }
+    }
+
     /// Looks up a process by key.
     pub fn get(&self, key: ProcKey) -> Option<&RoutingProcess> {
         self.index.get(&key).map(|&i| &self.list[i])

@@ -1,0 +1,294 @@
+//! Minimal HTTP/1.1 request parsing and response writing.
+//!
+//! Only what the snapshot query server needs: GET requests, keep-alive,
+//! and strict input limits. The parser reads the request head byte by
+//! byte off a blocking stream with a read timeout, enforcing caps before
+//! buffering, so a hostile or broken client cannot make a worker allocate
+//! unboundedly or hang forever:
+//!
+//! - request line longer than [`MAX_REQUEST_LINE`] → 400
+//! - header block longer than [`MAX_HEAD_BYTES`] (or any single header
+//!   line longer than [`MAX_HEADER_LINE`], or more than [`MAX_HEADERS`]
+//!   headers) → 431
+//! - declared body longer than [`MAX_BODY_BYTES`] → 413
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Longest accepted request line (method + target + version).
+pub const MAX_REQUEST_LINE: usize = 4096;
+/// Longest accepted single header line.
+pub const MAX_HEADER_LINE: usize = 8192;
+/// Cap on the whole request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 32 * 1024;
+/// Most headers accepted in one request.
+pub const MAX_HEADERS: usize = 64;
+/// Largest declared request body the server will drain.
+pub const MAX_BODY_BYTES: usize = 64 * 1024;
+
+/// A parsed request head.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method, uppercased as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// The request target (path + optional query), as received.
+    pub target: String,
+    /// True when the connection should stay open after the response.
+    pub keep_alive: bool,
+    /// Declared `Content-Length`, if any.
+    pub content_length: usize,
+}
+
+/// A protocol-level rejection: status to send, and whether the connection
+/// must close afterwards (it always does — after a malformed request the
+/// stream position is unreliable).
+#[derive(Debug)]
+pub struct HttpError {
+    /// HTTP status code to respond with.
+    pub status: u16,
+    /// Short human-readable reason, included in the JSON error body.
+    pub message: String,
+}
+
+impl HttpError {
+    fn new(status: u16, message: impl Into<String>) -> HttpError {
+        HttpError { status, message: message.into() }
+    }
+}
+
+/// The outcome of trying to read one request off a connection.
+pub enum ReadOutcome {
+    /// A complete request head was parsed.
+    Request(Request),
+    /// The peer closed (or went quiet past the idle timeout) between
+    /// requests — normal end of a keep-alive connection.
+    Closed,
+    /// The request was rejected at the protocol level.
+    Error(HttpError),
+}
+
+/// Reads one request head from `stream`.
+///
+/// `idle` distinguishes a clean close (EOF or timeout *before* the first
+/// byte of a request) from a truncated request (EOF mid-head → 400).
+pub fn read_request(stream: &mut TcpStream) -> ReadOutcome {
+    let mut head: Vec<u8> = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    // Read until CRLFCRLF (or LFLF, tolerated), enforcing the head cap.
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                return if head.is_empty() {
+                    ReadOutcome::Closed
+                } else {
+                    ReadOutcome::Error(HttpError::new(400, "truncated request head"))
+                };
+            }
+            Ok(_) => {
+                head.push(byte[0]);
+                if head.len() > MAX_HEAD_BYTES {
+                    return ReadOutcome::Error(HttpError::new(
+                        431,
+                        "request head exceeds limit",
+                    ));
+                }
+                if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return if head.is_empty() {
+                    ReadOutcome::Closed
+                } else {
+                    ReadOutcome::Error(HttpError::new(400, "request head timed out"))
+                };
+            }
+            Err(_) => return ReadOutcome::Closed,
+        }
+    }
+    match parse_head(&head) {
+        Ok(req) => ReadOutcome::Request(req),
+        Err(e) => ReadOutcome::Error(e),
+    }
+}
+
+/// Parses a complete request head (everything through the blank line).
+fn parse_head(head: &[u8]) -> Result<Request, HttpError> {
+    let text = std::str::from_utf8(head)
+        .map_err(|_| HttpError::new(400, "request head is not valid UTF-8"))?;
+    let mut lines = text.split_terminator('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+
+    let request_line = lines.next().unwrap_or("");
+    if request_line.len() > MAX_REQUEST_LINE {
+        return Err(HttpError::new(400, "request line exceeds limit"));
+    }
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next())
+    {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(HttpError::new(400, "malformed request line")),
+    };
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Err(HttpError::new(400, "unsupported HTTP version")),
+    };
+
+    let mut keep_alive = http11;
+    let mut content_length = 0usize;
+    let mut count = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        count += 1;
+        if count > MAX_HEADERS {
+            return Err(HttpError::new(431, "too many headers"));
+        }
+        if line.len() > MAX_HEADER_LINE {
+            return Err(HttpError::new(431, "header line exceeds limit"));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::new(400, "malformed header line"));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "connection" => {
+                let v = value.to_ascii_lowercase();
+                if v.contains("close") {
+                    keep_alive = false;
+                } else if v.contains("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+            "content-length" => {
+                content_length = value
+                    .parse()
+                    .map_err(|_| HttpError::new(400, "invalid Content-Length"))?;
+            }
+            _ => {}
+        }
+    }
+
+    Ok(Request {
+        method: method.to_string(),
+        target: target.to_string(),
+        keep_alive,
+        content_length,
+    })
+}
+
+/// Drains (and discards) a declared request body within the cap.
+pub fn drain_body(stream: &mut TcpStream, len: usize) -> io::Result<()> {
+    let mut remaining = len;
+    let mut buf = [0u8; 4096];
+    while remaining > 0 {
+        let take = remaining.min(buf.len());
+        let n = stream.read(&mut buf[..take])?;
+        if n == 0 {
+            break;
+        }
+        remaining -= n;
+    }
+    Ok(())
+}
+
+/// The canonical reason phrase for the statuses this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a response with the given body, setting `Connection` from
+/// `keep_alive`. `content_type` is e.g. `application/json`.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {}\r\n",
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    if status == 405 {
+        head.push_str("allow: GET\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// A JSON error body for non-200 responses.
+pub fn error_body(status: u16, message: &str) -> String {
+    format!(
+        "{{\"error\": \"{}\", \"status\": {status}}}\n",
+        rd_obs::json::escape(message)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_parsing() {
+        let req = parse_head(b"GET /networks HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/networks");
+        assert!(req.keep_alive);
+        assert_eq!(req.content_length, 0);
+
+        // HTTP/1.0 defaults to close; keep-alive is opt-in.
+        let req = parse_head(b"GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!req.keep_alive);
+        let req = parse_head(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(req.keep_alive);
+        let req = parse_head(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!req.keep_alive);
+
+        let req = parse_head(b"POST / HTTP/1.1\r\nContent-Length: 12\r\n\r\n").unwrap();
+        assert_eq!(req.content_length, 12);
+    }
+
+    #[test]
+    fn head_rejections() {
+        assert_eq!(parse_head(b"GET\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(parse_head(b"GET /\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(parse_head(b"GET / SPDY/9\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(parse_head(b"GET / HTTP/1.1\r\nbroken header\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(
+            parse_head(b"GET / HTTP/1.1\r\nContent-Length: ten\r\n\r\n").unwrap_err().status,
+            400
+        );
+
+        let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE));
+        assert_eq!(parse_head(long_line.as_bytes()).unwrap_err().status, 400);
+
+        let long_header =
+            format!("GET / HTTP/1.1\r\nx-pad: {}\r\n\r\n", "b".repeat(MAX_HEADER_LINE));
+        assert_eq!(parse_head(long_header.as_bytes()).unwrap_err().status, 431);
+
+        let many = format!(
+            "GET / HTTP/1.1\r\n{}\r\n",
+            (0..=MAX_HEADERS).map(|i| format!("x-{i}: v\r\n")).collect::<String>()
+        );
+        assert_eq!(parse_head(many.as_bytes()).unwrap_err().status, 431);
+    }
+}

@@ -1,0 +1,281 @@
+//! `rd-serve`: a zero-dependency, multi-threaded HTTP/1.1 query server
+//! over `rd-snap` analysis snapshots.
+//!
+//! The paper's analysis is extracted once (`rdx snap`) and then queried
+//! cheaply: `rdx serve study.rdsnap --addr 127.0.0.1:0` loads the corpus
+//! into memory behind an `Arc` and answers read-only JSON endpoints from
+//! a bounded pool of worker threads (sized like `rd-par`'s `par_map`
+//! pool, via [`rd_par::thread_count`]):
+//!
+//! | Endpoint | Body |
+//! |---|---|
+//! | `/healthz` | liveness + corpus size |
+//! | `/networks` | per-network summary rows |
+//! | `/networks/{id}` | one network's full summary |
+//! | `/networks/{id}/processes` | that network's routing processes |
+//! | `/instances` | routing instances across the corpus |
+//! | `/pathways` | per-router pathway depth summaries |
+//! | `/diag` | all pipeline diagnostics |
+//! | `/metrics` | the rd-obs registry, Prometheus text format |
+//!
+//! Every request is traced (`http.request` events) and measured
+//! (`http.requests` counter, `http.request_us` latency histogram, status
+//! class counters), which is what `/metrics` then exports. Strict input
+//! limits (see [`http`]) bound per-connection memory; keep-alive is
+//! honored; and shutdown is graceful: a flag flipped either
+//! programmatically ([`Server::shutdown`]) or by SIGTERM/SIGINT
+//! ([`install_signal_handlers`]) stops the accept loops, lets in-flight
+//! responses finish, and joins every worker.
+
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod render;
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rd_snap::Corpus;
+
+use http::{ReadOutcome, Request};
+
+/// How long an accept loop sleeps when there is nothing to accept.
+const ACCEPT_IDLE: Duration = Duration::from_millis(10);
+/// Per-connection read timeout: bounds how long a keep-alive connection
+/// can sit idle holding a worker, and how long a slow client can take to
+/// deliver one request head.
+const READ_TIMEOUT: Duration = Duration::from_millis(2000);
+/// Latency histogram bounds, in microseconds.
+const LATENCY_BOUNDS_US: &[u64] = &[50, 100, 250, 500, 1000, 2500, 5000, 25000, 100_000];
+
+/// Set by the signal handler; checked by every accept and keep-alive loop
+/// alongside the server's own flag.
+static SIGNAL_SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Installs SIGTERM and SIGINT handlers that request a graceful shutdown
+/// of every [`Server`] in the process.
+///
+/// The handler only stores to an atomic flag (the sole async-signal-safe
+/// thing it could do); accept loops notice it within [`ACCEPT_IDLE`].
+pub fn install_signal_handlers() {
+    #[cfg(unix)]
+    {
+        extern "C" fn on_signal(_sig: i32) {
+            SIGNAL_SHUTDOWN.store(true, Ordering::SeqCst);
+        }
+        // Minimal libc binding — the workspace carries no external crates.
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+/// True once a shutdown signal has been delivered.
+pub fn signal_shutdown_requested() -> bool {
+    SIGNAL_SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// A running snapshot query server.
+pub struct Server {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
+    /// `workers` accept loops over the shared listener. With `workers` 0,
+    /// the pool is sized by [`rd_par::thread_count`] (the `RD_THREADS`
+    /// environment override applies), clamped to at least 2 so one
+    /// long-polling connection cannot starve the server.
+    pub fn start(corpus: Corpus, addr: &str, workers: usize) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let corpus = Arc::new(corpus);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let pool = if workers == 0 { rd_par::thread_count().max(2) } else { workers };
+
+        let mut handles = Vec::with_capacity(pool);
+        for i in 0..pool {
+            let listener = listener.try_clone()?;
+            let corpus = Arc::clone(&corpus);
+            let shutdown = Arc::clone(&shutdown);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("rd-serve-{i}"))
+                    .spawn(move || accept_loop(listener, corpus, shutdown))
+                    .expect("spawn worker"),
+            );
+        }
+        rd_obs::metrics::gauge_set("http.workers", pool as i64);
+        Ok(Server { local_addr, shutdown, workers: handles })
+    }
+
+    /// The actual bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Requests a graceful stop and joins every worker. In-flight
+    /// responses complete; idle keep-alive connections are closed.
+    pub fn shutdown(self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for h in self.workers {
+            let _ = h.join();
+        }
+    }
+
+    /// Blocks until a shutdown is requested (programmatically or via a
+    /// signal), then joins the workers. This is what `rdx serve` calls
+    /// after printing the bound address.
+    pub fn run_until_shutdown(self) {
+        while !self.shutdown.load(Ordering::SeqCst) && !signal_shutdown_requested() {
+            std::thread::sleep(ACCEPT_IDLE);
+        }
+        self.shutdown();
+    }
+}
+
+fn shutting_down(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::SeqCst) || signal_shutdown_requested()
+}
+
+fn accept_loop(listener: TcpListener, corpus: Arc<Corpus>, shutdown: Arc<AtomicBool>) {
+    while !shutting_down(&shutdown) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                handle_connection(stream, &corpus, &shutdown);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_IDLE);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_IDLE),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, corpus: &Corpus, shutdown: &AtomicBool) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    loop {
+        match http::read_request(&mut stream) {
+            ReadOutcome::Closed => return,
+            ReadOutcome::Error(e) => {
+                record_request("-", "-", e.status, 0);
+                let body = http::error_body(e.status, &e.message);
+                let _ = http::write_response(&mut stream, e.status, "application/json", &body, false);
+                lingering_close(stream);
+                return;
+            }
+            ReadOutcome::Request(req) => {
+                let started = Instant::now();
+                let keep_alive = req.keep_alive && !shutting_down(shutdown);
+                let (status, content_type, body) = respond(corpus, &req, &mut stream);
+                let us = started.elapsed().as_micros() as u64;
+                record_request(&req.method, &req.target, status, us);
+                if http::write_response(&mut stream, status, content_type, &body, keep_alive)
+                    .is_err()
+                {
+                    return;
+                }
+                if !keep_alive {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Closes an errored connection without triggering a TCP reset: unread
+/// request bytes in the receive buffer would otherwise turn the close
+/// into an RST that can discard the error response before the client
+/// reads it. Shutting down the write side and draining (bounded by the
+/// read timeout and a byte cap) lets the response reach the peer.
+fn lingering_close(mut stream: TcpStream) {
+    use std::io::Read;
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut drained = 0usize;
+    let mut buf = [0u8; 4096];
+    while drained < 1024 * 1024 {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
+        }
+    }
+}
+
+/// Routes one request. Returns `(status, content type, body)`.
+fn respond(
+    corpus: &Corpus,
+    req: &Request,
+    stream: &mut TcpStream,
+) -> (u16, &'static str, String) {
+    // Transport-level protections come before semantics: an oversized
+    // declared body is rejected whatever the method or path.
+    if req.content_length > http::MAX_BODY_BYTES {
+        return (413, "application/json", http::error_body(413, "request body exceeds limit"));
+    }
+    if req.content_length > 0 && http::drain_body(stream, req.content_length).is_err() {
+        return (400, "application/json", http::error_body(400, "request body truncated"));
+    }
+    if req.method != "GET" {
+        return (
+            405,
+            "application/json",
+            http::error_body(405, &format!("method {} not allowed", req.method)),
+        );
+    }
+
+    let path = req.target.split('?').next().unwrap_or("");
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match segments.as_slice() {
+        ["healthz"] => (200, "application/json", render::healthz(corpus)),
+        ["networks"] => (200, "application/json", render::networks_index(corpus)),
+        ["networks", id] => match corpus.get(id) {
+            Some(n) => (200, "application/json", render::network_summary(n)),
+            None => (404, "application/json", http::error_body(404, &format!("no network '{id}'"))),
+        },
+        ["networks", id, "processes"] => match corpus.get(id) {
+            Some(n) => (200, "application/json", render::network_processes(n)),
+            None => (404, "application/json", http::error_body(404, &format!("no network '{id}'"))),
+        },
+        ["instances"] => (200, "application/json", render::instances(corpus)),
+        ["pathways"] => (200, "application/json", render::pathways(corpus)),
+        ["diag"] => (200, "application/json", render::diag(corpus)),
+        ["metrics"] => (
+            200,
+            "text/plain; version=0.0.4",
+            rd_obs::metrics::render_prometheus(),
+        ),
+        _ => (404, "application/json", http::error_body(404, &format!("no route for {path}"))),
+    }
+}
+
+/// Records the per-request observability: counters, the latency
+/// histogram, and a trace event (visible with `RD_TRACE=...`).
+fn record_request(method: &str, target: &str, status: u16, us: u64) {
+    rd_obs::metrics::counter_add("http.requests", 1);
+    rd_obs::metrics::counter_add(&format!("http.responses.{}xx", status / 100), 1);
+    rd_obs::metrics::histogram_record("http.request_us", us, LATENCY_BOUNDS_US);
+    rd_obs::trace::event(
+        "http.request",
+        &[
+            ("method", method.into()),
+            ("target", target.into()),
+            ("status", i64::from(status).into()),
+            ("us", (us as i64).into()),
+        ],
+    );
+}

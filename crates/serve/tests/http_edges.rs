@@ -1,0 +1,296 @@
+//! HTTP protocol edge cases and concurrency behavior of `rd-serve`,
+//! exercised over real sockets against a hand-built mini corpus.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use nettopo::{ExternalAnalysis, LinkMap, Network};
+use rd_serve::Server;
+use rd_snap::{Corpus, NetworkSnapshot};
+use routing_model::{
+    classify_network, Adjacencies, InstanceGraph, Instances, ProcessGraph, Processes, Table1,
+};
+
+/// Analyzes a two-router corpus through the real pipeline (no netgen or
+/// core dependency) and snapshots it under `name`.
+fn tiny_snapshot(name: &str) -> NetworkSnapshot {
+    let r1 = "\
+hostname edge1
+interface Loopback0
+ ip address 10.0.0.1 255.255.255.255
+interface Serial0/0
+ ip address 10.1.0.1 255.255.255.252
+router ospf 1
+ network 10.0.0.0 0.0.255.255 area 0
+ network 10.1.0.0 0.0.255.255 area 0
+router bgp 65000
+ neighbor 10.0.0.2 remote-as 65000
+";
+    let r2 = "\
+hostname edge2
+interface Loopback0
+ ip address 10.0.0.2 255.255.255.255
+interface Serial0/0
+ ip address 10.1.0.2 255.255.255.252
+router ospf 1
+ network 10.0.0.0 0.0.255.255 area 0
+ network 10.1.0.0 0.0.255.255 area 0
+router bgp 65000
+ neighbor 10.0.0.1 remote-as 65000
+ neighbor 192.168.50.1 remote-as 7018
+";
+    let texts = vec![
+        ("config1".to_string(), r1.to_string()),
+        ("config2".to_string(), r2.to_string()),
+    ];
+    let network = Network::from_texts(texts).expect("tiny corpus parses");
+    let links = LinkMap::build(&network);
+    let external = ExternalAnalysis::build(&network, &links);
+    let processes = Processes::extract(&network);
+    let adjacencies = Adjacencies::build(&network, &links, &processes, &external);
+    let instances = Instances::compute(&processes, &adjacencies);
+    let instance_graph = InstanceGraph::build(&network, &processes, &adjacencies, &instances);
+    let process_graph = ProcessGraph::build(&network, &processes, &adjacencies);
+    let blocks = network.address_blocks();
+    let table1 = Table1::compute(&instances, &instance_graph, &adjacencies);
+    let design = classify_network(&network, &instances, &instance_graph, &adjacencies, &table1);
+    let diagnostics = network.diagnostics.clone();
+    NetworkSnapshot {
+        name: name.to_string(),
+        network,
+        links,
+        external,
+        processes,
+        adjacencies,
+        instances,
+        instance_graph,
+        process_graph,
+        blocks,
+        table1,
+        design,
+        diagnostics,
+    }
+}
+
+fn start_server() -> Server {
+    let corpus = Corpus::new(vec![tiny_snapshot("net1"), tiny_snapshot("net2")]);
+    Server::start(corpus, "127.0.0.1:0", 4).expect("server starts")
+}
+
+/// Sends raw bytes, half-closes the write side, and returns the raw
+/// response text.
+fn raw_request(server: &Server, bytes: &[u8]) -> String {
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    // The server may reject mid-send (oversized head): tolerate write
+    // errors and read whatever response made it back.
+    let _ = stream.write_all(bytes);
+    stream.shutdown(std::net::Shutdown::Write).ok();
+    let mut out = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => out.extend_from_slice(&chunk[..n]),
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// GETs `path` and returns (status line, body).
+fn get(server: &Server, path: &str) -> (String, String) {
+    let response = raw_request(
+        server,
+        format!("GET {path} HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n").as_bytes(),
+    );
+    let (head, body) = response.split_once("\r\n\r\n").expect("has header/body split");
+    let status = head.lines().next().unwrap_or("").to_string();
+    (status, body.to_string())
+}
+
+#[test]
+fn endpoints_answer() {
+    let server = start_server();
+
+    let (status, body) = get(&server, "/healthz");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("\"status\": \"ok\"") && body.contains("\"networks\": 2"), "{body}");
+
+    let (status, body) = get(&server, "/networks");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("\"name\": \"net1\"") && body.contains("\"name\": \"net2\""));
+
+    let (status, body) = get(&server, "/networks/net1");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("\"name\": \"net1\"") && body.contains("\"design\""), "{body}");
+
+    let (status, body) = get(&server, "/networks/net1/processes");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("\"proto\": \"ospf 1\"") || body.contains("\"proto\""), "{body}");
+
+    let (status, body) = get(&server, "/instances");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("\"network\": \"net1\""), "{body}");
+
+    let (status, body) = get(&server, "/pathways");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("\"max_depth\""), "{body}");
+
+    let (status, body) = get(&server, "/diag");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("\"diagnostics\""), "{body}");
+
+    // Request metrics are visible at /metrics after the calls above.
+    let (status, body) = get(&server, "/metrics");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("http_requests_total"), "{body}");
+    assert!(body.contains("http_request_us_bucket"), "{body}");
+
+    server.shutdown();
+}
+
+#[test]
+fn protocol_rejections() {
+    let server = start_server();
+
+    // Truncated request line: bytes stop mid-line, then EOF.
+    let response = raw_request(&server, b"GET /netwo");
+    assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+
+    // Oversized header → 431.
+    let big = format!("GET / HTTP/1.1\r\nx-pad: {}\r\n\r\n", "a".repeat(10 * 1024));
+    let response = raw_request(&server, big.as_bytes());
+    assert!(response.starts_with("HTTP/1.1 431"), "{response}");
+
+    // Oversized request head overall → 431.
+    let huge = format!(
+        "GET / HTTP/1.1\r\n{}\r\n",
+        (0..8).map(|i| format!("x-{i}: {}\r\n", "b".repeat(7 * 1024))).collect::<String>()
+    );
+    let response = raw_request(&server, huge.as_bytes());
+    assert!(response.starts_with("HTTP/1.1 431"), "{response}");
+
+    // Unknown path → 404.
+    let (status, body) = get(&server, "/nope");
+    assert!(status.contains("404"), "{status}");
+    assert!(body.contains("\"error\""), "{body}");
+    let (status, _) = get(&server, "/networks/does-not-exist");
+    assert!(status.contains("404"), "{status}");
+
+    // Wrong method → 405 with Allow header.
+    let response =
+        raw_request(&server, b"POST /networks HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n");
+    assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+    assert!(response.to_ascii_lowercase().contains("allow: get"), "{response}");
+
+    // Declared body over the cap → 413 (before any method handling).
+    let response = raw_request(
+        &server,
+        b"POST /networks HTTP/1.1\r\nhost: t\r\ncontent-length: 999999999\r\n\r\n",
+    );
+    assert!(response.starts_with("HTTP/1.1 413"), "{response}");
+
+    // Garbage request line → 400.
+    let response = raw_request(&server, b"NOT-HTTP\r\n\r\n");
+    assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+
+    server.shutdown();
+}
+
+#[test]
+fn keep_alive_serves_multiple_requests() {
+    let server = start_server();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    let mut bodies = Vec::new();
+    for i in 0..3 {
+        let close = i == 2;
+        let connection = if close { "close" } else { "keep-alive" };
+        stream
+            .write_all(
+                format!("GET /networks/net1 HTTP/1.1\r\nhost: t\r\nconnection: {connection}\r\n\r\n")
+                    .as_bytes(),
+            )
+            .unwrap();
+        // Read one full response using its content-length.
+        let mut head = Vec::new();
+        let mut byte = [0u8; 1];
+        while !head.ends_with(b"\r\n\r\n") {
+            stream.read_exact(&mut byte).expect("response head");
+            head.push(byte[0]);
+        }
+        let head_text = String::from_utf8(head).unwrap();
+        assert!(head_text.starts_with("HTTP/1.1 200"), "{head_text}");
+        let expected = if close { "connection: close" } else { "connection: keep-alive" };
+        assert!(head_text.contains(expected), "{head_text}");
+        let len: usize = head_text
+            .lines()
+            .find_map(|l| l.strip_prefix("content-length: "))
+            .expect("content-length")
+            .parse()
+            .unwrap();
+        let mut body = vec![0u8; len];
+        stream.read_exact(&mut body).expect("response body");
+        bodies.push(String::from_utf8(body).unwrap());
+    }
+    assert_eq!(bodies[0], bodies[1]);
+    assert_eq!(bodies[1], bodies[2]);
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_get_identical_bodies() {
+    let server = start_server();
+    let addr = server.local_addr();
+    let (reference_status, reference) = get(&server, "/networks/net2");
+    assert!(reference_status.contains("200"), "{reference_status}");
+
+    let mut handles = Vec::new();
+    for _ in 0..8 {
+        let reference = reference.clone();
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..25 {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+                stream
+                    .write_all(
+                        b"GET /networks/net2 HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n",
+                    )
+                    .unwrap();
+                let mut response = String::new();
+                stream.read_to_string(&mut response).expect("read");
+                let (head, body) = response.split_once("\r\n\r\n").expect("split");
+                assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+                assert_eq!(body, reference, "concurrent body diverged");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_closes_listener() {
+    let server = start_server();
+    let addr = server.local_addr();
+    let (status, _) = get(&server, "/healthz");
+    assert!(status.contains("200"));
+    server.shutdown();
+    // After shutdown the port no longer accepts (or accepts-then-drops
+    // without answering). Either way no 200 comes back.
+    let alive = TcpStream::connect_timeout(&addr.into(), Duration::from_millis(300))
+        .and_then(|mut s| {
+            s.set_read_timeout(Some(Duration::from_millis(500)))?;
+            s.write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n")?;
+            let mut out = String::new();
+            s.read_to_string(&mut out)?;
+            Ok(out)
+        })
+        .map(|out| out.contains("200 OK"))
+        .unwrap_or(false);
+    assert!(!alive, "server still answering after shutdown");
+}

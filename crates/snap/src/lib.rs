@@ -1,0 +1,418 @@
+//! `rd-snap`: a versioned, compact binary snapshot format for fully
+//! analyzed routing-design corpora.
+//!
+//! Re-running the analysis pipeline over a config corpus costs parse +
+//! topology + routing-model time on every `rdx`/`repro` invocation. A
+//! snapshot pays that cost once: `rdx snap <dir> -o study.rdsnap`
+//! serializes every derived product — parsed configs, links, external
+//! classification, processes, adjacencies, instances, both graphs,
+//! address blocks, Table 1, the design summary and all diagnostics — and
+//! the loader restores the whole corpus without ever touching the IOS
+//! parser (`repro --bench` proves load is ≥10x faster than re-analysis).
+//!
+//! # Container format
+//!
+//! ```text
+//! +---------------------------+
+//! | magic  "RDSNAP"  (6 B)    |
+//! | format version   (varint) |
+//! | section count    (varint) |
+//! +---------------------------+
+//! | section: name    (string) |  repeated `section count` times;
+//! |          length  (varint) |  one section per network, sorted
+//! |          payload (bytes)  |  by network name
+//! +---------------------------+
+//! | FNV-1a-64 checksum (8 B,  |  over every preceding byte
+//! |   little endian)          |
+//! +---------------------------+
+//! ```
+//!
+//! All multi-byte integers inside payloads are LEB128 varints (see
+//! [`codec`]); the only fixed-width field is the 8-byte checksum trailer.
+//! The loader validates magic, version and checksum before looking at any
+//! section, so truncation and bit rot are detected up front. Sections are
+//! length-prefixed, which lets a reader skip networks it does not care
+//! about without decoding them.
+//!
+//! The payload layout is *not* self-describing: it is pinned by
+//! [`FORMAT_VERSION`], which must be bumped whenever any `Snap`
+//! implementation in [`model`] changes shape.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+mod model;
+
+pub use codec::{fnv1a64, DecodeError, Reader, Snap, Writer};
+
+use ioscfg::RouterConfig;
+use netaddr::BlockTree;
+use nettopo::{ExternalAnalysis, LinkMap, Network};
+use routing_model::{
+    Adjacencies, DesignSummary, InstanceGraph, Instances, ProcessGraph, Processes, Table1,
+};
+
+/// Magic bytes at the start of every snapshot file.
+pub const MAGIC: &[u8; 6] = b"RDSNAP";
+
+/// Current snapshot format version. Bump on any layout change.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// The complete analysis of one network, as stored in a snapshot.
+///
+/// This mirrors `routing_design::NetworkAnalysis` minus its stage timings
+/// (timings describe the run that produced the analysis, not the analysis
+/// itself, so they are not part of the artifact).
+#[derive(Clone, Debug)]
+pub struct NetworkSnapshot {
+    /// Corpus-level network name (e.g. `net15`).
+    pub name: String,
+    /// The parsed configurations (with parse-time diagnostics).
+    pub network: Network,
+    /// Inferred logical links.
+    pub links: LinkMap,
+    /// Internal/external interface classification.
+    pub external: ExternalAnalysis,
+    /// Routing processes.
+    pub processes: Processes,
+    /// IGP adjacencies and BGP sessions.
+    pub adjacencies: Adjacencies,
+    /// Routing instances.
+    pub instances: Instances,
+    /// The routing instance graph.
+    pub instance_graph: InstanceGraph,
+    /// The routing process graph.
+    pub process_graph: ProcessGraph,
+    /// Recovered address-space structure.
+    pub blocks: BlockTree,
+    /// Intra/inter role counts (Table 1).
+    pub table1: Table1,
+    /// Design classification.
+    pub design: DesignSummary,
+    /// End-to-end pipeline diagnostics (parse + topology + design).
+    pub diagnostics: rd_obs::Diagnostics,
+}
+
+impl Snap for NetworkSnapshot {
+    fn encode(&self, w: &mut Writer) {
+        self.name.encode(w);
+        self.network.encode(w);
+        self.links.encode(w);
+        self.external.encode(w);
+        self.processes.encode(w);
+        self.adjacencies.encode(w);
+        self.instances.encode(w);
+        self.instance_graph.encode(w);
+        self.process_graph.encode(w);
+        self.blocks.encode(w);
+        self.table1.encode(w);
+        self.design.encode(w);
+        self.diagnostics.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(NetworkSnapshot {
+            name: Snap::decode(r)?,
+            network: Snap::decode(r)?,
+            links: Snap::decode(r)?,
+            external: Snap::decode(r)?,
+            processes: Snap::decode(r)?,
+            adjacencies: Snap::decode(r)?,
+            instances: Snap::decode(r)?,
+            instance_graph: Snap::decode(r)?,
+            process_graph: Snap::decode(r)?,
+            blocks: Snap::decode(r)?,
+            table1: Snap::decode(r)?,
+            design: Snap::decode(r)?,
+            diagnostics: Snap::decode(r)?,
+        })
+    }
+}
+
+/// A snapshotted corpus: one or more fully analyzed networks.
+#[derive(Clone, Debug, Default)]
+pub struct Corpus {
+    /// The networks, sorted by name (the encoder enforces the order, so
+    /// equal corpora produce byte-identical snapshots).
+    pub networks: Vec<NetworkSnapshot>,
+}
+
+impl Corpus {
+    /// Builds a corpus, sorting networks into canonical (name) order.
+    pub fn new(mut networks: Vec<NetworkSnapshot>) -> Corpus {
+        networks.sort_by(|a, b| a.name.cmp(&b.name));
+        Corpus { networks }
+    }
+
+    /// Looks up a network by name.
+    pub fn get(&self, name: &str) -> Option<&NetworkSnapshot> {
+        self.networks.iter().find(|n| n.name == name)
+    }
+
+    /// Serializes the corpus into the container format. Sections are
+    /// independent, so their payloads encode in parallel over `rd-par`
+    /// (`RD_THREADS` applies); assembly order is canonical regardless,
+    /// so the bytes never depend on the worker count.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.raw(MAGIC);
+        w.u64(u64::from(FORMAT_VERSION));
+        // Canonical order regardless of how the corpus was assembled.
+        let mut order: Vec<usize> = (0..self.networks.len()).collect();
+        order.sort_by(|&a, &b| self.networks[a].name.cmp(&self.networks[b].name));
+        w.u64(self.networks.len() as u64);
+        let payloads = rd_par::par_map(&order, |_, &i| {
+            let mut section = Writer::new();
+            self.networks[i].encode(&mut section);
+            section.into_bytes()
+        });
+        for (&i, payload) in order.iter().zip(&payloads) {
+            w.string(&self.networks[i].name);
+            w.u64(payload.len() as u64);
+            w.raw(payload);
+        }
+        let mut bytes = w.into_bytes();
+        let sum = fnv1a64(&bytes);
+        bytes.extend_from_slice(&sum.to_le_bytes());
+        bytes
+    }
+
+    /// Deserializes a corpus, validating magic, version and checksum.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Corpus, DecodeError> {
+        if bytes.len() < MAGIC.len() + 8 {
+            return Err(DecodeError::new("snapshot shorter than header + checksum"));
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(trailer.try_into().unwrap());
+        let actual = fnv1a64(body);
+        if stored != actual {
+            return Err(DecodeError::new(format!(
+                "checksum mismatch: stored {stored:016x}, computed {actual:016x}"
+            )));
+        }
+        let mut r = Reader::new(body);
+        if r.raw(MAGIC.len())? != MAGIC {
+            return Err(DecodeError::new("bad magic: not an rd-snap file"));
+        }
+        let version = r.u64()?;
+        if version != u64::from(FORMAT_VERSION) {
+            return Err(DecodeError::new(format!(
+                "unsupported snapshot format version {version} (this tool reads {FORMAT_VERSION})"
+            )));
+        }
+        let count = r.len()?;
+        // First pass: slice out the (name, payload) frames sequentially —
+        // cheap, no decoding. Second pass: decode section payloads in
+        // parallel over `rd-par`; results come back in input order, so
+        // the corpus is identical at any `RD_THREADS`.
+        let mut sections = Vec::with_capacity(count);
+        for _ in 0..count {
+            let name = r.string()?;
+            let len = r.len()?;
+            sections.push((name, r.raw(len)?));
+        }
+        if !r.is_at_end() {
+            return Err(DecodeError::new(format!(
+                "{} trailing bytes after last section",
+                r.remaining()
+            )));
+        }
+        let decoded = rd_par::par_map(&sections, |_, (name, payload)| {
+            let mut pr = Reader::new(payload);
+            let net = NetworkSnapshot::decode(&mut pr)?;
+            if !pr.is_at_end() {
+                return Err(DecodeError::new(format!(
+                    "section '{name}' has {} trailing bytes",
+                    pr.remaining()
+                )));
+            }
+            if net.name != *name {
+                return Err(DecodeError::new(format!(
+                    "section name '{name}' does not match network name '{}'",
+                    net.name
+                )));
+            }
+            Ok(net)
+        });
+        let mut networks = Vec::with_capacity(count);
+        for result in decoded {
+            networks.push(result?);
+        }
+        Ok(Corpus { networks })
+    }
+
+    /// Writes the snapshot to a file.
+    pub fn write_file(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Reads a snapshot from a file.
+    pub fn read_file(path: &std::path::Path) -> Result<Corpus, String> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Corpus::from_bytes(&bytes).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+/// Convenience: snapshot-encode a single router config (used by tests and
+/// by size accounting in the bench harness).
+pub fn config_bytes(config: &RouterConfig) -> Vec<u8> {
+    let mut w = Writer::new();
+    config.encode(&mut w);
+    w.into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny two-router corpus assembled through the real pipeline
+    /// (parse → topology → routing model), without depending on netgen
+    /// or core.
+    fn tiny_snapshot(name: &str) -> NetworkSnapshot {
+        let r1 = "\
+hostname r1
+interface Loopback0
+ ip address 10.0.0.1 255.255.255.255
+interface Serial0/0
+ ip address 10.1.0.1 255.255.255.252
+router ospf 1
+ network 10.0.0.0 0.0.255.255 area 0
+ network 10.1.0.0 0.0.255.255 area 0
+router bgp 65000
+ neighbor 10.0.0.2 remote-as 65000
+";
+        let r2 = "\
+hostname r2
+interface Loopback0
+ ip address 10.0.0.2 255.255.255.255
+interface Serial0/0
+ ip address 10.1.0.2 255.255.255.252
+ ip access-group 101 in
+access-list 101 permit ip any any
+router ospf 1
+ network 10.0.0.0 0.0.255.255 area 0
+ network 10.1.0.0 0.0.255.255 area 0
+router bgp 65000
+ neighbor 10.0.0.1 remote-as 65000
+ neighbor 192.168.50.1 remote-as 7018
+";
+        let texts = vec![
+            ("config1".to_string(), r1.to_string()),
+            ("config2".to_string(), r2.to_string()),
+        ];
+        let network = Network::from_texts(texts).expect("tiny corpus parses");
+        let links = LinkMap::build(&network);
+        let external = ExternalAnalysis::build(&network, &links);
+        let processes = Processes::extract(&network);
+        let adjacencies = Adjacencies::build(&network, &links, &processes, &external);
+        let instances = Instances::compute(&processes, &adjacencies);
+        let instance_graph =
+            InstanceGraph::build(&network, &processes, &adjacencies, &instances);
+        let process_graph = ProcessGraph::build(&network, &processes, &adjacencies);
+        let blocks = network.address_blocks();
+        let table1 = Table1::compute(&instances, &instance_graph, &adjacencies);
+        let design = routing_model::classify_network(
+            &network,
+            &instances,
+            &instance_graph,
+            &adjacencies,
+            &table1,
+        );
+        let diagnostics = network.diagnostics.clone();
+        NetworkSnapshot {
+            name: name.to_string(),
+            network,
+            links,
+            external,
+            processes,
+            adjacencies,
+            instances,
+            instance_graph,
+            process_graph,
+            blocks,
+            table1,
+            design,
+            diagnostics,
+        }
+    }
+
+    #[test]
+    fn corpus_roundtrip() {
+        let corpus = Corpus::new(vec![tiny_snapshot("beta"), tiny_snapshot("alpha")]);
+        let bytes = corpus.to_bytes();
+        let restored = Corpus::from_bytes(&bytes).expect("roundtrip decodes");
+        // Canonical order: sorted by name.
+        assert_eq!(restored.networks.len(), 2);
+        assert_eq!(restored.networks[0].name, "alpha");
+        assert_eq!(restored.networks[1].name, "beta");
+        // Re-encoding the restored corpus is byte-identical.
+        assert_eq!(restored.to_bytes(), bytes);
+        // Derived lookups survive the roundtrip (index/membership rebuilt).
+        let orig = corpus.get("alpha").unwrap();
+        let back = restored.get("alpha").unwrap();
+        assert_eq!(back.processes.list.len(), orig.processes.list.len());
+        for p in &orig.processes.list {
+            assert_eq!(back.processes.position(p.key), orig.processes.position(p.key));
+            assert_eq!(back.instances.instance_of(p.key), orig.instances.instance_of(p.key));
+        }
+        assert_eq!(back.design, orig.design);
+        assert_eq!(back.table1.igp_instances, orig.table1.igp_instances);
+        assert_eq!(back.diagnostics.len(), orig.diagnostics.len());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let corpus = Corpus::new(vec![tiny_snapshot("alpha")]);
+        let bytes = corpus.to_bytes();
+        for cut in [0, 1, MAGIC.len(), bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                Corpus::from_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let corpus = Corpus::new(vec![tiny_snapshot("alpha")]);
+        let bytes = corpus.to_bytes();
+        // Flip one bit in the middle: the checksum must catch it.
+        let mut corrupted = bytes.clone();
+        let mid = corrupted.len() / 2;
+        corrupted[mid] ^= 0x40;
+        let err = Corpus::from_bytes(&corrupted).unwrap_err();
+        assert!(err.message.contains("checksum"), "got: {err}");
+    }
+
+    #[test]
+    fn bad_magic_and_version_detected() {
+        let corpus = Corpus::new(vec![tiny_snapshot("alpha")]);
+        let mut bytes = corpus.to_bytes();
+        // Wrong magic (re-checksum so the magic check is what fires).
+        bytes[0] = b'X';
+        let body_len = bytes.len() - 8;
+        let sum = fnv1a64(&bytes[..body_len]).to_le_bytes();
+        bytes[body_len..].copy_from_slice(&sum);
+        let err = Corpus::from_bytes(&bytes).unwrap_err();
+        assert!(err.message.contains("magic"), "got: {err}");
+
+        // Unsupported version.
+        let mut w = Writer::new();
+        w.raw(MAGIC);
+        w.u64(u64::from(FORMAT_VERSION) + 1);
+        w.u64(0);
+        let mut v = w.into_bytes();
+        let sum = fnv1a64(&v);
+        v.extend_from_slice(&sum.to_le_bytes());
+        let err = Corpus::from_bytes(&v).unwrap_err();
+        assert!(err.message.contains("version"), "got: {err}");
+    }
+
+    #[test]
+    fn empty_corpus_roundtrip() {
+        let corpus = Corpus::default();
+        let restored = Corpus::from_bytes(&corpus.to_bytes()).unwrap();
+        assert!(restored.networks.is_empty());
+    }
+}

@@ -1,0 +1,838 @@
+//! [`Snap`] implementations for the analysis model types.
+//!
+//! Everything a fully analyzed network consists of — parsed configs
+//! (`ioscfg`), topology (`nettopo`), routing design (`routing-model`),
+//! address blocks (`netaddr`) and diagnostics (`rd-obs`) — round-trips
+//! through the snapshot byte format here. The layout of each type is part
+//! of [`crate::FORMAT_VERSION`]: changing any field order or enum tag
+//! below requires a version bump.
+//!
+//! Two types need interning on decode. `rd_obs::Diagnostic::code` and the
+//! `Table1` protocol labels are `&'static str` in the model; known values
+//! map back to the original statics, and unknown ones (from a newer
+//! writer) are leaked once per distinct string, which is bounded by the
+//! snapshot's vocabulary.
+
+use crate::codec::{DecodeError, Reader, Snap, Writer};
+use ioscfg::{
+    AccessList, AclAction, AclAddr, AclEntry, BgpNeighbor, BgpProcess, DistributeList,
+    EigrpNetwork, EigrpProcess, IfAddr, Interface, InterfaceName, InterfaceType, OspfArea,
+    OspfNetwork, OspfProcess, PortMatch, Redistribution, RedistSource, RipProcess, RouteMap,
+    RouteMapClause, RouterConfig, RmMatch, RmSet, StaticRoute, StaticTarget,
+};
+use netaddr::{Addr, AddressBlock, BlockTree, Netmask, Prefix, Wildcard};
+use nettopo::{
+    ExternalAnalysis, IfaceClass, IfaceRef, Link, LinkMap, MissingRouterHint, Network, Router,
+    RouterId,
+};
+use routing_model::{
+    Adjacencies, BgpSession, DesignClass, DesignSummary, EdgeKind, ExchangeKind, IgpAdjacency,
+    InstanceEdge, InstanceGraph, InstanceId, InstanceNode, Instances, ProcKey, ProcessEdge,
+    ProcessGraph, Processes, Proto, ProtoKind, RibNode, RoleCounts, RoutingInstance,
+    RoutingProcess, SessionScope, Table1,
+};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Encode every struct field in order; decode rebuilds the struct.
+macro_rules! snap_struct {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl Snap for $ty {
+            fn encode(&self, w: &mut Writer) {
+                $(self.$field.encode(w);)+
+            }
+            fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+                $(let $field = Snap::decode(r)?;)+
+                Ok(Self { $($field),+ })
+            }
+        }
+    };
+}
+
+/// Encode a fieldless enum as a one-byte tag.
+macro_rules! snap_enum_unit {
+    ($ty:ty { $($tag:literal => $variant:ident),+ $(,)? }) => {
+        impl Snap for $ty {
+            fn encode(&self, w: &mut Writer) {
+                w.byte(match self { $(Self::$variant => $tag),+ });
+            }
+            fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+                match r.byte()? {
+                    $($tag => Ok(Self::$variant),)+
+                    b => Err(DecodeError::new(format!(
+                        concat!("invalid ", stringify!($ty), " tag {}"), b))),
+                }
+            }
+        }
+    };
+}
+
+// ---------------------------------------------------------------------------
+// netaddr
+
+impl Snap for Addr {
+    fn encode(&self, w: &mut Writer) {
+        w.u64(u64::from(self.to_u32()));
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Addr::from_u32(u32::decode(r)?))
+    }
+}
+
+impl Snap for Netmask {
+    fn encode(&self, w: &mut Writer) {
+        w.byte(self.len());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = r.byte()?;
+        Netmask::from_len(len).ok_or_else(|| DecodeError::new(format!("invalid netmask /{len}")))
+    }
+}
+
+impl Snap for Wildcard {
+    fn encode(&self, w: &mut Writer) {
+        w.u64(u64::from(self.bits()));
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Wildcard::from_bits(u32::decode(r)?))
+    }
+}
+
+impl Snap for Prefix {
+    fn encode(&self, w: &mut Writer) {
+        self.addr().encode(w);
+        w.byte(self.len());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let addr = Addr::decode(r)?;
+        let len = r.byte()?;
+        Prefix::new(addr, len)
+            .ok_or_else(|| DecodeError::new(format!("invalid prefix {addr}/{len}")))
+    }
+}
+
+snap_struct!(AddressBlock { prefix, used, children });
+snap_struct!(BlockTree { roots });
+
+// ---------------------------------------------------------------------------
+// ioscfg
+
+impl Snap for InterfaceType {
+    // A tag byte rather than the spelled-out name: interface names are
+    // the single most numerous string in a snapshot (one per interface,
+    // plus unnumbered/static-route references), so this both shrinks the
+    // container and spares the decoder a string allocation and prefix
+    // match per occurrence.
+    fn encode(&self, w: &mut Writer) {
+        let tag: u8 = match self {
+            InterfaceType::Serial => 0,
+            InterfaceType::FastEthernet => 1,
+            InterfaceType::Atm => 2,
+            InterfaceType::Pos => 3,
+            InterfaceType::Ethernet => 4,
+            InterfaceType::Hssi => 5,
+            InterfaceType::GigabitEthernet => 6,
+            InterfaceType::TokenRing => 7,
+            InterfaceType::Dialer => 8,
+            InterfaceType::Bri => 9,
+            InterfaceType::Tunnel => 10,
+            InterfaceType::PortChannel => 11,
+            InterfaceType::Async => 12,
+            InterfaceType::Virtual => 13,
+            InterfaceType::Channel => 14,
+            InterfaceType::Cbr => 15,
+            InterfaceType::Fddi => 16,
+            InterfaceType::Multilink => 17,
+            InterfaceType::Null => 18,
+            InterfaceType::Loopback => 19,
+            InterfaceType::Other(name) => {
+                w.byte(20);
+                w.string(name);
+                return;
+            }
+        };
+        w.byte(tag);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(match r.byte()? {
+            0 => InterfaceType::Serial,
+            1 => InterfaceType::FastEthernet,
+            2 => InterfaceType::Atm,
+            3 => InterfaceType::Pos,
+            4 => InterfaceType::Ethernet,
+            5 => InterfaceType::Hssi,
+            6 => InterfaceType::GigabitEthernet,
+            7 => InterfaceType::TokenRing,
+            8 => InterfaceType::Dialer,
+            9 => InterfaceType::Bri,
+            10 => InterfaceType::Tunnel,
+            11 => InterfaceType::PortChannel,
+            12 => InterfaceType::Async,
+            13 => InterfaceType::Virtual,
+            14 => InterfaceType::Channel,
+            15 => InterfaceType::Cbr,
+            16 => InterfaceType::Fddi,
+            17 => InterfaceType::Multilink,
+            18 => InterfaceType::Null,
+            19 => InterfaceType::Loopback,
+            20 => InterfaceType::Other(r.string()?),
+            b => return Err(DecodeError::new(format!("invalid InterfaceType tag {b}"))),
+        })
+    }
+}
+
+snap_struct!(InterfaceName { ty, unit });
+
+snap_struct!(IfAddr { addr, mask });
+snap_struct!(Interface {
+    name,
+    description,
+    address,
+    secondary,
+    unnumbered,
+    access_group_in,
+    access_group_out,
+    encapsulation,
+    frame_relay_dlci,
+    bandwidth_kbps,
+    shutdown,
+    point_to_point,
+});
+
+impl Snap for RedistSource {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            RedistSource::Connected => w.byte(0),
+            RedistSource::Static => w.byte(1),
+            RedistSource::Ospf(id) => {
+                w.byte(2);
+                id.encode(w);
+            }
+            RedistSource::Eigrp(asn) => {
+                w.byte(3);
+                asn.encode(w);
+            }
+            RedistSource::Igrp(asn) => {
+                w.byte(4);
+                asn.encode(w);
+            }
+            RedistSource::Rip => w.byte(5),
+            RedistSource::Bgp(asn) => {
+                w.byte(6);
+                asn.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(match r.byte()? {
+            0 => RedistSource::Connected,
+            1 => RedistSource::Static,
+            2 => RedistSource::Ospf(u32::decode(r)?),
+            3 => RedistSource::Eigrp(u32::decode(r)?),
+            4 => RedistSource::Igrp(u32::decode(r)?),
+            5 => RedistSource::Rip,
+            6 => RedistSource::Bgp(u32::decode(r)?),
+            b => return Err(DecodeError::new(format!("invalid RedistSource tag {b}"))),
+        })
+    }
+}
+
+snap_struct!(Redistribution { source, metric, metric_type, subnets, route_map, tag });
+snap_struct!(DistributeList { acl, interface });
+
+impl Snap for OspfArea {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(OspfArea(u32::decode(r)?))
+    }
+}
+
+snap_struct!(OspfNetwork { addr, wildcard, area });
+snap_struct!(OspfProcess {
+    id,
+    networks,
+    redistribute,
+    distribute_in,
+    distribute_out,
+    passive,
+    default_information,
+});
+snap_struct!(EigrpNetwork { addr, wildcard });
+snap_struct!(EigrpProcess {
+    asn,
+    is_igrp,
+    networks,
+    redistribute,
+    distribute_in,
+    distribute_out,
+    passive,
+    no_auto_summary,
+});
+snap_struct!(RipProcess {
+    version,
+    networks,
+    redistribute,
+    distribute_in,
+    distribute_out,
+    passive,
+});
+snap_struct!(BgpNeighbor {
+    addr,
+    remote_as,
+    description,
+    update_source,
+    next_hop_self,
+    route_map_in,
+    route_map_out,
+    distribute_in,
+    distribute_out,
+    route_reflector_client,
+    send_community,
+});
+snap_struct!(BgpProcess {
+    asn,
+    router_id,
+    networks,
+    neighbors,
+    redistribute,
+    no_synchronization,
+});
+
+impl Snap for StaticTarget {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            StaticTarget::NextHop(a) => {
+                w.byte(0);
+                a.encode(w);
+            }
+            StaticTarget::Interface(n) => {
+                w.byte(1);
+                n.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(match r.byte()? {
+            0 => StaticTarget::NextHop(Addr::decode(r)?),
+            1 => StaticTarget::Interface(InterfaceName::decode(r)?),
+            b => return Err(DecodeError::new(format!("invalid StaticTarget tag {b}"))),
+        })
+    }
+}
+
+snap_struct!(StaticRoute { dest, mask, target, distance, tag });
+
+snap_enum_unit!(AclAction { 0 => Permit, 1 => Deny });
+
+impl Snap for AclAddr {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            AclAddr::Any => w.byte(0),
+            AclAddr::Host(a) => {
+                w.byte(1);
+                a.encode(w);
+            }
+            AclAddr::Wild(a, wc) => {
+                w.byte(2);
+                a.encode(w);
+                wc.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(match r.byte()? {
+            0 => AclAddr::Any,
+            1 => AclAddr::Host(Addr::decode(r)?),
+            2 => AclAddr::Wild(Addr::decode(r)?, Wildcard::decode(r)?),
+            b => return Err(DecodeError::new(format!("invalid AclAddr tag {b}"))),
+        })
+    }
+}
+
+impl Snap for PortMatch {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            PortMatch::Eq(p) => {
+                w.byte(0);
+                p.encode(w);
+            }
+            PortMatch::Lt(p) => {
+                w.byte(1);
+                p.encode(w);
+            }
+            PortMatch::Gt(p) => {
+                w.byte(2);
+                p.encode(w);
+            }
+            PortMatch::Range(a, b) => {
+                w.byte(3);
+                a.encode(w);
+                b.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(match r.byte()? {
+            0 => PortMatch::Eq(u16::decode(r)?),
+            1 => PortMatch::Lt(u16::decode(r)?),
+            2 => PortMatch::Gt(u16::decode(r)?),
+            3 => PortMatch::Range(u16::decode(r)?, u16::decode(r)?),
+            b => return Err(DecodeError::new(format!("invalid PortMatch tag {b}"))),
+        })
+    }
+}
+
+impl Snap for AclEntry {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            AclEntry::Standard { action, addr } => {
+                w.byte(0);
+                action.encode(w);
+                addr.encode(w);
+            }
+            AclEntry::Extended { action, protocol, src, src_port, dst, dst_port, established } => {
+                w.byte(1);
+                action.encode(w);
+                protocol.encode(w);
+                src.encode(w);
+                src_port.encode(w);
+                dst.encode(w);
+                dst_port.encode(w);
+                established.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(match r.byte()? {
+            0 => AclEntry::Standard {
+                action: AclAction::decode(r)?,
+                addr: AclAddr::decode(r)?,
+            },
+            1 => AclEntry::Extended {
+                action: AclAction::decode(r)?,
+                protocol: String::decode(r)?,
+                src: AclAddr::decode(r)?,
+                src_port: Option::decode(r)?,
+                dst: AclAddr::decode(r)?,
+                dst_port: Option::decode(r)?,
+                established: bool::decode(r)?,
+            },
+            b => return Err(DecodeError::new(format!("invalid AclEntry tag {b}"))),
+        })
+    }
+}
+
+snap_struct!(AccessList { id, entries });
+
+impl Snap for RmMatch {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            RmMatch::IpAddress(acls) => {
+                w.byte(0);
+                acls.encode(w);
+            }
+            RmMatch::Tag(tags) => {
+                w.byte(1);
+                tags.encode(w);
+            }
+            RmMatch::AsPath(n) => {
+                w.byte(2);
+                n.encode(w);
+            }
+            RmMatch::Community(n) => {
+                w.byte(3);
+                n.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(match r.byte()? {
+            0 => RmMatch::IpAddress(Vec::decode(r)?),
+            1 => RmMatch::Tag(Vec::decode(r)?),
+            2 => RmMatch::AsPath(u32::decode(r)?),
+            3 => RmMatch::Community(u32::decode(r)?),
+            b => return Err(DecodeError::new(format!("invalid RmMatch tag {b}"))),
+        })
+    }
+}
+
+impl Snap for RmSet {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            RmSet::Metric(v) => {
+                w.byte(0);
+                v.encode(w);
+            }
+            RmSet::MetricType(v) => {
+                w.byte(1);
+                v.encode(w);
+            }
+            RmSet::Tag(v) => {
+                w.byte(2);
+                v.encode(w);
+            }
+            RmSet::LocalPreference(v) => {
+                w.byte(3);
+                v.encode(w);
+            }
+            RmSet::Weight(v) => {
+                w.byte(4);
+                v.encode(w);
+            }
+            RmSet::Community(v) => {
+                w.byte(5);
+                v.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(match r.byte()? {
+            0 => RmSet::Metric(u64::decode(r)?),
+            1 => RmSet::MetricType(u8::decode(r)?),
+            2 => RmSet::Tag(u32::decode(r)?),
+            3 => RmSet::LocalPreference(u32::decode(r)?),
+            4 => RmSet::Weight(u32::decode(r)?),
+            5 => RmSet::Community(String::decode(r)?),
+            b => return Err(DecodeError::new(format!("invalid RmSet tag {b}"))),
+        })
+    }
+}
+
+snap_struct!(RouteMapClause { seq, action, matches, sets });
+snap_struct!(RouteMap { name, clauses });
+snap_struct!(RouterConfig {
+    hostname,
+    interfaces,
+    ospf,
+    eigrp,
+    rip,
+    bgp,
+    static_routes,
+    access_lists,
+    route_maps,
+    unparsed,
+});
+
+// ---------------------------------------------------------------------------
+// rd-obs diagnostics
+
+snap_enum_unit!(rd_obs::Severity { 0 => Info, 1 => Warning, 2 => Error });
+
+/// Map a decoded diagnostic code back to a `&'static str`.
+///
+/// The known codes come from the fixed vocabulary emitted by the pipeline;
+/// an unknown code (snapshot written by a newer tool) is leaked once per
+/// distinct string and then reused.
+fn intern_static(s: String, known: &[&'static str]) -> &'static str {
+    if let Some(k) = known.iter().find(|k| **k == s) {
+        return k;
+    }
+    static LEAKED: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let mut leaked = LEAKED.lock().unwrap();
+    if let Some(k) = leaked.iter().find(|k| **k == s) {
+        return k;
+    }
+    let k: &'static str = Box::leak(s.into_boxed_str());
+    leaked.push(k);
+    k
+}
+
+/// Diagnostic codes emitted anywhere in the pipeline, for interning.
+const KNOWN_CODES: &[&str] = &[
+    "unknown-stanza",
+    "duplicate-interface",
+    "undefined-acl",
+    "undefined-route-map",
+    "undefined-unnumbered-target",
+    "possible-missing-router",
+    "redistribute-unknown-source",
+    "missing-backbone-area",
+    "bgp-no-neighbors",
+];
+
+impl Snap for rd_obs::Diagnostic {
+    fn encode(&self, w: &mut Writer) {
+        self.file.encode(w);
+        self.line.encode(w);
+        self.severity.encode(w);
+        w.string(self.code);
+        self.message.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(rd_obs::Diagnostic {
+            file: String::decode(r)?,
+            line: usize::decode(r)?,
+            severity: rd_obs::Severity::decode(r)?,
+            code: intern_static(r.string()?, KNOWN_CODES),
+            message: String::decode(r)?,
+        })
+    }
+}
+
+impl Snap for rd_obs::Diagnostics {
+    fn encode(&self, w: &mut Writer) {
+        self.list.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(rd_obs::Diagnostics { list: Vec::decode(r)? })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// nettopo
+
+impl Snap for RouterId {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(RouterId(usize::decode(r)?))
+    }
+}
+
+snap_struct!(Router { file_name, config, command_lines });
+snap_struct!(Network { routers, diagnostics });
+snap_struct!(IfaceRef { router, iface });
+snap_struct!(Link { subnet, endpoints });
+snap_struct!(LinkMap { links });
+snap_enum_unit!(IfaceClass { 0 => Internal, 1 => External, 2 => Unaddressed });
+snap_struct!(MissingRouterHint { iface, subnet, block });
+snap_struct!(ExternalAnalysis { classes, external_subnets, missing_router_hints });
+
+// ---------------------------------------------------------------------------
+// routing-model
+
+snap_enum_unit!(ProtoKind { 0 => Ospf, 1 => Eigrp, 2 => Igrp, 3 => Rip, 4 => Bgp });
+
+impl Snap for Proto {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Proto::Ospf(id) => {
+                w.byte(0);
+                id.encode(w);
+            }
+            Proto::Eigrp(asn) => {
+                w.byte(1);
+                asn.encode(w);
+            }
+            Proto::Igrp(asn) => {
+                w.byte(2);
+                asn.encode(w);
+            }
+            Proto::Rip => w.byte(3),
+            Proto::Bgp(asn) => {
+                w.byte(4);
+                asn.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(match r.byte()? {
+            0 => Proto::Ospf(u32::decode(r)?),
+            1 => Proto::Eigrp(u32::decode(r)?),
+            2 => Proto::Igrp(u32::decode(r)?),
+            3 => Proto::Rip,
+            4 => Proto::Bgp(u32::decode(r)?),
+            b => return Err(DecodeError::new(format!("invalid Proto tag {b}"))),
+        })
+    }
+}
+
+snap_struct!(ProcKey { router, proto });
+snap_struct!(RoutingProcess { key, covered_ifaces, passive_ifaces, redistributes });
+
+impl Snap for Processes {
+    fn encode(&self, w: &mut Writer) {
+        self.list.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Processes::from_list(Vec::decode(r)?))
+    }
+}
+
+impl Snap for InstanceId {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(InstanceId(usize::decode(r)?))
+    }
+}
+
+snap_struct!(RoutingInstance { id, kind, asn, processes, routers });
+
+impl Snap for Instances {
+    fn encode(&self, w: &mut Writer) {
+        self.list.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Instances::from_list(Vec::decode(r)?))
+    }
+}
+
+snap_enum_unit!(SessionScope { 0 => Ibgp, 1 => EbgpInternal, 2 => EbgpExternal });
+snap_struct!(IgpAdjacency { a, b, subnet });
+snap_struct!(BgpSession { local, peer, peer_addr, remote_as, scope });
+snap_struct!(Adjacencies { igp, bgp, igp_external });
+
+impl Snap for InstanceNode {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            InstanceNode::Instance(id) => {
+                w.byte(0);
+                id.encode(w);
+            }
+            InstanceNode::ExternalAs(asn) => {
+                w.byte(1);
+                asn.encode(w);
+            }
+            InstanceNode::ExternalWorld => w.byte(2),
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(match r.byte()? {
+            0 => InstanceNode::Instance(InstanceId::decode(r)?),
+            1 => InstanceNode::ExternalAs(u32::decode(r)?),
+            2 => InstanceNode::ExternalWorld,
+            b => return Err(DecodeError::new(format!("invalid InstanceNode tag {b}"))),
+        })
+    }
+}
+
+impl Snap for ExchangeKind {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            ExchangeKind::Redistribution { router, policy } => {
+                w.byte(0);
+                router.encode(w);
+                policy.encode(w);
+            }
+            ExchangeKind::Ebgp { router } => {
+                w.byte(1);
+                router.encode(w);
+            }
+            ExchangeKind::IgpEdge { router } => {
+                w.byte(2);
+                router.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(match r.byte()? {
+            0 => ExchangeKind::Redistribution {
+                router: RouterId::decode(r)?,
+                policy: Option::decode(r)?,
+            },
+            1 => ExchangeKind::Ebgp { router: RouterId::decode(r)? },
+            2 => ExchangeKind::IgpEdge { router: RouterId::decode(r)? },
+            b => return Err(DecodeError::new(format!("invalid ExchangeKind tag {b}"))),
+        })
+    }
+}
+
+snap_struct!(InstanceEdge { from, to, kind });
+snap_struct!(InstanceGraph { nodes, edges });
+
+impl Snap for RibNode {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            RibNode::Process(k) => {
+                w.byte(0);
+                k.encode(w);
+            }
+            RibNode::Local(r) => {
+                w.byte(1);
+                r.encode(w);
+            }
+            RibNode::RouterRib(r) => {
+                w.byte(2);
+                r.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(match r.byte()? {
+            0 => RibNode::Process(ProcKey::decode(r)?),
+            1 => RibNode::Local(RouterId::decode(r)?),
+            2 => RibNode::RouterRib(RouterId::decode(r)?),
+            b => return Err(DecodeError::new(format!("invalid RibNode tag {b}"))),
+        })
+    }
+}
+
+impl Snap for EdgeKind {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            EdgeKind::Adjacency => w.byte(0),
+            EdgeKind::Session(scope) => {
+                w.byte(1);
+                scope.encode(w);
+            }
+            EdgeKind::Redistribution => w.byte(2),
+            EdgeKind::Selection => w.byte(3),
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(match r.byte()? {
+            0 => EdgeKind::Adjacency,
+            1 => EdgeKind::Session(SessionScope::decode(r)?),
+            2 => EdgeKind::Redistribution,
+            3 => EdgeKind::Selection,
+            b => return Err(DecodeError::new(format!("invalid EdgeKind tag {b}"))),
+        })
+    }
+}
+
+snap_struct!(ProcessEdge { from, to, kind, policy });
+snap_struct!(ProcessGraph { nodes, edges });
+snap_enum_unit!(DesignClass {
+    0 => Backbone,
+    1 => Enterprise,
+    2 => Tier2,
+    3 => NoBgp,
+    4 => Unclassifiable,
+});
+snap_struct!(DesignSummary {
+    class,
+    routers,
+    bgp_speakers,
+    internal_ases,
+    ibgp_sessions,
+    external_ebgp_sessions,
+    internal_ebgp_sessions,
+    igp_instances,
+    staging_instances,
+    bgp_into_igp,
+    total_instances,
+});
+snap_struct!(RoleCounts { intra, inter });
+
+/// Table 1 row labels, for interning the `&'static str` map keys.
+const KNOWN_LABELS: &[&str] = &["OSPF", "EIGRP", "RIP", "BGP"];
+
+impl Snap for Table1 {
+    fn encode(&self, w: &mut Writer) {
+        w.u64(self.igp_instances.len() as u64);
+        for (label, counts) in &self.igp_instances {
+            w.string(label);
+            counts.encode(w);
+        }
+        self.ebgp_sessions.encode(w);
+        self.ibgp_sessions.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let n = r.len()?;
+        let mut igp_instances = BTreeMap::new();
+        for _ in 0..n {
+            let label = intern_static(r.string()?, KNOWN_LABELS);
+            igp_instances.insert(label, RoleCounts::decode(r)?);
+        }
+        Ok(Table1 {
+            igp_instances,
+            ebgp_sessions: RoleCounts::decode(r)?,
+            ibgp_sessions: usize::decode(r)?,
+        })
+    }
+}

@@ -36,7 +36,33 @@ cmp /tmp/rd_verify_t1.jsonl /tmp/rd_verify_t8.jsonl
 echo "    trace byte-identical at RD_THREADS=1 and 8 (timestamps zeroed)"
 ./target/release/trace_check /tmp/rd_verify_t1.jsonl
 ./target/release/rdx /tmp/rd_verify_study/net15 diag
-rm -rf /tmp/rd_verify_study /tmp/rd_verify_t1.jsonl /tmp/rd_verify_t8.jsonl
+rm -f /tmp/rd_verify_t1.jsonl /tmp/rd_verify_t8.jsonl
+
+echo "==> snapshot + query server round trip"
+./target/release/rdx snap /tmp/rd_verify_study -o /tmp/rd_verify.rdsnap
+./target/release/rdx serve /tmp/rd_verify.rdsnap --addr 127.0.0.1:0 \
+    > /tmp/rd_verify_serve.txt &
+SERVE_PID=$!
+PORT=""
+i=0
+while [ $i -lt 50 ]; do
+    PORT=$(sed -n 's|.*http://127\.0\.0\.1:\([0-9]*\).*|\1|p' /tmp/rd_verify_serve.txt)
+    [ -n "$PORT" ] && break
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$PORT" ] || { echo "serve never printed its port" >&2; exit 1; }
+curl -sf "http://127.0.0.1:$PORT/healthz" > /dev/null
+curl -sf "http://127.0.0.1:$PORT/networks" > /dev/null
+curl -sf "http://127.0.0.1:$PORT/metrics" | grep -q http_requests_total
+curl -sf "http://127.0.0.1:$PORT/networks/net15" > /tmp/rd_verify_served.json
+./target/release/rdx /tmp/rd_verify_study/net15 summary --json > /tmp/rd_verify_direct.json
+cmp /tmp/rd_verify_served.json /tmp/rd_verify_direct.json
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+echo "    /networks/net15 byte-identical to direct analysis; clean SIGTERM shutdown"
+rm -rf /tmp/rd_verify_study /tmp/rd_verify.rdsnap /tmp/rd_verify_serve.txt \
+    /tmp/rd_verify_served.json /tmp/rd_verify_direct.json
 
 if [ "${1:-}" = "--bench" ]; then
     echo "==> repro --bench (stage timings, both scales, traced)"

@@ -68,6 +68,23 @@ fn small_study() -> (Vec<(String, Vec<(String, String)>)>, String) {
     (corpora, render_report(&networks))
 }
 
+/// Encodes two analyzed networks into an `.rdsnap` container. The byte
+/// stream must not depend on the worker count: sections are written in
+/// canonical name order and every derived product is deterministic.
+fn snapshot_bytes() -> Vec<u8> {
+    let snaps: Vec<_> = netgen::study::generate_study(StudyScale::Small)
+        .into_iter()
+        .filter(|g| g.spec.name == "net1" || g.spec.name == "net15")
+        .map(|g| {
+            let name = g.spec.name.clone();
+            let analysis = NetworkAnalysis::from_texts(g.texts)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            routing_design::snapshot::capture(&name, analysis)
+        })
+        .collect();
+    rd_snap::Corpus::new(snaps).to_bytes()
+}
+
 /// A corpus where several files fail to parse; the reported error must be
 /// the one from the earliest file, whatever order workers finish in.
 fn first_error() -> (String, String) {
@@ -91,11 +108,13 @@ fn thread_count_never_changes_observable_output() {
     let (corpus_seq, report_seq) = small_study();
     let (err_file_seq, err_text_seq) = first_error();
     let (trace_seq, metrics_seq) = traced_small_study();
+    let snap_seq = snapshot_bytes();
 
     std::env::set_var(rd_par::THREADS_ENV, "4");
     let (corpus_par, report_par) = small_study();
     let (err_file_par, err_text_par) = first_error();
     let (trace_par, metrics_par) = traced_small_study();
+    let snap_par = snapshot_bytes();
     std::env::remove_var(rd_par::THREADS_ENV);
 
     // Generated corpora are byte-identical.
@@ -125,4 +144,10 @@ fn thread_count_never_changes_observable_output() {
     // gauges are excluded (documented carve-out in `rd_obs::metrics`).
     assert!(!metrics_seq.is_empty(), "traced run recorded no metrics");
     assert_eq!(metrics_seq, metrics_par, "metrics dump differs by thread count");
+
+    // The serialized `.rdsnap` container is byte-for-byte stable too, so
+    // snapshots taken on different machines or thread counts can be
+    // compared with `cmp`.
+    assert!(!snap_seq.is_empty(), "snapshot encoder produced no bytes");
+    assert_eq!(snap_seq, snap_par, "snapshot bytes differ by thread count");
 }
