@@ -24,8 +24,12 @@
 //! sink; `--bench` skips the tables and instead times the generate +
 //! analyze pipeline per network and per stage — at both scales, or only
 //! the small one under `--small` — writing `BENCH_repro.json` (including
-//! a `metrics` section) to the current directory. Worker count for all
-//! of these comes from `RD_THREADS` (default: all cores).
+//! a `metrics` section) to the current directory; `--chaos <seed>` (or
+//! `--chaos=<seed>`) damages each network's corpus with one seeded
+//! `rd-chaos` mutation before analysis, prints the per-network coverage
+//! table, and exits 1 if any network was dropped by the error budget
+//! (`RD_ERROR_BUDGET`, default 25% of files quarantined). Worker count
+//! for all of these comes from `RD_THREADS` (default: all cores).
 
 use netgen::{repository_sizes, StudyScale};
 use rd_bench::analyzed_study;
@@ -40,6 +44,7 @@ fn main() {
         return;
     }
     let mut trace: Option<String> = None;
+    let mut chaos_seed: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--trace" {
@@ -52,6 +57,22 @@ fn main() {
         } else if let Some(path) = args[i].strip_prefix("--trace=") {
             trace = Some(path.to_string());
             args.remove(i);
+        } else if args[i] == "--chaos" {
+            if i + 1 >= args.len() || args[i + 1].parse::<u64>().is_err() {
+                eprintln!("repro: --chaos needs a numeric seed");
+                std::process::exit(2);
+            }
+            chaos_seed = args.remove(i + 1).parse::<u64>().ok();
+            args.remove(i);
+        } else if let Some(seed) = args[i].strip_prefix("--chaos=") {
+            match seed.parse::<u64>() {
+                Ok(s) => chaos_seed = Some(s),
+                Err(_) => {
+                    eprintln!("repro: --chaos needs a numeric seed");
+                    std::process::exit(2);
+                }
+            }
+            args.remove(i);
         } else {
             i += 1;
         }
@@ -60,7 +81,7 @@ fn main() {
         a.starts_with("--")
             && !matches!(a.as_str(), "--small" | "--bench" | "--timings" | "--metrics")
     }) {
-        eprintln!("repro: unknown flag {bad} (flags: --small --bench --timings --metrics --trace <path> --version)");
+        eprintln!("repro: unknown flag {bad} (flags: --small --bench --timings --metrics --trace <path> --chaos <seed> --version)");
         std::process::exit(2);
     }
     let sink_result = match &trace {
@@ -103,7 +124,13 @@ fn main() {
         if small { "small" } else { "full (paper)" },
         rd_par::thread_count(),
     );
-    let networks = analyzed_study(scale);
+    let (networks, dropped) = match chaos_seed {
+        Some(seed) => {
+            eprintln!("injecting one seeded rd-chaos mutation per network (seed {seed})...");
+            rd_bench::chaos_study(scale, seed)
+        }
+        None => (analyzed_study(scale), Vec::new()),
+    };
     if timings {
         let mut totals = StageTimings::new();
         for n in &networks {
@@ -121,11 +148,13 @@ fn main() {
         eprintln!("aggregate stage timings across {} networks:", networks.len());
         eprint!("{totals}");
     }
+    if chaos_seed.is_some() || !dropped.is_empty() {
+        coverage_table(&networks, &dropped);
+    }
     if targets.contains(&"diag") {
         diag(&networks);
         if targets.len() == 1 {
-            finish(show_metrics);
-            return;
+            finish_and_exit(show_metrics, &dropped);
         }
     }
     let report = StudyReport::build(&networks);
@@ -154,7 +183,7 @@ fn main() {
     if want("net15") {
         net15(&networks);
     }
-    finish(show_metrics);
+    finish_and_exit(show_metrics, &dropped);
 }
 
 /// End-of-run bookkeeping shared by every mode: optional metrics dump,
@@ -164,6 +193,54 @@ fn finish(show_metrics: bool) {
         eprint!("{}", rd_obs::metrics::dump());
     }
     rd_obs::trace::flush();
+}
+
+/// Terminal bookkeeping for a study run: any network dropped by the error
+/// budget makes the whole run exit 1, so scripts cannot mistake a partial
+/// study for a complete one.
+fn finish_and_exit(show_metrics: bool, dropped: &[rd_bench::StudyDrop]) -> ! {
+    finish(show_metrics);
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    if dropped.is_empty() {
+        std::process::exit(0);
+    }
+    eprintln!(
+        "repro: {} network(s) dropped by the error budget; study aggregates are partial",
+        dropped.len()
+    );
+    std::process::exit(1);
+}
+
+/// The per-network parse coverage table printed by chaos runs: every
+/// surviving network's file counts, then the dropped networks.
+fn coverage_table(networks: &[StudyNetwork], dropped: &[rd_bench::StudyDrop]) {
+    heading("Per-network parse coverage (degraded pipeline)");
+    println!(
+        "{:<10} {:>6} {:>7} {:>12} {:>9}",
+        "network", "files", "parsed", "quarantined", "status"
+    );
+    for n in networks {
+        let c = &n.analysis.network.coverage;
+        println!(
+            "{:<10} {:>6} {:>7} {:>12} {:>9}",
+            n.name,
+            c.total_files,
+            c.parsed(),
+            c.quarantined.len(),
+            if c.degraded() { "DEGRADED" } else { "ok" }
+        );
+    }
+    for d in dropped {
+        println!(
+            "{:<10} {:>6} {:>7} {:>12} {:>9}",
+            d.name,
+            d.total_files,
+            d.total_files - d.quarantined,
+            d.quarantined,
+            "DROPPED"
+        );
+    }
 }
 
 /// The `diag` target: per-network diagnostic totals from the `rd-obs`
@@ -386,7 +463,10 @@ fn section7(report: &StudyReport) {
 
 fn fig4(networks: &[StudyNetwork]) {
     heading("Figure 4: configuration sizes of net5");
-    let net5 = networks.iter().find(|n| n.name == "net5").expect("net5 present");
+    let Some(net5) = networks.iter().find(|n| n.name == "net5") else {
+        println!("net5 was dropped from this run (error budget); skipping");
+        return;
+    };
     let stats = nettopo::stats::ConfigSizeStats::of(&net5.analysis.network);
     print!("{}", render_fig4(&stats));
     header();
@@ -402,30 +482,37 @@ fn fig4(networks: &[StudyNetwork]) {
 
 fn net5(networks: &[StudyNetwork]) {
     heading("net5 case study (Figures 9 & 10, Sections 5.1 & 6.1)");
-    let a = &networks.iter().find(|n| n.name == "net5").expect("net5 present").analysis;
+    let Some(study) = networks.iter().find(|n| n.name == "net5") else {
+        println!("net5 was dropped from this run (error budget); skipping");
+        return;
+    };
+    let a = &study.analysis;
+    let (Some(largest), Some(smallest)) = (a.instances.list.first(), a.instances.list.last())
+    else {
+        println!("net5 has no routing instances in this run; skipping");
+        return;
+    };
     header();
     row("routers", "881", a.network.len().to_string());
     row("routing instances", "24", a.instances.len().to_string());
-    row("largest instance (EIGRP)", "445", a.instances.list[0].router_count().to_string());
-    row(
-        "smallest instance",
-        "1",
-        a.instances.list.last().expect("non-empty").router_count().to_string(),
-    );
+    row("largest instance (EIGRP)", "445", largest.router_count().to_string());
+    row("smallest instance", "1", smallest.router_count().to_string());
     row("internal BGP ASes", "14", a.design.internal_ases.to_string());
     row("external peer ASes", "16", a.instance_graph.external_ases().len().to_string());
     let inst1 = a
         .instances
         .list
         .iter()
-        .find(|i| i.kind == routing_design::ProtoKind::Eigrp)
-        .expect("EIGRP instance");
+        .find(|i| i.kind == routing_design::ProtoKind::Eigrp);
     let inst4 = a
         .instances
         .list
         .iter()
-        .find(|i| i.asn == Some(netgen::designs::net5::AS_INSTANCE4))
-        .expect("AS65001 instance");
+        .find(|i| i.asn == Some(netgen::designs::net5::AS_INSTANCE4));
+    let (Some(inst1), Some(inst4)) = (inst1, inst4) else {
+        println!("net5 lost its case-study landmark instances in this run; skipping remainder");
+        return;
+    };
     row(
         "redundant redistributors (inst 4 ↔ inst 1)",
         "6",
@@ -437,8 +524,11 @@ fn net5(networks: &[StudyNetwork]) {
         .find(|(_, r)| {
             r.config.bgp.is_none() && r.config.eigrp.first().is_some_and(|p| p.asn == 10)
         })
-        .map(|(id, _)| id)
-        .expect("plain spoke");
+        .map(|(id, _)| id);
+    let Some(spoke) = spoke else {
+        println!("net5 lost its plain-spoke router in this run; skipping remainder");
+        return;
+    };
     let pathway = a.pathway(spoke);
     row(
         "protocol layers to interior router",
@@ -450,8 +540,11 @@ fn net5(networks: &[StudyNetwork]) {
 
 fn net15(networks: &[StudyNetwork]) {
     heading("net15 case study (Figure 12 & Table 2, Section 6.2)");
-    let a =
-        &networks.iter().find(|n| n.name == "net15").expect("net15 present").analysis;
+    let Some(study) = networks.iter().find(|n| n.name == "net15") else {
+        println!("net15 was dropped from this run (error budget); skipping");
+        return;
+    };
+    let a = &study.analysis;
     header();
     row("routers", "79", a.network.len().to_string());
     row("routing instances", "6", a.instances.len().to_string());
@@ -487,12 +580,15 @@ fn net15(networks: &[StudyNetwork]) {
         );
     }
     // Ingress ceiling.
-    let ospf = a
+    let Some(ospf) = a
         .instances
         .list
         .iter()
         .find(|i| i.kind == routing_design::ProtoKind::Ospf)
-        .expect("site OSPF");
+    else {
+        println!("net15 lost its site OSPF instance in this run; skipping remainder");
+        return;
+    };
     let load = reach.load_prediction(ospf.id);
     row(
         "max external routes into site IGP",

@@ -23,10 +23,73 @@ pub fn analyzed_study(scale: StudyScale) -> Vec<StudyNetwork> {
         let generated = netgen::study::generate_network(spec, scale);
         StudyNetwork {
             name: spec.name.clone(),
-            analysis: NetworkAnalysis::from_texts(generated.texts)
-                .unwrap_or_else(|e| panic!("{}: {e}", spec.name)),
+            analysis: NetworkAnalysis::from_bytes_list(
+                generated.texts.into_iter().map(|(n, t)| (n, t.into_bytes())).collect(),
+            ),
         }
     })
+}
+
+/// One network excluded from a chaos study run because its quarantined
+/// fraction exceeded the error budget.
+pub struct StudyDrop {
+    /// Roster name of the dropped network.
+    pub name: String,
+    /// Config files the network was generated with.
+    pub total_files: usize,
+    /// How many of those files were quarantined after mutation.
+    pub quarantined: usize,
+}
+
+/// Like [`analyzed_study`], but damages each network's corpus with one
+/// seeded `rd-chaos` mutation before analysis — the degraded-pipeline
+/// benchmark and test path (`repro --chaos <seed>`).
+///
+/// The mutation seed is derived from `(seed, roster index)`, never from
+/// worker identity, so the damaged corpus — and every diagnostic it
+/// produces — is byte-identical at any `RD_THREADS`. Returns the
+/// surviving networks (possibly degraded, coverage intact) and the
+/// networks dropped by [`nettopo::error_budget`].
+pub fn chaos_study(scale: StudyScale, seed: u64) -> (Vec<StudyNetwork>, Vec<StudyDrop>) {
+    let roster = study_roster(scale);
+    let budget = nettopo::error_budget();
+    let analyzed = rd_par::par_map(&roster, |index, spec| {
+        let generated = netgen::study::generate_network(spec, scale);
+        let mut files: Vec<(String, Vec<u8>)> =
+            generated.texts.into_iter().map(|(n, t)| (n, t.into_bytes())).collect();
+        let mut rng = rd_rng::StdRng::seed_from_u64(
+            seed ^ (index as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        let mutator = rd_chaos::CONFIG_MUTATORS[index % rd_chaos::CONFIG_MUTATORS.len()];
+        if !files.is_empty() {
+            let victim = rng.gen_range(0..files.len());
+            match rd_chaos::mutate_config(&mut rng, mutator, &files[victim].1) {
+                Some(bytes) => files[victim].1 = bytes,
+                None => {
+                    files.remove(victim);
+                }
+            }
+        }
+        StudyNetwork {
+            name: spec.name.clone(),
+            analysis: NetworkAnalysis::from_bytes_list(files),
+        }
+    });
+    let mut kept = Vec::new();
+    let mut dropped = Vec::new();
+    for sn in analyzed {
+        let coverage = &sn.analysis.network.coverage;
+        if coverage.over_budget(budget) {
+            dropped.push(StudyDrop {
+                name: sn.name.clone(),
+                total_files: coverage.total_files,
+                quarantined: coverage.quarantined.len(),
+            });
+        } else {
+            kept.push(sn);
+        }
+    }
+    (kept, dropped)
 }
 
 /// Generates the raw config texts of one roster entry by name.

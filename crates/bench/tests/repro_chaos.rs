@@ -1,0 +1,65 @@
+//! `repro --chaos` end to end: a seeded fault in every network's corpus
+//! must still produce the study tables, print the per-network coverage
+//! table, and exit 1 exactly when the error budget dropped a network —
+//! deterministically at any `RD_THREADS`.
+
+use std::process::{Command, Output};
+
+fn repro(chaos_seed: u64, budget: &str, threads: &str) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--small", "table1", &format!("--chaos={chaos_seed}")])
+        .env("RD_ERROR_BUDGET", budget)
+        .env("RD_THREADS", threads)
+        .output()
+        .expect("spawn repro")
+}
+
+#[test]
+fn zero_budget_drops_networks_and_exits_one() {
+    let out = repro(3, "0", "2");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // A zero budget tolerates no quarantined file, and the sweep's
+    // invalid-utf8 / empty-file mutators guarantee some quarantines.
+    assert_eq!(out.status.code(), Some(1), "stderr:\n{stderr}");
+    assert!(
+        stdout.contains("Per-network parse coverage (degraded pipeline)"),
+        "coverage table missing:\n{stdout}"
+    );
+    assert!(stdout.contains("DROPPED"), "no dropped rows:\n{stdout}");
+    assert!(
+        stderr.contains("dropped by the error budget; study aggregates are partial"),
+        "stderr:\n{stderr}"
+    );
+    // The surviving networks still made it into the report.
+    assert!(stdout.contains("Table 1:"), "table missing:\n{stdout}");
+}
+
+#[test]
+fn full_budget_keeps_every_network_and_exits_zero() {
+    let out = repro(3, "1.0", "2");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "stderr:\n{stderr}");
+    assert!(
+        stdout.contains("Per-network parse coverage (degraded pipeline)"),
+        "coverage table missing:\n{stdout}"
+    );
+    assert!(!stdout.contains("DROPPED"), "unexpected drop:\n{stdout}");
+    // At least one network is degraded (faults were injected), and the
+    // study still renders with all 31 networks present.
+    assert!(stdout.contains("DEGRADED"), "no degraded rows:\n{stdout}");
+    assert!(stdout.contains("Table 1:"), "table missing:\n{stdout}");
+}
+
+#[test]
+fn chaos_run_is_deterministic_across_thread_counts() {
+    let one = repro(11, "1.0", "1");
+    let four = repro(11, "1.0", "4");
+    assert_eq!(one.status.code(), four.status.code());
+    assert_eq!(
+        String::from_utf8_lossy(&one.stdout),
+        String::from_utf8_lossy(&four.stdout),
+        "repro --chaos stdout differs by RD_THREADS"
+    );
+}

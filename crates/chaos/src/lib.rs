@@ -1,0 +1,457 @@
+//! `rd-chaos`: a deterministic fault-injection engine for the toolchain.
+//!
+//! The paper's methodology was forged on 8,035 *anonymized production*
+//! configs — truncated files, encoding damage, anonymization smears and
+//! per-network quirks included — while this repository's pipeline
+//! normally only sees pristine `netgen` output. This crate closes that
+//! gap: it turns clean corpora into systematically damaged ones so the
+//! rest of the toolchain can prove the invariant
+//! **error-not-panic, bounded memory, deterministic diagnostics**.
+//!
+//! Two corruption surfaces:
+//!
+//! - [`ConfigMutator`]: composable byte-level mutations of router
+//!   configuration files (mid-line truncation, garbage/binary bytes,
+//!   non-UTF-8 sequences, CRLF/whitespace mangling, dropped `!` section
+//!   terminators, duplicated hostnames, deleted files, zero-byte files,
+//!   over-long lines, anonymization-style token smears).
+//! - [`SnapMutator`]: corruption of `.rdsnap` containers (truncation at
+//!   every frame boundary — with the checksum *recomputed*, so the damage
+//!   reaches the decoder instead of dying at the checksum gate — plus raw
+//!   bit flips and length-prefix bombs).
+//!
+//! Everything is driven by `rd_rng::StdRng`, so a seed fully determines
+//! the fault corpus: two sweeps with the same seed mutate identically on
+//! any machine at any `RD_THREADS`. The sweep driver itself lives in
+//! `rdx chaos` (the `routing-design` crate); this crate stays at the
+//! byte level and depends only on `rd-rng` and `rd-snap`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rd_rng::StdRng;
+
+// ---------------------------------------------------------------------------
+// Configuration-file mutators
+
+/// One way to damage a configuration file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigMutator {
+    /// Cut the file mid-line (not at a line boundary), like an
+    /// interrupted transfer.
+    TruncateMidLine,
+    /// Splice a short run of random binary bytes into the file.
+    GarbageBytes,
+    /// Overwrite a span with bytes that are not valid UTF-8.
+    InvalidUtf8,
+    /// Rewrite line endings to CRLF for a random subset of lines and
+    /// sprinkle stray carriage returns and tabs.
+    CrlfMangle,
+    /// Drop every `!` section-terminator line.
+    DropBangs,
+    /// Append a duplicate `hostname` command with a clashing name.
+    DuplicateHostname,
+    /// Delete the file from the corpus entirely.
+    DeleteFile,
+    /// Replace the file with zero bytes.
+    EmptyFile,
+    /// Append a single absurdly long command line.
+    OverlongLine,
+    /// Smear random alphanumeric tokens into `XXXX` runs, the way
+    /// aggressive anonymizers do.
+    TokenSmear,
+}
+
+/// Every config mutator, in a fixed order (sweeps cycle through this so
+/// each mutator gets coverage regardless of trial count).
+pub const CONFIG_MUTATORS: &[ConfigMutator] = &[
+    ConfigMutator::TruncateMidLine,
+    ConfigMutator::GarbageBytes,
+    ConfigMutator::InvalidUtf8,
+    ConfigMutator::CrlfMangle,
+    ConfigMutator::DropBangs,
+    ConfigMutator::DuplicateHostname,
+    ConfigMutator::DeleteFile,
+    ConfigMutator::EmptyFile,
+    ConfigMutator::OverlongLine,
+    ConfigMutator::TokenSmear,
+];
+
+impl ConfigMutator {
+    /// Stable kebab-case name (used in sweep summaries).
+    pub fn name(self) -> &'static str {
+        match self {
+            ConfigMutator::TruncateMidLine => "truncate-mid-line",
+            ConfigMutator::GarbageBytes => "garbage-bytes",
+            ConfigMutator::InvalidUtf8 => "invalid-utf8",
+            ConfigMutator::CrlfMangle => "crlf-mangle",
+            ConfigMutator::DropBangs => "drop-bangs",
+            ConfigMutator::DuplicateHostname => "duplicate-hostname",
+            ConfigMutator::DeleteFile => "delete-file",
+            ConfigMutator::EmptyFile => "empty-file",
+            ConfigMutator::OverlongLine => "overlong-line",
+            ConfigMutator::TokenSmear => "token-smear",
+        }
+    }
+}
+
+/// Applies `mutator` to one configuration file. Returns `None` when the
+/// file is deleted from the corpus ([`ConfigMutator::DeleteFile`]);
+/// otherwise the mutated bytes. Deterministic in (`rng` state, input).
+pub fn mutate_config(rng: &mut StdRng, mutator: ConfigMutator, bytes: &[u8]) -> Option<Vec<u8>> {
+    let mut out = bytes.to_vec();
+    match mutator {
+        ConfigMutator::TruncateMidLine => {
+            if out.len() > 2 {
+                // Aim inside a line: step back from a random cut until the
+                // previous byte is not a newline.
+                let mut cut = rng.gen_range(1..out.len());
+                while cut > 1 && out[cut - 1] == b'\n' {
+                    cut -= 1;
+                }
+                out.truncate(cut);
+            }
+        }
+        ConfigMutator::GarbageBytes => {
+            let n = rng.gen_range(1..=64usize);
+            let at = rng.gen_range(0..=out.len());
+            let garbage: Vec<u8> = (0..n).map(|_| (rng.next_u32() & 0xff) as u8).collect();
+            out.splice(at..at, garbage);
+        }
+        ConfigMutator::InvalidUtf8 => {
+            if out.is_empty() {
+                out.extend_from_slice(&[0xff, 0xfe]);
+            } else {
+                let at = rng.gen_range(0..out.len());
+                let n = rng.gen_range(1..=4usize).min(out.len() - at);
+                for b in &mut out[at..at + n] {
+                    // 0xF8..0xFF never appear in well-formed UTF-8.
+                    *b = 0xf8 | ((rng.next_u32() & 0x07) as u8);
+                }
+            }
+        }
+        ConfigMutator::CrlfMangle => {
+            let mut mangled = Vec::with_capacity(out.len() + 16);
+            for &b in &out {
+                if b == b'\n' && rng.gen_bool(0.5) {
+                    mangled.push(b'\r');
+                }
+                mangled.push(b);
+                if b == b' ' && rng.gen_bool(0.05) {
+                    mangled.push(b'\t');
+                }
+            }
+            out = mangled;
+        }
+        ConfigMutator::DropBangs => {
+            let text: Vec<u8> = out
+                .split(|&b| b == b'\n')
+                .filter(|line| line.iter().any(|&b| b != b'!' && b != b' ' && b != b'\r'))
+                .flat_map(|line| line.iter().copied().chain(std::iter::once(b'\n')))
+                .collect();
+            out = text;
+        }
+        ConfigMutator::DuplicateHostname => {
+            let tag = rng.gen_range(0..10_000u32);
+            out.extend_from_slice(format!("hostname dup-{tag}\n").as_bytes());
+        }
+        ConfigMutator::DeleteFile => return None,
+        ConfigMutator::EmptyFile => out.clear(),
+        ConfigMutator::OverlongLine => {
+            let len = rng.gen_range(16_384..=65_536usize);
+            out.extend_from_slice(b"description ");
+            out.extend(std::iter::repeat(b'x').take(len));
+            out.push(b'\n');
+        }
+        ConfigMutator::TokenSmear => {
+            let mut i = 0usize;
+            while i < out.len() {
+                if out[i].is_ascii_alphanumeric() {
+                    let start = i;
+                    while i < out.len() && out[i].is_ascii_alphanumeric() {
+                        i += 1;
+                    }
+                    if i - start >= 3 && rng.gen_bool(0.15) {
+                        for b in &mut out[start..i] {
+                            *b = b'X';
+                        }
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    Some(out)
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot corruptors
+
+/// One way to damage an `.rdsnap` container.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SnapMutator {
+    /// Truncate the body at a frame boundary and *recompute the checksum*
+    /// so the decoder sees internally-consistent-looking truncation
+    /// instead of failing at the checksum gate.
+    TruncateAtBoundary,
+    /// Flip one random bit anywhere in the file (checksum included).
+    BitFlip,
+    /// Rewrite one section's length prefix to a huge value (checksum
+    /// recomputed): an attacker-controlled allocation probe.
+    LengthBomb,
+}
+
+/// Every snapshot mutator, in a fixed order.
+pub const SNAP_MUTATORS: &[SnapMutator] =
+    &[SnapMutator::TruncateAtBoundary, SnapMutator::BitFlip, SnapMutator::LengthBomb];
+
+impl SnapMutator {
+    /// Stable kebab-case name (used in sweep summaries).
+    pub fn name(self) -> &'static str {
+        match self {
+            SnapMutator::TruncateAtBoundary => "truncate-at-boundary",
+            SnapMutator::BitFlip => "bit-flip",
+            SnapMutator::LengthBomb => "length-bomb",
+        }
+    }
+}
+
+/// Structural offsets of an `.rdsnap` container body (everything before
+/// the 8-byte checksum trailer), recovered by walking the frame layout:
+/// magic, version varint, section count varint, then per section a name
+/// string, a length varint, and the payload.
+#[derive(Clone, Debug, Default)]
+pub struct SnapLayout {
+    /// Byte offsets (into the body) of every frame boundary: after the
+    /// magic, after the version, after the count, and after each
+    /// section's name, length prefix, and payload.
+    pub boundaries: Vec<usize>,
+    /// `(offset, encoded_len)` of each section-length varint — the
+    /// targets for [`SnapMutator::LengthBomb`].
+    pub length_varints: Vec<(usize, usize)>,
+}
+
+/// Reads one LEB128 varint at `pos`, returning `(value, bytes_consumed)`.
+fn read_varint(body: &[u8], pos: usize) -> Option<(u64, usize)> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    let mut i = pos;
+    loop {
+        let b = *body.get(i)?;
+        if shift >= 64 {
+            return None;
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        i += 1;
+        if b & 0x80 == 0 {
+            return Some((v, i - pos));
+        }
+        shift += 7;
+    }
+}
+
+/// Encodes a LEB128 varint (mirror of `rd_snap::Writer::u64`).
+fn encode_varint(mut v: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return out;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+/// Walks a well-formed snapshot's container frames and returns its
+/// layout. `bytes` is the whole file (trailer included). Returns an empty
+/// layout when the container is too damaged to walk — corruptors then
+/// fall back to raw positions.
+pub fn snapshot_layout(bytes: &[u8]) -> SnapLayout {
+    let mut layout = SnapLayout::default();
+    if bytes.len() < rd_snap::MAGIC.len() + 8 {
+        return layout;
+    }
+    let body = &bytes[..bytes.len() - 8];
+    let mut pos = rd_snap::MAGIC.len();
+    layout.boundaries.push(pos);
+    let Some((_version, n)) = read_varint(body, pos) else { return SnapLayout::default() };
+    pos += n;
+    layout.boundaries.push(pos);
+    let Some((count, n)) = read_varint(body, pos) else { return SnapLayout::default() };
+    pos += n;
+    layout.boundaries.push(pos);
+    for _ in 0..count {
+        // Section name: length varint + bytes.
+        let Some((name_len, n)) = read_varint(body, pos) else { return SnapLayout::default() };
+        pos += n + name_len as usize;
+        if pos > body.len() {
+            return SnapLayout::default();
+        }
+        layout.boundaries.push(pos);
+        // Section payload length.
+        let Some((payload_len, n)) = read_varint(body, pos) else {
+            return SnapLayout::default();
+        };
+        layout.length_varints.push((pos, n));
+        pos += n;
+        layout.boundaries.push(pos);
+        pos += payload_len as usize;
+        if pos > body.len() {
+            return SnapLayout::default();
+        }
+        layout.boundaries.push(pos);
+    }
+    layout
+}
+
+/// Truncates the body at `cut` and appends a freshly computed checksum,
+/// producing a file whose trailer is valid for its (damaged) body.
+pub fn truncate_rechecksum(bytes: &[u8], cut: usize) -> Vec<u8> {
+    let body_len = bytes.len().saturating_sub(8);
+    let cut = cut.min(body_len);
+    let mut out = bytes[..cut].to_vec();
+    let sum = rd_snap::fnv1a64(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Applies `mutator` to a snapshot file. Deterministic in (`rng` state,
+/// input bytes).
+pub fn corrupt_snapshot(rng: &mut StdRng, mutator: SnapMutator, bytes: &[u8]) -> Vec<u8> {
+    match mutator {
+        SnapMutator::TruncateAtBoundary => {
+            let body_len = bytes.len().saturating_sub(8);
+            // Boundaries strictly inside the body: cutting at the very end
+            // would reproduce the original file, which is not a fault.
+            let cuts: Vec<usize> = snapshot_layout(bytes)
+                .boundaries
+                .into_iter()
+                .filter(|&b| b < body_len)
+                .collect();
+            let cut = if cuts.is_empty() {
+                rng.gen_range(0..body_len.max(1))
+            } else {
+                cuts[rng.gen_range(0..cuts.len())]
+            };
+            truncate_rechecksum(bytes, cut)
+        }
+        SnapMutator::BitFlip => {
+            let mut out = bytes.to_vec();
+            if !out.is_empty() {
+                let at = rng.gen_range(0..out.len());
+                out[at] ^= 1 << rng.gen_range(0..8u32);
+            }
+            out
+        }
+        SnapMutator::LengthBomb => {
+            let layout = snapshot_layout(bytes);
+            let mut out = bytes[..bytes.len().saturating_sub(8)].to_vec();
+            if let Some(&(at, len)) = layout
+                .length_varints
+                .get(rng.gen_range(0..layout.length_varints.len().max(1)))
+                .filter(|_| !layout.length_varints.is_empty())
+            {
+                // A bomb well past any plausible corpus size, but still a
+                // valid varint: the decoder's length caps must reject it
+                // before allocating.
+                let bomb = 1u64 << rng.gen_range(40..62u32);
+                out.splice(at..at + len, encode_varint(bomb));
+            } else if !out.is_empty() {
+                let at = out.len() - 1;
+                out[at] = 0xff; // dangling continuation bit
+            }
+            let sum = rd_snap::fnv1a64(&out);
+            out.extend_from_slice(&sum.to_le_bytes());
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    const SAMPLE: &[u8] = b"hostname r1\n!\ninterface Serial0\n ip address 10.0.0.1 255.255.255.252\n!\nend\n";
+
+    #[test]
+    fn mutators_are_deterministic() {
+        for &m in CONFIG_MUTATORS {
+            let a = mutate_config(&mut rng(), m, SAMPLE);
+            let b = mutate_config(&mut rng(), m, SAMPLE);
+            assert_eq!(a, b, "{} not deterministic", m.name());
+        }
+    }
+
+    #[test]
+    fn mutators_change_or_remove_the_input() {
+        for &m in CONFIG_MUTATORS {
+            match mutate_config(&mut rng(), m, SAMPLE) {
+                None => assert_eq!(m, ConfigMutator::DeleteFile),
+                Some(out) => {
+                    assert_ne!(out, SAMPLE, "{} left input intact", m.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_file_mutator_produces_zero_bytes() {
+        assert_eq!(
+            mutate_config(&mut rng(), ConfigMutator::EmptyFile, SAMPLE),
+            Some(Vec::new())
+        );
+    }
+
+    #[test]
+    fn invalid_utf8_mutator_breaks_utf8() {
+        let out = mutate_config(&mut rng(), ConfigMutator::InvalidUtf8, SAMPLE).unwrap();
+        assert!(std::str::from_utf8(&out).is_err());
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, 1 << 60] {
+            let enc = encode_varint(v);
+            assert_eq!(read_varint(&enc, 0), Some((v, enc.len())));
+        }
+    }
+
+    #[test]
+    fn layout_walks_an_empty_corpus() {
+        let corpus = rd_snap::Corpus::default();
+        let bytes = corpus.to_bytes();
+        let layout = snapshot_layout(&bytes);
+        // magic | version | count boundaries, no sections.
+        assert_eq!(layout.boundaries.len(), 3);
+        assert!(layout.length_varints.is_empty());
+    }
+
+    #[test]
+    fn truncate_rechecksum_keeps_trailer_valid() {
+        let corpus = rd_snap::Corpus::default();
+        let bytes = corpus.to_bytes();
+        let cut = truncate_rechecksum(&bytes, 7);
+        assert_eq!(cut.len(), 7 + 8);
+        let stored = u64::from_le_bytes(cut[7..].try_into().expect("8-byte trailer"));
+        assert_eq!(stored, rd_snap::fnv1a64(&cut[..7]));
+    }
+
+    #[test]
+    fn snapshot_corruptors_are_deterministic() {
+        let corpus = rd_snap::Corpus::default();
+        let bytes = corpus.to_bytes();
+        for &m in SNAP_MUTATORS {
+            let a = corrupt_snapshot(&mut rng(), m, &bytes);
+            let b = corrupt_snapshot(&mut rng(), m, &bytes);
+            assert_eq!(a, b, "{} not deterministic", m.name());
+            assert!(rd_snap::Corpus::from_bytes(&a).is_err(), "{} decoded", m.name());
+        }
+    }
+}

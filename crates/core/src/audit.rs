@@ -114,6 +114,8 @@ pub fn audit(a: &NetworkAnalysis) -> Vec<Finding> {
                         .on_router(e.router)
                         .any(|p| p.key.proto.kind().is_igp() && p.active_on(e.iface))
                 })
+                // Invariant: covering < total_sides guarantees at least one
+                // endpoint fails the same predicate counted above.
                 .expect("some side does not cover");
             findings.push(Finding {
                 kind: FindingKind::IncompleteAdjacency,

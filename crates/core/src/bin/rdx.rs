@@ -101,11 +101,12 @@ fn main() -> ExitCode {
         print!("{}", help_text());
         return ExitCode::SUCCESS;
     }
-    // `snap` and `serve` own their argument parsing (their flags, like
-    // `-o` and `--addr`, are not global flags).
+    // `snap`, `serve`, and `chaos` own their argument parsing (their
+    // flags, like `-o` and `--addr`, are not global flags).
     match args.first().map(String::as_str) {
         Some("snap") => return snap_cmd(&args[1..]),
         Some("serve") => return serve_cmd(&args[1..]),
+        Some("chaos") => return chaos_cmd(&args[1..]),
         _ => {}
     }
     let flags = match parse_flags(&mut args) {
@@ -154,6 +155,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    let coverage = &analysis.network.coverage;
+    if coverage.degraded() {
+        eprintln!(
+            "rdx: DEGRADED coverage: {}/{} config file(s) quarantined ({}); \
+             analysis covers the surviving routers only",
+            coverage.quarantined.len(),
+            coverage.total_files,
+            coverage.quarantined.join(", "),
+        );
+    }
 
     let code = run_command(&analysis, &dir, command, &rest, &flags);
     if flags.timings {
@@ -223,6 +235,7 @@ fn usage() -> ExitCode {
          anonymize <out-dir> <key>] [--json] [--timings] [--metrics] [--trace <path>]\n\
          \x20      rdx snap <dir> -o <file.rdsnap>\n\
          \x20      rdx serve <file.rdsnap> [--addr HOST:PORT] [--workers N]\n\
+         \x20      rdx chaos <dir> [--seed N] [--configs M] [--snapshots K] [--max-rss-mb MB]\n\
          rdx --help shows the full reference (commands, flags, exit codes)"
     );
     ExitCode::from(2)
@@ -237,6 +250,12 @@ usage:
   rdx snap <dir> -o <file.rdsnap>        analyze once, write a snapshot
   rdx serve <file.rdsnap> [--addr HOST:PORT] [--workers N]
                                          serve a snapshot over HTTP
+  rdx chaos <dir> [--seed N] [--configs M] [--snapshots K] [--max-rss-mb MB]
+                                         deterministic fault-injection sweep:
+                                         mutate the corpus M times and corrupt
+                                         its snapshot K times, asserting
+                                         error-not-panic, bounded memory, and
+                                         deterministic diagnostics
 
 commands (default: summary):
   summary [--json]           overview + design classification
@@ -274,9 +293,18 @@ serve endpoints:
 exit codes:
   0  success
   1  analysis or diagnostic errors (load failures, error-severity
-     diagnostics from diag, unknown routers or instances)
+     diagnostics from diag, unknown routers or instances; snap when a
+     network was dropped by the error budget; chaos when a panic
+     escaped, diagnostics were unstable, or the RSS cap was exceeded)
   2  usage errors (unknown command or flag, missing or malformed
      arguments)
+
+degraded mode:
+  Unreadable config files (non-UTF-8, empty, unparseable) are
+  quarantined as error diagnostics and the analysis proceeds with the
+  surviving routers. A network whose quarantined fraction exceeds the
+  error budget (RD_ERROR_BUDGET, default 0.25) is dropped from study
+  snapshots. Coverage appears in `summary --json` and /networks/{{id}}.
 ",
         env!("CARGO_PKG_VERSION")
     )
@@ -323,8 +351,8 @@ fn snap_cmd(args: &[String]) -> ExitCode {
     let out = out.unwrap_or_else(|| "study.rdsnap".to_string());
 
     let started = std::time::Instant::now();
-    let corpus = match routing_design::snapshot::snap_dir(Path::new(&dir)) {
-        Ok(c) => c,
+    let outcome = match routing_design::snapshot::snap_dir(Path::new(&dir)) {
+        Ok(o) => o,
         Err(e) => {
             eprintln!("rdx: failed to analyze {dir}: {e}");
             return ExitCode::FAILURE;
@@ -332,7 +360,7 @@ fn snap_cmd(args: &[String]) -> ExitCode {
     };
     let analyze_ms = started.elapsed().as_secs_f64() * 1e3;
     let write_started = std::time::Instant::now();
-    let bytes = corpus.to_bytes();
+    let bytes = outcome.corpus.to_bytes();
     if let Err(e) = std::fs::write(&out, &bytes) {
         eprintln!("rdx: cannot write {out}: {e}");
         return ExitCode::FAILURE;
@@ -340,11 +368,36 @@ fn snap_cmd(args: &[String]) -> ExitCode {
     eprintln!(
         "snapshotted {} network(s) into {out}: {} bytes \
          (analyze {analyze_ms:.1} ms, encode+write {:.1} ms)",
-        corpus.networks.len(),
+        outcome.corpus.networks.len(),
         bytes.len(),
         write_started.elapsed().as_secs_f64() * 1e3,
     );
-    ExitCode::SUCCESS
+    for n in &outcome.corpus.networks {
+        let c = &n.network.coverage;
+        if c.degraded() {
+            eprintln!(
+                "rdx: snap: {} DEGRADED: {}/{} file(s) quarantined ({})",
+                n.name,
+                c.quarantined.len(),
+                c.total_files,
+                c.quarantined.join(", "),
+            );
+        }
+    }
+    if outcome.dropped.is_empty() {
+        return ExitCode::SUCCESS;
+    }
+    // The snapshot is still written (the survivors are valid), but the
+    // run is reported as a failure so scripts notice the missing data.
+    for d in &outcome.dropped {
+        eprintln!("rdx: snap: DROPPED {}: {}", d.name, d.reason);
+    }
+    eprintln!(
+        "rdx: snap: {} network(s) dropped by the error budget ({:.0}%)",
+        outcome.dropped.len(),
+        routing_design::error_budget() * 100.0,
+    );
+    ExitCode::FAILURE
 }
 
 fn serve_cmd(args: &[String]) -> ExitCode {
@@ -409,6 +462,286 @@ fn serve_cmd(args: &[String]) -> ExitCode {
     server.run_until_shutdown();
     eprintln!("rdx: shut down cleanly");
     ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------------
+// `rdx chaos` — deterministic fault-injection sweep (the rd-chaos driver).
+
+/// Reads one network directory as sorted `(file_name, bytes)` pairs.
+fn read_config_files(dir: &Path) -> Result<Vec<(String, Vec<u8>)>, String> {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_file())
+        .collect();
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for path in paths {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let bytes = std::fs::read(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        files.push((name, bytes));
+    }
+    Ok(files)
+}
+
+/// Collects the corpus under `dir`: each subdirectory holding files is a
+/// network (study layout); otherwise the directory itself is one network.
+fn read_corpus_files(dir: &Path) -> Result<Vec<(String, Vec<(String, Vec<u8>)>)>, String> {
+    let mut subdirs: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    subdirs.sort();
+    let mut networks = Vec::new();
+    for sub in subdirs {
+        let files = read_config_files(&sub)?;
+        if !files.is_empty() {
+            let name = sub
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            networks.push((name, files));
+        }
+    }
+    if networks.is_empty() {
+        let files = read_config_files(dir)?;
+        if files.is_empty() {
+            return Err(format!("{} holds no config files", dir.display()));
+        }
+        networks.push((network_name(&dir.to_string_lossy()), files));
+    }
+    Ok(networks)
+}
+
+/// Rolling FNV-1a over the sweep's diagnostic stream — the determinism
+/// witness printed at the end of `rdx chaos` (two runs with the same seed
+/// must print the same digest at any `RD_THREADS`).
+fn fnv_extend(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+fn chaos_cmd(args: &[String]) -> ExitCode {
+    let mut dir: Option<String> = None;
+    let mut seed: u64 = 1;
+    let mut configs: usize = 500;
+    let mut snapshots: usize = 100;
+    let mut max_rss_mb: u64 = 4096;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" | "--configs" | "--snapshots" | "--max-rss-mb" => {
+                let Some(value) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    eprintln!("rdx: chaos: {arg} needs a number");
+                    return ExitCode::from(2);
+                };
+                match arg.as_str() {
+                    "--seed" => seed = value,
+                    "--configs" => configs = value as usize,
+                    "--snapshots" => snapshots = value as usize,
+                    _ => max_rss_mb = value,
+                }
+            }
+            other if other.starts_with('-') => {
+                eprintln!("rdx: chaos: unknown flag {other:?}");
+                return ExitCode::from(2);
+            }
+            other if dir.is_none() => dir = Some(other.to_string()),
+            other => {
+                eprintln!("rdx: chaos: unexpected argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!(
+            "usage: rdx chaos <dir> [--seed N] [--configs M] [--snapshots K] \
+             [--max-rss-mb MB]"
+        );
+        return ExitCode::from(2);
+    };
+    let networks = match read_corpus_files(Path::new(&dir)) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("rdx: chaos: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "chaos sweep: seed {seed}, {configs} config trial(s), \
+         {snapshots} snapshot trial(s), {} network(s)",
+        networks.len()
+    );
+
+    // The sweep *expects* caught panics; silence the default hook so the
+    // summary is not buried under backtraces. Restored before returning.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    use std::collections::BTreeMap;
+    #[derive(Default)]
+    struct MutStats {
+        trials: u64,
+        degraded: u64,
+        panics: u64,
+    }
+    let mut config_stats: BTreeMap<&'static str, MutStats> = BTreeMap::new();
+    let mut code_counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut escaped_panics: u64 = 0;
+    let mut caught_worker_panics: u64 = 0;
+
+    for trial in 0..configs {
+        let (_, files) = &networks[trial % networks.len()];
+        let mutator = rd_chaos::CONFIG_MUTATORS[trial % rd_chaos::CONFIG_MUTATORS.len()];
+        let mut rng = rd_rng::StdRng::seed_from_u64(
+            seed ^ (trial as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        let victim = rng.gen_range(0..files.len());
+        let mut mutated: Vec<(String, Vec<u8>)> = Vec::with_capacity(files.len());
+        for (i, (name, bytes)) in files.iter().enumerate() {
+            if i == victim {
+                if let Some(out) = rd_chaos::mutate_config(&mut rng, mutator, bytes) {
+                    mutated.push((name.clone(), out));
+                }
+            } else {
+                mutated.push((name.clone(), bytes.clone()));
+            }
+        }
+        let stats = config_stats.entry(mutator.name()).or_default();
+        stats.trials += 1;
+        digest = fnv_extend(digest, &(trial as u64).to_le_bytes());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            NetworkAnalysis::from_bytes_list(mutated)
+        }));
+        match result {
+            Ok(analysis) => {
+                if analysis.network.coverage.degraded() {
+                    stats.degraded += 1;
+                }
+                for d in analysis.diagnostics.iter() {
+                    if matches!(
+                        d.code,
+                        "parse-error" | "invalid-utf8" | "empty-config" | "worker-panic"
+                    ) {
+                        *code_counts.entry(d.code).or_default() += 1;
+                        digest = fnv_extend(digest, d.to_string().as_bytes());
+                        if d.code == "worker-panic" {
+                            caught_worker_panics += 1;
+                        }
+                    }
+                }
+            }
+            Err(_) => {
+                stats.panics += 1;
+                escaped_panics += 1;
+            }
+        }
+    }
+
+    // Clean baseline corpus for the snapshot corruptors.
+    let baseline: Vec<rd_snap::NetworkSnapshot> = networks
+        .iter()
+        .map(|(name, files)| {
+            routing_design::snapshot::capture(
+                name,
+                NetworkAnalysis::from_bytes_list(files.clone()),
+            )
+        })
+        .collect();
+    let corpus_bytes = rd_snap::Corpus::new(baseline).to_bytes();
+
+    #[derive(Default)]
+    struct SnapStats {
+        trials: u64,
+        rejected: u64,
+        decoded: u64,
+        panics: u64,
+    }
+    let mut snap_stats: BTreeMap<&'static str, SnapStats> = BTreeMap::new();
+    for trial in 0..snapshots {
+        let mutator = rd_chaos::SNAP_MUTATORS[trial % rd_chaos::SNAP_MUTATORS.len()];
+        let mut rng = rd_rng::StdRng::seed_from_u64(
+            seed ^ (trial as u64 + 1).wrapping_mul(0xd1b5_4a32_d192_ed03),
+        );
+        let corrupted = rd_chaos::corrupt_snapshot(&mut rng, mutator, &corpus_bytes);
+        let stats = snap_stats.entry(mutator.name()).or_default();
+        stats.trials += 1;
+        match std::panic::catch_unwind(|| rd_snap::Corpus::from_bytes(&corrupted)) {
+            Ok(Ok(_)) => stats.decoded += 1,
+            Ok(Err(e)) => {
+                stats.rejected += 1;
+                digest = fnv_extend(digest, e.to_string().as_bytes());
+            }
+            Err(_) => {
+                stats.panics += 1;
+                escaped_panics += 1;
+            }
+        }
+    }
+    std::panic::set_hook(prev_hook);
+
+    println!("config mutators:");
+    for (name, s) in &config_stats {
+        println!(
+            "  {name:<20} trials {:>4}  degraded {:>4}  panics {:>2}",
+            s.trials, s.degraded, s.panics
+        );
+    }
+    println!("quarantine codes:");
+    for (code, n) in &code_counts {
+        println!("  {code:<20} {n:>6}");
+    }
+    println!("snapshot mutators:");
+    for (name, s) in &snap_stats {
+        println!(
+            "  {name:<20} trials {:>4}  rejected {:>4}  decoded {:>2}  panics {:>2}",
+            s.trials, s.rejected, s.decoded, s.panics
+        );
+    }
+    println!("diagnostics digest: {digest:#018x}");
+
+    let mut failed = false;
+    if escaped_panics > 0 {
+        println!("INVARIANT VIOLATED: {escaped_panics} panic(s) escaped the pipeline");
+        failed = true;
+    } else if caught_worker_panics > 0 {
+        println!(
+            "INVARIANT VIOLATED: {caught_worker_panics} parse worker panic(s) \
+             (caught, but parse must fail via typed errors)"
+        );
+        failed = true;
+    } else {
+        println!(
+            "invariant held: error-not-panic across {} trial(s)",
+            configs + snapshots
+        );
+    }
+    // RSS goes to stderr: it is the one machine-dependent number, and
+    // stdout must stay byte-identical across runs for the determinism gate.
+    if let Some(kb) = rd_obs::metrics::peak_rss_kb() {
+        eprintln!("rdx: chaos: peak RSS {} MB (cap {max_rss_mb} MB)", kb / 1024);
+        if kb / 1024 > max_rss_mb {
+            eprintln!("rdx: chaos: INVARIANT VIOLATED: RSS cap exceeded");
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn summary(a: &NetworkAnalysis) {

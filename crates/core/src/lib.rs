@@ -56,8 +56,8 @@ use std::path::Path;
 pub use ioscfg::{parse_config, RouterConfig};
 pub use netaddr::{Addr, BlockTree, Prefix, PrefixSet};
 pub use nettopo::{
-    ExternalAnalysis, IfaceClass, LinkMap, LoadError, Network, Router, RouterGraph,
-    RouterId,
+    error_budget, Coverage, ExternalAnalysis, IfaceClass, LinkMap, LoadError, Network,
+    Router, RouterGraph, RouterId,
 };
 pub use audit::{audit, Finding, FindingKind};
 pub use diff::DesignDiff;
@@ -204,6 +204,28 @@ impl NetworkAnalysis {
         let mut analysis = NetworkAnalysis::from_network(network);
         analysis.timings.prepend("parse", parse_time);
         Ok(analysis)
+    }
+
+    /// Parses and analyzes `(file_name, bytes)` pairs. Unlike
+    /// [`from_texts`](NetworkAnalysis::from_texts) this path is infallible:
+    /// unreadable files (non-UTF-8, empty, unparseable) are quarantined into
+    /// per-file error diagnostics and recorded in the network's
+    /// [`Coverage`](nettopo::Coverage), and the analysis proceeds with the
+    /// surviving routers.
+    pub fn from_bytes_list(files: Vec<(String, Vec<u8>)>) -> NetworkAnalysis {
+        let started = std::time::Instant::now();
+        let network = Network::from_bytes_list(files);
+        let parse_time = started.elapsed();
+        rd_obs::metrics::record_peak_rss("parse");
+        let mut analysis = NetworkAnalysis::from_network(network);
+        analysis.timings.prepend("parse", parse_time);
+        analysis
+    }
+
+    /// True when at least one input file was quarantined during parsing,
+    /// i.e. the analysis covers only a subset of the corpus.
+    pub fn degraded(&self) -> bool {
+        self.network.coverage.degraded()
     }
 
     /// Loads and analyzes a directory of configuration files. Reading and

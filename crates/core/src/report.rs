@@ -100,7 +100,7 @@ impl FilterCdf {
                 fractions.push(internal as f64 / total as f64);
             }
         }
-        fractions.sort_by(|a, b| a.partial_cmp(b).expect("fractions are finite"));
+        fractions.sort_by(f64::total_cmp);
         FilterCdf { fractions, filterless }
     }
 
@@ -170,6 +170,7 @@ impl Section7Report {
             return None;
         }
         let min = sizes[0];
+        // Invariant: the is_empty() guard above makes last() infallible.
         let max = *sizes.last().expect("non-empty");
         let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
         let median = sizes[sizes.len() / 2];

@@ -97,18 +97,50 @@ fn is_study_dir(dir: &Path) -> bool {
     has_subdir_with_files && !has_plain_file
 }
 
+/// One network excluded from a study: either its parse coverage exceeded
+/// the error budget (see [`nettopo::error_budget`]) or its directory could
+/// not be read at all.
+pub struct DroppedNetwork {
+    /// Directory basename of the network.
+    pub name: String,
+    /// Config files found under the network directory (0 when unreadable).
+    pub total_files: usize,
+    /// How many of those files were quarantined during parsing.
+    pub quarantined: usize,
+    /// Human-readable explanation of why the network was dropped.
+    pub reason: String,
+}
+
+/// Result of snapshotting a directory: the corpus of surviving networks
+/// plus every network dropped by the error budget. A study run proceeds
+/// with the survivors; callers decide how loudly to report the drops
+/// (`rdx snap` and `repro` exit non-zero when any network was dropped).
+pub struct SnapOutcome {
+    /// Snapshots of the networks that stayed within the error budget.
+    pub corpus: Corpus,
+    /// Networks excluded from the corpus, in name order.
+    pub dropped: Vec<DroppedNetwork>,
+}
+
 /// Analyzes `dir` — one network, or a whole study directory of `netN`
 /// subdirectories (analyzed in parallel with `rd-par`) — and returns the
-/// snapshot corpus. Network names are the directory basenames.
-pub fn snap_dir(dir: &Path) -> Result<Corpus, LoadError> {
+/// snapshot corpus plus any networks dropped by the error budget. Network
+/// names are the directory basenames. Only a top-level read failure of
+/// `dir` itself is a hard error; per-network failures degrade or drop that
+/// network and the rest of the study proceeds.
+pub fn snap_dir(dir: &Path) -> Result<SnapOutcome, LoadError> {
     let name_of = |p: &Path| {
         p.file_name()
             .map(|n| n.to_string_lossy().into_owned())
             .unwrap_or_else(|| "network".to_string())
     };
+    let budget = nettopo::error_budget();
     if !is_study_dir(dir) {
         let analysis = NetworkAnalysis::from_dir(dir)?;
-        return Ok(Corpus::new(vec![capture(&name_of(dir), analysis)]));
+        return Ok(SnapOutcome {
+            corpus: Corpus::new(vec![capture(&name_of(dir), analysis)]),
+            dropped: Vec::new(),
+        });
     }
     let mut subdirs: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
         .map_err(LoadError::Io)?
@@ -120,9 +152,36 @@ pub fn snap_dir(dir: &Path) -> Result<Corpus, LoadError> {
     let results = rd_par::par_map(&subdirs, |_, sub| {
         NetworkAnalysis::from_dir(sub).map(|a| capture(&name_of(sub), a))
     });
-    let mut networks = Vec::with_capacity(results.len());
-    for r in results {
-        networks.push(r?);
+    let mut networks = Vec::new();
+    let mut dropped = Vec::new();
+    for (sub, result) in subdirs.iter().zip(results) {
+        let name = name_of(sub);
+        match result {
+            Ok(snap) => {
+                let coverage = &snap.network.coverage;
+                if coverage.over_budget(budget) {
+                    dropped.push(DroppedNetwork {
+                        name,
+                        total_files: coverage.total_files,
+                        quarantined: coverage.quarantined.len(),
+                        reason: format!(
+                            "{}/{} files quarantined exceeds error budget {:.0}%",
+                            coverage.quarantined.len(),
+                            coverage.total_files,
+                            budget * 100.0,
+                        ),
+                    });
+                } else {
+                    networks.push(snap);
+                }
+            }
+            Err(error) => dropped.push(DroppedNetwork {
+                name,
+                total_files: 0,
+                quarantined: 0,
+                reason: format!("network directory unreadable: {error}"),
+            }),
+        }
     }
-    Ok(Corpus::new(networks))
+    Ok(SnapOutcome { corpus: Corpus::new(networks), dropped })
 }

@@ -340,6 +340,7 @@ pub fn classful_prefix(addr: Addr) -> Prefix {
     } else {
         24
     };
+    // Invariant: len is one of 8/16/24, always <= 32.
     Prefix::new(addr, len).expect("classful lengths are valid")
 }
 
@@ -511,6 +512,7 @@ impl BgpProcess {
             return &mut self.neighbors[pos];
         }
         self.neighbors.push(BgpNeighbor::new(addr));
+        // Invariant: the push above makes the vec non-empty.
         self.neighbors.last_mut().expect("just pushed")
     }
 
@@ -630,6 +632,7 @@ impl AclAddr {
                     // the leading fixed bits.
                     let fixed = w.bits().leading_zeros() as u8;
                     netaddr::PrefixSet::from_prefix(
+                        // Invariant: leading_zeros of a u32 is at most 32.
                         Prefix::new(*base, fixed).expect("fixed <= 32"),
                     )
                 }

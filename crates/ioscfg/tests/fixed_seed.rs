@@ -304,7 +304,7 @@ fn random_configish(rng: &mut StdRng) -> String {
         "redistribute", "access-list", "route-map", "ip", "address", "permit", "deny",
         "match", "set", "area", "remote-as", "!",
     ];
-    let mut word = |rng: &mut StdRng| match rng.gen_range(0..23usize) {
+    let word = |rng: &mut StdRng| match rng.gen_range(0..23usize) {
         n if n < 20 => WORDS[n].to_string(),
         20 => rng.gen_range(0..100_000u32).to_string(),
         21 => format!(

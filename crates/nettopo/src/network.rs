@@ -34,16 +34,85 @@ impl Router {
     }
 }
 
+/// How much of a network's input corpus actually made it into the
+/// analysis. Real corpora (the paper's 8,035 anonymized configs) carry
+/// truncated files, anonymization artifacts, and encoding damage; instead
+/// of aborting, the loader quarantines such files and records them here so
+/// every downstream consumer can label its numbers as partial.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Coverage {
+    /// Configuration files presented to the loader.
+    pub total_files: usize,
+    /// Files the loader refused to use, in load order. Each has a
+    /// matching error-severity diagnostic (`parse-error`, `invalid-utf8`,
+    /// `empty-config`, or `worker-panic`) in the network's diagnostics.
+    pub quarantined: Vec<String>,
+}
+
+impl Coverage {
+    /// A fully-covered corpus of `total` files.
+    pub fn full(total: usize) -> Coverage {
+        Coverage { total_files: total, quarantined: Vec::new() }
+    }
+
+    /// Files that parsed and entered the analysis.
+    pub fn parsed(&self) -> usize {
+        self.total_files - self.quarantined.len()
+    }
+
+    /// True when at least one file was quarantined: derived numbers are
+    /// computed from a partial corpus and must be labeled as such.
+    pub fn degraded(&self) -> bool {
+        !self.quarantined.is_empty()
+    }
+
+    /// Fraction of files quarantined (0.0 on an empty corpus).
+    pub fn failure_fraction(&self) -> f64 {
+        if self.total_files == 0 {
+            0.0
+        } else {
+            self.quarantined.len() as f64 / self.total_files as f64
+        }
+    }
+
+    /// True when the quarantine fraction exceeds `budget` — the network
+    /// should be dropped from study-level aggregates rather than
+    /// contribute numbers dominated by missing data.
+    pub fn over_budget(&self, budget: f64) -> bool {
+        self.failure_fraction() > budget
+    }
+}
+
+/// The study-level error budget: the largest quarantined-file fraction a
+/// network may carry and still contribute to aggregate tables. Defaults
+/// to 0.25; override with the `RD_ERROR_BUDGET` environment variable (a
+/// fraction in `[0, 1]`, e.g. `0.1`). Read fresh on every call so tests
+/// and harnesses can switch budgets at runtime.
+pub fn error_budget() -> f64 {
+    if let Ok(text) = std::env::var("RD_ERROR_BUDGET") {
+        if let Ok(v) = text.trim().parse::<f64>() {
+            if (0.0..=1.0).contains(&v) {
+                return v;
+            }
+        }
+    }
+    0.25
+}
+
 /// A set of router configurations belonging to one network.
 #[derive(Clone, Debug, Default)]
 pub struct Network {
     /// Routers in load order; [`RouterId`] indexes into this.
     pub routers: Vec<Router>,
     /// Parse-level diagnostics for every router, in load order: unknown
-    /// stanzas the tolerant parser skipped and dangling policy references
-    /// ([`ioscfg::config_diagnostics`]). Downstream analyses append their
-    /// own design-level diagnostics to a copy of this.
+    /// stanzas the tolerant parser skipped, dangling policy references
+    /// ([`ioscfg::config_diagnostics`]), and one error-severity entry per
+    /// quarantined file. Downstream analyses append their own
+    /// design-level diagnostics to a copy of this.
     pub diagnostics: rd_obs::Diagnostics,
+    /// Which input files survived into `routers` and which were
+    /// quarantined.
+    pub coverage: Coverage,
 }
 
 /// Error loading a network from disk or text.
@@ -52,6 +121,10 @@ pub enum LoadError {
     /// Filesystem failure.
     Io(std::io::Error),
     /// A configuration failed to parse; the file name is attached.
+    ///
+    /// Per-file parse failures are now quarantined into diagnostics
+    /// rather than aborting the load; this variant remains for callers
+    /// that still construct it (and for exhaustive matches).
     Parse {
         /// The offending file.
         file: String,
@@ -77,20 +150,73 @@ impl From<std::io::Error> for LoadError {
     }
 }
 
+/// Per-file outcome of the parallel lex + parse stage.
+enum FileOutcome {
+    Parsed { config: Box<RouterConfig>, command_lines: usize, diags: Vec<rd_obs::Diagnostic> },
+    Quarantined { diag: rd_obs::Diagnostic },
+}
+
+fn quarantine_diag(file: &str, code: &'static str, message: String) -> rd_obs::Diagnostic {
+    rd_obs::Diagnostic {
+        file: file.to_string(),
+        line: 0,
+        severity: rd_obs::Severity::Error,
+        code,
+        message,
+    }
+}
+
 impl Network {
     /// Builds a network from `(file_name, config_text)` pairs.
     ///
     /// Files are lexed and parsed in parallel (`RD_THREADS` workers; see
-    /// [`rd_par::thread_count`]). Results keep input order, and if several
-    /// files fail to parse the error reported is the one from the
-    /// *earliest* file — exactly what the sequential loop reported — so
-    /// the thread count never changes observable behavior.
+    /// [`rd_par::thread_count`]). Results keep input order; files that
+    /// fail to parse are **quarantined** — recorded in
+    /// [`coverage`](Network::coverage) with an error-severity diagnostic —
+    /// and the network is built from the surviving subset, so one
+    /// corrupt file never aborts a whole corpus. The thread count never
+    /// changes observable behavior.
     pub fn from_texts<I>(texts: I) -> Result<Network, LoadError>
     where
         I: IntoIterator<Item = (String, String)>,
     {
-        let texts: Vec<(String, String)> = texts.into_iter().collect();
-        let parsed = rd_par::par_map(&texts, |_, (file_name, text)| {
+        Ok(Network::from_bytes_list(
+            texts.into_iter().map(|(name, text)| (name, text.into_bytes())).collect(),
+        ))
+    }
+
+    /// Builds a network from raw `(file_name, bytes)` pairs — the
+    /// byte-level entry point used by [`from_dir`](Network::from_dir) and
+    /// the chaos harness. Quarantines (never aborts on):
+    ///
+    /// - zero-byte files → `empty-config`
+    /// - non-UTF-8 files → `invalid-utf8`
+    /// - hard parse failures → `parse-error`
+    /// - a panicking parse worker → `worker-panic` (caught per item by
+    ///   `rd_par::try_par_map`, never unwinding the caller)
+    pub fn from_bytes_list(files: Vec<(String, Vec<u8>)>) -> Network {
+        let outcomes = rd_par::try_par_map(&files, |_, (file_name, bytes)| {
+            if bytes.is_empty() {
+                return FileOutcome::Quarantined {
+                    diag: quarantine_diag(
+                        file_name,
+                        "empty-config",
+                        "configuration file is empty (quarantined)".to_string(),
+                    ),
+                };
+            }
+            let text = match std::str::from_utf8(bytes) {
+                Ok(t) => t,
+                Err(e) => {
+                    return FileOutcome::Quarantined {
+                        diag: quarantine_diag(
+                            file_name,
+                            "invalid-utf8",
+                            format!("configuration is not valid UTF-8 ({e}); quarantined"),
+                        ),
+                    }
+                }
+            };
             let raw = lex_config(text);
             match parse_raw(&raw) {
                 Ok(config) => {
@@ -104,35 +230,68 @@ impl Network {
                             ("diagnostics", diags.len().into()),
                         ],
                     );
-                    Ok((config, raw.command_lines, diags))
+                    FileOutcome::Parsed {
+                        config: Box::new(config),
+                        command_lines: raw.command_lines,
+                        diags,
+                    }
                 }
-                Err(error) => Err(LoadError::Parse { file: file_name.clone(), error }),
+                Err(error) => FileOutcome::Quarantined {
+                    diag: quarantine_diag(
+                        file_name,
+                        "parse-error",
+                        format!("{error}; file quarantined"),
+                    ),
+                },
             }
         });
-        let mut routers = Vec::with_capacity(texts.len());
+        let mut routers = Vec::with_capacity(files.len());
         let mut diagnostics = rd_obs::Diagnostics::new();
+        let mut coverage = Coverage::full(files.len());
         let mut total_lines = 0u64;
         let mut unrecognized = 0u64;
-        for ((file_name, _), result) in texts.into_iter().zip(parsed) {
-            let (config, command_lines, diags) = result?;
-            total_lines += command_lines as u64;
-            unrecognized += config.unparsed.len() as u64;
-            rd_obs::metrics::histogram_record(
-                "parse.file_lines",
-                command_lines as u64,
-                &[16, 64, 256, 1024, 4096],
-            );
-            diagnostics.extend(diags);
-            routers.push(Router { file_name, config, command_lines });
+        for ((file_name, _), outcome) in files.into_iter().zip(outcomes) {
+            let outcome = outcome.unwrap_or_else(|panic_msg| FileOutcome::Quarantined {
+                diag: quarantine_diag(
+                    &file_name,
+                    "worker-panic",
+                    format!("parse worker panicked: {panic_msg}; file quarantined"),
+                ),
+            });
+            match outcome {
+                FileOutcome::Parsed { config, command_lines, diags } => {
+                    total_lines += command_lines as u64;
+                    unrecognized += config.unparsed.len() as u64;
+                    rd_obs::metrics::histogram_record(
+                        "parse.file_lines",
+                        command_lines as u64,
+                        &[16, 64, 256, 1024, 4096],
+                    );
+                    diagnostics.extend(diags);
+                    routers.push(Router { file_name, config: *config, command_lines });
+                }
+                FileOutcome::Quarantined { diag } => {
+                    rd_obs::trace::event(
+                        "parse.quarantine",
+                        &[("file", file_name.as_str().into()), ("code", diag.code.into())],
+                    );
+                    diagnostics.push(diag);
+                    coverage.quarantined.push(file_name);
+                }
+            }
         }
         rd_obs::metrics::counter_add("parse.files", routers.len() as u64);
+        rd_obs::metrics::counter_add("parse.quarantined", coverage.quarantined.len() as u64);
         rd_obs::metrics::counter_add("parse.lines", total_lines);
         rd_obs::metrics::counter_add("parse.unrecognized_lines", unrecognized);
-        Ok(Network { routers, diagnostics })
+        Network { routers, diagnostics, coverage }
     }
 
     /// Loads every file in a directory as a configuration, in file-name
     /// order (the paper's corpora are directories of `config1..configN`).
+    /// Files are read as raw bytes so encoding damage is quarantined (see
+    /// [`from_bytes_list`](Network::from_bytes_list)) instead of
+    /// surfacing as an opaque I/O error.
     pub fn from_dir(dir: &Path) -> Result<Network, LoadError> {
         let mut names: Vec<_> = std::fs::read_dir(dir)?
             .filter_map(|e| e.ok())
@@ -140,15 +299,15 @@ impl Network {
             .map(|e| e.path())
             .collect();
         names.sort();
-        let mut texts = Vec::with_capacity(names.len());
+        let mut files = Vec::with_capacity(names.len());
         for path in names {
             let name = path
                 .file_name()
                 .map(|n| n.to_string_lossy().into_owned())
                 .unwrap_or_default();
-            texts.push((name, std::fs::read_to_string(&path)?));
+            files.push((name, std::fs::read(&path)?));
         }
-        Network::from_texts(texts)
+        Ok(Network::from_bytes_list(files))
     }
 
     /// Number of routers.
@@ -224,18 +383,62 @@ mod tests {
         assert_eq!(net.router(RouterId(0)).command_lines, 3);
         assert_eq!(net.router(RouterId(0)).name(), "a");
         assert_eq!(net.router(RouterId(1)).command_lines, 1);
+        assert!(!net.coverage.degraded());
+        assert_eq!(net.coverage.parsed(), 2);
     }
 
     #[test]
-    fn parse_errors_carry_file_names() {
-        let err = Network::from_texts(vec![(
-            "config9".to_string(),
-            "interface Ethernet0\n ip address nope 255.0.0.0\n".to_string(),
-        )])
-        .unwrap_err();
-        match err {
-            LoadError::Parse { file, .. } => assert_eq!(file, "config9"),
-            other => panic!("wrong error: {other}"),
+    fn parse_errors_quarantine_the_file() {
+        let net = Network::from_texts(vec![
+            (
+                "config1".to_string(),
+                "hostname ok\ninterface Serial0\n ip address 10.0.0.1 255.255.255.252\n"
+                    .to_string(),
+            ),
+            (
+                "config9".to_string(),
+                "interface Ethernet0\n ip address nope 255.0.0.0\n".to_string(),
+            ),
+        ])
+        .unwrap();
+        // The bad file is quarantined, the good one survives.
+        assert_eq!(net.len(), 1);
+        assert_eq!(net.router(RouterId(0)).file_name, "config1");
+        assert_eq!(net.coverage.quarantined, vec!["config9".to_string()]);
+        assert!(net.coverage.degraded());
+        let d = net
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "parse-error")
+            .expect("quarantine diagnostic recorded");
+        assert_eq!(d.file, "config9");
+        assert_eq!(d.severity, rd_obs::Severity::Error);
+    }
+
+    #[test]
+    fn empty_and_non_utf8_files_quarantine_with_exact_codes() {
+        let net = Network::from_bytes_list(vec![
+            ("config1".to_string(), b"hostname ok\n".to_vec()),
+            ("config2".to_string(), Vec::new()),
+            ("config3".to_string(), vec![0xff, 0xfe, 0x00, 0x9f]),
+        ]);
+        assert_eq!(net.len(), 1);
+        assert_eq!(
+            net.coverage.quarantined,
+            vec!["config2".to_string(), "config3".to_string()]
+        );
+        let codes: Vec<&str> = net.diagnostics.iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec!["empty-config", "invalid-utf8"]);
+        assert!(net.coverage.over_budget(0.25)); // 2/3 quarantined
+        assert!(!net.coverage.over_budget(0.9));
+    }
+
+    #[test]
+    fn error_budget_defaults_and_env_override() {
+        // Only exercise the default here; the env override is covered by
+        // binary-level tests (env vars are process-global).
+        if std::env::var("RD_ERROR_BUDGET").is_err() {
+            assert_eq!(error_budget(), 0.25);
         }
     }
 

@@ -165,7 +165,12 @@ impl<'a> Parser<'a> {
                     {
                         self.pos += 1;
                     }
-                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                    // Invariant: `bytes` came from a `&str`, and the span
+                    // covers a whole character, so it is valid UTF-8.
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .expect("span of a &str is valid UTF-8"),
+                    );
                 }
             }
         }

@@ -68,6 +68,53 @@ where
     par_map_threads(thread_count(), items, f)
 }
 
+/// Like [`par_map`], but catches a panic in `f` **per item**: the caller
+/// gets `Err(panic message)` for the offending item instead of the whole
+/// fan-out unwinding. This is the graceful-degradation entry point — the
+/// parse pipeline turns each `Err` into a `worker-panic` diagnostic tied
+/// to the work item, so one poisoned input cannot abort a study.
+///
+/// Determinism: results stay in input order and the panic payload text is
+/// whatever the panic carried (`&str`/`String` payloads verbatim), so the
+/// output is identical at any thread count.
+pub fn try_par_map<T, U, F>(items: &[T], f: F) -> Vec<Result<U, String>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    try_par_map_threads(thread_count(), items, f)
+}
+
+/// [`try_par_map`] with an explicit thread count.
+pub fn try_par_map_threads<T, U, F>(
+    threads: usize,
+    items: &[T],
+    f: F,
+) -> Vec<Result<U, String>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_map_threads(threads, items, |i, item| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, item)))
+            .map_err(|payload| panic_message(payload.as_ref()))
+    })
+}
+
+/// Best-effort text of a caught panic payload (the `&str` and `String`
+/// cases cover every `panic!` in this workspace).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// [`par_map`] with an explicit thread count (the env-independent core,
 /// used directly by tests and the bench harness).
 ///
@@ -187,6 +234,27 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn try_par_map_catches_panics_per_item() {
+        let items: Vec<usize> = (0..32).collect();
+        for threads in [1, 4] {
+            let out = try_par_map_threads(threads, &items, |_, &x| {
+                if x == 13 {
+                    panic!("boom at {x}");
+                }
+                x * 2
+            });
+            assert_eq!(out.len(), 32);
+            for (i, r) in out.iter().enumerate() {
+                if i == 13 {
+                    assert_eq!(r.as_ref().unwrap_err(), "boom at 13");
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i * 2);
+                }
+            }
+        }
     }
 
     #[test]

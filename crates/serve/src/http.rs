@@ -207,8 +207,24 @@ pub fn reason(status: u16) -> &'static str {
         413 => "Payload Too Large",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
+}
+
+/// Writes the 503 backpressure rejection sent when the bounded accept
+/// queue is full: `Retry-After` tells well-behaved clients when to come
+/// back, and the connection always closes.
+pub fn write_busy(stream: &mut TcpStream) -> io::Result<()> {
+    let body = error_body(503, "server busy; accept queue full");
+    let head = format!(
+        "HTTP/1.1 503 {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nretry-after: 1\r\nconnection: close\r\n\r\n",
+        reason(503),
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
 }
 
 /// Writes a response with the given body, setting `Connection` from

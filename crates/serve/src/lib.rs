@@ -3,9 +3,9 @@
 //!
 //! The paper's analysis is extracted once (`rdx snap`) and then queried
 //! cheaply: `rdx serve study.rdsnap --addr 127.0.0.1:0` loads the corpus
-//! into memory behind an `Arc` and answers read-only JSON endpoints from
-//! a bounded pool of worker threads (sized like `rd-par`'s `par_map`
-//! pool, via [`rd_par::thread_count`]):
+//! into memory behind an `Arc`; one acceptor thread feeds a bounded
+//! connection queue drained by a pool of worker threads (sized like
+//! `rd-par`'s `par_map` pool, via [`rd_par::thread_count`]):
 //!
 //! | Endpoint | Body |
 //! |---|---|
@@ -21,21 +21,26 @@
 //! Every request is traced (`http.request` events) and measured
 //! (`http.requests` counter, `http.request_us` latency histogram, status
 //! class counters), which is what `/metrics` then exports. Strict input
-//! limits (see [`http`]) bound per-connection memory; keep-alive is
+//! limits (see [`http`]) bound per-connection memory; per-connection read
+//! **and write** timeouts bound how long a slow or stalled client can
+//! hold a worker; when the accept queue is full, new connections are
+//! rejected immediately with `503` + `Retry-After` (counted as
+//! `http.rejected_busy`) instead of piling up unboundedly; keep-alive is
 //! honored; and shutdown is graceful: a flag flipped either
 //! programmatically ([`Server::shutdown`]) or by SIGTERM/SIGINT
-//! ([`install_signal_handlers`]) stops the accept loops, lets in-flight
-//! responses finish, and joins every worker.
+//! ([`install_signal_handlers`]) stops the acceptor, lets queued and
+//! in-flight responses finish, and joins every worker.
 
 #![warn(missing_docs)]
 
 pub mod http;
 pub mod render;
 
+use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -43,12 +48,20 @@ use rd_snap::Corpus;
 
 use http::{ReadOutcome, Request};
 
-/// How long an accept loop sleeps when there is nothing to accept.
+/// How long the acceptor sleeps when there is nothing to accept, and how
+/// long an idle worker waits on the queue before re-checking shutdown.
 const ACCEPT_IDLE: Duration = Duration::from_millis(10);
 /// Per-connection read timeout: bounds how long a keep-alive connection
 /// can sit idle holding a worker, and how long a slow client can take to
 /// deliver one request head.
 const READ_TIMEOUT: Duration = Duration::from_millis(2000);
+/// Per-connection write timeout: bounds how long a stalled client (zero
+/// receive window, dropped link) can hold a worker mid-response.
+const WRITE_TIMEOUT: Duration = Duration::from_millis(2000);
+/// Bound on accepted-but-not-yet-served connections. Past this, new
+/// connections get an immediate `503` + `Retry-After` rejection instead
+/// of queueing unboundedly.
+const ACCEPT_QUEUE_DEPTH: usize = 64;
 /// Latency histogram bounds, in microseconds.
 const LATENCY_BOUNDS_US: &[u64] = &[50, 100, 250, 500, 1000, 2500, 5000, 25000, 100_000];
 
@@ -95,27 +108,39 @@ pub struct Server {
 
 impl Server {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
-    /// `workers` accept loops over the shared listener. With `workers` 0,
-    /// the pool is sized by [`rd_par::thread_count`] (the `RD_THREADS`
-    /// environment override applies), clamped to at least 2 so one
-    /// long-polling connection cannot starve the server.
+    /// one acceptor thread plus `workers` connection workers draining a
+    /// bounded queue. With `workers` 0, the pool is sized by
+    /// [`rd_par::thread_count`] (the `RD_THREADS` environment override
+    /// applies), clamped to at least 2 so one long-polling connection
+    /// cannot starve the server.
     pub fn start(corpus: Corpus, addr: &str, workers: usize) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let corpus = Arc::new(corpus);
         let shutdown = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(ConnQueue::default());
         let pool = if workers == 0 { rd_par::thread_count().max(2) } else { workers };
 
-        let mut handles = Vec::with_capacity(pool);
+        let mut handles = Vec::with_capacity(pool + 1);
+        {
+            let queue = Arc::clone(&queue);
+            let shutdown = Arc::clone(&shutdown);
+            handles.push(
+                std::thread::Builder::new()
+                    .name("rd-serve-accept".to_string())
+                    .spawn(move || acceptor_loop(listener, queue, shutdown))
+                    .expect("spawn acceptor"),
+            );
+        }
         for i in 0..pool {
-            let listener = listener.try_clone()?;
+            let queue = Arc::clone(&queue);
             let corpus = Arc::clone(&corpus);
             let shutdown = Arc::clone(&shutdown);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("rd-serve-{i}"))
-                    .spawn(move || accept_loop(listener, corpus, shutdown))
+                    .spawn(move || worker_loop(queue, corpus, shutdown))
                     .expect("spawn worker"),
             );
         }
@@ -152,11 +177,55 @@ fn shutting_down(flag: &AtomicBool) -> bool {
     flag.load(Ordering::SeqCst) || signal_shutdown_requested()
 }
 
-fn accept_loop(listener: TcpListener, corpus: Arc<Corpus>, shutdown: Arc<AtomicBool>) {
+/// The bounded handoff between the acceptor and the workers. A plain
+/// `Mutex<VecDeque>` + `Condvar`: pushes past [`ACCEPT_QUEUE_DEPTH`] are
+/// refused (the acceptor then sends the 503 rejection), pops wait with a
+/// timeout so idle workers keep noticing shutdown.
+#[derive(Default)]
+struct ConnQueue {
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+}
+
+impl ConnQueue {
+    /// Tries to enqueue a connection; hands it back when the queue is full.
+    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut q = self.queue.lock().unwrap_or_else(|p| p.into_inner());
+        if q.len() >= ACCEPT_QUEUE_DEPTH {
+            return Err(stream);
+        }
+        q.push_back(stream);
+        drop(q);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Pops one connection, waiting up to `timeout` for one to arrive.
+    fn pop(&self, timeout: Duration) -> Option<TcpStream> {
+        let mut q = self.queue.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(s) = q.pop_front() {
+            return Some(s);
+        }
+        let (mut q, _) = self
+            .ready
+            .wait_timeout(q, timeout)
+            .unwrap_or_else(|p| p.into_inner());
+        q.pop_front()
+    }
+}
+
+fn acceptor_loop(listener: TcpListener, queue: Arc<ConnQueue>, shutdown: Arc<AtomicBool>) {
     while !shutting_down(&shutdown) {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                handle_connection(stream, &corpus, &shutdown);
+                if let Err(mut rejected) = queue.push(stream) {
+                    // Backpressure: the queue is full, so refuse loudly and
+                    // immediately rather than letting connections pile up.
+                    rd_obs::metrics::counter_add("http.rejected_busy", 1);
+                    record_request("-", "-", 503, 0);
+                    let _ = rejected.set_write_timeout(Some(WRITE_TIMEOUT));
+                    let _ = http::write_busy(&mut rejected);
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(ACCEPT_IDLE);
@@ -166,8 +235,21 @@ fn accept_loop(listener: TcpListener, corpus: Arc<Corpus>, shutdown: Arc<AtomicB
     }
 }
 
+fn worker_loop(queue: Arc<ConnQueue>, corpus: Arc<Corpus>, shutdown: Arc<AtomicBool>) {
+    loop {
+        match queue.pop(ACCEPT_IDLE) {
+            Some(stream) => handle_connection(stream, &corpus, &shutdown),
+            // Drain the queue even during shutdown: accepted connections
+            // get a response; only an empty queue lets a worker exit.
+            None if shutting_down(&shutdown) => return,
+            None => {}
+        }
+    }
+}
+
 fn handle_connection(mut stream: TcpStream, corpus: &Corpus, shutdown: &AtomicBool) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
     let _ = stream.set_nodelay(true);
     loop {
         match http::read_request(&mut stream) {

@@ -28,12 +28,13 @@ pub fn networks_index(corpus: &Corpus) -> String {
         .iter()
         .map(|n| {
             format!(
-                "    {{\"name\": \"{}\", \"routers\": {}, \"links\": {}, \"instances\": {}, \"design\": \"{}\"}}",
+                "    {{\"name\": \"{}\", \"routers\": {}, \"links\": {}, \"instances\": {}, \"design\": \"{}\", \"degraded\": {}}}",
                 escape(&n.name),
                 n.network.routers.len(),
                 n.links.links.len(),
                 n.instances.list.len(),
                 n.design.class,
+                n.network.coverage.degraded(),
             )
         })
         .collect();
@@ -75,8 +76,15 @@ pub fn network_summary(n: &NetworkSnapshot) -> String {
             )
         })
         .collect();
+    let quarantined: Vec<String> = n
+        .network
+        .coverage
+        .quarantined
+        .iter()
+        .map(|f| format!("\"{}\"", escape(f)))
+        .collect();
     format!(
-        "{{\n  \"name\": \"{name}\",\n  \"routers\": {routers},\n  \"links\": {links},\n  \"external_subnets\": {ext},\n  \"processes\": {procs},\n  \"address_blocks\": {blocks},\n  \"design\": {{\n    \"class\": \"{class}\",\n    \"bgp_speakers\": {bgp_speakers},\n    \"internal_ases\": {internal_ases},\n    \"ibgp_sessions\": {ibgp},\n    \"external_ebgp_sessions\": {eext},\n    \"internal_ebgp_sessions\": {eint},\n    \"igp_instances\": {igp},\n    \"staging_instances\": {staging},\n    \"bgp_into_igp\": {bgp_into_igp},\n    \"total_instances\": {total}\n  }},\n  \"table1\": {{\n    \"igp_instances\": {{\n{igp_rows}\n    }},\n    \"ebgp_sessions\": {{\"intra\": {ebgp_intra}, \"inter\": {ebgp_inter}}},\n    \"ibgp_sessions\": {t1_ibgp}\n  }},\n  \"instances\": [\n{instance_rows}\n  ],\n  \"diagnostics\": {{\"errors\": {errors}, \"warnings\": {warnings}, \"infos\": {infos}}}\n}}\n",
+        "{{\n  \"name\": \"{name}\",\n  \"routers\": {routers},\n  \"links\": {links},\n  \"external_subnets\": {ext},\n  \"processes\": {procs},\n  \"address_blocks\": {blocks},\n  \"design\": {{\n    \"class\": \"{class}\",\n    \"bgp_speakers\": {bgp_speakers},\n    \"internal_ases\": {internal_ases},\n    \"ibgp_sessions\": {ibgp},\n    \"external_ebgp_sessions\": {eext},\n    \"internal_ebgp_sessions\": {eint},\n    \"igp_instances\": {igp},\n    \"staging_instances\": {staging},\n    \"bgp_into_igp\": {bgp_into_igp},\n    \"total_instances\": {total}\n  }},\n  \"table1\": {{\n    \"igp_instances\": {{\n{igp_rows}\n    }},\n    \"ebgp_sessions\": {{\"intra\": {ebgp_intra}, \"inter\": {ebgp_inter}}},\n    \"ibgp_sessions\": {t1_ibgp}\n  }},\n  \"instances\": [\n{instance_rows}\n  ],\n  \"diagnostics\": {{\"errors\": {errors}, \"warnings\": {warnings}, \"infos\": {infos}}},\n  \"coverage\": {{\"files\": {cov_files}, \"parsed\": {cov_parsed}, \"quarantined\": [{cov_quarantined}]}},\n  \"degraded\": {degraded}\n}}\n",
         name = escape(&n.name),
         routers = n.network.routers.len(),
         links = n.links.links.len(),
@@ -98,6 +106,10 @@ pub fn network_summary(n: &NetworkSnapshot) -> String {
         ebgp_inter = n.table1.ebgp_sessions.inter,
         t1_ibgp = n.table1.ibgp_sessions,
         instance_rows = instance_rows.join(",\n"),
+        cov_files = n.network.coverage.total_files,
+        cov_parsed = n.network.coverage.parsed(),
+        cov_quarantined = quarantined.join(", "),
+        degraded = n.network.coverage.degraded(),
     )
 }
 

@@ -57,7 +57,20 @@ use routing_model::{
 pub const MAGIC: &[u8; 6] = b"RDSNAP";
 
 /// Current snapshot format version. Bump on any layout change.
-pub const FORMAT_VERSION: u16 = 1;
+/// Version 2 added per-network corpus coverage (`nettopo::Coverage`).
+pub const FORMAT_VERSION: u16 = 2;
+
+/// Hard cap on the section count a reader will accept. Sections are one
+/// per network; no plausible corpus approaches this, so anything larger
+/// is treated as a corrupted or hostile length prefix rather than an
+/// allocation request.
+pub const MAX_SECTIONS: usize = 65_536;
+
+/// Hard cap on a single section's declared payload length (1 GiB). The
+/// byte-level `Reader::len` already bounds every length prefix by the
+/// bytes actually present; this coarser cap additionally bounds what a
+/// `write_file`/`read_file` round trip will ever produce per network.
+pub const MAX_SECTION_BYTES: usize = 1 << 30;
 
 /// The complete analysis of one network, as stored in a snapshot.
 ///
@@ -183,7 +196,9 @@ impl Corpus {
             return Err(DecodeError::new("snapshot shorter than header + checksum"));
         }
         let (body, trailer) = bytes.split_at(bytes.len() - 8);
-        let stored = u64::from_le_bytes(trailer.try_into().unwrap());
+        let mut trailer_bytes = [0u8; 8];
+        trailer_bytes.copy_from_slice(trailer);
+        let stored = u64::from_le_bytes(trailer_bytes);
         let actual = fnv1a64(body);
         if stored != actual {
             return Err(DecodeError::new(format!(
@@ -201,6 +216,11 @@ impl Corpus {
             )));
         }
         let count = r.len()?;
+        if count > MAX_SECTIONS {
+            return Err(DecodeError::new(format!(
+                "section count {count} exceeds hard cap {MAX_SECTIONS}"
+            )));
+        }
         // First pass: slice out the (name, payload) frames sequentially —
         // cheap, no decoding. Second pass: decode section payloads in
         // parallel over `rd-par`; results come back in input order, so
@@ -209,6 +229,11 @@ impl Corpus {
         for _ in 0..count {
             let name = r.string()?;
             let len = r.len()?;
+            if len > MAX_SECTION_BYTES {
+                return Err(DecodeError::new(format!(
+                    "section '{name}' declares {len} bytes, over the {MAX_SECTION_BYTES} cap"
+                )));
+            }
             sections.push((name, r.raw(len)?));
         }
         if !r.is_at_end() {

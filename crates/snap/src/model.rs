@@ -22,8 +22,8 @@ use ioscfg::{
 };
 use netaddr::{Addr, AddressBlock, BlockTree, Netmask, Prefix, Wildcard};
 use nettopo::{
-    ExternalAnalysis, IfaceClass, IfaceRef, Link, LinkMap, MissingRouterHint, Network, Router,
-    RouterId,
+    Coverage, ExternalAnalysis, IfaceClass, IfaceRef, Link, LinkMap, MissingRouterHint,
+    Network, Router, RouterId,
 };
 use routing_model::{
     Adjacencies, BgpSession, DesignClass, DesignSummary, EdgeKind, ExchangeKind, IgpAdjacency,
@@ -530,7 +530,7 @@ fn intern_static(s: String, known: &[&'static str]) -> &'static str {
         return k;
     }
     static LEAKED: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
-    let mut leaked = LEAKED.lock().unwrap();
+    let mut leaked = LEAKED.lock().unwrap_or_else(|p| p.into_inner());
     if let Some(k) = leaked.iter().find(|k| **k == s) {
         return k;
     }
@@ -550,6 +550,10 @@ const KNOWN_CODES: &[&str] = &[
     "redistribute-unknown-source",
     "missing-backbone-area",
     "bgp-no-neighbors",
+    "parse-error",
+    "invalid-utf8",
+    "empty-config",
+    "worker-panic",
 ];
 
 impl Snap for rd_obs::Diagnostic {
@@ -593,7 +597,8 @@ impl Snap for RouterId {
 }
 
 snap_struct!(Router { file_name, config, command_lines });
-snap_struct!(Network { routers, diagnostics });
+snap_struct!(Coverage { total_files, quarantined });
+snap_struct!(Network { routers, diagnostics, coverage });
 snap_struct!(IfaceRef { router, iface });
 snap_struct!(Link { subnet, endpoints });
 snap_struct!(LinkMap { links });

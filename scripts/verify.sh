@@ -15,6 +15,10 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> clippy: no unwrap() in input-facing crates (ioscfg, rd-snap, rd-serve)"
+cargo clippy -q -p ioscfg -p rd-snap -p rd-serve -- -D clippy::unwrap_used
+echo "    ok"
+
 echo "==> repro --small all (offline reproduction smoke test)"
 ./target/release/repro --small all > /dev/null
 echo "    ok"
@@ -61,6 +65,17 @@ cmp /tmp/rd_verify_served.json /tmp/rd_verify_direct.json
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"
 echo "    /networks/net15 byte-identical to direct analysis; clean SIGTERM shutdown"
+
+echo "==> chaos sweep: error-not-panic, deterministic diagnostics (500+100 trials)"
+RD_THREADS=4 ./target/release/rdx chaos /tmp/rd_verify_study --seed 1 \
+    > /tmp/rd_verify_chaos_t4.txt
+RD_THREADS=1 ./target/release/rdx chaos /tmp/rd_verify_study --seed 1 \
+    > /tmp/rd_verify_chaos_t1.txt
+cmp /tmp/rd_verify_chaos_t4.txt /tmp/rd_verify_chaos_t1.txt
+grep -q "invariant held: error-not-panic" /tmp/rd_verify_chaos_t1.txt
+rm -f /tmp/rd_verify_chaos_t4.txt /tmp/rd_verify_chaos_t1.txt
+echo "    zero panics; sweep stdout byte-identical at both thread counts"
+
 rm -rf /tmp/rd_verify_study /tmp/rd_verify.rdsnap /tmp/rd_verify_serve.txt \
     /tmp/rd_verify_served.json /tmp/rd_verify_direct.json
 

@@ -1,0 +1,180 @@
+//! End-to-end graceful degradation through the `rdx` binary: corrupt
+//! config files are quarantined with exact diagnostic codes instead of
+//! aborting the run, coverage surfaces in `summary --json`, networks over
+//! the error budget are dropped (with exit code 1) by `rdx snap`, and the
+//! `rdx chaos` sweep is byte-deterministic at any `RD_THREADS`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn rdx() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rdx"))
+}
+
+/// A unique scratch directory under the target-adjacent temp root;
+/// removed and re-created so reruns start clean.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rdx-chaos-test-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+const GOOD_A: &str = "hostname ra\n\
+                      interface Ethernet0\n ip address 10.0.0.1 255.255.255.0\n\
+                      router ospf 1\n network 10.0.0.0 0.0.0.255 area 0\n";
+const GOOD_B: &str = "hostname rb\n\
+                      interface Ethernet0\n ip address 10.0.0.2 255.255.255.0\n\
+                      router ospf 1\n network 10.0.0.0 0.0.0.255 area 0\n";
+
+/// Writes a mixed corpus: two healthy routers, one zero-byte file, one
+/// non-UTF-8 file.
+fn write_mixed_corpus(dir: &Path) {
+    fs::write(dir.join("ra.cfg"), GOOD_A).unwrap();
+    fs::write(dir.join("rb.cfg"), GOOD_B).unwrap();
+    fs::write(dir.join("rc.cfg"), b"").unwrap();
+    fs::write(dir.join("rd.cfg"), [0xff, 0xfe, 0x00, b'x', 0x80]).unwrap();
+}
+
+fn run(cmd: &mut Command) -> Output {
+    cmd.output().unwrap_or_else(|e| panic!("failed to spawn rdx: {e}"))
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn corrupt_files_surface_exact_codes_and_analysis_survives() {
+    let dir = scratch("diag");
+    write_mixed_corpus(&dir);
+
+    let out = run(rdx().arg(&dir).arg("diag"));
+    let stdout = stdout_of(&out);
+    let stderr = stderr_of(&out);
+
+    // Quarantine diagnostics carry the exact codes, at line 0.
+    assert!(stdout.contains("rc.cfg: error [empty-config]"), "stdout:\n{stdout}");
+    assert!(stdout.contains("rd.cfg: error [invalid-utf8]"), "stdout:\n{stdout}");
+    // Error-severity diagnostics make `diag` exit 1 — but the process must
+    // not have crashed, and the degraded banner names the quarantined files.
+    assert_eq!(out.status.code(), Some(1), "stderr:\n{stderr}");
+    assert!(stderr.contains("DEGRADED coverage: 2/4"), "stderr:\n{stderr}");
+    assert!(stderr.contains("rc.cfg"), "stderr:\n{stderr}");
+
+    // The surviving routers are still analyzed: summary works and reports
+    // the two healthy routers.
+    let out = run(rdx().arg(&dir).arg("summary"));
+    assert_eq!(out.status.code(), Some(0), "summary failed:\n{}", stderr_of(&out));
+    assert!(stdout_of(&out).contains("routers:             2"), "{}", stdout_of(&out));
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn summary_json_carries_coverage_and_degraded_fields() {
+    let dir = scratch("json");
+    write_mixed_corpus(&dir);
+
+    let out = run(rdx().arg(&dir).arg("summary").arg("--json"));
+    assert_eq!(out.status.code(), Some(0), "stderr:\n{}", stderr_of(&out));
+    let body = stdout_of(&out);
+    assert!(body.contains("\"degraded\": true"), "{body}");
+    assert!(body.contains("\"coverage\": {\"files\": 4, \"parsed\": 2"), "{body}");
+    assert!(body.contains("\"quarantined\": [\"rc.cfg\", \"rd.cfg\"]"), "{body}");
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn snap_drops_over_budget_networks_and_exits_nonzero() {
+    let study = scratch("snap");
+    // net-good: fully healthy. net-bad: 1 of 2 files corrupt (50% > 25%
+    // default budget) — must be dropped.
+    let good = study.join("net-good");
+    let bad = study.join("net-bad");
+    fs::create_dir_all(&good).unwrap();
+    fs::create_dir_all(&bad).unwrap();
+    fs::write(good.join("ra.cfg"), GOOD_A).unwrap();
+    fs::write(good.join("rb.cfg"), GOOD_B).unwrap();
+    fs::write(bad.join("ra.cfg"), GOOD_A).unwrap();
+    fs::write(bad.join("rb.cfg"), [0xff, 0xfe, 0x80]).unwrap();
+
+    let snap_path = study.join("out.rdsnap");
+    let out = run(rdx().arg("snap").arg(&study).arg("-o").arg(&snap_path));
+    let stderr = stderr_of(&out);
+    assert_eq!(out.status.code(), Some(1), "stderr:\n{stderr}");
+    assert!(stderr.contains("DROPPED net-bad"), "stderr:\n{stderr}");
+    assert!(stderr.contains("error budget"), "stderr:\n{stderr}");
+
+    // The snapshot is still written and holds the surviving network only.
+    let bytes = fs::read(&snap_path).expect("snapshot written despite drop");
+    let corpus = rd_snap::Corpus::from_bytes(&bytes).expect("snapshot decodes");
+    let names: Vec<&str> = corpus.networks.iter().map(|n| n.name.as_str()).collect();
+    assert_eq!(names, ["net-good"]);
+
+    fs::remove_dir_all(&study).ok();
+}
+
+#[test]
+fn snap_keeps_degraded_networks_under_budget() {
+    let study = scratch("snap-degraded");
+    // 1 of 5 files corrupt (20% < 25%): kept, flagged degraded.
+    let net = study.join("net-frayed");
+    fs::create_dir_all(&net).unwrap();
+    for i in 0..4 {
+        let cfg = format!(
+            "hostname r{i}\ninterface Ethernet0\n ip address 10.0.{i}.1 255.255.255.0\n"
+        );
+        fs::write(net.join(format!("r{i}.cfg")), cfg).unwrap();
+    }
+    fs::write(net.join("r4.cfg"), b"").unwrap();
+
+    let snap_path = study.join("out.rdsnap");
+    let out = run(rdx().arg("snap").arg(&study).arg("-o").arg(&snap_path));
+    let stderr = stderr_of(&out);
+    assert_eq!(out.status.code(), Some(0), "stderr:\n{stderr}");
+    assert!(stderr.contains("net-frayed DEGRADED: 1/5"), "stderr:\n{stderr}");
+
+    let corpus = rd_snap::Corpus::from_bytes(&fs::read(&snap_path).unwrap()).unwrap();
+    assert_eq!(corpus.networks.len(), 1);
+    let coverage = &corpus.networks[0].network.coverage;
+    assert_eq!(coverage.total_files, 5);
+    assert_eq!(coverage.quarantined, vec!["r4.cfg".to_string()]);
+    assert!(coverage.degraded());
+
+    fs::remove_dir_all(&study).ok();
+}
+
+#[test]
+fn chaos_sweep_is_deterministic_across_thread_counts() {
+    let dir = scratch("sweep");
+    write_mixed_corpus(&dir);
+    // The sweep needs a clean baseline too; replace the broken files so
+    // only the injected faults degrade coverage.
+    fs::write(dir.join("rc.cfg"), GOOD_A.replace("ra", "rc")).unwrap();
+    fs::write(dir.join("rd.cfg"), GOOD_B.replace("rb", "rd")).unwrap();
+
+    let sweep = |threads: &str| {
+        run(rdx()
+            .arg("chaos")
+            .arg(&dir)
+            .args(["--seed", "7", "--configs", "40", "--snapshots", "12"])
+            .env("RD_THREADS", threads))
+    };
+    let one = sweep("1");
+    let four = sweep("4");
+    assert_eq!(one.status.code(), Some(0), "stderr:\n{}", stderr_of(&one));
+    assert_eq!(four.status.code(), Some(0), "stderr:\n{}", stderr_of(&four));
+    let stdout_one = stdout_of(&one);
+    assert_eq!(stdout_one, stdout_of(&four), "chaos stdout differs by RD_THREADS");
+    assert!(stdout_one.contains("diagnostics digest: 0x"), "{stdout_one}");
+    assert!(stdout_one.contains("invariant held: error-not-panic"), "{stdout_one}");
+
+    fs::remove_dir_all(&dir).ok();
+}

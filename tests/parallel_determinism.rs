@@ -5,7 +5,7 @@
 
 use netgen::StudyScale;
 use routing_design::report::{render_table3, StudyNetwork, StudyReport};
-use routing_design::{LoadError, Network, NetworkAnalysis};
+use routing_design::{Network, NetworkAnalysis};
 
 /// Renders everything a `StudyReport` can say into one comparable string
 /// (`StudyReport` itself is not `PartialEq`).
@@ -85,34 +85,50 @@ fn snapshot_bytes() -> Vec<u8> {
     rd_snap::Corpus::new(snaps).to_bytes()
 }
 
-/// A corpus where several files fail to parse; the reported error must be
-/// the one from the earliest file, whatever order workers finish in.
-fn first_error() -> (String, String) {
-    let good = "hostname ok\ninterface Serial0/0\n ip address 10.0.0.1 255.255.255.252\n";
-    let bad = "interface Serial0/0\n ip address not-an-address 255.0.0.0\n";
-    let texts: Vec<(String, String)> = (0..64)
+/// A corpus where several files fail to parse (bad syntax, empty, and
+/// non-UTF-8). The degraded-mode output — quarantine list, coverage, and
+/// every diagnostic — must be byte-identical whatever order workers
+/// finish in.
+fn degraded_output() -> String {
+    let good = b"hostname ok\ninterface Serial0/0\n ip address 10.0.0.1 255.255.255.252\n";
+    let bad = b"interface Serial0/0\n ip address not-an-address 255.0.0.0\n";
+    let files: Vec<(String, Vec<u8>)> = (0..64)
         .map(|i| {
-            let body = if i == 17 || i == 40 { bad } else { good };
-            (format!("config{i:02}"), body.to_string())
+            let body: Vec<u8> = match i {
+                17 | 40 => bad.to_vec(),
+                23 => Vec::new(),
+                31 => vec![0xff, 0xfe, 0x00, b'x'],
+                _ => good.to_vec(),
+            };
+            (format!("config{i:02}"), body)
         })
         .collect();
-    match Network::from_texts(texts) {
-        Err(LoadError::Parse { file, error }) => (file, error.to_string()),
-        other => panic!("expected a parse error, got {other:?}"),
+    let network = Network::from_bytes_list(files);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "coverage: {} files, {} parsed, quarantined {:?}, degraded {}\n",
+        network.coverage.total_files,
+        network.coverage.parsed(),
+        network.coverage.quarantined,
+        network.coverage.degraded(),
+    ));
+    for d in network.diagnostics.iter() {
+        out.push_str(&format!("{d}\n"));
     }
+    out
 }
 
 #[test]
 fn thread_count_never_changes_observable_output() {
     std::env::set_var(rd_par::THREADS_ENV, "1");
     let (corpus_seq, report_seq) = small_study();
-    let (err_file_seq, err_text_seq) = first_error();
+    let degraded_seq = degraded_output();
     let (trace_seq, metrics_seq) = traced_small_study();
     let snap_seq = snapshot_bytes();
 
     std::env::set_var(rd_par::THREADS_ENV, "4");
     let (corpus_par, report_par) = small_study();
-    let (err_file_par, err_text_par) = first_error();
+    let degraded_par = degraded_output();
     let (trace_par, metrics_par) = traced_small_study();
     let snap_par = snapshot_bytes();
     std::env::remove_var(rd_par::THREADS_ENV);
@@ -127,9 +143,17 @@ fn thread_count_never_changes_observable_output() {
     // The whole rendered study report is identical.
     assert_eq!(report_seq, report_par, "study report differs by thread count");
 
-    // Multi-failure corpora report the same (earliest) error.
-    assert_eq!(err_file_seq, "config17");
-    assert_eq!((err_file_seq, err_text_seq), (err_file_par, err_text_par));
+    // Multi-failure corpora quarantine the same files, in input order,
+    // with byte-identical diagnostics.
+    assert!(
+        degraded_seq.contains("quarantined [\"config17\", \"config23\", \"config31\", \"config40\"]"),
+        "unexpected quarantine set:\n{degraded_seq}"
+    );
+    assert!(degraded_seq.contains("degraded true"), "coverage not degraded:\n{degraded_seq}");
+    assert!(degraded_seq.contains("[parse-error]"), "missing parse-error:\n{degraded_seq}");
+    assert!(degraded_seq.contains("[empty-config]"), "missing empty-config:\n{degraded_seq}");
+    assert!(degraded_seq.contains("[invalid-utf8]"), "missing invalid-utf8:\n{degraded_seq}");
+    assert_eq!(degraded_seq, degraded_par, "degraded output differs by thread count");
 
     // With timestamps zeroed, the trace byte stream is identical too: the
     // parallel layer buffers per-item events and flushes in input order.

@@ -1,0 +1,118 @@
+//! Snapshot robustness table test: an `.rdsnap` container truncated at
+//! *every* frame boundary — with or without a freshly recomputed checksum
+//! — must come back as a decode error, never a panic and never a
+//! silently-partial corpus. Same for length-bomb variants that splice an
+//! absurd section length behind a valid checksum: the decoder's hard caps
+//! must reject them before allocating.
+
+use std::panic::catch_unwind;
+
+use routing_design::{snapshot, NetworkAnalysis};
+
+fn corpus_bytes() -> Vec<u8> {
+    let texts = vec![
+        (
+            "ra".to_string(),
+            "hostname ra\ninterface Ethernet0\n ip address 10.0.0.1 255.255.255.0\n\
+             router ospf 1\n network 10.0.0.0 0.0.0.255 area 0\n"
+                .to_string(),
+        ),
+        (
+            "rb".to_string(),
+            "hostname rb\ninterface Ethernet0\n ip address 10.0.0.2 255.255.255.0\n\
+             router ospf 1\n network 10.0.0.0 0.0.0.255 area 0\n"
+                .to_string(),
+        ),
+    ];
+    let analysis = NetworkAnalysis::from_texts(texts).expect("corpus parses");
+    let snap = snapshot::capture("truncation-test", analysis);
+    rd_snap::Corpus::new(vec![snap]).to_bytes()
+}
+
+/// LEB128 varint encoding, mirroring the container writer.
+fn encode_varint(mut v: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return out;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+/// Decodes under `catch_unwind`; panics the test if decoding panics.
+fn decode_must_error(bytes: Vec<u8>, what: &str) {
+    let result = catch_unwind(move || rd_snap::Corpus::from_bytes(&bytes).map(|_| ()));
+    match result {
+        Ok(Err(_)) => {}
+        Ok(Ok(())) => panic!("{what}: decoder accepted a damaged container"),
+        Err(_) => panic!("{what}: decoder PANICKED instead of returning an error"),
+    }
+}
+
+#[test]
+fn truncation_at_every_boundary_is_an_error_not_a_panic() {
+    let bytes = corpus_bytes();
+    let layout = rd_chaos::snapshot_layout(&bytes);
+    let body_len = bytes.len() - 8;
+    assert!(
+        layout.boundaries.len() >= 3 + 3,
+        "layout walker found too few boundaries: {:?}",
+        layout.boundaries
+    );
+
+    for &cut in &layout.boundaries {
+        if cut >= body_len {
+            continue; // cutting at the end reproduces the original
+        }
+        // Raw truncation: the trailer is destroyed along with the tail, so
+        // the checksum gate must fire.
+        decode_must_error(bytes[..cut].to_vec(), &format!("raw truncation at {cut}"));
+        // Re-checksummed truncation: the trailer is valid for the damaged
+        // body, so the *structural* decoder must catch the missing frames.
+        decode_must_error(
+            rd_chaos::truncate_rechecksum(&bytes, cut),
+            &format!("re-checksummed truncation at {cut}"),
+        );
+    }
+}
+
+#[test]
+fn length_bombs_are_rejected_by_the_decode_caps() {
+    let bytes = corpus_bytes();
+    let layout = rd_chaos::snapshot_layout(&bytes);
+    assert!(!layout.length_varints.is_empty(), "no section length varints found");
+
+    // Claimed lengths far beyond the real payload and beyond the decoder's
+    // MAX_SECTION_BYTES cap. Each variant gets a freshly valid checksum so
+    // only the cap can reject it.
+    for &(offset, encoded_len) in &layout.length_varints {
+        for bomb in [u64::MAX, 1 << 40, u32::MAX as u64] {
+            let mut body = bytes[..bytes.len() - 8].to_vec();
+            body.splice(offset..offset + encoded_len, encode_varint(bomb));
+            let sum = rd_snap::fnv1a64(&body);
+            body.extend_from_slice(&sum.to_le_bytes());
+            decode_must_error(
+                body,
+                &format!("length bomb {bomb:#x} at varint offset {offset}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn section_count_bomb_is_rejected() {
+    let bytes = corpus_bytes();
+    let layout = rd_chaos::snapshot_layout(&bytes);
+    // boundaries[1] is the start of the section-count varint,
+    // boundaries[2] its end.
+    let (start, end) = (layout.boundaries[1], layout.boundaries[2]);
+    let mut body = bytes[..bytes.len() - 8].to_vec();
+    body.splice(start..end, encode_varint(u64::MAX));
+    let sum = rd_snap::fnv1a64(&body);
+    body.extend_from_slice(&sum.to_le_bytes());
+    decode_must_error(body, "section count bomb");
+}
