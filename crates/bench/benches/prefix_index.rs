@@ -1,0 +1,178 @@
+//! Criterion microbenchmarks for the prefix/interval index layer that
+//! backs the external-classification stage: each indexed query (`AddrSet`
+//! range membership, `PrefixMap` longest-prefix match,
+//! `PrefixSet::intersects_prefix`, `PrefixSet` membership) measured
+//! against the naive linear scan it replaced.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netaddr::{Addr, AddrSet, Prefix, PrefixMap, PrefixSet};
+use std::hint::black_box;
+
+/// Scattered interface-style addresses inside 10.0.0.0/8 — the shape of
+/// the external next-hop set the classifier queries per interface.
+fn sample_addrs(n: u32) -> Vec<Addr> {
+    (0..n)
+        .map(|i| Addr::from_u32(0x0a00_0000 | (i.wrapping_mul(0x0001_003b) & 0x00ff_ffff)))
+        .collect()
+}
+
+/// Point-to-point /30 subnets scattered over the same block — the probe
+/// prefixes `classify_iface` asks range queries about.
+fn sample_probes(n: u32) -> Vec<Prefix> {
+    (0..n)
+        .map(|i| {
+            Prefix::new(
+                Addr::from_u32(0x0a00_0000 | (i.wrapping_mul(0x0000_9e3b) & 0x00ff_fffc)),
+                30,
+            )
+            .expect("len <= 32")
+        })
+        .collect()
+}
+
+/// Nested address blocks: /16 roots each carved into /24 leaves — the
+/// shape `find_missing_hints` looks prefixes up in.
+fn sample_blocks() -> Vec<Prefix> {
+    let mut out = Vec::new();
+    for root in 0..4u32 {
+        let base = 0x0a00_0000 + (root << 16);
+        out.push(Prefix::new(Addr::from_u32(base), 16).expect("len <= 32"));
+        for leaf in 0..256u32 {
+            out.push(Prefix::new(Addr::from_u32(base + (leaf << 8)), 24).expect("len <= 32"));
+        }
+    }
+    out
+}
+
+fn bench_addr_set_range(c: &mut Criterion) {
+    let addrs = sample_addrs(5_000);
+    let probes = sample_probes(2_000);
+    let set = AddrSet::new(addrs.clone());
+    let mut group = c.benchmark_group("prefix_index/addr_range");
+    group.bench_function("addr_set_binary_search", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for p in &probes {
+                if set.any_in_prefix(*p) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.bench_function("naive_linear_scan", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for p in &probes {
+                if addrs.iter().any(|a| p.contains(*a)) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+fn bench_prefix_map_lpm(c: &mut Criterion) {
+    let blocks = sample_blocks();
+    let probes = sample_addrs(10_000);
+    let map: PrefixMap<usize> = blocks.iter().enumerate().map(|(i, p)| (*p, i)).collect();
+    let mut group = c.benchmark_group("prefix_index/lpm");
+    group.bench_function("prefix_map_walk_up", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for a in &probes {
+                if map.lookup(*a).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.bench_function("naive_linear_scan", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for a in &probes {
+                if blocks
+                    .iter()
+                    .filter(|p| p.contains(*a))
+                    .max_by_key(|p| p.len())
+                    .is_some()
+                {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+fn bench_intersects_prefix(c: &mut Criterion) {
+    let set = PrefixSet::from_prefixes(sample_blocks().into_iter());
+    let probes = sample_probes(2_000);
+    let mut group = c.benchmark_group("prefix_index/intersects");
+    group.bench_function("binary_search", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for p in &probes {
+                if set.intersects_prefix(*p) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.bench_function("allocating_intersection", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for p in &probes {
+                if !set.intersection(&PrefixSet::from_prefix(*p)).is_empty() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+fn bench_prefixset_lookup(c: &mut Criterion) {
+    let blocks = sample_blocks();
+    let probes = sample_addrs(10_000);
+    let set = PrefixSet::from_prefixes(blocks.iter().copied());
+    let mut group = c.benchmark_group("prefix_index/membership");
+    group.bench_function("prefixset_sorted_ranges", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for a in &probes {
+                if set.contains(*a) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.bench_function("naive_linear_scan", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for a in &probes {
+                if blocks.iter().any(|p| p.contains(*a)) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_addr_set_range,
+    bench_prefix_map_lpm,
+    bench_intersects_prefix,
+    bench_prefixset_lookup,
+);
+criterion_main!(benches);

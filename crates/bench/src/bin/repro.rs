@@ -306,6 +306,15 @@ fn bench(small_only: bool) {
             result
         })
         .collect();
+    eprintln!("benching external-classification stage in isolation...");
+    let external = rd_bench::timing::bench_external(bench_scale_for_snap);
+    eprintln!(
+        "  external: {} ({} routers, {} interfaces) built in {:.1} ms",
+        external.network,
+        external.routers,
+        external.interfaces,
+        external.build.as_secs_f64() * 1e3,
+    );
     eprintln!("benching snapshot round trip + query server...");
     let networks = analyzed_study(bench_scale_for_snap);
     let (snap, corpus) = rd_bench::timing::bench_snapshot(networks);
@@ -323,7 +332,7 @@ fn bench(small_only: bool) {
         serve.requests, serve.p50_us, serve.p99_us, serve.throughput_rps,
     );
     let path = "BENCH_repro.json";
-    std::fs::write(path, render_json(&results, Some(&snap), Some(&serve)))
+    std::fs::write(path, render_json(&results, Some(&snap), Some(&serve), Some(&external)))
         .expect("write BENCH_repro.json");
     eprintln!("wrote {path}");
 }

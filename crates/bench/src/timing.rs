@@ -126,6 +126,46 @@ pub fn bench_scale(scale: StudyScale) -> ScaleBench {
     }
 }
 
+/// Timing record of one isolated `ExternalAnalysis::build` run — the
+/// address-analytics stage the `netaddr` prefix index layer serves.
+pub struct ExternalBench {
+    /// Roster name of the measured network.
+    pub network: String,
+    /// Routers in the generated corpus.
+    pub routers: usize,
+    /// Interfaces the build classified.
+    pub interfaces: usize,
+    /// Wall-clock of one `ExternalAnalysis::build`.
+    pub build: Duration,
+}
+
+/// Times `ExternalAnalysis::build` in isolation on the largest roster
+/// network (`net18`, 1,750 routers at full scale; the last roster entry
+/// should that name ever disappear). Generation, parse, and link
+/// inference all run outside the timed region, so the record tracks just
+/// the external-classification stage across benchmark history.
+pub fn bench_external(scale: StudyScale) -> ExternalBench {
+    let roster = study_roster(scale);
+    let spec = roster
+        .iter()
+        .find(|s| s.name == "net18")
+        .or_else(|| roster.last())
+        .expect("non-empty study roster");
+    let generated = netgen::study::generate_network(spec, scale);
+    let net = nettopo::Network::from_texts(generated.texts)
+        .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+    let links = nettopo::LinkMap::build(&net);
+    let started = Instant::now();
+    let analysis = nettopo::ExternalAnalysis::build(&net, &links);
+    let build = started.elapsed();
+    ExternalBench {
+        network: spec.name.clone(),
+        routers: net.len(),
+        interfaces: analysis.classes.len(),
+        build,
+    }
+}
+
 /// Timing record of the snapshot (`rd-snap`) round trip over an analyzed
 /// study: encode-to-bytes vs decode-from-bytes vs the analysis wall that
 /// produced the corpus in the first place.
@@ -286,13 +326,15 @@ fn json_stages(indent: &str, t: &StageTimings) -> String {
 /// document additionally carries the `rd-obs` metrics registry as a
 /// top-level `"metrics"` object (counters/gauges as numbers, histograms
 /// as objects), and — when measured — `"snap"` (snapshot size and
-/// write/load timings vs re-analysis) and `"serve"` (request latency
-/// percentiles) objects. All additive, so existing consumers of
-/// `"scales"` are unaffected.
+/// write/load timings vs re-analysis), `"serve"` (request latency
+/// percentiles), and `"bench_external"` (the isolated
+/// external-classification stage) objects. All additive, so existing
+/// consumers of `"scales"` are unaffected.
 pub fn render_json(
     scales: &[ScaleBench],
     snap: Option<&SnapBench>,
     serve: Option<&ServeBench>,
+    external: Option<&ExternalBench>,
 ) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"repro\",\n  \"unit\": \"ms\",\n");
     out.push_str(&format!(
@@ -317,6 +359,16 @@ pub fn render_json(
             "  \"serve\": {{\n    \"requests\": {},\n    \"p50_us\": {},\n    \
              \"p99_us\": {},\n    \"throughput_rps\": {:.0}\n  }},\n",
             s.requests, s.p50_us, s.p99_us, s.throughput_rps,
+        ));
+    }
+    if let Some(e) = external {
+        out.push_str(&format!(
+            "  \"bench_external\": {{\n    \"network\": \"{}\",\n    \
+             \"routers\": {},\n    \"interfaces\": {},\n    \"build_ms\": {}\n  }},\n",
+            e.network,
+            e.routers,
+            e.interfaces,
+            json_ms(e.build),
         ));
     }
     out.push_str("  \"scales\": [\n");
@@ -412,19 +464,36 @@ mod tests {
             p99_us: 950,
             throughput_rps: 5000.0,
         };
-        let text = render_json(&scales, Some(&snap), Some(&serve));
+        let external = ExternalBench {
+            network: "net18".into(),
+            routers: 1750,
+            interfaces: 7000,
+            build: Duration::from_millis(120),
+        };
+        let text = render_json(&scales, Some(&snap), Some(&serve), Some(&external));
         assert!(text.contains("\"speedup\": 1.80"));
         assert!(text.contains("\"parse\": 2.000"));
         assert!(text.contains("\"routers\": 7"));
         assert!(text.contains("\"load_speedup\": 20.0"));
         assert!(text.contains("\"p99_us\": 950"));
+        assert!(text.contains("\"bench_external\""));
+        assert!(text.contains("\"build_ms\": 120.000"));
         assert_eq!(text.matches('{').count(), text.matches('}').count());
         assert_eq!(text.matches('[').count(), text.matches(']').count());
 
         // Without the optional sections the legacy shape is untouched.
-        let legacy = render_json(&scales, None, None);
+        let legacy = render_json(&scales, None, None, None);
         assert!(!legacy.contains("\"snap\""));
         assert!(!legacy.contains("\"serve\""));
+        assert!(!legacy.contains("\"bench_external\""));
+    }
+
+    #[test]
+    fn external_bench_isolates_the_largest_network() {
+        let e = bench_external(StudyScale::Small);
+        assert_eq!(e.network, "net18");
+        assert!(e.routers > 0, "no routers generated");
+        assert!(e.interfaces > 0, "no interfaces classified");
     }
 
     #[test]

@@ -53,8 +53,8 @@ pub fn audit(a: &NetworkAnalysis) -> Vec<Finding> {
     let mut findings = Vec::new();
 
     // 1. External-facing interfaces without inbound packet filters.
-    for (iref, class) in &a.external.classes {
-        if *class != IfaceClass::External {
+    for (iref, class) in a.external.classes.iter() {
+        if class != IfaceClass::External {
             continue;
         }
         let router = a.network.router(iref.router);

@@ -837,8 +837,8 @@ fn blocks(a: &NetworkAnalysis) {
 }
 
 fn external(a: &NetworkAnalysis) {
-    for (iref, class) in &a.external.classes {
-        if *class != routing_design::IfaceClass::External {
+    for (iref, class) in a.external.classes.iter() {
+        if class != routing_design::IfaceClass::External {
             continue;
         }
         let router = a.network.router(iref.router);

@@ -42,6 +42,18 @@ impl AddressBlock {
         }
         self.children.iter().flat_map(|c| c.leaves()).collect()
     }
+
+    /// Visits every leaf subnet under this block without allocating the
+    /// intermediate `Vec`s that [`AddressBlock::leaves`] builds.
+    pub fn for_each_leaf(&self, f: &mut impl FnMut(Prefix)) {
+        if self.children.is_empty() {
+            f(self.prefix);
+            return;
+        }
+        for c in &self.children {
+            c.for_each_leaf(f);
+        }
+    }
 }
 
 /// The recovered address-space structure: a forest of top-level blocks.
@@ -62,9 +74,21 @@ impl BlockTree {
         self.roots.is_empty()
     }
 
-    /// The top-level block containing `addr`, if any.
+    /// The top-level block containing `addr`, if any. O(log n): roots come
+    /// out of [`recover_blocks`] sorted and pairwise disjoint, so the only
+    /// candidate is the last root starting at or before `addr`.
     pub fn block_of(&self, addr: Addr) -> Option<&AddressBlock> {
-        self.roots.iter().find(|b| b.prefix.contains(addr))
+        let i = self.roots.partition_point(|b| b.prefix.first() <= addr);
+        let b = &self.roots[i.checked_sub(1)?];
+        b.prefix.contains(addr).then_some(b)
+    }
+
+    /// The top-level block covering **all** of `p`, if any. O(log n), by
+    /// the same sorted-disjoint argument as [`BlockTree::block_of`].
+    pub fn covering_root(&self, p: Prefix) -> Option<&AddressBlock> {
+        let i = self.roots.partition_point(|b| b.prefix.first() <= p.first());
+        let b = &self.roots[i.checked_sub(1)?];
+        b.prefix.covers(p).then_some(b)
     }
 
     /// The top-level prefixes, sorted.
@@ -118,12 +142,12 @@ pub fn recover_blocks<I: IntoIterator<Item = Prefix>>(subnets: I) -> BlockTree {
         let mut pending: Option<AddressBlock> = iter.next();
         for b in iter {
             let a = pending.take().expect("pending is always Some in loop");
-            match try_join(&a, &b) {
-                Some(joined) => {
+            match try_join(a, b) {
+                Ok(joined) => {
                     pending = Some(joined);
                     merged_any = true;
                 }
-                None => {
+                Err((a, b)) => {
                     next.push(a);
                     pending = Some(b);
                 }
@@ -155,31 +179,37 @@ fn nest_leaf(node: &mut AddressBlock, p: Prefix) {
     node.children.push(AddressBlock::leaf(p));
 }
 
-/// Attempts to join two disjoint, address-ordered blocks per the paper's
-/// rule; returns the joined block on success.
-fn try_join(a: &AddressBlock, b: &AddressBlock) -> Option<AddressBlock> {
+/// Attempts to join two address-ordered blocks per the paper's rule. The
+/// join decision reads only prefixes and usage counts, so the blocks are
+/// taken by value and *moved* into the joined node (the old version cloned
+/// both subtrees per join, which dominated the stage at full scale); on
+/// rejection they come back unchanged in `Err`.
+fn try_join(
+    a: AddressBlock,
+    b: AddressBlock,
+) -> Result<AddressBlock, (AddressBlock, AddressBlock)> {
     if a.prefix.covers(b.prefix) {
         // Can arise after earlier joins create enclosing blocks. Roots are
         // pairwise disjoint before the loop, so `b`'s space is not yet
         // counted in `a`.
-        let mut joined = a.clone();
+        let mut joined = a;
         joined.used += b.used;
-        joined.children.push(b.clone());
-        return Some(joined);
+        joined.children.push(b);
+        return Ok(joined);
     }
     let sup = common_supernet(a.prefix, b.prefix);
     let shorter = a.prefix.len().min(b.prefix.len());
     // "Differ in no more than the least two bits": stripping at most two
     // bits below the shorter network mask reaches the common supernet.
     if sup.len() + 2 < shorter {
-        return None;
+        return Err((a, b));
     }
     let used = a.used + b.used;
     // At least half the enlarged block must be used.
     if used * 2 < sup.size() {
-        return None;
+        return Err((a, b));
     }
-    Some(AddressBlock { prefix: sup, used, children: vec![a.clone(), b.clone()] })
+    Ok(AddressBlock { prefix: sup, used, children: vec![a, b] })
 }
 
 /// Summarizes a block tree as `prefix -> utilization`, useful for reports.

@@ -1,0 +1,251 @@
+//! Sorted-slice indexes for address-heavy analysis passes.
+//!
+//! The analysis stages ask the same two questions millions of times over a
+//! large corpus: "is this address one of ours?" and "which configured
+//! prefix contains this address/prefix?". Both are answered here in
+//! O(log n) over plain sorted `Vec`s — no tree nodes, no hashing, and a
+//! memory layout the prefetcher likes:
+//!
+//! - [`AddrSet`]: membership and per-prefix range queries over a sorted,
+//!   deduplicated address list (binary search / partition point).
+//! - [`PrefixMap`]: longest-prefix-match and covering-prefix queries over
+//!   an arbitrary (possibly nested) prefix collection, using a
+//!   precomputed parent chain so a lookup costs one binary search plus a
+//!   walk bounded by the nesting depth.
+
+use crate::addr::Addr;
+use crate::prefix::Prefix;
+
+/// A sorted, deduplicated set of addresses supporting O(log n) membership
+/// and "any address inside this prefix?" range queries.
+///
+/// This replaces `BTreeSet<Addr>` membership tests and, more importantly,
+/// the O(n) `iter().any(|a| prefix.contains(a))` scans in hot loops.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AddrSet {
+    addrs: Vec<Addr>,
+}
+
+impl AddrSet {
+    /// Builds the set from any address list; sorts and deduplicates.
+    pub fn new(mut addrs: Vec<Addr>) -> AddrSet {
+        addrs.sort_unstable();
+        addrs.dedup();
+        AddrSet { addrs }
+    }
+
+    /// Number of distinct addresses in the set.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// True if `addr` is in the set. O(log n).
+    pub fn contains(&self, addr: Addr) -> bool {
+        self.addrs.binary_search(&addr).is_ok()
+    }
+
+    /// True if any address of the set falls inside `p`. O(log n): finds
+    /// the first address ≥ `p.first()` and checks it against `p.last()`.
+    pub fn any_in_prefix(&self, p: Prefix) -> bool {
+        let i = self.addrs.partition_point(|&a| a < p.first());
+        self.addrs.get(i).is_some_and(|&a| a <= p.last())
+    }
+
+    /// The addresses, sorted ascending.
+    pub fn as_slice(&self) -> &[Addr] {
+        &self.addrs
+    }
+}
+
+impl FromIterator<Addr> for AddrSet {
+    fn from_iter<I: IntoIterator<Item = Addr>>(iter: I) -> AddrSet {
+        AddrSet::new(iter.into_iter().collect())
+    }
+}
+
+/// A prefix-keyed map supporting longest-prefix-match ([`PrefixMap::lookup`])
+/// and covering-prefix ([`PrefixMap::covering`]) queries in
+/// O(log n + nesting depth).
+///
+/// Entries are stored sorted by `(addr, len)` — a supernet sorts
+/// immediately before its subnets — with a precomputed `parent` link from
+/// each entry to its nearest enclosing entry. A query binary-searches for
+/// the last entry starting at or before the target, then walks the parent
+/// chain; because prefixes are aligned blocks, every entry containing the
+/// target lies on that chain.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PrefixMap<V> {
+    entries: Vec<(Prefix, V)>,
+    /// `parent[i]` is the index of the nearest entry strictly covering
+    /// `entries[i].0`, or `NO_PARENT` for top-level entries.
+    parent: Vec<usize>,
+}
+
+const NO_PARENT: usize = usize::MAX;
+
+impl<V> PrefixMap<V> {
+    /// Builds the map. Duplicate prefixes collapse to the first value
+    /// given for that prefix.
+    pub fn from_entries(mut entries: Vec<(Prefix, V)>) -> PrefixMap<V> {
+        entries.sort_by_key(|e| e.0);
+        entries.dedup_by(|b, a| a.0 == b.0);
+        // In (addr, len) order an entry's ancestors are exactly the still-
+        // open entries on the stack, so one pass links each entry to its
+        // nearest enclosing prefix.
+        let mut parent = vec![NO_PARENT; entries.len()];
+        let mut stack: Vec<usize> = Vec::new();
+        for i in 0..entries.len() {
+            while let Some(&top) = stack.last() {
+                if entries[top].0.covers(entries[i].0) {
+                    parent[i] = top;
+                    break;
+                }
+                stack.pop();
+            }
+            stack.push(i);
+        }
+        PrefixMap { entries, parent }
+    }
+
+    /// Number of distinct prefixes in the map.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The value stored for exactly `p`, if any. O(log n).
+    pub fn get(&self, p: Prefix) -> Option<&V> {
+        self.entries
+            .binary_search_by_key(&p, |e| e.0)
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Longest-prefix match: the most specific entry containing `addr`.
+    pub fn lookup(&self, addr: Addr) -> Option<(Prefix, &V)> {
+        self.walk_up(addr, |p| p.contains(addr))
+    }
+
+    /// The most specific entry covering **all** of `p` (every address of
+    /// `p` inside the entry's prefix).
+    pub fn covering(&self, p: Prefix) -> Option<(Prefix, &V)> {
+        self.walk_up(p.first(), |e| e.covers(p))
+    }
+
+    /// Entries in `(addr, len)` order.
+    pub fn iter(&self) -> impl Iterator<Item = (Prefix, &V)> {
+        self.entries.iter().map(|(p, v)| (*p, v))
+    }
+
+    /// Starts at the last entry whose first address is ≤ `at` and walks
+    /// the parent chain until `accept` matches. Any entry containing `at`
+    /// is an ancestor of the start entry (prefixes are aligned blocks), so
+    /// the first acceptance is the longest match.
+    fn walk_up(
+        &self,
+        at: Addr,
+        accept: impl Fn(Prefix) -> bool,
+    ) -> Option<(Prefix, &V)> {
+        let i = self.entries.partition_point(|e| e.0.first() <= at);
+        let mut idx = i.checked_sub(1)?;
+        loop {
+            let (p, v) = &self.entries[idx];
+            if accept(*p) {
+                return Some((*p, v));
+            }
+            if self.parent[idx] == NO_PARENT {
+                return None;
+            }
+            idx = self.parent[idx];
+        }
+    }
+}
+
+impl<V> FromIterator<(Prefix, V)> for PrefixMap<V> {
+    fn from_iter<I: IntoIterator<Item = (Prefix, V)>>(iter: I) -> PrefixMap<V> {
+        PrefixMap::from_entries(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+
+    fn pfx(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn addr_set_membership_and_range() {
+        let set = AddrSet::new(vec![
+            addr("10.0.0.1"),
+            addr("10.0.0.9"),
+            addr("10.0.0.1"), // duplicate
+            addr("192.0.2.77"),
+        ]);
+        assert_eq!(set.len(), 3);
+        assert!(set.contains(addr("10.0.0.9")));
+        assert!(!set.contains(addr("10.0.0.2")));
+        assert!(set.any_in_prefix(pfx("10.0.0.0/24")));
+        assert!(set.any_in_prefix(pfx("10.0.0.8/30")));
+        assert!(set.any_in_prefix(pfx("192.0.2.77/32")));
+        assert!(!set.any_in_prefix(pfx("10.0.0.2/31")));
+        assert!(!set.any_in_prefix(pfx("172.16.0.0/12")));
+        assert!(!AddrSet::default().any_in_prefix(pfx("0.0.0.0/0")));
+    }
+
+    #[test]
+    fn prefix_map_longest_match() {
+        let map = PrefixMap::from_entries(vec![
+            (pfx("10.0.0.0/8"), "eight"),
+            (pfx("10.0.0.0/24"), "twentyfour"),
+            (pfx("10.0.0.16/30"), "thirty"),
+            (pfx("192.0.2.1/32"), "host"),
+        ]);
+        assert_eq!(map.lookup(addr("10.0.0.17")).unwrap().1, &"thirty");
+        assert_eq!(map.lookup(addr("10.0.0.20")).unwrap().1, &"twentyfour");
+        assert_eq!(map.lookup(addr("10.9.9.9")).unwrap().1, &"eight");
+        assert_eq!(map.lookup(addr("192.0.2.1")).unwrap().1, &"host");
+        assert!(map.lookup(addr("192.0.2.2")).is_none());
+        assert!(map.lookup(addr("11.0.0.0")).is_none());
+    }
+
+    #[test]
+    fn prefix_map_covering_query() {
+        let map = PrefixMap::from_entries(vec![
+            (pfx("10.0.0.0/8"), ()),
+            (pfx("10.0.0.0/24"), ()),
+        ]);
+        // /25 fits in the /24; /23 only in the /8; a foreign prefix in none.
+        assert_eq!(map.covering(pfx("10.0.0.0/25")).unwrap().0, pfx("10.0.0.0/24"));
+        assert_eq!(map.covering(pfx("10.0.0.0/23")).unwrap().0, pfx("10.0.0.0/8"));
+        assert_eq!(map.covering(pfx("10.0.0.0/24")).unwrap().0, pfx("10.0.0.0/24"));
+        assert!(map.covering(pfx("192.0.2.0/24")).is_none());
+        // A prefix straddling the /24's sibling still lands in the /8.
+        assert_eq!(map.covering(pfx("10.0.1.0/24")).unwrap().0, pfx("10.0.0.0/8"));
+    }
+
+    #[test]
+    fn prefix_map_exact_get_and_duplicates() {
+        let map = PrefixMap::from_entries(vec![
+            (pfx("10.0.0.0/24"), 1),
+            (pfx("10.0.0.0/24"), 2), // duplicate key: first value wins
+        ]);
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.get(pfx("10.0.0.0/24")), Some(&1));
+        assert_eq!(map.get(pfx("10.0.0.0/25")), None);
+    }
+}

@@ -16,6 +16,9 @@
 //! - [`PrefixTrie`]: a binary trie keyed by prefixes for longest-prefix match,
 //!   used for address-space structure lookups (and benchmarked against the
 //!   range representation as one of the ablations called out in DESIGN.md).
+//! - [`AddrSet`] / [`PrefixMap`]: sorted-slice indexes ([`index`]) giving the
+//!   hot analysis loops O(log n) membership, range, longest-prefix-match and
+//!   covering-prefix queries over plain `Vec`s.
 //! - [`blocks`]: the Section 3.4 address-block recovery algorithm from the
 //!   paper, which aggregates the fragmented subnets mentioned in configuration
 //!   files into a hierarchical tree of address blocks.
@@ -29,6 +32,7 @@
 
 mod addr;
 pub mod blocks;
+pub mod index;
 mod mask;
 mod prefix;
 mod set;
@@ -36,6 +40,7 @@ mod trie;
 
 pub use addr::{Addr, ParseAddrError};
 pub use blocks::{recover_blocks, AddressBlock, BlockTree};
+pub use index::{AddrSet, PrefixMap};
 pub use mask::{Netmask, ParseMaskError, Wildcard};
 pub use prefix::{ParsePrefixError, Prefix};
 pub use set::{PrefixSet, Range};

@@ -118,9 +118,12 @@ impl PrefixSet {
         }
     }
 
-    /// True if any address of `p` is in the set.
+    /// True if any address of `p` is in the set. O(log n), allocation-free:
+    /// the first range ending at or after `p.first()` intersects `p` iff it
+    /// starts at or before `p.last()`.
     pub fn intersects_prefix(&self, p: Prefix) -> bool {
-        !self.intersection(&PrefixSet::from_prefix(p)).is_empty()
+        let i = self.ranges.partition_point(|r| r.end < p.first());
+        self.ranges.get(i).is_some_and(|r| r.start <= p.last())
     }
 
     /// Set union.

@@ -5,7 +5,7 @@
 
 use std::collections::BTreeSet;
 
-use netaddr::{Addr, Prefix, PrefixSet, PrefixTrie};
+use netaddr::{Addr, AddrSet, Prefix, PrefixMap, PrefixSet, PrefixTrie};
 use rd_rng::StdRng;
 
 fn random_prefix(rng: &mut StdRng) -> Prefix {
@@ -39,6 +39,34 @@ fn probes(sets: &[&[Prefix]], rng: &mut StdRng) -> Vec<Addr> {
 
 fn naive_contains(prefixes: &[Prefix], addr: Addr) -> bool {
     prefixes.iter().any(|p| p.contains(addr))
+}
+
+/// Random prefixes biased toward the shapes the analysis indexes see:
+/// nested sub-blocks of a common parent plus the hot /30 and /32 cases.
+fn random_nested_prefixes(rng: &mut StdRng) -> Vec<Prefix> {
+    let mut out = random_prefixes(rng);
+    let parents: usize = rng.gen_range(1..4);
+    for _ in 0..parents {
+        let parent = {
+            let len: u8 = rng.gen_range(8..=24);
+            Prefix::new(Addr::from_u32(rng.next_u32()), len).expect("len <= 32")
+        };
+        out.push(parent);
+        let kids: usize = rng.gen_range(0..5);
+        for _ in 0..kids {
+            let len: u8 = match rng.gen_range(0..4u32) {
+                0 => 30,
+                1 => 32,
+                _ => rng.gen_range(u32::from(parent.len())..=32) as u8,
+            }
+            .max(parent.len());
+            let inside = parent.first().to_u32()
+                + (rng.next_u32() as u64 % parent.size()) as u32;
+            // `Prefix::new` masks the address down to the network address.
+            out.push(Prefix::new(Addr::from_u32(inside), len).expect("len <= 32"));
+        }
+    }
+    out
 }
 
 #[test]
@@ -126,6 +154,110 @@ fn trie_lookup_matches_linear_scan() {
                 .map(|(_, p)| p.len());
             let got = trie.lookup(addr).map(|(p, _)| p.len());
             assert_eq!(got, expect, "probe {addr}");
+        }
+    }
+}
+
+#[test]
+fn addr_set_queries_match_linear_scan() {
+    let mut rng = StdRng::seed_from_u64(0xB7);
+    for _ in 0..200 {
+        let n: usize = rng.gen_range(0..24);
+        let addrs: Vec<Addr> =
+            (0..n).map(|_| Addr::from_u32(rng.next_u32())).collect();
+        let set = AddrSet::new(addrs.clone());
+        let queries = random_nested_prefixes(&mut rng);
+        for probe in probes(&[&queries], &mut rng) {
+            assert_eq!(
+                set.contains(probe),
+                addrs.contains(&probe),
+                "contains probe {probe}"
+            );
+        }
+        for a in &addrs {
+            assert!(set.contains(*a), "own address {a} missing");
+        }
+        for q in &queries {
+            assert_eq!(
+                set.any_in_prefix(*q),
+                addrs.iter().any(|a| q.contains(*a)),
+                "range query {q} over {addrs:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn prefix_map_lpm_matches_linear_scan() {
+    let mut rng = StdRng::seed_from_u64(0xB8);
+    for _ in 0..200 {
+        let a = random_nested_prefixes(&mut rng);
+        let map: PrefixMap<usize> =
+            a.iter().enumerate().map(|(i, p)| (*p, i)).collect();
+        for probe in probes(&[&a], &mut rng) {
+            // Unique prefixes can tie on length only by being equal, so the
+            // longest containing prefix is well defined.
+            let expect = a.iter().filter(|p| p.contains(probe)).map(|p| p.len()).max();
+            let got = map.lookup(probe).map(|(p, _)| p.len());
+            assert_eq!(got, expect, "LPM probe {probe} over {a:?}");
+        }
+    }
+}
+
+#[test]
+fn prefix_map_covering_matches_linear_scan() {
+    let mut rng = StdRng::seed_from_u64(0xB9);
+    for _ in 0..200 {
+        let a = random_nested_prefixes(&mut rng);
+        let map: PrefixMap<()> = a.iter().map(|p| (*p, ())).collect();
+        let queries = random_nested_prefixes(&mut rng);
+        for q in a.iter().chain(queries.iter()) {
+            let expect = a.iter().filter(|p| p.covers(*q)).map(|p| p.len()).max();
+            let got = map.covering(*q).map(|(p, _)| p.len());
+            assert_eq!(got, expect, "covering query {q} over {a:?}");
+        }
+    }
+}
+
+#[test]
+fn intersects_prefix_matches_allocating_intersection() {
+    let mut rng = StdRng::seed_from_u64(0xBA);
+    for _ in 0..200 {
+        let a = random_nested_prefixes(&mut rng);
+        let s = PrefixSet::from_prefixes(a.iter().copied());
+        for q in random_nested_prefixes(&mut rng) {
+            assert_eq!(
+                s.intersects_prefix(q),
+                !s.intersection(&PrefixSet::from_prefix(q)).is_empty(),
+                "intersects query {q} over {a:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn block_tree_binary_search_matches_linear_scan() {
+    let mut rng = StdRng::seed_from_u64(0xBB);
+    for _ in 0..200 {
+        let a = random_nested_prefixes(&mut rng);
+        let tree = netaddr::recover_blocks(a.iter().copied());
+        for probe in probes(&[&a], &mut rng) {
+            let expect =
+                tree.roots.iter().find(|b| b.prefix.contains(probe)).map(|b| b.prefix);
+            assert_eq!(
+                tree.block_of(probe).map(|b| b.prefix),
+                expect,
+                "block_of probe {probe}"
+            );
+        }
+        for q in &a {
+            let expect =
+                tree.roots.iter().find(|b| b.prefix.covers(*q)).map(|b| b.prefix);
+            assert_eq!(
+                tree.covering_root(*q).map(|b| b.prefix),
+                expect,
+                "covering_root query {q}"
+            );
         }
     }
 }

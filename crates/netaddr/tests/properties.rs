@@ -12,7 +12,7 @@
 
 use std::collections::BTreeSet;
 
-use netaddr::{Addr, Prefix, PrefixSet, PrefixTrie};
+use netaddr::{Addr, AddrSet, Prefix, PrefixMap, PrefixSet, PrefixTrie};
 use proptest::prelude::*;
 
 /// Strategy: arbitrary prefix with length biased toward realistic subnets.
@@ -47,6 +47,43 @@ fn probes(sets: &[&[Prefix]], extra: &[u32]) -> Vec<Addr> {
 
 fn naive_contains(prefixes: &[Prefix], addr: Addr) -> bool {
     prefixes.iter().any(|p| p.contains(addr))
+}
+
+/// Strategy: one parent prefix with nested children, biased toward the
+/// shapes the analysis indexes see (including the hot /30 and /32 cases).
+fn arb_nested_group() -> impl Strategy<Value = Vec<Prefix>> {
+    (
+        any::<u32>(),
+        8u8..=24,
+        prop::collection::vec(
+            (any::<u32>(), prop_oneof![Just(30u8), Just(32u8), 0u8..=32]),
+            0..5,
+        ),
+    )
+        .prop_map(|(bits, plen, kids)| {
+            let parent = Prefix::new(Addr::from_u32(bits), plen).expect("len <= 32");
+            let mut out = vec![parent];
+            for (off, len) in kids {
+                let len = len.max(parent.len());
+                let inside = parent.first().to_u32()
+                    + (u64::from(off) % parent.size()) as u32;
+                // `Prefix::new` masks down to the network address.
+                out.push(Prefix::new(Addr::from_u32(inside), len).expect("len <= 32"));
+            }
+            out
+        })
+}
+
+/// Strategy: arbitrary prefixes mixed with nested groups.
+fn arb_nested_prefixes() -> impl Strategy<Value = Vec<Prefix>> {
+    (arb_prefixes(), prop::collection::vec(arb_nested_group(), 1..4)).prop_map(
+        |(mut base, groups)| {
+            for g in groups {
+                base.extend(g);
+            }
+            base
+        },
+    )
 }
 
 proptest! {
@@ -134,6 +171,88 @@ proptest! {
                 .map(|(_, p)| p.len());
             let got = trie.lookup(addr).map(|(p, _)| p.len());
             prop_assert_eq!(got, expect, "probe {}", addr);
+        }
+    }
+
+    #[test]
+    fn addr_set_queries_match_linear_scan(
+        raw in prop::collection::vec(any::<u32>(), 0..24),
+        queries in arb_nested_prefixes(),
+        extras in prop::collection::vec(any::<u32>(), 8),
+    ) {
+        let addrs: Vec<Addr> = raw.iter().copied().map(Addr::from_u32).collect();
+        let set = AddrSet::new(addrs.clone());
+        for probe in probes(&[&queries], &extras) {
+            prop_assert_eq!(set.contains(probe), addrs.contains(&probe), "probe {}", probe);
+        }
+        for a in &addrs {
+            prop_assert!(set.contains(*a), "own address {} missing", a);
+        }
+        for q in &queries {
+            prop_assert_eq!(
+                set.any_in_prefix(*q),
+                addrs.iter().any(|a| q.contains(*a)),
+                "range query {}", q
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_map_lpm_matches_linear_scan(
+        a in arb_nested_prefixes(),
+        extras in prop::collection::vec(any::<u32>(), 8),
+    ) {
+        let map: PrefixMap<usize> = a.iter().enumerate().map(|(i, p)| (*p, i)).collect();
+        for probe in probes(&[&a], &extras) {
+            // Unique prefixes can tie on length only by being equal, so the
+            // longest containing prefix is well defined.
+            let expect = a.iter().filter(|p| p.contains(probe)).map(|p| p.len()).max();
+            let got = map.lookup(probe).map(|(p, _)| p.len());
+            prop_assert_eq!(got, expect, "LPM probe {}", probe);
+        }
+    }
+
+    #[test]
+    fn prefix_map_covering_matches_linear_scan(
+        a in arb_nested_prefixes(),
+        queries in arb_nested_prefixes(),
+    ) {
+        let map: PrefixMap<()> = a.iter().map(|p| (*p, ())).collect();
+        for q in a.iter().chain(queries.iter()) {
+            let expect = a.iter().filter(|p| p.covers(*q)).map(|p| p.len()).max();
+            let got = map.covering(*q).map(|(p, _)| p.len());
+            prop_assert_eq!(got, expect, "covering query {}", q);
+        }
+    }
+
+    #[test]
+    fn intersects_prefix_matches_allocating_intersection(
+        a in arb_nested_prefixes(),
+        queries in arb_nested_prefixes(),
+    ) {
+        let s = PrefixSet::from_prefixes(a.iter().copied());
+        for q in queries {
+            prop_assert_eq!(
+                s.intersects_prefix(q),
+                !s.intersection(&PrefixSet::from_prefix(q)).is_empty(),
+                "intersects query {}", q
+            );
+        }
+    }
+
+    #[test]
+    fn block_tree_binary_search_matches_linear_scan(
+        a in arb_nested_prefixes(),
+        extras in prop::collection::vec(any::<u32>(), 8),
+    ) {
+        let tree = netaddr::recover_blocks(a.iter().copied());
+        for probe in probes(&[&a], &extras) {
+            let expect = tree.roots.iter().find(|b| b.prefix.contains(probe)).map(|b| b.prefix);
+            prop_assert_eq!(tree.block_of(probe).map(|b| b.prefix), expect, "probe {}", probe);
+        }
+        for q in &a {
+            let expect = tree.roots.iter().find(|b| b.prefix.covers(*q)).map(|b| b.prefix);
+            prop_assert_eq!(tree.covering_root(*q).map(|b| b.prefix), expect, "query {}", q);
         }
     }
 

@@ -10,9 +10,9 @@
 //! packet-filter rules sit on internal links) and the address-block
 //! heuristic for detecting routers missing from the data set.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
-use netaddr::{Addr, BlockTree, Prefix};
+use netaddr::{AddrSet, BlockTree, Prefix, PrefixMap};
 
 use crate::link::{IfaceRef, LinkMap};
 use crate::network::{Network, RouterId};
@@ -26,6 +26,88 @@ pub enum IfaceClass {
     External,
     /// No IP address and no link (loopbacks, shutdown, unnumbered).
     Unaddressed,
+}
+
+/// Per-interface classifications in a dense per-router layout: router
+/// `r`'s interfaces occupy `flat[offsets[r] .. offsets[r + 1]]`, indexed
+/// by interface position. [`IfaceRef`] is already `(router, iface index)`,
+/// so a lookup is two array reads — no tree to walk.
+///
+/// The table is *total* by construction: [`ExternalAnalysis::build`] gives
+/// every interface of every router a slot, so there is no lookup-miss
+/// path. An out-of-range [`IfaceRef`] can only come from a different
+/// network and panics like any slice misuse.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IfaceClasses {
+    /// `offsets[r]` is where router `r`'s slots start; len = routers + 1.
+    offsets: Vec<usize>,
+    /// All classes, router-major, interface order within each router.
+    flat: Vec<IfaceClass>,
+}
+
+impl IfaceClasses {
+    /// Builds from per-router class vectors (one entry per interface, in
+    /// interface order).
+    pub fn from_per_router(per_router: Vec<Vec<IfaceClass>>) -> IfaceClasses {
+        let mut offsets = Vec::with_capacity(per_router.len() + 1);
+        offsets.push(0);
+        let mut flat = Vec::new();
+        for classes in per_router {
+            flat.extend(classes);
+            offsets.push(flat.len());
+        }
+        IfaceClasses { offsets, flat }
+    }
+
+    /// Total number of interface slots.
+    pub fn len(&self) -> usize {
+        self.flat.len()
+    }
+
+    /// True if no router has any interface.
+    pub fn is_empty(&self) -> bool {
+        self.flat.is_empty()
+    }
+
+    /// Number of routers.
+    pub fn routers(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// The class of `iface`. Slicing by the router's own bounds makes a
+    /// stale reference into a different network panic rather than silently
+    /// read a neighbouring router's slot.
+    pub fn get(&self, iface: IfaceRef) -> IfaceClass {
+        self.router_classes(iface.router)[iface.iface]
+    }
+
+    /// One router's classes, in interface order. Routers beyond the table
+    /// read as interface-less: a snapshot cannot record trailing routers
+    /// that have no interfaces (they contribute no `(key, class)` pairs),
+    /// so a decoded table may be shorter than the network — exactly the
+    /// lookup-miss case the old `BTreeMap` representation tolerated.
+    pub fn router_classes(&self, router: RouterId) -> &[IfaceClass] {
+        match (self.offsets.get(router.0), self.offsets.get(router.0 + 1)) {
+            (Some(&start), Some(&end)) => &self.flat[start..end],
+            _ => &[],
+        }
+    }
+
+    /// Iterates `(IfaceRef, IfaceClass)` in `(router, interface)` order —
+    /// the same order the previous `BTreeMap` representation iterated in,
+    /// which downstream output (audit listings, hints) depends on.
+    pub fn iter(&self) -> impl Iterator<Item = (IfaceRef, IfaceClass)> + '_ {
+        (0..self.routers()).flat_map(move |r| {
+            self.router_classes(RouterId(r)).iter().enumerate().map(
+                move |(i, &class)| (IfaceRef { router: RouterId(r), iface: i }, class),
+            )
+        })
+    }
+
+    /// All classes, router-major (the dense backing store).
+    pub fn as_slice(&self) -> &[IfaceClass] {
+        &self.flat
+    }
 }
 
 /// A hint that an "external-facing" interface is probably the stub of a
@@ -43,8 +125,8 @@ pub struct MissingRouterHint {
 /// Results of the external-facing analysis.
 #[derive(Clone, Debug)]
 pub struct ExternalAnalysis {
-    /// Per-interface classification.
-    pub classes: BTreeMap<IfaceRef, IfaceClass>,
+    /// Per-interface classification (total: every interface has a slot).
+    pub classes: IfaceClasses,
     /// Subnets classified as external-facing links.
     pub external_subnets: BTreeSet<Prefix>,
     /// Candidate missing routers.
@@ -61,54 +143,71 @@ impl ExternalAnalysis {
     pub fn build(net: &Network, links: &LinkMap) -> ExternalAnalysis {
         let blocks: BlockTree =
             netaddr::recover_blocks(net.iter().flat_map(|(_, r)| r.config.interface_subnets()));
-        // Every interface address in the corpus (for next-hop matching).
-        let mut internal_addrs: BTreeSet<Addr> = BTreeSet::new();
-        for (_, router) in net.iter() {
-            for iface in &router.config.interfaces {
-                for a in iface.address.iter().chain(iface.secondary.iter()) {
-                    internal_addrs.insert(a.addr);
-                }
-            }
-        }
+        // Every interface address in the corpus (for next-hop matching),
+        // as a sorted slice: O(log n) membership, O(log n) range queries.
+        let internal_addrs: AddrSet = net
+            .iter()
+            .flat_map(|(_, r)| {
+                r.config.interfaces.iter().flat_map(|iface| {
+                    iface.address.iter().chain(iface.secondary.iter()).map(|a| a.addr)
+                })
+            })
+            .collect();
 
         // Destinations "known to be inside the network": covered by a
-        // recovered address block.
-        let is_internal_dest = |p: Prefix| -> bool {
-            blocks.roots.iter().any(|b| b.prefix.covers(p))
-        };
+        // recovered address block. Roots are sorted and disjoint, so one
+        // binary search replaces the old scan over every root.
+        let is_internal_dest = |p: Prefix| -> bool { blocks.covering_root(p).is_some() };
 
         // Next-hop addresses used toward external destinations, plus all
         // EBGP neighbor addresses that are not internal interfaces.
-        let mut external_next_hops: BTreeSet<Addr> = BTreeSet::new();
+        let mut hops: Vec<netaddr::Addr> = Vec::new();
         for (_, router) in net.iter() {
             for sr in &router.config.static_routes {
                 if let ioscfg::StaticTarget::NextHop(nh) = sr.target {
-                    if !internal_addrs.contains(&nh) && !is_internal_dest(sr.prefix()) {
-                        external_next_hops.insert(nh);
+                    if !internal_addrs.contains(nh) && !is_internal_dest(sr.prefix()) {
+                        hops.push(nh);
                     }
                 }
             }
             if let Some(bgp) = &router.config.bgp {
                 for n in bgp.ebgp_neighbors() {
-                    if !internal_addrs.contains(&n.addr) {
-                        external_next_hops.insert(n.addr);
+                    if !internal_addrs.contains(n.addr) {
+                        hops.push(n.addr);
                     }
                 }
             }
         }
+        let external_next_hops = AddrSet::new(hops);
 
-        let mut classes = BTreeMap::new();
+        // Classification is pure per interface, so it fans out over routers;
+        // the cost floor keeps small networks inline where thread setup
+        // would cost more than the work.
+        let iface_total: usize =
+            net.routers.iter().map(|r| r.config.interfaces.len()).sum();
+        let per_router: Vec<Vec<IfaceClass>> = rd_par::par_map_cost(
+            iface_total as u64 * CLASSIFY_COST_PER_IFACE,
+            &net.routers,
+            |_, router| {
+                router
+                    .config
+                    .interfaces
+                    .iter()
+                    .map(|iface| classify_iface(iface, links, &external_next_hops))
+                    .collect()
+            },
+        );
+        let classes = IfaceClasses::from_per_router(per_router);
+
         let mut external_subnets = BTreeSet::new();
         for (rid, router) in net.iter() {
             for (idx, iface) in router.config.interfaces.iter().enumerate() {
-                let this = IfaceRef { router: rid, iface: idx };
-                let class = classify_iface(iface, links, &external_next_hops);
-                if class == IfaceClass::External {
+                if classes.get(IfaceRef { router: rid, iface: idx }) == IfaceClass::External
+                {
                     if let Some(a) = iface.address {
                         external_subnets.insert(a.subnet());
                     }
                 }
-                classes.insert(this, class);
             }
         }
 
@@ -118,15 +217,17 @@ impl ExternalAnalysis {
         ExternalAnalysis { classes, external_subnets, missing_router_hints }
     }
 
-    /// The classification of one interface.
+    /// The classification of one interface. The class table is total over
+    /// the analyzed network's interfaces, so there is no miss path.
     pub fn class_of(&self, iface: IfaceRef) -> IfaceClass {
-        self.classes.get(&iface).copied().unwrap_or(IfaceClass::Unaddressed)
+        self.classes.get(iface)
     }
 
-    /// Counts `(internal, external, unaddressed)` interfaces.
+    /// Counts `(internal, external, unaddressed)` interfaces — one linear
+    /// pass over the dense class slice.
     pub fn counts(&self) -> (usize, usize, usize) {
         let mut c = (0, 0, 0);
-        for class in self.classes.values() {
+        for class in self.classes.as_slice() {
             match class {
                 IfaceClass::Internal => c.0 += 1,
                 IfaceClass::External => c.1 += 1,
@@ -145,8 +246,8 @@ impl ExternalAnalysis {
         let mut internal = 0usize;
         let mut total = 0usize;
         for (rid, router) in net.iter() {
-            for (idx, iface) in router.config.interfaces.iter().enumerate() {
-                let class = self.class_of(IfaceRef { router: rid, iface: idx });
+            let classes = self.classes.router_classes(rid);
+            for (iface, &class) in router.config.interfaces.iter().zip(classes) {
                 for acl_id in [iface.access_group_in, iface.access_group_out]
                     .into_iter()
                     .flatten()
@@ -168,20 +269,26 @@ impl ExternalAnalysis {
     }
 
     /// Routers that have at least one external-facing interface (the
-    /// network's border routers).
+    /// network's border routers). One contiguous scan per router.
     pub fn border_routers(&self) -> BTreeSet<RouterId> {
-        self.classes
-            .iter()
-            .filter(|(_, c)| **c == IfaceClass::External)
-            .map(|(i, _)| i.router)
+        (0..self.classes.routers())
+            .map(RouterId)
+            .filter(|&r| {
+                self.classes.router_classes(r).contains(&IfaceClass::External)
+            })
             .collect()
     }
 }
 
+/// Rough per-interface classification cost in [`rd_par::cost_floor`] units
+/// (a couple of binary searches plus a link lookup); chosen so whale
+/// networks fan out and small fixtures stay inline.
+const CLASSIFY_COST_PER_IFACE: u64 = 64;
+
 fn classify_iface(
     iface: &ioscfg::Interface,
     links: &LinkMap,
-    external_next_hops: &BTreeSet<Addr>,
+    external_next_hops: &AddrSet,
 ) -> IfaceClass {
     let Some(addr) = iface.address else {
         return IfaceClass::Unaddressed;
@@ -201,10 +308,10 @@ fn classify_iface(
     }
 
     // Multipoint (or stub LAN): external if some address of the subnet is
-    // used as a next hop toward external destinations.
-    let has_external_next_hop =
-        external_next_hops.iter().any(|nh| subnet.contains(*nh));
-    if has_external_next_hop {
+    // used as a next hop toward external destinations. This was the
+    // stage's O(interfaces × next-hops) hot spot; the sorted-slice range
+    // query answers it in O(log n).
+    if external_next_hops.any_in_prefix(subnet) {
         IfaceClass::External
     } else {
         IfaceClass::Internal
@@ -216,30 +323,49 @@ fn classify_iface(
 /// router, not a real external peer.
 fn find_missing_hints(
     net: &Network,
-    classes: &BTreeMap<IfaceRef, IfaceClass>,
+    classes: &IfaceClasses,
     blocks: &BlockTree,
     external_subnets: &BTreeSet<Prefix>,
 ) -> Vec<MissingRouterHint> {
     // A block counts as "internal" when most of its leaves are internal
     // link subnets — approximate by requiring the block to contain at
     // least 4 subnets, of which at most one is external-facing.
+    //
+    // The per-root `(leaf count, external leaf count)` statistics are
+    // computed once up front (the old code re-walked `block.leaves()` for
+    // every external candidate) and looked up per candidate in O(log n).
+    let stats: PrefixMap<(usize, usize)> = blocks
+        .roots
+        .iter()
+        .map(|b| {
+            let mut total = 0usize;
+            let mut external = 0usize;
+            b.for_each_leaf(&mut |leaf| {
+                total += 1;
+                if external_subnets.contains(&leaf) {
+                    external += 1;
+                }
+            });
+            (b.prefix, (total, external))
+        })
+        .collect();
+
     let mut hints = Vec::new();
-    for (iref, class) in classes {
-        if *class != IfaceClass::External {
+    for (iref, class) in classes.iter() {
+        if class != IfaceClass::External {
             continue;
         }
         let router = net.router(iref.router);
         let Some(addr) = router.config.interfaces[iref.iface].address else { continue };
         let subnet = addr.subnet();
-        let Some(block) = blocks.block_of(addr.addr) else { continue };
-        let leaves = block.leaves();
-        if leaves.len() < 4 {
+        let Some((block, &(leaves, external_leaves))) = stats.lookup(addr.addr) else {
+            continue;
+        };
+        if leaves < 4 {
             continue;
         }
-        let external_leaves =
-            leaves.iter().filter(|l| external_subnets.contains(l)).count();
         if external_leaves <= 1 {
-            hints.push(MissingRouterHint { iface: *iref, subnet, block: block.prefix });
+            hints.push(MissingRouterHint { iface: iref, subnet, block });
         }
     }
     hints

@@ -25,7 +25,7 @@ pub mod link;
 mod network;
 pub mod stats;
 
-pub use external::{ExternalAnalysis, IfaceClass, MissingRouterHint};
+pub use external::{ExternalAnalysis, IfaceClass, IfaceClasses, MissingRouterHint};
 pub use graph::RouterGraph;
 pub use link::{IfaceRef, Link, LinkKind, LinkMap};
 pub use network::{error_budget, Coverage, LoadError, Network, Router, RouterId};

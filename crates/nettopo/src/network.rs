@@ -193,9 +193,15 @@ impl Network {
     /// - non-UTF-8 files → `invalid-utf8`
     /// - hard parse failures → `parse-error`
     /// - a panicking parse worker → `worker-panic` (caught per item by
-    ///   `rd_par::try_par_map`, never unwinding the caller)
+    ///   `rd_par::try_par_map_cost`, never unwinding the caller)
+    ///
+    /// Corpora smaller than the `rd_par::cost_floor` (in total bytes)
+    /// parse inline on the caller's thread; the output is identical.
     pub fn from_bytes_list(files: Vec<(String, Vec<u8>)>) -> Network {
-        let outcomes = rd_par::try_par_map(&files, |_, (file_name, bytes)| {
+        // Cost = corpus bytes: tiny fixtures parse inline (thread setup
+        // would dominate), real corpora fan out (see `rd_par::cost_floor`).
+        let parse_cost: u64 = files.iter().map(|(_, b)| b.len() as u64).sum();
+        let outcomes = rd_par::try_par_map_cost(parse_cost, &files, |_, (file_name, bytes)| {
             if bytes.is_empty() {
                 return FileOutcome::Quarantined {
                     diag: quarantine_diag(

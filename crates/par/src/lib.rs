@@ -40,6 +40,30 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// Environment variable overriding the worker-thread count.
 pub const THREADS_ENV: &str = "RD_THREADS";
 
+/// Environment variable overriding the fan-out cost floor used by
+/// [`par_map_cost`] / [`try_par_map_cost`]. Set to `0` to disable the
+/// inline fallback (every fan-out uses the full thread count).
+pub const COST_FLOOR_ENV: &str = "RD_PAR_COST_FLOOR";
+
+/// Default cost floor for [`par_map_cost`]: fan-outs whose estimated cost
+/// (by convention, roughly bytes of input to process) falls below this run
+/// inline on the caller's thread. Spawning and joining a scoped pool costs
+/// tens of microseconds; a fan-out below this floor loses more to setup
+/// than it gains from parallelism.
+pub const DEFAULT_COST_FLOOR: u64 = 64 * 1024;
+
+/// Resolves the fan-out cost floor: `RD_PAR_COST_FLOOR` if set to an
+/// integer, else [`DEFAULT_COST_FLOOR`]. Read fresh on every call so tests
+/// and harnesses can switch modes at runtime.
+pub fn cost_floor() -> u64 {
+    if let Ok(text) = std::env::var(COST_FLOOR_ENV) {
+        if let Ok(n) = text.trim().parse::<u64>() {
+            return n;
+        }
+    }
+    DEFAULT_COST_FLOOR
+}
+
 /// Resolves the worker-thread count: `RD_THREADS` if set to a positive
 /// integer, else available parallelism, else 1. Read fresh on every call
 /// so tests and harnesses can switch modes at runtime.
@@ -66,6 +90,36 @@ where
     F: Fn(usize, &T) -> U + Sync,
 {
     par_map_threads(thread_count(), items, f)
+}
+
+/// [`par_map`] with a caller-estimated work size: when `cost` (arbitrary
+/// units; "about how many bytes of input will this chew through" is the
+/// convention) is under [`cost_floor`], the fan-out runs inline on the
+/// caller's thread instead of spawning workers. Results are identical
+/// either way — the threshold only decides who computes them.
+pub fn par_map_cost<T, U, F>(cost: u64, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let threads = if cost < cost_floor() { 1 } else { thread_count() };
+    par_map_threads(threads, items, f)
+}
+
+/// [`try_par_map`] with the [`par_map_cost`] inline-fallback threshold.
+pub fn try_par_map_cost<T, U, F>(
+    cost: u64,
+    items: &[T],
+    f: F,
+) -> Vec<Result<U, String>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let threads = if cost < cost_floor() { 1 } else { thread_count() };
+    try_par_map_threads(threads, items, f)
 }
 
 /// Like [`par_map`], but catches a panic in `f` **per item**: the caller
@@ -260,6 +314,33 @@ mod tests {
     #[test]
     fn thread_count_is_at_least_one() {
         assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn cost_floor_fallback_keeps_results_identical() {
+        // Below or above the floor, only *who* computes changes.
+        let items: Vec<u64> = (0..100).collect();
+        let below = par_map_cost(0, &items, |i, &x| x.wrapping_mul(i as u64 + 1));
+        let above = par_map_cost(u64::MAX, &items, |i, &x| x.wrapping_mul(i as u64 + 1));
+        assert_eq!(below, above);
+        let t: Vec<Result<u64, String>> =
+            try_par_map_cost(0, &items, |_, &x| x + 1);
+        assert!(t.iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn cost_floor_env_override() {
+        // The only test touching RD_PAR_COST_FLOOR (the others' behaviour
+        // does not depend on the floor's value, so no env race).
+        std::env::remove_var(COST_FLOOR_ENV);
+        assert_eq!(cost_floor(), DEFAULT_COST_FLOOR);
+        std::env::set_var(COST_FLOOR_ENV, "1234");
+        assert_eq!(cost_floor(), 1234);
+        std::env::set_var(COST_FLOOR_ENV, "0");
+        assert_eq!(cost_floor(), 0);
+        std::env::set_var(COST_FLOOR_ENV, "nonsense");
+        assert_eq!(cost_floor(), DEFAULT_COST_FLOOR);
+        std::env::remove_var(COST_FLOOR_ENV);
     }
 
     #[test]

@@ -300,11 +300,10 @@ impl<'a> ReachAnalysis<'a> {
     /// Instances that have an interface inside `block` (where those hosts
     /// attach to the routing design).
     pub fn instances_attached_to(&self, block: Prefix) -> Vec<InstanceId> {
-        let block_set = PrefixSet::from_prefix(block);
         let mut out = Vec::new();
         for inst in &self.instances.list {
             let orig = self.origination(inst.id);
-            if !orig.all_prefixes().intersection(&block_set).is_empty() {
+            if orig.intersects_prefix(block) {
                 out.push(inst.id);
             }
         }
@@ -332,7 +331,7 @@ impl<'a> ReachAnalysis<'a> {
             let state = self.propagate(InstanceNode::Instance(dst_inst), seed);
             for src_inst in &src_instances {
                 if let Some(routes) = state.get(&InstanceNode::Instance(*src_inst)) {
-                    if !routes.all_prefixes().intersection(&dst_set).is_empty() {
+                    if routes.intersects_prefix(dst_block) {
                         return true;
                     }
                 }

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use netaddr::PrefixSet;
+use netaddr::{Prefix, PrefixSet};
 
 /// A set of routes, partitioned by administrative tag.
 ///
@@ -67,6 +67,13 @@ impl TaggedRoutes {
     /// Routes carrying a specific tag.
     pub fn tagged(&self, tag: Option<u32>) -> PrefixSet {
         self.routes.get(&tag).cloned().unwrap_or_else(PrefixSet::empty)
+    }
+
+    /// True if any route, whatever its tag, covers an address of `p`.
+    /// Allocation-free (unlike `all_prefixes().intersection(..)`): each
+    /// tag class answers with a binary search.
+    pub fn intersects_prefix(&self, p: Prefix) -> bool {
+        self.routes.values().any(|s| s.intersects_prefix(p))
     }
 
     /// Iterates `(tag, set)` pairs.

@@ -22,8 +22,8 @@ use ioscfg::{
 };
 use netaddr::{Addr, AddressBlock, BlockTree, Netmask, Prefix, Wildcard};
 use nettopo::{
-    Coverage, ExternalAnalysis, IfaceClass, IfaceRef, Link, LinkMap, MissingRouterHint,
-    Network, Router, RouterId,
+    Coverage, ExternalAnalysis, IfaceClass, IfaceClasses, IfaceRef, Link, LinkMap,
+    MissingRouterHint, Network, Router, RouterId,
 };
 use routing_model::{
     Adjacencies, BgpSession, DesignClass, DesignSummary, EdgeKind, ExchangeKind, IgpAdjacency,
@@ -603,6 +603,48 @@ snap_struct!(IfaceRef { router, iface });
 snap_struct!(Link { subnet, endpoints });
 snap_struct!(LinkMap { links });
 snap_enum_unit!(IfaceClass { 0 => Internal, 1 => External, 2 => Unaddressed });
+
+// `IfaceClasses` encodes exactly like the `BTreeMap<IfaceRef, IfaceClass>`
+// it replaced — an element count followed by sorted `(key, value)` pairs —
+// so snapshots are byte-compatible across the dense-layout change. The
+// table is total over `(router, iface)` in order, which decode validates
+// (pairs must be contiguous and ascending) before rebuilding the flat
+// layout; routers that appear in no pair decode as interface-less.
+impl Snap for IfaceClasses {
+    fn encode(&self, w: &mut Writer) {
+        w.u64(self.len() as u64);
+        for (iref, class) in self.iter() {
+            iref.encode(w);
+            class.encode(w);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let n = r.len()?;
+        let mut per_router: Vec<Vec<IfaceClass>> = Vec::new();
+        for _ in 0..n {
+            let iref = IfaceRef::decode(r)?;
+            let class = IfaceClass::decode(r)?;
+            if iref.router.0 >= per_router.len() {
+                // Bound the resize so a corrupted router index cannot
+                // trigger a huge allocation (2^24 routers is far beyond
+                // any corpus this format will ever hold).
+                if iref.router.0 >= (1 << 24) {
+                    return Err(DecodeError::new("interface class router index too large"));
+                }
+                per_router.resize_with(iref.router.0 + 1, Vec::new);
+            } else if iref.router.0 + 1 < per_router.len() {
+                return Err(DecodeError::new("interface classes out of router order"));
+            }
+            let slots = &mut per_router[iref.router.0];
+            if iref.iface != slots.len() {
+                return Err(DecodeError::new("interface classes not contiguous"));
+            }
+            slots.push(class);
+        }
+        Ok(IfaceClasses::from_per_router(per_router))
+    }
+}
+
 snap_struct!(MissingRouterHint { iface, subnet, block });
 snap_struct!(ExternalAnalysis { classes, external_subnets, missing_router_hints });
 

@@ -15,8 +15,8 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> clippy: no unwrap() in input-facing crates (ioscfg, rd-snap, rd-serve)"
-cargo clippy -q -p ioscfg -p rd-snap -p rd-serve -- -D clippy::unwrap_used
+echo "==> clippy: no unwrap() in input-facing crates (ioscfg, rd-snap, rd-serve, nettopo)"
+cargo clippy -q -p ioscfg -p rd-snap -p rd-serve -p nettopo -- -D clippy::unwrap_used
 echo "    ok"
 
 echo "==> repro --small all (offline reproduction smoke test)"
@@ -80,10 +80,29 @@ rm -rf /tmp/rd_verify_study /tmp/rd_verify.rdsnap /tmp/rd_verify_serve.txt \
     /tmp/rd_verify_served.json /tmp/rd_verify_direct.json
 
 if [ "${1:-}" = "--bench" ]; then
+    # Stage-regression guard: remember the committed run's worst
+    # "external" stage total before repro --bench overwrites the file.
+    # The budget is 3x that figure — generous enough for machine noise,
+    # tight enough to catch the O(n^2) classifier coming back. (The
+    # "bench_external" section deliberately doesn't match this pattern.)
+    BUDGET=""
+    if [ -f BENCH_repro.json ]; then
+        BUDGET=$(awk -F': ' '/"external":/ { v = $2 + 0; if (v > max) max = v }
+            END { if (max > 0) printf "%.0f", max * 3 }' BENCH_repro.json)
+    fi
     echo "==> repro --bench (stage timings, both scales, traced)"
     ./target/release/repro --bench --trace /tmp/rd_verify_bench.jsonl
     ./target/release/trace_check /tmp/rd_verify_bench.jsonl
     rm -f /tmp/rd_verify_bench.jsonl
+    if [ -n "$BUDGET" ]; then
+        NEW=$(awk -F': ' '/"external":/ { v = $2 + 0; if (v > max) max = v }
+            END { printf "%.0f", max }' BENCH_repro.json)
+        if [ "$NEW" -gt "$BUDGET" ]; then
+            echo "external stage regression: ${NEW} ms exceeds the stored budget ${BUDGET} ms" >&2
+            exit 1
+        fi
+        echo "    external stage ${NEW} ms within budget ${BUDGET} ms"
+    fi
 fi
 
 echo "verify: all checks passed"

@@ -3,9 +3,16 @@
 //! error messages. One test function drives every check, because the
 //! worker count comes from process-global environment state.
 
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
 use netgen::StudyScale;
 use routing_design::report::{render_table3, StudyNetwork, StudyReport};
 use routing_design::{Network, NetworkAnalysis};
+
+/// Every test in this file mutates the process-global `RD_THREADS`
+/// environment variable; the lock keeps them from racing each other.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
 
 /// Renders everything a `StudyReport` can say into one comparable string
 /// (`StudyReport` itself is not `PartialEq`).
@@ -120,6 +127,7 @@ fn degraded_output() -> String {
 
 #[test]
 fn thread_count_never_changes_observable_output() {
+    let _env = ENV_LOCK.lock().expect("env lock");
     std::env::set_var(rd_par::THREADS_ENV, "1");
     let (corpus_seq, report_seq) = small_study();
     let degraded_seq = degraded_output();
@@ -174,4 +182,57 @@ fn thread_count_never_changes_observable_output() {
     // compared with `cmp`.
     assert!(!snap_seq.is_empty(), "snapshot encoder produced no bytes");
     assert_eq!(snap_seq, snap_par, "snapshot bytes differ by thread count");
+}
+
+/// With real hardware parallelism available, the parallel study loop must
+/// beat the sequential one. The seed benchmark measured speedup 0.91 at 4
+/// threads — thread oversubscription on a single-core host compounded by
+/// fan-out overhead on tiny networks and an O(n²) external stage; see
+/// EXPERIMENTS.md for the full account. On a single-core machine the
+/// assertion is physically unattainable, so the test reports that and
+/// passes vacuously rather than asserting something the hardware forbids.
+#[test]
+fn parallel_study_beats_sequential_on_multicore() {
+    let _env = ENV_LOCK.lock().expect("env lock");
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if cores < 2 {
+        eprintln!(
+            "skipping speedup assertion: {cores} core available — threads \
+             cannot beat sequential without hardware parallelism"
+        );
+        return;
+    }
+
+    // Generate the corpora up front so only analysis is timed.
+    let corpora: Vec<(String, Vec<(String, String)>)> =
+        netgen::study::generate_study(StudyScale::Small)
+            .into_iter()
+            .map(|g| (g.spec.name.clone(), g.texts))
+            .collect();
+    let run = |threads: usize| -> Duration {
+        std::env::set_var(rd_par::THREADS_ENV, threads.to_string());
+        let started = Instant::now();
+        rd_par::par_map(&corpora, |_, (name, texts)| {
+            NetworkAnalysis::from_texts(texts.clone())
+                .unwrap_or_else(|e| panic!("{name}: {e}"))
+                .network
+                .len()
+        });
+        started.elapsed()
+    };
+
+    let threads = cores.min(4);
+    run(threads); // warm-up (page cache, allocator)
+    // Best-of-three per mode shaves scheduler noise. The margin demanded
+    // of the parallel run is break-even, not linear scaling, so this stays
+    // CI-safe on busy two-core machines.
+    let seq = (0..3).map(|_| run(1)).min().expect("three runs");
+    let par = (0..3).map(|_| run(threads)).min().expect("three runs");
+    std::env::remove_var(rd_par::THREADS_ENV);
+    let speedup = seq.as_secs_f64() / par.as_secs_f64();
+    assert!(
+        speedup > 1.0,
+        "parallel study loop slower than sequential on a {cores}-core host: \
+         sequential {seq:?}, {threads} threads {par:?} (speedup {speedup:.2})"
+    );
 }
