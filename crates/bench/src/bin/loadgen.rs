@@ -1,0 +1,160 @@
+//! Standalone load generator for a live `rdx serve` instance.
+//!
+//! ```sh
+//! cargo run --release -p rd-bench --bin loadgen -- 127.0.0.1:8080 \
+//!     --conns 4 --pipeline 64 --duration-ms 3000 --json
+//! ```
+//!
+//! Drives mixed-endpoint keep-alive traffic (every static endpoint plus
+//! both per-network routes, discovered from `/networks` unless `--paths`
+//! overrides them) and prints throughput and exact p50/p99/p999
+//! latencies. Exits 1 when any response failed or came back non-200, so
+//! verify.sh can use it as a pass/fail burst probe.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use rd_bench::loadgen::{self, LoadOptions};
+
+fn usage() -> String {
+    "usage: loadgen <addr> [--conns N] [--pipeline N] [--duration-ms N] \
+     [--paths /a,/b,...] [--json]"
+        .to_string()
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("loadgen: {message}");
+    eprintln!("{}", usage());
+    std::process::exit(2);
+}
+
+/// One `connection: close` GET used for path discovery.
+fn fetch(addr: SocketAddr, path: &str) -> Result<String, String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nhost: loadgen\r\nconnection: close\r\n\r\n").as_bytes())
+        .map_err(|e| format!("write: {e}"))?;
+    let mut out = String::new();
+    stream.read_to_string(&mut out).map_err(|e| format!("read: {e}"))?;
+    let (head, body) = out.split_once("\r\n\r\n").ok_or("malformed response")?;
+    if !head.starts_with("HTTP/1.1 200") {
+        return Err(format!("GET {path}: {}", head.lines().next().unwrap_or("")));
+    }
+    Ok(body.to_string())
+}
+
+/// Network names scraped from the `/networks` index body.
+fn discover_networks(addr: SocketAddr) -> Result<Vec<String>, String> {
+    let body = fetch(addr, "/networks")?;
+    let mut names = Vec::new();
+    let mut rest = body.as_str();
+    while let Some(i) = rest.find("\"name\": \"") {
+        rest = &rest[i + 9..];
+        let Some(end) = rest.find('"') else { break };
+        names.push(rest[..end].to_string());
+        rest = &rest[end..];
+    }
+    Ok(names)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut addr_arg: Option<String> = None;
+    let mut opts = LoadOptions::default();
+    let mut json = false;
+
+    let positive = |flag: &str, value: Option<String>| -> usize {
+        match value.and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n > 0 => n,
+            _ => fail(&format!("{flag} needs a positive integer")),
+        }
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--conns" => opts.conns = positive("--conns", args.next()),
+            "--pipeline" => opts.pipeline = positive("--pipeline", args.next()),
+            "--duration-ms" => {
+                opts.duration =
+                    Duration::from_millis(positive("--duration-ms", args.next()) as u64)
+            }
+            "--paths" => match args.next() {
+                Some(list) => {
+                    opts.paths = list.split(',').map(str::to_string).collect();
+                }
+                None => fail("--paths needs a comma-separated list"),
+            },
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return;
+            }
+            flag if flag.starts_with('-') => fail(&format!("unknown flag {flag}")),
+            positional if addr_arg.is_none() => addr_arg = Some(positional.to_string()),
+            extra => fail(&format!("unexpected argument {extra}")),
+        }
+    }
+    let Some(addr_arg) = addr_arg else { fail("missing server address") };
+    let addr: SocketAddr = match addr_arg.to_socket_addrs().ok().and_then(|mut a| a.next()) {
+        Some(a) => a,
+        None => fail(&format!("cannot resolve address {addr_arg}")),
+    };
+
+    if opts.paths.is_empty() {
+        match discover_networks(addr) {
+            Ok(names) => opts.paths = loadgen::mixed_paths(&names),
+            Err(e) => {
+                eprintln!("loadgen: path discovery failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let stats = match loadgen::run(addr, &opts) {
+        Ok(stats) => stats,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    if json {
+        println!(
+            "{{\n  \"conns\": {},\n  \"pipeline\": {},\n  \"duration_ms\": {:.3},\n  \
+             \"requests\": {},\n  \"errors\": {},\n  \"throughput_rps\": {:.0},\n  \
+             \"p50_us\": {},\n  \"p99_us\": {},\n  \"p999_us\": {},\n  \"body_bytes\": {}\n}}",
+            opts.conns,
+            opts.pipeline,
+            stats.duration.as_secs_f64() * 1e3,
+            stats.requests,
+            stats.errors,
+            stats.throughput_rps,
+            stats.p50_us,
+            stats.p99_us,
+            stats.p999_us,
+            stats.body_bytes,
+        );
+    } else {
+        println!(
+            "loadgen: {} conns x {} pipelined against {addr}, {:.0} ms",
+            opts.conns,
+            opts.pipeline,
+            stats.duration.as_secs_f64() * 1e3,
+        );
+        println!(
+            "  {} requests ({} errors), {:.0} req/s",
+            stats.requests, stats.errors, stats.throughput_rps,
+        );
+        println!(
+            "  latency p50 {} us, p99 {} us, p99.9 {} us",
+            stats.p50_us, stats.p99_us, stats.p999_us,
+        );
+    }
+    if stats.errors > 0 {
+        std::process::exit(1);
+    }
+}

@@ -5,6 +5,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod loadgen;
 pub mod timing;
 
 use netgen::{study_roster, StudyScale};

@@ -216,6 +216,19 @@ pub fn bench_snapshot(networks: Vec<StudyNetwork>) -> (SnapBench, Corpus) {
     (SnapBench { networks: count, bytes: bytes.len(), write, load, analyze }, loaded)
 }
 
+/// Builds the snapshot corpus of a study scale without timing anything
+/// — for benches that need a served corpus but measure the query
+/// server, not snapshot I/O.
+pub fn study_corpus(scale: StudyScale) -> Corpus {
+    let networks = crate::analyzed_study(scale);
+    Corpus::new(
+        networks
+            .into_iter()
+            .map(|n| routing_design::snapshot::capture(&n.name, n.analysis))
+            .collect(),
+    )
+}
+
 /// Borrowing variant of [`bench_snapshot`] for callers that still need
 /// the analyses afterwards (`repro --timings`): clones each analysis
 /// into its snapshot form first.
@@ -276,29 +289,22 @@ fn keepalive_get(stream: &mut TcpStream, path: &str) -> usize {
     len
 }
 
-/// Serves `corpus` on an ephemeral port and measures `requests` GETs of
-/// `/networks/{first}` over one keep-alive connection.
-pub fn bench_serve(corpus: Corpus, requests: usize) -> ServeBench {
-    let path = match corpus.networks.first() {
-        Some(n) => format!("/networks/{}", n.name),
-        None => "/networks".to_string(),
-    };
-    let server = rd_serve::Server::start(corpus, "127.0.0.1:0", 0).expect("bench server");
+/// Measures `requests` sequential GETs of `path` over one keep-alive
+/// connection to an already-running server.
+fn serve_burst(server: &rd_serve::Server, path: &str, requests: usize) -> ServeBench {
     let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
     stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
     for _ in 0..5 {
-        keepalive_get(&mut stream, &path);
+        keepalive_get(&mut stream, path);
     }
     let mut latencies = Vec::with_capacity(requests);
     let started = Instant::now();
     for _ in 0..requests {
         let t = Instant::now();
-        keepalive_get(&mut stream, &path);
+        keepalive_get(&mut stream, path);
         latencies.push(t.elapsed().as_micros() as u64);
     }
     let wall = started.elapsed();
-    drop(stream);
-    server.shutdown();
     latencies.sort_unstable();
     let pick = |q: f64| latencies[((latencies.len() - 1) as f64 * q) as usize];
     ServeBench {
@@ -307,6 +313,85 @@ pub fn bench_serve(corpus: Corpus, requests: usize) -> ServeBench {
         p99_us: pick(0.99),
         throughput_rps: requests as f64 / wall.as_secs_f64().max(1e-9),
     }
+}
+
+/// Serves `corpus` on an ephemeral port and measures `requests` GETs of
+/// `/networks/{first}` over one keep-alive connection.
+pub fn bench_serve(corpus: Corpus, requests: usize) -> ServeBench {
+    let path = match corpus.networks.first() {
+        Some(n) => format!("/networks/{}", n.name),
+        None => "/networks".to_string(),
+    };
+    let server = rd_serve::Server::start(corpus, "127.0.0.1:0", 0).expect("bench server");
+    let result = serve_burst(&server, &path, requests);
+    server.shutdown();
+    result
+}
+
+/// Result of the pipelined mixed-endpoint load run (`bench_serve` in
+/// `BENCH_repro.json`): what the epoll server sustains when clients
+/// batch requests instead of strict request/response lockstep.
+pub struct ServeLoadBench {
+    /// Concurrent keep-alive connections.
+    pub conns: usize,
+    /// Requests pipelined per write.
+    pub pipeline: usize,
+    /// Measured window wall-clock.
+    pub duration: Duration,
+    /// Responses received.
+    pub requests: u64,
+    /// Non-200 responses plus I/O failures (must be zero).
+    pub errors: u64,
+    /// `requests / duration`.
+    pub throughput_rps: f64,
+    /// Median latency, microseconds (batch send → response completion).
+    pub p50_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: u64,
+    /// 99.9th-percentile latency, microseconds.
+    pub p999_us: u64,
+}
+
+/// Starts one server over `corpus` and measures both serve benchmarks
+/// against it: the sequential single-connection burst (the `serve`
+/// section, comparable across benchmark history) and the pipelined
+/// mixed-endpoint load run (the `bench_serve` section).
+pub fn bench_serve_with_load(
+    corpus: Corpus,
+    requests: usize,
+    load: &crate::loadgen::LoadOptions,
+) -> (ServeBench, ServeLoadBench) {
+    let names: Vec<String> = corpus.networks.iter().map(|n| n.name.clone()).collect();
+    let burst_path = match names.first() {
+        Some(n) => format!("/networks/{n}"),
+        None => "/networks".to_string(),
+    };
+    let server = rd_serve::Server::start(corpus, "127.0.0.1:0", 0).expect("bench server");
+    let burst = serve_burst(&server, &burst_path, requests);
+    let opts = crate::loadgen::LoadOptions {
+        conns: load.conns,
+        pipeline: load.pipeline,
+        duration: load.duration,
+        paths: if load.paths.is_empty() {
+            crate::loadgen::mixed_paths(&names)
+        } else {
+            load.paths.clone()
+        },
+    };
+    let stats = crate::loadgen::run(server.local_addr(), &opts).expect("load run");
+    server.shutdown();
+    let load_bench = ServeLoadBench {
+        conns: opts.conns,
+        pipeline: opts.pipeline,
+        duration: stats.duration,
+        requests: stats.requests,
+        errors: stats.errors,
+        throughput_rps: stats.throughput_rps,
+        p50_us: stats.p50_us,
+        p99_us: stats.p99_us,
+        p999_us: stats.p999_us,
+    };
+    (burst, load_bench)
 }
 
 fn json_ms(d: Duration) -> String {
@@ -326,14 +411,16 @@ fn json_stages(indent: &str, t: &StageTimings) -> String {
 /// document additionally carries the `rd-obs` metrics registry as a
 /// top-level `"metrics"` object (counters/gauges as numbers, histograms
 /// as objects), and — when measured — `"snap"` (snapshot size and
-/// write/load timings vs re-analysis), `"serve"` (request latency
-/// percentiles), and `"bench_external"` (the isolated
-/// external-classification stage) objects. All additive, so existing
-/// consumers of `"scales"` are unaffected.
+/// write/load timings vs re-analysis), `"serve"` (sequential request
+/// latency percentiles), `"bench_serve"` (the pipelined mixed-endpoint
+/// load run: throughput plus p50/p99/p999), and `"bench_external"` (the
+/// isolated external-classification stage) objects. All additive, so
+/// existing consumers of `"scales"` are unaffected.
 pub fn render_json(
     scales: &[ScaleBench],
     snap: Option<&SnapBench>,
     serve: Option<&ServeBench>,
+    serve_load: Option<&ServeLoadBench>,
     external: Option<&ExternalBench>,
 ) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"repro\",\n  \"unit\": \"ms\",\n");
@@ -359,6 +446,23 @@ pub fn render_json(
             "  \"serve\": {{\n    \"requests\": {},\n    \"p50_us\": {},\n    \
              \"p99_us\": {},\n    \"throughput_rps\": {:.0}\n  }},\n",
             s.requests, s.p50_us, s.p99_us, s.throughput_rps,
+        ));
+    }
+    if let Some(l) = serve_load {
+        out.push_str(&format!(
+            "  \"bench_serve\": {{\n    \"conns\": {},\n    \"pipeline\": {},\n    \
+             \"duration_ms\": {},\n    \"requests\": {},\n    \"errors\": {},\n    \
+             \"throughput_rps\": {:.0},\n    \"p50_us\": {},\n    \"p99_us\": {},\n    \
+             \"p999_us\": {}\n  }},\n",
+            l.conns,
+            l.pipeline,
+            json_ms(l.duration),
+            l.requests,
+            l.errors,
+            l.throughput_rps,
+            l.p50_us,
+            l.p99_us,
+            l.p999_us,
         ));
     }
     if let Some(e) = external {
@@ -470,21 +574,37 @@ mod tests {
             interfaces: 7000,
             build: Duration::from_millis(120),
         };
-        let text = render_json(&scales, Some(&snap), Some(&serve), Some(&external));
+        let serve_load = ServeLoadBench {
+            conns: 4,
+            pipeline: 64,
+            duration: Duration::from_secs(3),
+            requests: 360000,
+            errors: 0,
+            throughput_rps: 120000.0,
+            p50_us: 150,
+            p99_us: 210,
+            p999_us: 400,
+        };
+        let text =
+            render_json(&scales, Some(&snap), Some(&serve), Some(&serve_load), Some(&external));
         assert!(text.contains("\"speedup\": 1.80"));
         assert!(text.contains("\"parse\": 2.000"));
         assert!(text.contains("\"routers\": 7"));
         assert!(text.contains("\"load_speedup\": 20.0"));
         assert!(text.contains("\"p99_us\": 950"));
+        assert!(text.contains("\"bench_serve\""));
+        assert!(text.contains("\"throughput_rps\": 120000"));
+        assert!(text.contains("\"p999_us\": 400"));
         assert!(text.contains("\"bench_external\""));
         assert!(text.contains("\"build_ms\": 120.000"));
         assert_eq!(text.matches('{').count(), text.matches('}').count());
         assert_eq!(text.matches('[').count(), text.matches(']').count());
 
         // Without the optional sections the legacy shape is untouched.
-        let legacy = render_json(&scales, None, None, None);
+        let legacy = render_json(&scales, None, None, None, None);
         assert!(!legacy.contains("\"snap\""));
         assert!(!legacy.contains("\"serve\""));
+        assert!(!legacy.contains("\"bench_serve\""));
         assert!(!legacy.contains("\"bench_external\""));
     }
 
@@ -517,6 +637,24 @@ mod tests {
         assert_eq!(result.requests, 20);
         assert!(result.p50_us <= result.p99_us);
         assert!(result.throughput_rps > 0.0);
+    }
+
+    #[test]
+    fn serve_load_bench_runs_mixed_pipelined_traffic() {
+        let networks = rd_bench_study_subset();
+        let (_, corpus) = bench_snapshot(networks);
+        let load = crate::loadgen::LoadOptions {
+            conns: 2,
+            pipeline: 8,
+            duration: Duration::from_millis(300),
+            paths: Vec::new(),
+        };
+        let (burst, stats) = bench_serve_with_load(corpus, 20, &load);
+        assert_eq!(burst.requests, 20);
+        assert_eq!(stats.errors, 0, "load run saw errors");
+        assert!(stats.requests >= stats.conns as u64 * stats.pipeline as u64);
+        assert!(stats.p50_us <= stats.p99_us && stats.p99_us <= stats.p999_us);
+        assert!(stats.throughput_rps > 0.0);
     }
 
     /// Two small study networks analyzed for the snapshot/serve benches.

@@ -234,7 +234,7 @@ fn usage() -> ExitCode {
          whatif <router> [...]|audit|diag|diff <other-dir>|\
          anonymize <out-dir> <key>] [--json] [--timings] [--metrics] [--trace <path>]\n\
          \x20      rdx snap <dir> -o <file.rdsnap>\n\
-         \x20      rdx serve <file.rdsnap> [--addr HOST:PORT] [--workers N]\n\
+         \x20      rdx serve <file.rdsnap> [--addr HOST:PORT] [--workers N] [--max-conns N] [--no-cache]\n\
          \x20      rdx chaos <dir> [--seed N] [--configs M] [--snapshots K] [--max-rss-mb MB]\n\
          rdx --help shows the full reference (commands, flags, exit codes)"
     );
@@ -249,7 +249,16 @@ usage:
   rdx <config-dir> [command] [flags]     analyze a config directory
   rdx snap <dir> -o <file.rdsnap>        analyze once, write a snapshot
   rdx serve <file.rdsnap> [--addr HOST:PORT] [--workers N]
-                                         serve a snapshot over HTTP
+            [--max-conns N] [--no-cache]
+                                         serve a snapshot over HTTP from an
+                                         epoll event loop: --workers N sets
+                                         the loop-thread count (0 = auto),
+                                         --max-conns caps live connections
+                                         (default 1024; past it, 503 +
+                                         Retry-After), --no-cache disables
+                                         the pre-rendered response cache
+                                         (debug escape hatch; bodies are
+                                         byte-identical either way)
   rdx chaos <dir> [--seed N] [--configs M] [--snapshots K] [--max-rss-mb MB]
                                          deterministic fault-injection sweep:
                                          mutate the corpus M times and corrupt
@@ -289,6 +298,9 @@ flags:
 serve endpoints:
   /healthz /networks /networks/{{id}} /networks/{{id}}/processes
   /instances /pathways /diag /metrics
+  Snapshot-derived responses carry the snapshot's FNV-1a-64 trailer as
+  an ETag and honor If-None-Match with 304. SIGHUP or POST /admin/reload
+  re-reads the snapshot file and hot-swaps it with zero dropped requests.
 
 exit codes:
   0  success
@@ -403,7 +415,7 @@ fn snap_cmd(args: &[String]) -> ExitCode {
 fn serve_cmd(args: &[String]) -> ExitCode {
     let mut file: Option<String> = None;
     let mut addr = "127.0.0.1:8080".to_string();
-    let mut workers = 0usize;
+    let mut opts = rd_serve::ServeOptions::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -415,12 +427,20 @@ fn serve_cmd(args: &[String]) -> ExitCode {
                 }
             },
             "--workers" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
-                Some(n) => workers = n,
+                Some(n) => opts.workers = n,
                 None => {
                     eprintln!("rdx: serve: --workers needs a number");
                     return ExitCode::from(2);
                 }
             },
+            "--max-conns" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => opts.max_conns = n,
+                _ => {
+                    eprintln!("rdx: serve: --max-conns needs a positive number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--no-cache" => opts.cache = false,
             other if other.starts_with("--addr=") => {
                 addr = other["--addr=".len()..].to_string();
             }
@@ -436,25 +456,23 @@ fn serve_cmd(args: &[String]) -> ExitCode {
         }
     }
     let Some(file) = file else {
-        eprintln!("usage: rdx serve <file.rdsnap> [--addr HOST:PORT] [--workers N]");
+        eprintln!(
+            "usage: rdx serve <file.rdsnap> [--addr HOST:PORT] [--workers N] \
+             [--max-conns N] [--no-cache]"
+        );
         return ExitCode::from(2);
     };
-    let corpus = match rd_snap::Corpus::read_file(Path::new(&file)) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("rdx: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let networks = corpus.networks.len();
     rd_serve::install_signal_handlers();
-    let server = match rd_serve::Server::start(corpus, &addr, workers) {
+    // start_file wires the snapshot in as the hot-reload source: SIGHUP
+    // or `POST /admin/reload` re-reads it and swaps atomically.
+    let server = match rd_serve::Server::start_file(Path::new(&file), &addr, opts) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("rdx: cannot bind {addr}: {e}");
+            eprintln!("rdx: serve: {e}");
             return ExitCode::FAILURE;
         }
     };
+    let networks = server.network_count();
     // Scripts parse this line for the bound (possibly ephemeral) port.
     println!("listening on http://{} ({networks} network(s) from {file})", server.local_addr());
     use std::io::Write as _;

@@ -32,7 +32,11 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    fn new(bounds: &[u64]) -> Histogram {
+    /// An empty histogram with the given inclusive upper bounds. Public so
+    /// hot paths (the rd-serve event loop) can accumulate into a local
+    /// histogram and fold it into the registry once per batch via
+    /// [`histogram_merge`] instead of taking the registry mutex per value.
+    pub fn new(bounds: &[u64]) -> Histogram {
         Histogram {
             bounds: bounds.to_vec(),
             buckets: vec![0; bounds.len() + 1],
@@ -41,11 +45,62 @@ impl Histogram {
         }
     }
 
-    fn record(&mut self, value: u64) {
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
         let slot = self.bounds.iter().position(|b| value <= *b).unwrap_or(self.bounds.len());
         self.buckets[slot] += 1;
         self.count += 1;
         self.sum += value;
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Folds another histogram's buckets into this one. The two must share
+    /// bounds; mismatched shapes are ignored under `debug_assert`.
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.bounds != other.bounds {
+            debug_assert!(false, "histogram merge with mismatched bounds");
+            return;
+        }
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) from the bucket counts,
+    /// interpolating linearly inside the winning bucket — the same
+    /// convention as Prometheus's `histogram_quantile`. Values landing in
+    /// the overflow bucket are reported as the highest finite bound (a
+    /// deliberate under-estimate: fixed-bucket histograms cannot see past
+    /// their last bound). Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            if *bucket == 0 {
+                continue;
+            }
+            let lower = if i == 0 { 0 } else { self.bounds[i - 1] };
+            if cumulative + bucket >= rank {
+                let Some(upper) = self.bounds.get(i) else {
+                    // Overflow bucket: clamp to the last finite bound.
+                    return self.bounds.last().copied().unwrap_or(0);
+                };
+                let into = (rank - cumulative) as f64 / *bucket as f64;
+                return lower + ((*upper - lower) as f64 * into).round() as u64;
+            }
+            cumulative += bucket;
+        }
+        self.bounds.last().copied().unwrap_or(0)
     }
 }
 
@@ -99,6 +154,25 @@ pub fn histogram_record(name: &str, value: u64, bounds: &[u64]) {
             .or_insert_with(|| Metric::Histogram(Histogram::new(bounds)))
         {
             Metric::Histogram(h) => h.record(value),
+            other => debug_assert!(false, "{name} is not a histogram: {other:?}"),
+        }
+    });
+}
+
+/// Merges a locally-accumulated histogram into the named registry
+/// histogram under a single registry lock — the batched alternative to
+/// per-value [`histogram_record`] calls for paths that observe hundreds
+/// of values per event-loop round. The first merge installs a copy.
+pub fn histogram_merge(name: &str, local: &Histogram) {
+    if local.is_empty() {
+        return;
+    }
+    with_registry(|reg| {
+        match reg
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new(&local.bounds)))
+        {
+            Metric::Histogram(h) => h.merge(local),
             other => debug_assert!(false, "{name} is not a histogram: {other:?}"),
         }
     });
@@ -292,6 +366,34 @@ mod tests {
         assert!(prom.contains("t_hist_sum 118"));
         assert!(prom.contains("t_hist_count 4"));
         assert_eq!(prometheus_name("9lives.x-y"), "_9lives_x_y");
+
+        // Batched merge: a local histogram folds in under one lock.
+        let mut local = Histogram::new(&[8, 16]);
+        for v in [2, 3, 50] {
+            local.record(v);
+        }
+        histogram_merge("t.hist", &local);
+        histogram_merge("t.hist", &Histogram::new(&[8, 16])); // empty: no-op
+        let snap: BTreeMap<String, Metric> = snapshot().into_iter().collect();
+        match &snap["t.hist"] {
+            Metric::Histogram(h) => {
+                assert_eq!(h.buckets, vec![4, 1, 2]);
+                assert_eq!((h.count, h.sum), (7, 173));
+            }
+            other => panic!("wrong metric: {other:?}"),
+        }
+
+        // Quantiles: interpolated within buckets, overflow clamps to the
+        // last finite bound, empty histograms report zero.
+        let mut q = Histogram::new(&[100, 200, 400]);
+        assert_eq!(q.quantile(0.5), 0);
+        for v in [50, 50, 150, 150, 150, 150, 150, 150, 350, 9999] {
+            q.record(v);
+        }
+        assert_eq!(q.quantile(0.0), 50);
+        assert!(q.quantile(0.5) > 100 && q.quantile(0.5) <= 200);
+        assert_eq!(q.quantile(0.9), 400); // 9th of 10 sits in (200, 400]
+        assert_eq!(q.quantile(1.0), 400); // overflow clamps to last bound
 
         // Peak RSS: on Linux this must parse; elsewhere it may be None.
         if cfg!(target_os = "linux") {

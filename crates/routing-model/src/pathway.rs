@@ -37,55 +37,86 @@ pub struct PathwayGraph {
     pub edges: Vec<(InstanceNode, InstanceNode, Option<String>)>,
 }
 
-impl PathwayGraph {
+/// A reverse-flow adjacency index over one instance graph, shared
+/// across many traces.
+///
+/// [`PathwayGraph::trace`] needs, for each reached node, the set of
+/// nodes whose routes flow *into* it. Scanning the whole edge list per
+/// dequeued node makes a single trace O(V·E); an endpoint that traces
+/// every router of a large network (the corpus-wide `/pathways` view)
+/// turns that into minutes of wall-clock. Building this index once
+/// makes each trace O(V + E), and [`PathwayIndex::seed`] exposes the
+/// depth-0 instance set so callers can deduplicate whole traces:
+/// routers with the same seed have structurally identical pathways.
+pub struct PathwayIndex {
+    /// node → `(source, policy)` pairs whose routes flow into it.
+    backward: BTreeMap<InstanceNode, Vec<(InstanceNode, Option<String>)>>,
+    /// router → instances it participates in (the trace seed), in
+    /// `instances.list` order.
+    membership: BTreeMap<RouterId, Vec<InstanceId>>,
+}
+
+impl PathwayIndex {
+    /// Indexes `graph` for repeated tracing.
+    pub fn new(instances: &Instances, graph: &InstanceGraph) -> PathwayIndex {
+        let mut backward: BTreeMap<InstanceNode, Vec<(InstanceNode, Option<String>)>> =
+            BTreeMap::new();
+        for e in &graph.edges {
+            match &e.kind {
+                // Redistribution is directed: routes flow from → to.
+                ExchangeKind::Redistribution { policy, .. } => {
+                    backward.entry(e.to).or_default().push((e.from, policy.clone()));
+                }
+                // Exchange edges (EBGP, IGP edges) flow both ways.
+                ExchangeKind::Ebgp { .. } | ExchangeKind::IgpEdge { .. } => {
+                    backward.entry(e.to).or_default().push((e.from, None));
+                    backward.entry(e.from).or_default().push((e.to, None));
+                }
+            }
+        }
+        let mut membership: BTreeMap<RouterId, Vec<InstanceId>> = BTreeMap::new();
+        for inst in &instances.list {
+            for router in &inst.routers {
+                membership.entry(*router).or_default().push(inst.id);
+            }
+        }
+        PathwayIndex { backward, membership }
+    }
+
+    /// The depth-0 instance set of `router` — its trace seed. Two
+    /// routers with equal seeds produce pathways that differ only in
+    /// the `router` field.
+    pub fn seed(&self, router: RouterId) -> &[InstanceId] {
+        self.membership.get(&router).map(Vec::as_slice).unwrap_or(&[])
+    }
+
     /// Traces where `router`'s routes come from.
-    pub fn trace(
-        router: RouterId,
-        instances: &Instances,
-        graph: &InstanceGraph,
-    ) -> PathwayGraph {
+    pub fn trace(&self, router: RouterId) -> PathwayGraph {
         let mut depths: BTreeMap<InstanceNode, usize> = BTreeMap::new();
         let mut edges = Vec::new();
         let mut queue: VecDeque<InstanceNode> = VecDeque::new();
 
         // Depth 0: instances this router participates in feed its RIB.
-        for inst in &instances.list {
-            if inst.routers.binary_search(&router).is_ok() {
-                let node = InstanceNode::Instance(inst.id);
-                depths.insert(node, 0);
-                queue.push_back(node);
-            }
+        for id in self.seed(router) {
+            let node = InstanceNode::Instance(*id);
+            depths.insert(node, 0);
+            queue.push_back(node);
         }
 
-        // Walk edges *backwards* along route flow: routes flow into a node
-        // we have reached from (a) redistribution edges whose `to` is the
-        // node, and (b) undirected exchange edges (EBGP, IGP edges) at
-        // either endpoint.
+        // Walk edges *backwards* along route flow via the prebuilt
+        // index. A self-loop contributes its entry twice (once per
+        // endpoint); the sort + dedup below collapses it, matching the
+        // single match-arm hit of the unindexed scan.
         while let Some(current) = queue.pop_front() {
             let depth = depths[&current];
-            for e in &graph.edges {
-                let (source, policy) = match &e.kind {
-                    ExchangeKind::Redistribution { policy, .. } => {
-                        if e.to == current {
-                            (e.from, policy.clone())
-                        } else {
-                            continue;
-                        }
-                    }
-                    ExchangeKind::Ebgp { .. } | ExchangeKind::IgpEdge { .. } => {
-                        if e.to == current {
-                            (e.from, None)
-                        } else if e.from == current {
-                            (e.to, None)
-                        } else {
-                            continue;
-                        }
-                    }
-                };
-                edges.push((source, current, policy));
-                if !depths.contains_key(&source) {
-                    depths.insert(source, depth + 1);
-                    queue.push_back(source);
+            let Some(incoming) = self.backward.get(&current) else {
+                continue;
+            };
+            for (source, policy) in incoming {
+                edges.push((*source, current, policy.clone()));
+                if !depths.contains_key(source) {
+                    depths.insert(*source, depth + 1);
+                    queue.push_back(*source);
                 }
             }
         }
@@ -99,6 +130,19 @@ impl PathwayGraph {
         edges.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1 && a.2 == b.2);
 
         PathwayGraph { router, nodes, edges }
+    }
+}
+
+impl PathwayGraph {
+    /// Traces where `router`'s routes come from. One-shot form of
+    /// [`PathwayIndex::trace`]; callers tracing many routers of the
+    /// same network should build the index once instead.
+    pub fn trace(
+        router: RouterId,
+        instances: &Instances,
+        graph: &InstanceGraph,
+    ) -> PathwayGraph {
+        PathwayIndex::new(instances, graph).trace(router)
     }
 
     /// The maximum depth (number of protocol layers routes must traverse

@@ -1,0 +1,130 @@
+//! The pre-rendered response cache: every static endpoint body rendered
+//! once per snapshot, keyed by the snapshot's FNV-1a-64 trailer.
+//!
+//! Every GET body this server produces is a pure function of the loaded
+//! corpus (byte-identical at any thread count — the determinism gate in
+//! verify.sh depends on it), so the serving hot path collapses to
+//! "render once per snapshot, memcpy cached bytes thereafter". A cache
+//! entry stores the complete keep-alive response — status line, headers
+//! (including the `etag` derived from the snapshot trailer), and body —
+//! so the common case is a single `extend_from_slice` into the
+//! connection's write buffer, no formatting, no allocation.
+//!
+//! [`SnapshotState`] bundles the corpus, its entity tag, and the cache
+//! into one immutable unit behind an `Arc`: hot reload builds a fresh
+//! state off the accept path and swaps the Arc, so in-flight requests
+//! keep rendering from the snapshot they started with and no response
+//! ever mixes two snapshot versions.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use rd_snap::Corpus;
+
+use crate::{http, render};
+
+/// One cached endpoint: the body plus both pre-rendered framings.
+pub(crate) struct Cached {
+    /// The response body bytes (shared by HEAD and `connection: close`
+    /// responses, and by tests comparing cached vs dynamic rendering).
+    pub body: Vec<u8>,
+    /// The complete keep-alive response: head + body, ready to copy.
+    pub resp_ka: Vec<u8>,
+}
+
+/// An immutable snapshot-serving unit: corpus, entity tag, cache.
+pub(crate) struct SnapshotState {
+    /// The loaded corpus (kept for dynamic renders: `--no-cache`,
+    /// non-canonical paths, 404 routing).
+    pub corpus: Arc<Corpus>,
+    /// The quoted entity tag served on snapshot-derived responses:
+    /// `"<fnv1a64 trailer as 16 hex digits>"`.
+    pub etag: String,
+    /// Pre-rendered responses by canonical path; empty under `--no-cache`.
+    pub cache: BTreeMap<String, Cached>,
+    /// Pre-rendered `304 Not Modified` (keep-alive framing).
+    pub not_modified_ka: Vec<u8>,
+}
+
+impl SnapshotState {
+    /// Renders every static endpoint of `corpus` once (unless
+    /// `cache_enabled` is off) and fixes the entity tag from the
+    /// snapshot's FNV-1a-64 `trailer` — recomputed by re-encoding when
+    /// the corpus did not come from a snapshot file.
+    pub fn build(corpus: Corpus, trailer: Option<u64>, cache_enabled: bool) -> SnapshotState {
+        let trailer = trailer.unwrap_or_else(|| corpus.trailer());
+        let etag = format!("\"{trailer:016x}\"");
+        let corpus = Arc::new(corpus);
+        let mut cache = BTreeMap::new();
+        if cache_enabled {
+            for path in static_paths(&corpus) {
+                let Some(body) = render_path(&corpus, &path) else {
+                    continue;
+                };
+                let body = body.into_bytes();
+                let mut resp_ka = Vec::with_capacity(body.len() + 160);
+                http::push_response(
+                    &mut resp_ka,
+                    200,
+                    "application/json",
+                    &body,
+                    true,
+                    Some(&etag),
+                    "",
+                    false,
+                );
+                cache.insert(path, Cached { body, resp_ka });
+            }
+        }
+        let mut not_modified_ka = Vec::with_capacity(96);
+        http::push_response(&mut not_modified_ka, 304, "", b"", true, Some(&etag), "", false);
+        SnapshotState { corpus, etag, cache, not_modified_ka }
+    }
+}
+
+/// The canonical cacheable paths of a corpus, in render order.
+pub(crate) fn static_paths(corpus: &Corpus) -> Vec<String> {
+    let mut paths = vec![
+        "/healthz".to_string(),
+        "/networks".to_string(),
+        "/instances".to_string(),
+        "/pathways".to_string(),
+        "/diag".to_string(),
+    ];
+    for n in &corpus.networks {
+        paths.push(format!("/networks/{}", n.name));
+        paths.push(format!("/networks/{}/processes", n.name));
+    }
+    paths
+}
+
+/// Routes a path to its rendered JSON body, `None` when the path has no
+/// snapshot-derived endpoint (the caller then 404s). This is the single
+/// routing truth shared by the cache builder and the `--no-cache` /
+/// non-canonical-path dynamic fallback, using the same segment
+/// normalization as the original threaded server (`//healthz` and
+/// `/networks/` still resolve), so cached and dynamic responses are
+/// byte-identical.
+pub(crate) fn render_path(corpus: &Corpus, path: &str) -> Option<String> {
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match segments.as_slice() {
+        ["healthz"] => Some(render::healthz(corpus)),
+        ["networks"] => Some(render::networks_index(corpus)),
+        ["networks", id] => corpus.get(id).map(render::network_summary),
+        ["networks", id, "processes"] => corpus.get(id).map(render::network_processes),
+        ["instances"] => Some(render::instances(corpus)),
+        ["pathways"] => Some(render::pathways(corpus)),
+        ["diag"] => Some(render::diag(corpus)),
+        _ => None,
+    }
+}
+
+/// The 404 message for a path [`render_path`] declined — same wording as
+/// the original threaded server.
+pub(crate) fn not_found_message(path: &str) -> String {
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match segments.as_slice() {
+        ["networks", id] | ["networks", id, "processes"] => format!("no network '{id}'"),
+        _ => format!("no route for {path}"),
+    }
+}

@@ -1,0 +1,1010 @@
+//! The epoll event loop: readiness-driven, non-blocking connection
+//! handling with per-connection state machines and a deadline wheel.
+//!
+//! Zero-dependency per the workspace's offline policy: epoll is reached
+//! through four `extern "C"` bindings (`epoll_create1` / `epoll_ctl` /
+//! `epoll_wait` / `close`), shaped like mio's poll-registry-token model.
+//! Each loop thread owns one epoll instance; the shared listener is
+//! registered level-triggered in every loop, so whichever thread wakes
+//! first accepts — no cross-thread connection handoff, no wake pipe.
+//!
+//! A connection is a small state machine ([`Conn`]): bytes accumulate in
+//! `read_buf` (possibly many pipelined requests per read), responses
+//! accumulate in `write_buf` (partial writes keep `EPOLLOUT` interest
+//! until drained), and `state` tracks the path to close — `FlushClose`
+//! finishes the pending response first, and error closes go through
+//! `Draining` (shutdown write side, discard input briefly) so the error
+//! body is not lost to a TCP reset. Deadlines live on a coarse timer
+//! wheel with lazy re-insertion: one entry per connection, re-validated
+//! against the connection's actual deadline when its slot fires, so a
+//! slowloris client dribbling header bytes cannot push its deadline out.
+//!
+//! Hot-path observability is batched: counters and the latency histogram
+//! accumulate in a per-loop [`LoopStats`] and fold into the rd-obs
+//! registry once per wake-up (and right before `/metrics` renders), not
+//! once per request.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::cache::{self, SnapshotState};
+use crate::http::{self, HeadView};
+use crate::{Shared, LATENCY_BOUNDS_US};
+
+/// Per-connection read deadline: bounds keep-alive idle time and how
+/// long a client can take to deliver one request head (slowloris).
+const READ_TIMEOUT: Duration = Duration::from_millis(2000);
+/// Per-connection write deadline: bounds how long a stalled client
+/// (zero receive window) can hold response bytes unflushed.
+const WRITE_TIMEOUT: Duration = Duration::from_millis(2000);
+/// How long an error close drains unread input before dropping the
+/// socket, and the cap on bytes drained.
+const LINGER_TIMEOUT: Duration = Duration::from_millis(500);
+const LINGER_BUDGET: usize = 1024 * 1024;
+/// Backpressure high-water mark: past this many pending response bytes,
+/// a connection's pipelined requests wait in `read_buf` (and its read
+/// interest drops) until the peer drains what it already asked for.
+const WRITE_HIGH_WATER: usize = 1024 * 1024;
+/// Longest an epoll wait sleeps, so shutdown flags and cross-loop
+/// snapshot swaps are noticed promptly even on an idle loop.
+const EPOLL_WAIT_MS: i32 = 100;
+/// Most connections accepted per listener wake-up (fairness bound).
+const ACCEPT_BURST: usize = 256;
+/// How long a shutting-down loop keeps flushing in-flight responses.
+const SHUTDOWN_GRACE: Duration = Duration::from_millis(1000);
+/// Timer wheel shape: 64 slots of 128 ms cover every deadline above.
+const WHEEL_SLOTS: usize = 64;
+const WHEEL_TICK: Duration = Duration::from_millis(128);
+
+// ---------------------------------------------------------------------
+// Raw epoll bindings (Linux). The `epoll_event` struct is packed on
+// x86-64 (kernel ABI); natural layout elsewhere.
+
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn close(fd: i32) -> i32;
+}
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+
+/// The token carried in `epoll_event.data` for the listener itself.
+const LISTENER_TOKEN: u64 = u64::MAX;
+
+fn token_data(idx: usize, gen: u32) -> u64 {
+    ((gen as u64) << 32) | idx as u64
+}
+
+/// An owned epoll instance.
+struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    fn new() -> io::Result<Epoll> {
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, data: u64, events: u32) -> io::Result<()> {
+        let mut ev = EpollEvent { events, data };
+        let rc = unsafe { epoll_ctl(self.fd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    fn add(&self, fd: RawFd, data: u64, events: u32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, data, events)
+    }
+
+    fn modify(&self, fd: RawFd, data: u64, events: u32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, data, events)
+    }
+
+    fn del(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Waits for readiness; EINTR (a signal landed) reads as zero events
+    /// so the loop re-checks its shutdown/reload flags.
+    fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> usize {
+        let n = unsafe {
+            epoll_wait(self.fd, events.as_mut_ptr(), events.len() as i32, timeout_ms)
+        };
+        if n < 0 {
+            0
+        } else {
+            n as usize
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.fd);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Connection state machine.
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ConnState {
+    /// Serving requests.
+    Open,
+    /// Flush `write_buf`, then close — lingering (error responses: shut
+    /// down the write side and drain briefly so the response survives
+    /// unread pipelined input) or immediate (`connection: close`).
+    FlushClose { linger: bool },
+    /// Write side closed; discarding input until EOF, the linger budget,
+    /// or the deadline.
+    Draining,
+}
+
+struct Conn {
+    stream: TcpStream,
+    state: ConnState,
+    /// Unparsed request bytes; requests are consumed from the front.
+    read_buf: Vec<u8>,
+    /// How much of `read_buf` a previous head-end scan already covered.
+    scanned: usize,
+    /// Remaining declared-body bytes to discard before the next head.
+    body_skip: usize,
+    /// Pending response bytes and how many are already written.
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// Current epoll interest mask.
+    interest: u32,
+    /// The live deadline (read, write, or linger — per `state`).
+    deadline: Instant,
+    /// Remaining bytes the draining close will discard.
+    linger_budget: usize,
+    read_eof: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, deadline: Instant) -> Conn {
+        Conn {
+            stream,
+            state: ConnState::Open,
+            read_buf: Vec::new(),
+            scanned: 0,
+            body_skip: 0,
+            write_buf: Vec::new(),
+            write_pos: 0,
+            interest: EPOLLIN | EPOLLRDHUP,
+            deadline,
+            linger_budget: LINGER_BUDGET,
+            read_eof: false,
+        }
+    }
+
+    fn write_pending(&self) -> bool {
+        self.write_pos < self.write_buf.len()
+    }
+}
+
+/// Slot arena for connections. Tokens are `(index, generation)`: the
+/// generation bumps on release, so stale epoll events or wheel entries
+/// for a recycled slot never touch the wrong connection.
+struct Slab {
+    slots: Vec<Option<Conn>>,
+    gens: Vec<u32>,
+    free: Vec<usize>,
+    live: usize,
+}
+
+impl Slab {
+    fn new() -> Slab {
+        Slab { slots: Vec::new(), gens: Vec::new(), free: Vec::new(), live: 0 }
+    }
+
+    fn insert(&mut self, conn: Conn) -> (usize, u32) {
+        self.live += 1;
+        match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx] = Some(conn);
+                (idx, self.gens[idx])
+            }
+            None => {
+                self.slots.push(Some(conn));
+                self.gens.push(0);
+                (self.slots.len() - 1, 0)
+            }
+        }
+    }
+
+    /// Takes the connection out for processing; `put_back` or `release`
+    /// must follow. Stale generations return `None`.
+    fn take_if(&mut self, idx: usize, gen: u32) -> Option<Conn> {
+        if idx >= self.slots.len() || self.gens[idx] != gen {
+            return None;
+        }
+        self.slots[idx].take()
+    }
+
+    fn put_back(&mut self, idx: usize, conn: Conn) {
+        self.slots[idx] = Some(conn);
+    }
+
+    fn release(&mut self, idx: usize) {
+        self.gens[idx] = self.gens[idx].wrapping_add(1);
+        self.free.push(idx);
+        self.live -= 1;
+    }
+}
+
+/// The lazy timer wheel: one entry per live connection. A fired entry
+/// whose connection's real deadline is still in the future is simply
+/// re-inserted at the right slot — updating a deadline is a field write,
+/// not a wheel operation.
+struct Wheel {
+    slots: Vec<Vec<(usize, u32)>>,
+    cursor: usize,
+    cursor_time: Instant,
+}
+
+impl Wheel {
+    fn new(now: Instant) -> Wheel {
+        Wheel { slots: vec![Vec::new(); WHEEL_SLOTS], cursor: 0, cursor_time: now }
+    }
+
+    fn insert(&mut self, idx: usize, gen: u32, deadline: Instant, now: Instant) {
+        let base = self.cursor_time.max(now);
+        let ticks = if deadline > base {
+            (deadline - base).as_millis() as u64 / WHEEL_TICK.as_millis() as u64 + 1
+        } else {
+            1
+        };
+        let offset = (ticks as usize).min(WHEEL_SLOTS - 1);
+        let slot = (self.cursor + offset) % WHEEL_SLOTS;
+        self.slots[slot].push((idx, gen));
+    }
+
+    /// Drains every slot the cursor passes catching up to `now`.
+    fn expire(&mut self, now: Instant, fired: &mut Vec<(usize, u32)>) {
+        while now.duration_since(self.cursor_time) >= WHEEL_TICK {
+            self.cursor = (self.cursor + 1) % WHEEL_SLOTS;
+            self.cursor_time += WHEEL_TICK;
+            fired.append(&mut self.slots[self.cursor]);
+        }
+    }
+}
+
+/// Per-loop metrics batch, folded into rd-obs once per wake-up.
+struct LoopStats {
+    requests: u64,
+    /// Response counts by status class (index = class - 2 for 2xx..5xx).
+    classes: [u64; 4],
+    latency: rd_obs::metrics::Histogram,
+    cache_hits: u64,
+    cache_misses: u64,
+    rejected_busy: u64,
+}
+
+impl LoopStats {
+    fn new() -> LoopStats {
+        LoopStats {
+            requests: 0,
+            classes: [0; 4],
+            latency: rd_obs::metrics::Histogram::new(LATENCY_BOUNDS_US),
+            cache_hits: 0,
+            cache_misses: 0,
+            rejected_busy: 0,
+        }
+    }
+
+    /// Records one response locally; the trace event (when a sink is
+    /// installed) still fires per request.
+    fn record(&mut self, method: &str, target: &str, status: u16, us: u64) {
+        self.requests += 1;
+        let class = (status / 100).clamp(2, 5) as usize - 2;
+        self.classes[class] += 1;
+        self.latency.record(us);
+        if rd_obs::trace::enabled() {
+            rd_obs::trace::event(
+                "http.request",
+                &[
+                    ("method", method.into()),
+                    ("target", target.into()),
+                    ("status", i64::from(status).into()),
+                    ("us", (us as i64).into()),
+                ],
+            );
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.requests == 0 && self.rejected_busy == 0 {
+            return;
+        }
+        use rd_obs::metrics::{counter_add, histogram_merge};
+        if self.requests > 0 {
+            counter_add("http.requests", self.requests);
+            self.requests = 0;
+        }
+        for (i, n) in self.classes.iter_mut().enumerate() {
+            if *n > 0 {
+                counter_add(&format!("http.responses.{}xx", i + 2), *n);
+                *n = 0;
+            }
+        }
+        histogram_merge("http.request_us", &self.latency);
+        self.latency = rd_obs::metrics::Histogram::new(LATENCY_BOUNDS_US);
+        if self.cache_hits > 0 {
+            counter_add("http.cache_hit", self.cache_hits);
+            self.cache_hits = 0;
+        }
+        if self.cache_misses > 0 {
+            counter_add("http.cache_miss", self.cache_misses);
+            self.cache_misses = 0;
+        }
+        if self.rejected_busy > 0 {
+            counter_add("http.rejected_busy", self.rejected_busy);
+            self.rejected_busy = 0;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Request handling (pure functions over a taken-out connection, so the
+// loop struct's disjoint fields borrow cleanly).
+
+/// What routing decided about one request.
+struct Outcome {
+    keep_alive: bool,
+    /// Protocol-level error: close after flushing, with a draining
+    /// (lingering) close so the response survives pipelined input.
+    error: bool,
+    /// Declared request-body bytes to discard before the next head.
+    body_skip: usize,
+}
+
+/// Appends a protocol-error response and flags the connection for a
+/// lingering close. Used for 400/413/431 and head timeouts.
+fn push_error(conn: &mut Conn, stats: &mut LoopStats, status: u16, message: &str) {
+    let body = http::error_body(status, message);
+    http::push_response(
+        &mut conn.write_buf,
+        status,
+        "application/json",
+        body.as_bytes(),
+        false,
+        None,
+        "",
+        false,
+    );
+    stats.record("-", "-", status, 0);
+    conn.state = ConnState::FlushClose { linger: true };
+}
+
+/// Routes one parsed request, appending the response to `out`.
+fn respond(
+    st: &SnapshotState,
+    shared: &Shared,
+    stats: &mut LoopStats,
+    head: &HeadView<'_>,
+    out: &mut Vec<u8>,
+    force_close: bool,
+    started: Instant,
+) -> Outcome {
+    let keep = head.keep_alive && !force_close;
+    let mut outcome = Outcome { keep_alive: keep, error: false, body_skip: head.content_length };
+    let status;
+
+    if head.content_length > http::MAX_BODY_BYTES {
+        status = 413;
+        let body = http::error_body(413, "request body exceeds limit");
+        http::push_response(out, 413, "application/json", body.as_bytes(), false, None, "", false);
+        outcome = Outcome { keep_alive: false, error: true, body_skip: 0 };
+    } else {
+        match head.method {
+            "GET" | "HEAD" => {
+                let head_only = head.method == "HEAD";
+                let path = head.path();
+                if let Some(cached) = st.cache.get(path) {
+                    stats.cache_hits += 1;
+                    if head.none_match(&st.etag) {
+                        status = 304;
+                        if keep && !st.not_modified_ka.is_empty() {
+                            out.extend_from_slice(&st.not_modified_ka);
+                        } else {
+                            http::push_response(out, 304, "", b"", keep, Some(&st.etag), "", false);
+                        }
+                    } else {
+                        status = 200;
+                        if keep && !head_only {
+                            // The hot path: one memcpy of the pre-rendered
+                            // keep-alive response.
+                            out.extend_from_slice(&cached.resp_ka);
+                        } else {
+                            http::push_response(
+                                out,
+                                200,
+                                "application/json",
+                                &cached.body,
+                                keep,
+                                Some(&st.etag),
+                                "",
+                                head_only,
+                            );
+                        }
+                    }
+                } else {
+                    let segments: Vec<&str> =
+                        path.split('/').filter(|s| !s.is_empty()).collect();
+                    if segments.as_slice() == ["metrics"] {
+                        // Fold this loop's batch in first so the scrape
+                        // sees its own request history.
+                        stats.flush();
+                        status = 200;
+                        let body = rd_obs::metrics::render_prometheus();
+                        http::push_response(
+                            out,
+                            200,
+                            "text/plain; version=0.0.4",
+                            body.as_bytes(),
+                            keep,
+                            None,
+                            "",
+                            head_only,
+                        );
+                    } else if let Some(body) = cache::render_path(&st.corpus, path) {
+                        // `--no-cache`, or a non-canonical spelling of a
+                        // cacheable path: render per request.
+                        stats.cache_misses += 1;
+                        if head.none_match(&st.etag) {
+                            status = 304;
+                            http::push_response(out, 304, "", b"", keep, Some(&st.etag), "", false);
+                        } else {
+                            status = 200;
+                            http::push_response(
+                                out,
+                                200,
+                                "application/json",
+                                body.as_bytes(),
+                                keep,
+                                Some(&st.etag),
+                                "",
+                                head_only,
+                            );
+                        }
+                    } else {
+                        status = 404;
+                        let body = http::error_body(404, &cache::not_found_message(path));
+                        http::push_response(
+                            out,
+                            404,
+                            "application/json",
+                            body.as_bytes(),
+                            keep,
+                            None,
+                            "",
+                            head_only,
+                        );
+                    }
+                }
+            }
+            "POST" => {
+                let path = head.path();
+                let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+                if segments.as_slice() == ["admin", "reload"] {
+                    if shared.reload_configured() {
+                        shared.request_reload();
+                        status = 200;
+                        let body = "{\"status\": \"reload scheduled\"}\n";
+                        http::push_response(
+                            out,
+                            200,
+                            "application/json",
+                            body.as_bytes(),
+                            keep,
+                            None,
+                            "",
+                            false,
+                        );
+                    } else {
+                        status = 409;
+                        let body = http::error_body(
+                            409,
+                            "no reload source configured; start the server from a snapshot file",
+                        );
+                        http::push_response(
+                            out,
+                            409,
+                            "application/json",
+                            body.as_bytes(),
+                            keep,
+                            None,
+                            "",
+                            false,
+                        );
+                    }
+                } else {
+                    status = 405;
+                    let body = http::error_body(405, &format!("method {} not allowed", head.method));
+                    http::push_response(
+                        out,
+                        405,
+                        "application/json",
+                        body.as_bytes(),
+                        keep,
+                        None,
+                        "allow: GET, HEAD\r\n",
+                        false,
+                    );
+                }
+            }
+            other => {
+                status = 405;
+                let body = http::error_body(405, &format!("method {other} not allowed"));
+                http::push_response(
+                    out,
+                    405,
+                    "application/json",
+                    body.as_bytes(),
+                    keep,
+                    None,
+                    "allow: GET, HEAD\r\n",
+                    false,
+                );
+            }
+        }
+    }
+
+    let us = started.elapsed().as_micros() as u64;
+    stats.record(head.method, head.target, status, us);
+    outcome
+}
+
+/// Parses and answers every complete pipelined request currently in
+/// `read_buf`. Returns `(alive, backpressured)`.
+fn process_buffer(
+    conn: &mut Conn,
+    st: &SnapshotState,
+    shared: &Shared,
+    stats: &mut LoopStats,
+    now: Instant,
+) -> (bool, bool) {
+    let force_close = shared.is_shutdown();
+    loop {
+        if conn.body_skip > 0 {
+            let take = conn.body_skip.min(conn.read_buf.len());
+            conn.read_buf.drain(..take);
+            conn.body_skip -= take;
+            conn.scanned = 0;
+            if conn.body_skip > 0 {
+                if conn.read_eof {
+                    push_error(conn, stats, 400, "request body truncated");
+                    continue;
+                }
+                return (true, false);
+            }
+        }
+        if conn.state != ConnState::Open {
+            // Past an error or a `connection: close` response, remaining
+            // pipelined input is discarded — the close is already decided.
+            conn.read_buf.clear();
+            conn.scanned = 0;
+            return (true, false);
+        }
+        if conn.write_buf.len() - conn.write_pos > WRITE_HIGH_WATER {
+            return (true, true);
+        }
+        let Some(end) = http::find_head_end(&conn.read_buf, conn.scanned) else {
+            conn.scanned = conn.read_buf.len();
+            if conn.read_buf.len() > http::MAX_HEAD_BYTES {
+                push_error(conn, stats, 431, "request head exceeds limit");
+                continue;
+            }
+            if conn.read_eof {
+                if conn.read_buf.is_empty() {
+                    if conn.write_pending() {
+                        conn.state = ConnState::FlushClose { linger: false };
+                        return (true, false);
+                    }
+                    return (false, false);
+                }
+                push_error(conn, stats, 400, "truncated request head");
+                continue;
+            }
+            return (true, false);
+        };
+        if end > http::MAX_HEAD_BYTES {
+            push_error(conn, stats, 431, "request head exceeds limit");
+            continue;
+        }
+        let started = Instant::now();
+        let parsed = {
+            let (read_buf, write_buf) = (&conn.read_buf, &mut conn.write_buf);
+            http::parse_head(&read_buf[..end])
+                .map(|head| respond(st, shared, stats, &head, write_buf, force_close, started))
+        };
+        match parsed {
+            Ok(outcome) => {
+                conn.read_buf.drain(..end);
+                conn.scanned = 0;
+                conn.body_skip = outcome.body_skip;
+                if outcome.error {
+                    conn.state = ConnState::FlushClose { linger: true };
+                } else if !outcome.keep_alive {
+                    conn.state = ConnState::FlushClose { linger: false };
+                } else {
+                    conn.deadline = now + READ_TIMEOUT;
+                }
+            }
+            Err(e) => push_error(conn, stats, e.status, &e.message),
+        }
+    }
+}
+
+/// Writes as much of `write_buf` as the socket accepts. Returns false
+/// when the connection should close now.
+fn flush(conn: &mut Conn, now: Instant) -> bool {
+    while conn.write_pending() {
+        match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+            Ok(0) => return false,
+            Ok(n) => conn.write_pos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                conn.deadline = now + WRITE_TIMEOUT;
+                return true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    if !conn.write_buf.is_empty() {
+        conn.write_buf.clear();
+        conn.write_pos = 0;
+    }
+    match conn.state {
+        ConnState::FlushClose { linger: false } => false,
+        ConnState::FlushClose { linger: true } => {
+            // Lingering close: stop sending, keep reading (and
+            // discarding) briefly so unread pipelined input cannot turn
+            // the close into an RST that eats the error response.
+            let _ = conn.stream.shutdown(Shutdown::Write);
+            conn.state = ConnState::Draining;
+            conn.deadline = now + LINGER_TIMEOUT;
+            true
+        }
+        _ => true,
+    }
+}
+
+// ---------------------------------------------------------------------
+// The loop proper.
+
+struct EventLoop {
+    shared: Arc<Shared>,
+    listener: Arc<TcpListener>,
+    epoll: Epoll,
+    slab: Slab,
+    wheel: Wheel,
+    stats: LoopStats,
+    state: Arc<SnapshotState>,
+    local_epoch: u64,
+    accepting: bool,
+    busy: Vec<u8>,
+    scratch: Vec<u8>,
+}
+
+/// Runs one event loop until shutdown completes. Spawned once per
+/// worker thread by [`crate::Server`].
+pub(crate) fn run(shared: Arc<Shared>, listener: Arc<TcpListener>) {
+    let epoll = match Epoll::new() {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("rd-serve: epoll_create1 failed: {e}");
+            return;
+        }
+    };
+    if let Err(e) = epoll.add(listener.as_raw_fd(), LISTENER_TOKEN, EPOLLIN) {
+        eprintln!("rd-serve: registering listener failed: {e}");
+        return;
+    }
+    let state = shared.current_state();
+    let local_epoch = shared.epoch();
+    let mut el = EventLoop {
+        shared,
+        listener,
+        epoll,
+        slab: Slab::new(),
+        wheel: Wheel::new(Instant::now()),
+        stats: LoopStats::new(),
+        state,
+        local_epoch,
+        accepting: true,
+        busy: http::busy_response(),
+        scratch: vec![0u8; 64 * 1024],
+    };
+    el.run();
+}
+
+impl EventLoop {
+    fn run(&mut self) {
+        let mut events = vec![EpollEvent { events: 0, data: 0 }; 1024];
+        let mut fired: Vec<(usize, u32)> = Vec::new();
+        let mut drain_deadline: Option<Instant> = None;
+
+        loop {
+            if self.shared.is_shutdown() {
+                let now = Instant::now();
+                if self.accepting {
+                    let _ = self.epoll.del(self.listener.as_raw_fd());
+                    self.accepting = false;
+                    drain_deadline = Some(now + SHUTDOWN_GRACE);
+                    self.begin_shutdown();
+                }
+                if self.slab.live == 0 || drain_deadline.is_some_and(|d| now >= d) {
+                    break;
+                }
+            }
+
+            // Lock-free snapshot pickup: one relaxed load per wake-up;
+            // the mutex is only touched when the epoch actually moved.
+            let epoch = self.shared.epoch();
+            if epoch != self.local_epoch {
+                self.local_epoch = epoch;
+                self.state = self.shared.current_state();
+            }
+
+            let n = self.epoll.wait(&mut events, EPOLL_WAIT_MS);
+            for ev in events.iter().take(n) {
+                let (revents, data) = (ev.events, ev.data);
+                if data == LISTENER_TOKEN {
+                    self.accept_burst();
+                } else {
+                    let (idx, gen) = ((data & 0xffff_ffff) as usize, (data >> 32) as u32);
+                    self.handle_conn_event(idx, gen, revents);
+                }
+            }
+
+            let now = Instant::now();
+            self.wheel.expire(now, &mut fired);
+            for (idx, gen) in fired.drain(..) {
+                self.on_wheel_fire(idx, gen, now);
+            }
+
+            self.stats.flush();
+        }
+
+        // Teardown: force-close whatever the grace period left behind.
+        for idx in 0..self.slab.slots.len() {
+            if self.slab.slots[idx].take().is_some() {
+                self.slab.release(idx);
+                self.shared.conn_count.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        self.stats.flush();
+    }
+
+    fn accept_burst(&mut self) {
+        if !self.accepting {
+            return;
+        }
+        for _ in 0..ACCEPT_BURST {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if self.shared.conn_count.load(Ordering::Relaxed) >= self.shared.max_conns {
+                        // Over the connection cap: refuse loudly and
+                        // immediately rather than queueing unboundedly.
+                        self.stats.rejected_busy += 1;
+                        self.stats.record("-", "-", 503, 0);
+                        let mut stream = stream;
+                        let _ = stream.set_nonblocking(true);
+                        let _ = stream.write(&self.busy);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let now = Instant::now();
+                    let fd = stream.as_raw_fd();
+                    let conn = Conn::new(stream, now + READ_TIMEOUT);
+                    let (idx, gen) = self.slab.insert(conn);
+                    if self.epoll.add(fd, token_data(idx, gen), EPOLLIN | EPOLLRDHUP).is_err() {
+                        self.slab.take_if(idx, gen);
+                        self.slab.release(idx);
+                        continue;
+                    }
+                    self.shared.conn_count.fetch_add(1, Ordering::Relaxed);
+                    self.wheel.insert(idx, gen, now + READ_TIMEOUT, now);
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn handle_conn_event(&mut self, idx: usize, gen: u32, revents: u32) {
+        let Some(mut conn) = self.slab.take_if(idx, gen) else {
+            return;
+        };
+        let now = Instant::now();
+        let mut alive = true;
+
+        if revents & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0 {
+            alive = self.read_once(&mut conn);
+        }
+        if alive {
+            alive = self.drive(&mut conn, now);
+        }
+
+        if alive {
+            self.update_interest(idx, gen, &mut conn);
+            self.slab.put_back(idx, conn);
+        } else {
+            self.close_conn(idx, conn);
+        }
+    }
+
+    /// One non-blocking read (level-triggered epoll re-arms for more).
+    fn read_once(&mut self, conn: &mut Conn) -> bool {
+        match conn.stream.read(&mut self.scratch) {
+            Ok(0) => {
+                conn.read_eof = true;
+                if conn.state == ConnState::Draining {
+                    return false;
+                }
+                true
+            }
+            Ok(n) => {
+                if conn.state == ConnState::Draining {
+                    conn.linger_budget = conn.linger_budget.saturating_sub(n);
+                    return conn.linger_budget > 0;
+                }
+                conn.read_buf.extend_from_slice(&self.scratch[..n]);
+                true
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Advances the state machine: parse + respond + flush, repeating
+    /// when a drained write buffer unblocks backpressured pipelining.
+    fn drive(&mut self, conn: &mut Conn, now: Instant) -> bool {
+        loop {
+            let mut backpressured = false;
+            if conn.state == ConnState::Open
+                && (!conn.read_buf.is_empty() || conn.body_skip > 0 || conn.read_eof)
+            {
+                let (alive, bp) =
+                    process_buffer(conn, &self.state, &self.shared, &mut self.stats, now);
+                if !alive {
+                    return false;
+                }
+                backpressured = bp;
+            }
+            if !flush(conn, now) {
+                return false;
+            }
+            // Backpressure cleared by the flush? Serve the rest.
+            if !(backpressured && !conn.write_pending()) {
+                return true;
+            }
+        }
+    }
+
+    fn update_interest(&mut self, idx: usize, gen: u32, conn: &mut Conn) {
+        let mut want = 0;
+        if conn.write_pending() {
+            want |= EPOLLOUT;
+        }
+        let backpressured = conn.write_buf.len() - conn.write_pos > WRITE_HIGH_WATER;
+        match conn.state {
+            ConnState::Open => {
+                if !conn.read_eof && !backpressured {
+                    want |= EPOLLIN | EPOLLRDHUP;
+                }
+            }
+            ConnState::Draining => want |= EPOLLIN | EPOLLRDHUP,
+            ConnState::FlushClose { .. } => {}
+        }
+        if want == 0 {
+            // Nothing to wait for shouldn't happen on a live connection;
+            // keep hangup visibility as a safety net.
+            want = EPOLLIN | EPOLLRDHUP;
+        }
+        if want != conn.interest
+            && self
+                .epoll
+                .modify(conn.stream.as_raw_fd(), token_data(idx, gen), want)
+                .is_ok()
+        {
+            conn.interest = want;
+        }
+    }
+
+    fn on_wheel_fire(&mut self, idx: usize, gen: u32, now: Instant) {
+        let Some(mut conn) = self.slab.take_if(idx, gen) else {
+            return;
+        };
+        if conn.deadline > now {
+            // Deadline moved since this entry was queued: requeue.
+            self.wheel.insert(idx, gen, conn.deadline, now);
+            self.slab.put_back(idx, conn);
+            return;
+        }
+        let alive = match conn.state {
+            ConnState::Draining | ConnState::FlushClose { .. } => false,
+            ConnState::Open => {
+                if conn.write_pending() {
+                    false // stalled write
+                } else if !conn.read_buf.is_empty() || conn.body_skip > 0 {
+                    // Mid-head (slowloris) or mid-body: answer 400, then
+                    // the lingering-close path.
+                    push_error(&mut conn, &mut self.stats, 400, "request head timed out");
+                    flush(&mut conn, now)
+                } else {
+                    false // idle keep-alive past its welcome
+                }
+            }
+        };
+        if alive {
+            self.update_interest(idx, gen, &mut conn);
+            self.wheel.insert(idx, gen, conn.deadline, now);
+            self.slab.put_back(idx, conn);
+        } else {
+            self.close_conn(idx, conn);
+        }
+    }
+
+    fn close_conn(&mut self, idx: usize, conn: Conn) {
+        drop(conn); // closes the fd, which also deregisters it from epoll
+        self.slab.release(idx);
+        self.shared.conn_count.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// On shutdown: flush connections that owe responses, drop the rest.
+    fn begin_shutdown(&mut self) {
+        for idx in 0..self.slab.slots.len() {
+            let Some(mut conn) = self.slab.slots[idx].take() else {
+                continue;
+            };
+            if conn.write_pending() || conn.state == ConnState::Draining {
+                if conn.state == ConnState::Open {
+                    conn.state = ConnState::FlushClose { linger: false };
+                }
+                self.slab.put_back(idx, conn);
+            } else {
+                self.close_conn(idx, conn);
+            }
+        }
+    }
+}

@@ -1,19 +1,24 @@
-//! Minimal HTTP/1.1 request parsing and response writing.
+//! Minimal HTTP/1.1 parsing and response rendering over byte buffers.
 //!
-//! Only what the snapshot query server needs: GET requests, keep-alive,
-//! and strict input limits. The parser reads the request head byte by
-//! byte off a blocking stream with a read timeout, enforcing caps before
-//! buffering, so a hostile or broken client cannot make a worker allocate
-//! unboundedly or hang forever:
+//! The event loop accumulates raw bytes per connection and asks this
+//! module two questions: *is there a complete request head in this
+//! buffer?* ([`find_head_end`], resumable so slowloris clients cost O(1)
+//! per byte) and *what does it say?* ([`parse_head`], zero-allocation —
+//! every field borrows the buffer). Strict input limits are enforced
+//! before buffering grows, so a hostile client cannot make the server
+//! allocate unboundedly:
 //!
 //! - request line longer than [`MAX_REQUEST_LINE`] → 400
 //! - header block longer than [`MAX_HEAD_BYTES`] (or any single header
 //!   line longer than [`MAX_HEADER_LINE`], or more than [`MAX_HEADERS`]
 //!   headers) → 431
 //! - declared body longer than [`MAX_BODY_BYTES`] → 413
+//!
+//! Response rendering appends into the connection's write buffer
+//! ([`push_head`] / [`push_response`]); the hot path never comes here at
+//! all — it copies a pre-rendered response straight from the cache.
 
-use std::io::{self, Read, Write};
-use std::net::TcpStream;
+use std::fmt::Write as _;
 
 /// Longest accepted request line (method + target + version).
 pub const MAX_REQUEST_LINE: usize = 4096;
@@ -26,22 +31,42 @@ pub const MAX_HEADERS: usize = 64;
 /// Largest declared request body the server will drain.
 pub const MAX_BODY_BYTES: usize = 64 * 1024;
 
-/// A parsed request head.
+/// A parsed request head, borrowing the connection's read buffer.
 #[derive(Debug)]
-pub struct Request {
-    /// Request method, uppercased as received (`GET`, `POST`, ...).
-    pub method: String,
+pub struct HeadView<'a> {
+    /// Request method as received (`GET`, `HEAD`, `POST`, ...).
+    pub method: &'a str,
     /// The request target (path + optional query), as received.
-    pub target: String,
+    pub target: &'a str,
     /// True when the connection should stay open after the response.
     pub keep_alive: bool,
     /// Declared `Content-Length`, if any.
     pub content_length: usize,
+    /// Trimmed `If-None-Match` value, if the header was present.
+    pub if_none_match: Option<&'a str>,
 }
 
-/// A protocol-level rejection: status to send, and whether the connection
-/// must close afterwards (it always does — after a malformed request the
-/// stream position is unreliable).
+impl HeadView<'_> {
+    /// The target with any query string stripped — what routing matches.
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(self.target)
+    }
+
+    /// True when `If-None-Match` matches the entity tag `etag` (already
+    /// quoted), honoring the `*` wildcard and weak-comparison prefixes.
+    pub fn none_match(&self, etag: &str) -> bool {
+        let Some(raw) = self.if_none_match else {
+            return false;
+        };
+        raw.split(',').map(str::trim).any(|candidate| {
+            candidate == "*" || candidate == etag || candidate.strip_prefix("W/") == Some(etag)
+        })
+    }
+}
+
+/// A protocol-level rejection: status to send, plus a short reason for
+/// the JSON error body. After any of these the connection must close —
+/// the stream position is unreliable past a malformed request.
 #[derive(Debug)]
 pub struct HttpError {
     /// HTTP status code to respond with.
@@ -56,67 +81,38 @@ impl HttpError {
     }
 }
 
-/// The outcome of trying to read one request off a connection.
-pub enum ReadOutcome {
-    /// A complete request head was parsed.
-    Request(Request),
-    /// The peer closed (or went quiet past the idle timeout) between
-    /// requests — normal end of a keep-alive connection.
-    Closed,
-    /// The request was rejected at the protocol level.
-    Error(HttpError),
-}
-
-/// Reads one request head from `stream`.
-///
-/// `idle` distinguishes a clean close (EOF or timeout *before* the first
-/// byte of a request) from a truncated request (EOF mid-head → 400).
-pub fn read_request(stream: &mut TcpStream) -> ReadOutcome {
-    let mut head: Vec<u8> = Vec::with_capacity(256);
-    let mut byte = [0u8; 1];
-    // Read until CRLFCRLF (or LFLF, tolerated), enforcing the head cap.
-    loop {
-        match stream.read(&mut byte) {
-            Ok(0) => {
-                return if head.is_empty() {
-                    ReadOutcome::Closed
-                } else {
-                    ReadOutcome::Error(HttpError::new(400, "truncated request head"))
-                };
-            }
-            Ok(_) => {
-                head.push(byte[0]);
-                if head.len() > MAX_HEAD_BYTES {
-                    return ReadOutcome::Error(HttpError::new(
-                        431,
-                        "request head exceeds limit",
-                    ));
-                }
-                if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
-                    break;
-                }
-            }
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                return if head.is_empty() {
-                    ReadOutcome::Closed
-                } else {
-                    ReadOutcome::Error(HttpError::new(400, "request head timed out"))
-                };
-            }
-            Err(_) => return ReadOutcome::Closed,
+/// Finds the end of a request head in `buf`: the index one past the
+/// blank line (`\r\n\r\n`, or bare `\n\n`, tolerated). `scanned` is how
+/// far a previous call already looked, so repeated calls on a growing
+/// buffer re-examine only new bytes (minus a 3-byte overlap for a
+/// terminator split across reads).
+pub fn find_head_end(buf: &[u8], scanned: usize) -> Option<usize> {
+    let from = scanned.saturating_sub(3);
+    for (off, b) in buf[from..].iter().enumerate() {
+        let i = from + off;
+        if *b != b'\n' || i == 0 {
+            continue;
+        }
+        if buf[i - 1] == b'\n' {
+            return Some(i + 1);
+        }
+        if i >= 3 && buf[i - 1] == b'\r' && buf[i - 2] == b'\n' && buf[i - 3] == b'\r' {
+            return Some(i + 1);
         }
     }
-    match parse_head(&head) {
-        Ok(req) => ReadOutcome::Request(req),
-        Err(e) => ReadOutcome::Error(e),
-    }
+    None
+}
+
+/// Case-insensitive ASCII substring test (for `Connection` tokens).
+fn contains_token(value: &str, token: &str) -> bool {
+    let (v, t) = (value.as_bytes(), token.as_bytes());
+    v.len() >= t.len()
+        && v.windows(t.len()).any(|w| w.eq_ignore_ascii_case(t))
 }
 
 /// Parses a complete request head (everything through the blank line).
-fn parse_head(head: &[u8]) -> Result<Request, HttpError> {
+/// Borrows `head` throughout — the hot path allocates nothing.
+pub fn parse_head(head: &[u8]) -> Result<HeadView<'_>, HttpError> {
     let text = std::str::from_utf8(head)
         .map_err(|_| HttpError::new(400, "request head is not valid UTF-8"))?;
     let mut lines = text.split_terminator('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
@@ -139,6 +135,7 @@ fn parse_head(head: &[u8]) -> Result<Request, HttpError> {
 
     let mut keep_alive = http11;
     let mut content_length = 0usize;
+    let mut if_none_match = None;
     let mut count = 0usize;
     for line in lines {
         if line.is_empty() {
@@ -154,56 +151,33 @@ fn parse_head(head: &[u8]) -> Result<Request, HttpError> {
         let Some((name, value)) = line.split_once(':') else {
             return Err(HttpError::new(400, "malformed header line"));
         };
-        let name = name.trim().to_ascii_lowercase();
-        let value = value.trim();
-        match name.as_str() {
-            "connection" => {
-                let v = value.to_ascii_lowercase();
-                if v.contains("close") {
-                    keep_alive = false;
-                } else if v.contains("keep-alive") {
-                    keep_alive = true;
-                }
+        let (name, value) = (name.trim(), value.trim());
+        if name.eq_ignore_ascii_case("connection") {
+            if contains_token(value, "close") {
+                keep_alive = false;
+            } else if contains_token(value, "keep-alive") {
+                keep_alive = true;
             }
-            "content-length" => {
-                content_length = value
-                    .parse()
-                    .map_err(|_| HttpError::new(400, "invalid Content-Length"))?;
-            }
-            _ => {}
+        } else if name.eq_ignore_ascii_case("content-length") {
+            content_length =
+                value.parse().map_err(|_| HttpError::new(400, "invalid Content-Length"))?;
+        } else if name.eq_ignore_ascii_case("if-none-match") {
+            if_none_match = Some(value);
         }
     }
 
-    Ok(Request {
-        method: method.to_string(),
-        target: target.to_string(),
-        keep_alive,
-        content_length,
-    })
-}
-
-/// Drains (and discards) a declared request body within the cap.
-pub fn drain_body(stream: &mut TcpStream, len: usize) -> io::Result<()> {
-    let mut remaining = len;
-    let mut buf = [0u8; 4096];
-    while remaining > 0 {
-        let take = remaining.min(buf.len());
-        let n = stream.read(&mut buf[..take])?;
-        if n == 0 {
-            break;
-        }
-        remaining -= n;
-    }
-    Ok(())
+    Ok(HeadView { method, target, keep_alive, content_length, if_none_match })
 }
 
 /// The canonical reason phrase for the statuses this server emits.
 pub fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        304 => "Not Modified",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         413 => "Payload Too Large",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
@@ -212,43 +186,74 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes the 503 backpressure rejection sent when the bounded accept
-/// queue is full: `Retry-After` tells well-behaved clients when to come
-/// back, and the connection always closes.
-pub fn write_busy(stream: &mut TcpStream) -> io::Result<()> {
-    let body = error_body(503, "server busy; accept queue full");
-    let head = format!(
-        "HTTP/1.1 503 {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nretry-after: 1\r\nconnection: close\r\n\r\n",
-        reason(503),
-        body.len(),
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
-}
-
-/// Writes a response with the given body, setting `Connection` from
-/// `keep_alive`. `content_type` is e.g. `application/json`.
-pub fn write_response(
-    stream: &mut TcpStream,
+/// Appends a response head to `out`. Headers are lowercase, in a fixed
+/// order (`content-type`, `content-length`, `etag`, `connection`, then
+/// `extra` verbatim), so cached and dynamically-rendered responses are
+/// byte-identical. `extra` carries status-specific lines such as
+/// `allow: ...\r\n` or `retry-after: 1\r\n`. A 304 omits `content-type`
+/// (it has no body by definition).
+pub fn push_head(
+    out: &mut Vec<u8>,
     status: u16,
     content_type: &str,
-    body: &str,
+    content_length: usize,
     keep_alive: bool,
-) -> io::Result<()> {
-    let mut head = format!(
-        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {}\r\n",
-        reason(status),
-        body.len(),
-        if keep_alive { "keep-alive" } else { "close" },
-    );
-    if status == 405 {
-        head.push_str("allow: GET\r\n");
+    etag: Option<&str>,
+    extra: &str,
+) {
+    let mut head = String::with_capacity(128 + extra.len());
+    let _ = write!(head, "HTTP/1.1 {status} {}\r\n", reason(status));
+    if status != 304 {
+        let _ = write!(head, "content-type: {content_type}\r\n");
     }
-    head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
+    let _ = write!(head, "content-length: {content_length}\r\n");
+    if let Some(tag) = etag {
+        let _ = write!(head, "etag: {tag}\r\n");
+    }
+    let _ = write!(
+        head,
+        "connection: {}\r\n{extra}\r\n",
+        if keep_alive { "keep-alive" } else { "close" }
+    );
+    out.extend_from_slice(head.as_bytes());
+}
+
+/// Appends a full response (head + body) to `out`. `head_only` elides
+/// the body while keeping its `content-length` — the HEAD semantics.
+#[allow(clippy::too_many_arguments)]
+pub fn push_response(
+    out: &mut Vec<u8>,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    etag: Option<&str>,
+    extra: &str,
+    head_only: bool,
+) {
+    push_head(out, status, content_type, body.len(), keep_alive, etag, extra);
+    if !head_only {
+        out.extend_from_slice(body);
+    }
+}
+
+/// The prebuilt 503 rejection written when the connection cap is hit:
+/// `retry-after` tells well-behaved clients when to come back, and the
+/// connection always closes.
+pub fn busy_response() -> Vec<u8> {
+    let body = error_body(503, "server busy; connection limit reached");
+    let mut out = Vec::with_capacity(160 + body.len());
+    push_response(
+        &mut out,
+        503,
+        "application/json",
+        body.as_bytes(),
+        false,
+        None,
+        "retry-after: 1\r\n",
+        false,
+    );
+    out
 }
 
 /// A JSON error body for non-200 responses.
@@ -264,12 +269,30 @@ mod tests {
     use super::*;
 
     #[test]
+    fn head_end_detection() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\n", 0), Some(18));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\n\n", 0), Some(16));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nGET /x", 0), Some(18));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n", 0), None);
+        // Mixed bare-LF line + CRLF blank is not a terminator (matches the
+        // old byte-at-a-time reader).
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\n\r\n", 0), None);
+        // Resumable: a terminator split across reads is still found when
+        // the scan restarts past it minus the overlap.
+        let full = b"GET / HTTP/1.1\r\n\r\n";
+        for split in 1..full.len() {
+            assert_eq!(find_head_end(full, split), Some(18), "split at {split}");
+        }
+    }
+
+    #[test]
     fn head_parsing() {
         let req = parse_head(b"GET /networks HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
         assert_eq!(req.method, "GET");
         assert_eq!(req.target, "/networks");
         assert!(req.keep_alive);
         assert_eq!(req.content_length, 0);
+        assert!(req.if_none_match.is_none());
 
         // HTTP/1.0 defaults to close; keep-alive is opt-in.
         let req = parse_head(b"GET / HTTP/1.0\r\n\r\n").unwrap();
@@ -281,6 +304,20 @@ mod tests {
 
         let req = parse_head(b"POST / HTTP/1.1\r\nContent-Length: 12\r\n\r\n").unwrap();
         assert_eq!(req.content_length, 12);
+
+        // Query stripping and conditional requests.
+        let req =
+            parse_head(b"GET /networks?verbose=1 HTTP/1.1\r\nIf-None-Match: \"abc\"\r\n\r\n")
+                .unwrap();
+        assert_eq!(req.path(), "/networks");
+        assert_eq!(req.if_none_match, Some("\"abc\""));
+        assert!(req.none_match("\"abc\""));
+        assert!(!req.none_match("\"def\""));
+        let req = parse_head(b"GET / HTTP/1.1\r\nif-none-match: W/\"x\", \"y\"\r\n\r\n").unwrap();
+        assert!(req.none_match("\"x\""));
+        assert!(req.none_match("\"y\""));
+        let req = parse_head(b"GET / HTTP/1.1\r\nIf-None-Match: *\r\n\r\n").unwrap();
+        assert!(req.none_match("\"anything\""));
     }
 
     #[test]
@@ -306,5 +343,38 @@ mod tests {
             (0..=MAX_HEADERS).map(|i| format!("x-{i}: v\r\n")).collect::<String>()
         );
         assert_eq!(parse_head(many.as_bytes()).unwrap_err().status, 431);
+    }
+
+    #[test]
+    fn response_rendering() {
+        let mut out = Vec::new();
+        push_response(&mut out, 200, "application/json", b"{}", true, Some("\"t\""), "", false);
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(
+            text,
+            "HTTP/1.1 200 OK\r\ncontent-type: application/json\r\ncontent-length: 2\r\netag: \"t\"\r\nconnection: keep-alive\r\n\r\n{}"
+        );
+
+        // Zero-length body keeps explicit framing; HEAD keeps the length
+        // of the body it elides.
+        let mut out = Vec::new();
+        push_response(&mut out, 200, "application/json", b"", false, None, "", false);
+        assert!(String::from_utf8(out).unwrap().contains("content-length: 0\r\n"));
+        let mut out = Vec::new();
+        push_response(&mut out, 200, "application/json", b"abcde", true, None, "", true);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("content-length: 5\r\n") && text.ends_with("\r\n\r\n"));
+
+        // 304 has no content-type and an empty body, and the busy
+        // rejection carries retry-after + close.
+        let mut out = Vec::new();
+        push_response(&mut out, 304, "application/json", b"", true, Some("\"t\""), "", false);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 304 Not Modified\r\n"));
+        assert!(!text.contains("content-type"));
+        assert!(text.contains("content-length: 0\r\n") && text.contains("etag: \"t\"\r\n"));
+        let busy = String::from_utf8(busy_response()).unwrap();
+        assert!(busy.starts_with("HTTP/1.1 503 "));
+        assert!(busy.contains("retry-after: 1\r\n") && busy.contains("connection: close\r\n"));
     }
 }

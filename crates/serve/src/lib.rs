@@ -1,11 +1,17 @@
-//! `rd-serve`: a zero-dependency, multi-threaded HTTP/1.1 query server
-//! over `rd-snap` analysis snapshots.
+//! `rd-serve`: a zero-dependency, epoll-based HTTP/1.1 query server over
+//! `rd-snap` analysis snapshots.
 //!
 //! The paper's analysis is extracted once (`rdx snap`) and then queried
 //! cheaply: `rdx serve study.rdsnap --addr 127.0.0.1:0` loads the corpus
-//! into memory behind an `Arc`; one acceptor thread feeds a bounded
-//! connection queue drained by a pool of worker threads (sized like
-//! `rd-par`'s `par_map` pool, via [`rd_par::thread_count`]):
+//! into memory and serves it from a readiness-driven event loop (see
+//! [`event_loop`] internals: non-blocking accept/read/write,
+//! per-connection state machines with partial-read/partial-write
+//! buffers, a lazy deadline wheel). Because every GET body is a pure
+//! function of the loaded snapshot, static endpoints are rendered once
+//! per snapshot into a pre-rendered response cache keyed by the
+//! snapshot's FNV-1a-64 trailer — the common case is a single memcpy of
+//! cached bytes, which is what takes mixed-endpoint throughput from
+//! thousands to hundreds of thousands of requests per second:
 //!
 //! | Endpoint | Body |
 //! |---|---|
@@ -17,77 +23,91 @@
 //! | `/pathways` | per-router pathway depth summaries |
 //! | `/diag` | all pipeline diagnostics |
 //! | `/metrics` | the rd-obs registry, Prometheus text format |
+//! | `POST /admin/reload` | schedule a snapshot hot reload |
+//!
+//! Snapshot-derived responses carry the trailer as an `ETag` and honor
+//! `If-None-Match` with `304`. Hot reload (SIGHUP or `POST
+//! /admin/reload`) re-reads the snapshot file and rebuilds the cache on
+//! a manager thread, then swaps an `Arc` — in-flight requests keep the
+//! snapshot they started with, so no response ever mixes versions and
+//! none are dropped. GET and HEAD are served everywhere (HEAD elides the
+//! body, keeps `content-length`); keep-alive and pipelining are honored;
+//! `400`/`413`/`431` rejections close cleanly through a lingering close.
 //!
 //! Every request is traced (`http.request` events) and measured
-//! (`http.requests` counter, `http.request_us` latency histogram, status
-//! class counters), which is what `/metrics` then exports. Strict input
-//! limits (see [`http`]) bound per-connection memory; per-connection read
-//! **and write** timeouts bound how long a slow or stalled client can
-//! hold a worker; when the accept queue is full, new connections are
-//! rejected immediately with `503` + `Retry-After` (counted as
-//! `http.rejected_busy`) instead of piling up unboundedly; keep-alive is
-//! honored; and shutdown is graceful: a flag flipped either
+//! (`http.requests`, `http.cache_hit`/`http.cache_miss`, status-class
+//! counters, the `http.request_us` histogram) with per-loop batching so
+//! the metrics mutex is off the hot path. Strict input limits (see
+//! [`http`]) bound per-connection memory; read, write, and linger
+//! deadlines bound slow clients; past `--max-conns` live connections,
+//! new ones get an immediate `503` + `Retry-After` (counted as
+//! `http.rejected_busy`). Shutdown is graceful: a flag flipped either
 //! programmatically ([`Server::shutdown`]) or by SIGTERM/SIGINT
-//! ([`install_signal_handlers`]) stops the acceptor, lets queued and
-//! in-flight responses finish, and joins every worker.
+//! ([`install_signal_handlers`]) stops accepting, flushes in-flight
+//! responses, and joins every loop.
 
 #![warn(missing_docs)]
 
 pub mod http;
 pub mod render;
 
-use std::collections::VecDeque;
+mod cache;
+mod event_loop;
+mod reload;
+
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use rd_snap::Corpus;
 
-use http::{ReadOutcome, Request};
+use cache::SnapshotState;
 
-/// How long the acceptor sleeps when there is nothing to accept, and how
-/// long an idle worker waits on the queue before re-checking shutdown.
-const ACCEPT_IDLE: Duration = Duration::from_millis(10);
-/// Per-connection read timeout: bounds how long a keep-alive connection
-/// can sit idle holding a worker, and how long a slow client can take to
-/// deliver one request head.
-const READ_TIMEOUT: Duration = Duration::from_millis(2000);
-/// Per-connection write timeout: bounds how long a stalled client (zero
-/// receive window, dropped link) can hold a worker mid-response.
-const WRITE_TIMEOUT: Duration = Duration::from_millis(2000);
-/// Bound on accepted-but-not-yet-served connections. Past this, new
-/// connections get an immediate `503` + `Retry-After` rejection instead
-/// of queueing unboundedly.
-const ACCEPT_QUEUE_DEPTH: usize = 64;
 /// Latency histogram bounds, in microseconds.
-const LATENCY_BOUNDS_US: &[u64] = &[50, 100, 250, 500, 1000, 2500, 5000, 25000, 100_000];
+pub(crate) const LATENCY_BOUNDS_US: &[u64] =
+    &[50, 100, 250, 500, 1000, 2500, 5000, 25000, 100_000];
 
-/// Set by the signal handler; checked by every accept and keep-alive loop
-/// alongside the server's own flag.
+/// How often `run_until_shutdown` and the reload manager re-check flags.
+const POLL_IDLE: Duration = Duration::from_millis(50);
+
+/// Set by SIGTERM/SIGINT; checked by every loop alongside the server's
+/// own flag.
 static SIGNAL_SHUTDOWN: AtomicBool = AtomicBool::new(false);
+/// Set by SIGHUP; drained by the reload manager.
+static SIGNAL_RELOAD: AtomicBool = AtomicBool::new(false);
 
-/// Installs SIGTERM and SIGINT handlers that request a graceful shutdown
-/// of every [`Server`] in the process.
+/// Installs SIGTERM/SIGINT handlers that request a graceful shutdown of
+/// every [`Server`] in the process, and a SIGHUP handler that requests a
+/// snapshot hot reload.
 ///
-/// The handler only stores to an atomic flag (the sole async-signal-safe
-/// thing it could do); accept loops notice it within [`ACCEPT_IDLE`].
+/// The handlers only store to atomic flags (the sole async-signal-safe
+/// thing they could do); the loops and the reload manager notice within
+/// their poll intervals.
 pub fn install_signal_handlers() {
     #[cfg(unix)]
     {
-        extern "C" fn on_signal(_sig: i32) {
-            SIGNAL_SHUTDOWN.store(true, Ordering::SeqCst);
+        extern "C" fn on_signal(sig: i32) {
+            const SIGHUP: i32 = 1;
+            if sig == SIGHUP {
+                SIGNAL_RELOAD.store(true, Ordering::SeqCst);
+            } else {
+                SIGNAL_SHUTDOWN.store(true, Ordering::SeqCst);
+            }
         }
         // Minimal libc binding — the workspace carries no external crates.
         extern "C" {
             fn signal(signum: i32, handler: usize) -> usize;
         }
+        const SIGHUP: i32 = 1;
         const SIGINT: i32 = 2;
         const SIGTERM: i32 = 15;
         let handler = on_signal as extern "C" fn(i32) as *const () as usize;
         unsafe {
+            signal(SIGHUP, handler);
             signal(SIGINT, handler);
             signal(SIGTERM, handler);
         }
@@ -99,53 +119,154 @@ pub fn signal_shutdown_requested() -> bool {
     SIGNAL_SHUTDOWN.load(Ordering::SeqCst)
 }
 
+/// Server tuning knobs beyond the classic `(corpus, addr, workers)`.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Event-loop threads; 0 sizes by [`rd_par::thread_count`].
+    pub workers: usize,
+    /// Live-connection cap; past it, accepts get `503` + `Retry-After`.
+    pub max_conns: usize,
+    /// Pre-render every static endpoint at load (the debug escape hatch
+    /// `--no-cache` turns this off; bodies stay byte-identical).
+    pub cache: bool,
+    /// Snapshot file re-read on SIGHUP / `POST /admin/reload`. `None`
+    /// disables file-based reload (programmatic
+    /// [`Server::swap_corpus`] still works).
+    pub reload_path: Option<PathBuf>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions { workers: 0, max_conns: 1024, cache: true, reload_path: None }
+    }
+}
+
+/// State shared by every loop thread and the reload manager.
+pub(crate) struct Shared {
+    state: Mutex<Arc<SnapshotState>>,
+    epoch: AtomicU64,
+    shutdown: AtomicBool,
+    reload_requested: AtomicBool,
+    pub(crate) conn_count: AtomicUsize,
+    pub(crate) max_conns: usize,
+    pub(crate) cache_enabled: bool,
+    pub(crate) reload_path: Option<PathBuf>,
+}
+
+impl Shared {
+    /// The current snapshot state. Loops call this only when the epoch
+    /// moved, so the mutex is off the request path.
+    pub(crate) fn current_state(&self) -> Arc<SnapshotState> {
+        Arc::clone(&self.state.lock().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Atomically publishes a new snapshot state.
+    pub(crate) fn swap_state(&self, next: Arc<SnapshotState>) {
+        *self.state.lock().unwrap_or_else(|p| p.into_inner()) = next;
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    pub(crate) fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || signal_shutdown_requested()
+    }
+
+    pub(crate) fn reload_configured(&self) -> bool {
+        self.reload_path.is_some()
+    }
+
+    pub(crate) fn request_reload(&self) {
+        self.reload_requested.store(true, Ordering::SeqCst);
+    }
+
+    /// Drains both reload triggers (admin endpoint, SIGHUP).
+    pub(crate) fn take_reload_request(&self) -> bool {
+        let admin = self.reload_requested.swap(false, Ordering::SeqCst);
+        let sighup = SIGNAL_RELOAD.swap(false, Ordering::SeqCst);
+        admin || sighup
+    }
+}
+
 /// A running snapshot query server.
 pub struct Server {
     local_addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    workers: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
 }
 
 impl Server {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
-    /// one acceptor thread plus `workers` connection workers draining a
-    /// bounded queue. With `workers` 0, the pool is sized by
-    /// [`rd_par::thread_count`] (the `RD_THREADS` environment override
-    /// applies), clamped to at least 2 so one long-polling connection
-    /// cannot starve the server.
+    /// `workers` event-loop threads (0 sizes by [`rd_par::thread_count`];
+    /// the `RD_THREADS` environment override applies) with default
+    /// [`ServeOptions`].
     pub fn start(corpus: Corpus, addr: &str, workers: usize) -> io::Result<Server> {
+        Server::start_with(corpus, addr, ServeOptions { workers, ..ServeOptions::default() })
+    }
+
+    /// [`Server::start`] with full options.
+    pub fn start_with(corpus: Corpus, addr: &str, opts: ServeOptions) -> io::Result<Server> {
+        Server::start_inner(corpus, None, addr, opts)
+    }
+
+    /// Loads a snapshot file and serves it, wiring the file in as the
+    /// hot-reload source (SIGHUP / `POST /admin/reload` re-read it).
+    /// The `ETag` comes from the file's stored trailer — no re-encode.
+    pub fn start_file(path: &std::path::Path, addr: &str, mut opts: ServeOptions) -> io::Result<Server> {
+        let (corpus, trailer) =
+            Corpus::read_file_with_trailer(path).map_err(io::Error::other)?;
+        opts.reload_path = Some(path.to_path_buf());
+        Server::start_inner(corpus, Some(trailer), addr, opts)
+    }
+
+    fn start_inner(
+        corpus: Corpus,
+        trailer: Option<u64>,
+        addr: &str,
+        opts: ServeOptions,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
-        let corpus = Arc::new(corpus);
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let queue = Arc::new(ConnQueue::default());
-        let pool = if workers == 0 { rd_par::thread_count().max(2) } else { workers };
+        let listener = Arc::new(listener);
 
-        let mut handles = Vec::with_capacity(pool + 1);
+        let state = SnapshotState::build(corpus, trailer, opts.cache);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(Arc::new(state)),
+            epoch: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            reload_requested: AtomicBool::new(false),
+            conn_count: AtomicUsize::new(0),
+            max_conns: opts.max_conns.max(1),
+            cache_enabled: opts.cache,
+            reload_path: opts.reload_path,
+        });
+
+        let loops = if opts.workers == 0 { rd_par::thread_count().max(1) } else { opts.workers };
+        let mut handles = Vec::with_capacity(loops + 1);
+        for i in 0..loops {
+            let shared = Arc::clone(&shared);
+            let listener = Arc::clone(&listener);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("rd-serve-loop-{i}"))
+                    .spawn(move || event_loop::run(shared, listener))
+                    .expect("spawn event loop"),
+            );
+        }
         {
-            let queue = Arc::clone(&queue);
-            let shutdown = Arc::clone(&shutdown);
+            let shared = Arc::clone(&shared);
             handles.push(
                 std::thread::Builder::new()
-                    .name("rd-serve-accept".to_string())
-                    .spawn(move || acceptor_loop(listener, queue, shutdown))
-                    .expect("spawn acceptor"),
+                    .name("rd-serve-reload".to_string())
+                    .spawn(move || reload::run(shared))
+                    .expect("spawn reload manager"),
             );
         }
-        for i in 0..pool {
-            let queue = Arc::clone(&queue);
-            let corpus = Arc::clone(&corpus);
-            let shutdown = Arc::clone(&shutdown);
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("rd-serve-{i}"))
-                    .spawn(move || worker_loop(queue, corpus, shutdown))
-                    .expect("spawn worker"),
-            );
-        }
-        rd_obs::metrics::gauge_set("http.workers", pool as i64);
-        Ok(Server { local_addr, shutdown, workers: handles })
+        rd_obs::metrics::gauge_set("http.workers", loops as i64);
+        Ok(Server { local_addr, shared, handles })
     }
 
     /// The actual bound address (resolves ephemeral ports).
@@ -153,211 +274,48 @@ impl Server {
         self.local_addr
     }
 
-    /// Requests a graceful stop and joins every worker. In-flight
-    /// responses complete; idle keep-alive connections are closed.
+    /// The entity tag currently served (`"<trailer hex>"`, quoted) —
+    /// how tests and operators observe which snapshot is live.
+    pub fn etag(&self) -> String {
+        self.shared.current_state().etag.clone()
+    }
+
+    /// Networks in the currently served corpus.
+    pub fn network_count(&self) -> usize {
+        self.shared.current_state().corpus.networks.len()
+    }
+
+    /// Swaps the served corpus programmatically: builds the new state
+    /// (cache and all) on the calling thread, then publishes it
+    /// atomically. In-flight requests finish on the old snapshot.
+    pub fn swap_corpus(&self, corpus: Corpus) {
+        let cache_enabled = self.shared.cache_enabled;
+        let state = SnapshotState::build(corpus, None, cache_enabled);
+        self.shared.swap_state(Arc::new(state));
+    }
+
+    /// Schedules a file-based hot reload, as `POST /admin/reload` does.
+    /// No-op without a reload source ([`ServeOptions::reload_path`]).
+    pub fn trigger_reload(&self) {
+        self.shared.request_reload();
+    }
+
+    /// Requests a graceful stop and joins every loop. In-flight
+    /// responses flush; idle keep-alive connections are closed.
     pub fn shutdown(self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        for h in self.workers {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for h in self.handles {
             let _ = h.join();
         }
     }
 
     /// Blocks until a shutdown is requested (programmatically or via a
-    /// signal), then joins the workers. This is what `rdx serve` calls
+    /// signal), then joins the loops. This is what `rdx serve` calls
     /// after printing the bound address.
     pub fn run_until_shutdown(self) {
-        while !self.shutdown.load(Ordering::SeqCst) && !signal_shutdown_requested() {
-            std::thread::sleep(ACCEPT_IDLE);
+        while !self.shared.is_shutdown() {
+            std::thread::sleep(POLL_IDLE);
         }
         self.shutdown();
     }
-}
-
-fn shutting_down(flag: &AtomicBool) -> bool {
-    flag.load(Ordering::SeqCst) || signal_shutdown_requested()
-}
-
-/// The bounded handoff between the acceptor and the workers. A plain
-/// `Mutex<VecDeque>` + `Condvar`: pushes past [`ACCEPT_QUEUE_DEPTH`] are
-/// refused (the acceptor then sends the 503 rejection), pops wait with a
-/// timeout so idle workers keep noticing shutdown.
-#[derive(Default)]
-struct ConnQueue {
-    queue: Mutex<VecDeque<TcpStream>>,
-    ready: Condvar,
-}
-
-impl ConnQueue {
-    /// Tries to enqueue a connection; hands it back when the queue is full.
-    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
-        let mut q = self.queue.lock().unwrap_or_else(|p| p.into_inner());
-        if q.len() >= ACCEPT_QUEUE_DEPTH {
-            return Err(stream);
-        }
-        q.push_back(stream);
-        drop(q);
-        self.ready.notify_one();
-        Ok(())
-    }
-
-    /// Pops one connection, waiting up to `timeout` for one to arrive.
-    fn pop(&self, timeout: Duration) -> Option<TcpStream> {
-        let mut q = self.queue.lock().unwrap_or_else(|p| p.into_inner());
-        if let Some(s) = q.pop_front() {
-            return Some(s);
-        }
-        let (mut q, _) = self
-            .ready
-            .wait_timeout(q, timeout)
-            .unwrap_or_else(|p| p.into_inner());
-        q.pop_front()
-    }
-}
-
-fn acceptor_loop(listener: TcpListener, queue: Arc<ConnQueue>, shutdown: Arc<AtomicBool>) {
-    while !shutting_down(&shutdown) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                if let Err(mut rejected) = queue.push(stream) {
-                    // Backpressure: the queue is full, so refuse loudly and
-                    // immediately rather than letting connections pile up.
-                    rd_obs::metrics::counter_add("http.rejected_busy", 1);
-                    record_request("-", "-", 503, 0);
-                    let _ = rejected.set_write_timeout(Some(WRITE_TIMEOUT));
-                    let _ = http::write_busy(&mut rejected);
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(ACCEPT_IDLE);
-            }
-            Err(_) => std::thread::sleep(ACCEPT_IDLE),
-        }
-    }
-}
-
-fn worker_loop(queue: Arc<ConnQueue>, corpus: Arc<Corpus>, shutdown: Arc<AtomicBool>) {
-    loop {
-        match queue.pop(ACCEPT_IDLE) {
-            Some(stream) => handle_connection(stream, &corpus, &shutdown),
-            // Drain the queue even during shutdown: accepted connections
-            // get a response; only an empty queue lets a worker exit.
-            None if shutting_down(&shutdown) => return,
-            None => {}
-        }
-    }
-}
-
-fn handle_connection(mut stream: TcpStream, corpus: &Corpus, shutdown: &AtomicBool) {
-    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
-    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
-    let _ = stream.set_nodelay(true);
-    loop {
-        match http::read_request(&mut stream) {
-            ReadOutcome::Closed => return,
-            ReadOutcome::Error(e) => {
-                record_request("-", "-", e.status, 0);
-                let body = http::error_body(e.status, &e.message);
-                let _ = http::write_response(&mut stream, e.status, "application/json", &body, false);
-                lingering_close(stream);
-                return;
-            }
-            ReadOutcome::Request(req) => {
-                let started = Instant::now();
-                let keep_alive = req.keep_alive && !shutting_down(shutdown);
-                let (status, content_type, body) = respond(corpus, &req, &mut stream);
-                let us = started.elapsed().as_micros() as u64;
-                record_request(&req.method, &req.target, status, us);
-                if http::write_response(&mut stream, status, content_type, &body, keep_alive)
-                    .is_err()
-                {
-                    return;
-                }
-                if !keep_alive {
-                    return;
-                }
-            }
-        }
-    }
-}
-
-/// Closes an errored connection without triggering a TCP reset: unread
-/// request bytes in the receive buffer would otherwise turn the close
-/// into an RST that can discard the error response before the client
-/// reads it. Shutting down the write side and draining (bounded by the
-/// read timeout and a byte cap) lets the response reach the peer.
-fn lingering_close(mut stream: TcpStream) {
-    use std::io::Read;
-    let _ = stream.shutdown(std::net::Shutdown::Write);
-    let mut drained = 0usize;
-    let mut buf = [0u8; 4096];
-    while drained < 1024 * 1024 {
-        match stream.read(&mut buf) {
-            Ok(0) | Err(_) => break,
-            Ok(n) => drained += n,
-        }
-    }
-}
-
-/// Routes one request. Returns `(status, content type, body)`.
-fn respond(
-    corpus: &Corpus,
-    req: &Request,
-    stream: &mut TcpStream,
-) -> (u16, &'static str, String) {
-    // Transport-level protections come before semantics: an oversized
-    // declared body is rejected whatever the method or path.
-    if req.content_length > http::MAX_BODY_BYTES {
-        return (413, "application/json", http::error_body(413, "request body exceeds limit"));
-    }
-    if req.content_length > 0 && http::drain_body(stream, req.content_length).is_err() {
-        return (400, "application/json", http::error_body(400, "request body truncated"));
-    }
-    if req.method != "GET" {
-        return (
-            405,
-            "application/json",
-            http::error_body(405, &format!("method {} not allowed", req.method)),
-        );
-    }
-
-    let path = req.target.split('?').next().unwrap_or("");
-    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
-    match segments.as_slice() {
-        ["healthz"] => (200, "application/json", render::healthz(corpus)),
-        ["networks"] => (200, "application/json", render::networks_index(corpus)),
-        ["networks", id] => match corpus.get(id) {
-            Some(n) => (200, "application/json", render::network_summary(n)),
-            None => (404, "application/json", http::error_body(404, &format!("no network '{id}'"))),
-        },
-        ["networks", id, "processes"] => match corpus.get(id) {
-            Some(n) => (200, "application/json", render::network_processes(n)),
-            None => (404, "application/json", http::error_body(404, &format!("no network '{id}'"))),
-        },
-        ["instances"] => (200, "application/json", render::instances(corpus)),
-        ["pathways"] => (200, "application/json", render::pathways(corpus)),
-        ["diag"] => (200, "application/json", render::diag(corpus)),
-        ["metrics"] => (
-            200,
-            "text/plain; version=0.0.4",
-            rd_obs::metrics::render_prometheus(),
-        ),
-        _ => (404, "application/json", http::error_body(404, &format!("no route for {path}"))),
-    }
-}
-
-/// Records the per-request observability: counters, the latency
-/// histogram, and a trace event (visible with `RD_TRACE=...`).
-fn record_request(method: &str, target: &str, status: u16, us: u64) {
-    rd_obs::metrics::counter_add("http.requests", 1);
-    rd_obs::metrics::counter_add(&format!("http.responses.{}xx", status / 100), 1);
-    rd_obs::metrics::histogram_record("http.request_us", us, LATENCY_BOUNDS_US);
-    rd_obs::trace::event(
-        "http.request",
-        &[
-            ("method", method.into()),
-            ("target", target.into()),
-            ("status", i64::from(status).into()),
-            ("us", (us as i64).into()),
-        ],
-    );
 }

@@ -1,0 +1,56 @@
+//! The snapshot hot-reload manager.
+//!
+//! One thread per server, off the accept path: it polls the reload
+//! triggers (SIGHUP, `POST /admin/reload`, [`crate::Server::trigger_reload`]),
+//! re-reads the snapshot file, rebuilds the pre-rendered response cache,
+//! and only then publishes the new state with an atomic Arc swap. The
+//! event loops pick it up at their next wake-up via an epoch check;
+//! requests in flight keep rendering from the state they started with,
+//! so a reload never drops a response and never mixes snapshot versions
+//! within one response.
+//!
+//! A failed reload (unreadable or corrupt snapshot) keeps the old state
+//! serving and counts `http.reload_failed`; successes count
+//! `http.reload_ok`. Both are visible on `/metrics`, which is how
+//! verify.sh waits for a SIGHUP reload to land before byte-comparing
+//! pre/post bodies.
+
+use std::sync::Arc;
+
+use rd_snap::Corpus;
+
+use crate::cache::SnapshotState;
+use crate::{Shared, POLL_IDLE};
+
+pub(crate) fn run(shared: Arc<Shared>) {
+    loop {
+        std::thread::sleep(POLL_IDLE);
+        if shared.is_shutdown() {
+            return;
+        }
+        if !shared.take_reload_request() {
+            continue;
+        }
+        let Some(path) = shared.reload_path.clone() else {
+            rd_obs::metrics::counter_add("http.reload_failed", 1);
+            eprintln!("rd-serve: reload requested but no snapshot file configured");
+            continue;
+        };
+        match Corpus::read_file_with_trailer(&path) {
+            Ok((corpus, trailer)) => {
+                // The expensive part — rendering every static endpoint —
+                // happens here, on this thread, against a corpus the
+                // loops cannot see yet. The swap itself is one Arc store.
+                let state = SnapshotState::build(corpus, Some(trailer), shared.cache_enabled);
+                shared.swap_state(Arc::new(state));
+                rd_obs::metrics::counter_add("http.reload_ok", 1);
+            }
+            Err(e) => {
+                // Keep serving the old snapshot; a bad file on disk must
+                // not take the server down.
+                rd_obs::metrics::counter_add("http.reload_failed", 1);
+                eprintln!("rd-serve: reload failed: {e}");
+            }
+        }
+    }
+}

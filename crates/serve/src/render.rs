@@ -11,7 +11,7 @@
 
 use rd_obs::json::escape;
 use rd_snap::{Corpus, NetworkSnapshot};
-use routing_model::PathwayGraph;
+use routing_model::PathwayIndex;
 
 /// `/healthz`: liveness plus corpus size.
 pub fn healthz(corpus: &Corpus) -> String {
@@ -170,17 +170,33 @@ pub fn instances(corpus: &Corpus) -> String {
 pub fn pathways(corpus: &Corpus) -> String {
     let mut rows = Vec::new();
     for n in &corpus.networks {
+        // One shared reverse-flow index per network, and one trace per
+        // distinct instance-membership seed: routers with equal seeds
+        // have identical pathway structure, so a large network costs a
+        // handful of traces instead of one per router.
+        let index = PathwayIndex::new(&n.instances, &n.instance_graph);
+        let mut memo: std::collections::BTreeMap<Vec<routing_model::InstanceId>, (usize, bool, usize, usize)> =
+            std::collections::BTreeMap::new();
         for (idx, router) in n.network.routers.iter().enumerate() {
             let rid = nettopo::RouterId(idx);
-            let pathway = PathwayGraph::trace(rid, &n.instances, &n.instance_graph);
+            let seed = index.seed(rid).to_vec();
+            let (max_depth, reaches, nodes, edges) = *memo.entry(seed).or_insert_with(|| {
+                let pathway = index.trace(rid);
+                (
+                    pathway.max_depth(),
+                    pathway.reaches_external_world(),
+                    pathway.nodes.len(),
+                    pathway.edges.len(),
+                )
+            });
             rows.push(format!(
                 "    {{\"network\": \"{}\", \"router\": \"{}\", \"max_depth\": {}, \"reaches_external_world\": {}, \"nodes\": {}, \"edges\": {}}}",
                 escape(&n.name),
                 escape(router.name()),
-                pathway.max_depth(),
-                pathway.reaches_external_world(),
-                pathway.nodes.len(),
-                pathway.edges.len()
+                max_depth,
+                reaches,
+                nodes,
+                edges
             ));
         }
     }

@@ -273,10 +273,43 @@ impl Corpus {
 
     /// Reads a snapshot from a file.
     pub fn read_file(path: &std::path::Path) -> Result<Corpus, String> {
+        Self::read_file_with_trailer(path).map(|(corpus, _)| corpus)
+    }
+
+    /// Reads a snapshot from a file, also returning its FNV-1a-64
+    /// checksum trailer — the content identity `rd-serve` exposes as the
+    /// `ETag` of every snapshot-derived response. The trailer comes
+    /// straight from the validated container bytes, so equal corpora have
+    /// equal trailers and any re-analysis that changes a single byte of
+    /// the snapshot changes it.
+    pub fn read_file_with_trailer(path: &std::path::Path) -> Result<(Corpus, u64), String> {
         let bytes = std::fs::read(path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        Corpus::from_bytes(&bytes).map_err(|e| format!("{}: {e}", path.display()))
+        let corpus =
+            Corpus::from_bytes(&bytes).map_err(|e| format!("{}: {e}", path.display()))?;
+        let trailer = trailer_of(&bytes)
+            .ok_or_else(|| format!("{}: snapshot shorter than its trailer", path.display()))?;
+        Ok((corpus, trailer))
     }
+
+    /// The FNV-1a-64 trailer this corpus would serialize with. Encodes
+    /// the whole container to compute it — cheap for query-server reloads
+    /// (once per snapshot swap), not something to call per request.
+    pub fn trailer(&self) -> u64 {
+        let bytes = self.to_bytes();
+        trailer_of(&bytes).unwrap_or_default()
+    }
+}
+
+/// Extracts the stored FNV-1a-64 trailer from raw snapshot bytes without
+/// decoding them. `None` when `bytes` is too short to carry one.
+pub fn trailer_of(bytes: &[u8]) -> Option<u64> {
+    if bytes.len() < 8 {
+        return None;
+    }
+    let mut trailer = [0u8; 8];
+    trailer.copy_from_slice(&bytes[bytes.len() - 8..]);
+    Some(u64::from_le_bytes(trailer))
 }
 
 /// Convenience: snapshot-encode a single router config (used by tests and

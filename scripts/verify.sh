@@ -62,9 +62,46 @@ curl -sf "http://127.0.0.1:$PORT/metrics" | grep -q http_requests_total
 curl -sf "http://127.0.0.1:$PORT/networks/net15" > /tmp/rd_verify_served.json
 ./target/release/rdx /tmp/rd_verify_study/net15 summary --json > /tmp/rd_verify_direct.json
 cmp /tmp/rd_verify_served.json /tmp/rd_verify_direct.json
+echo "    /networks/net15 byte-identical to direct analysis"
+
+# Conditional GET: the snapshot's FNV trailer doubles as a strong ETag,
+# so a revalidation with the served tag must come back 304.
+ETAG=$(curl -sf -D - -o /dev/null "http://127.0.0.1:$PORT/networks/net15" \
+    | tr -d '\r' | sed -n 's/^etag: //p')
+[ -n "$ETAG" ] || { echo "served response carried no etag" >&2; exit 1; }
+CODE=$(curl -s -o /dev/null -w '%{http_code}' \
+    -H "if-none-match: $ETAG" "http://127.0.0.1:$PORT/networks/net15")
+[ "$CODE" = "304" ] || { echo "expected 304 for If-None-Match $ETAG, got $CODE" >&2; exit 1; }
+echo "    If-None-Match revalidation returned 304"
+
+# Pipelined mixed-endpoint burst: loadgen exits non-zero if any response
+# fails or comes back non-200, so this doubles as a correctness probe.
+./target/release/loadgen "127.0.0.1:$PORT" --conns 2 --pipeline 4 \
+    --duration-ms 500 > /tmp/rd_verify_loadgen.txt
+sed 's/^/    /' /tmp/rd_verify_loadgen.txt
+rm -f /tmp/rd_verify_loadgen.txt
+
+# Hot reload: SIGHUP re-reads the snapshot file; the swapped-in corpus
+# is the same bytes, so /networks/net15 must survive byte-identically.
+kill -HUP "$SERVE_PID"
+RELOADS=""
+i=0
+while [ $i -lt 50 ]; do
+    RELOADS=$(curl -sf "http://127.0.0.1:$PORT/metrics" \
+        | sed -n 's/^http_reload_ok_total //p')
+    [ "${RELOADS:-0}" -ge 1 ] && break
+    sleep 0.1
+    i=$((i + 1))
+done
+[ "${RELOADS:-0}" -ge 1 ] || { echo "SIGHUP reload never completed" >&2; exit 1; }
+curl -sf "http://127.0.0.1:$PORT/networks/net15" > /tmp/rd_verify_reloaded.json
+cmp /tmp/rd_verify_served.json /tmp/rd_verify_reloaded.json
+rm -f /tmp/rd_verify_reloaded.json
+echo "    SIGHUP reload swapped the snapshot; body byte-identical pre/post"
+
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"
-echo "    /networks/net15 byte-identical to direct analysis; clean SIGTERM shutdown"
+echo "    clean SIGTERM shutdown"
 
 echo "==> chaos sweep: error-not-panic, deterministic diagnostics (500+100 trials)"
 RD_THREADS=4 ./target/release/rdx chaos /tmp/rd_verify_study --seed 1 \
@@ -86,9 +123,17 @@ if [ "${1:-}" = "--bench" ]; then
     # tight enough to catch the O(n^2) classifier coming back. (The
     # "bench_external" section deliberately doesn't match this pattern.)
     BUDGET=""
+    SERVE_FLOOR=""
     if [ -f BENCH_repro.json ]; then
         BUDGET=$(awk -F': ' '/"external":/ { v = $2 + 0; if (v > max) max = v }
             END { if (max > 0) printf "%.0f", max * 3 }' BENCH_repro.json)
+        # Same idea for the query server, inverted: the committed
+        # bench_serve throughput sets a floor at one third — catches the
+        # event loop regressing toward thread-per-connection-era numbers
+        # without flapping on machine noise.
+        SERVE_FLOOR=$(awk -F': ' '/"bench_serve":/ { inb = 1 }
+            inb && /"throughput_rps":/ { printf "%.0f", ($2 + 0) / 3; exit }' \
+            BENCH_repro.json)
     fi
     echo "==> repro --bench (stage timings, both scales, traced)"
     ./target/release/repro --bench --trace /tmp/rd_verify_bench.jsonl
@@ -102,6 +147,16 @@ if [ "${1:-}" = "--bench" ]; then
             exit 1
         fi
         echo "    external stage ${NEW} ms within budget ${BUDGET} ms"
+    fi
+    if [ -n "$SERVE_FLOOR" ]; then
+        NEW_RPS=$(awk -F': ' '/"bench_serve":/ { inb = 1 }
+            inb && /"throughput_rps":/ { printf "%.0f", $2 + 0; exit }' \
+            BENCH_repro.json)
+        if [ "$NEW_RPS" -lt "$SERVE_FLOOR" ]; then
+            echo "serve throughput regression: ${NEW_RPS} req/s is below the stored floor ${SERVE_FLOOR} req/s" >&2
+            exit 1
+        fi
+        echo "    bench_serve ${NEW_RPS} req/s above floor ${SERVE_FLOOR} req/s"
     fi
 fi
 
