@@ -342,6 +342,26 @@ impl LoopStats {
         }
     }
 
+    /// Counts a protocol-error or rejection response without a latency
+    /// sample: these paths measure no request service time, and 0-µs
+    /// samples would drag the `http.request_us` percentiles down under
+    /// an error burst.
+    fn record_error(&mut self, status: u16) {
+        self.requests += 1;
+        let class = (status / 100).clamp(2, 5) as usize - 2;
+        self.classes[class] += 1;
+        if rd_obs::trace::enabled() {
+            rd_obs::trace::event(
+                "http.request",
+                &[
+                    ("method", "-".into()),
+                    ("target", "-".into()),
+                    ("status", i64::from(status).into()),
+                ],
+            );
+        }
+    }
+
     fn flush(&mut self) {
         if self.requests == 0 && self.rejected_busy == 0 {
             return;
@@ -402,7 +422,11 @@ fn push_error(conn: &mut Conn, stats: &mut LoopStats, status: u16, message: &str
         "",
         false,
     );
-    stats.record("-", "-", status, 0);
+    stats.record_error(status);
+    // The close is decided: any declared body still owed is now just
+    // discarded input. A stale skip here would re-enter the
+    // truncated-body branch forever once EOF is set.
+    conn.body_skip = 0;
     conn.state = ConnState::FlushClose { linger: true };
 }
 
@@ -596,6 +620,17 @@ fn process_buffer(
 ) -> (bool, bool) {
     let force_close = shared.is_shutdown();
     loop {
+        if conn.state != ConnState::Open {
+            // Past an error or a `connection: close` response, remaining
+            // pipelined input (including any body still owed) is
+            // discarded — the close is already decided. Checked before
+            // the body skip so a decided close can never re-enter the
+            // truncated-body branch.
+            conn.read_buf.clear();
+            conn.scanned = 0;
+            conn.body_skip = 0;
+            return (true, false);
+        }
         if conn.body_skip > 0 {
             let take = conn.body_skip.min(conn.read_buf.len());
             conn.read_buf.drain(..take);
@@ -608,13 +643,6 @@ fn process_buffer(
                 }
                 return (true, false);
             }
-        }
-        if conn.state != ConnState::Open {
-            // Past an error or a `connection: close` response, remaining
-            // pipelined input is discarded — the close is already decided.
-            conn.read_buf.clear();
-            conn.scanned = 0;
-            return (true, false);
         }
         if conn.write_buf.len() - conn.write_pos > WRITE_HIGH_WATER {
             return (true, true);
@@ -814,31 +842,47 @@ impl EventLoop {
         for _ in 0..ACCEPT_BURST {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
-                    if self.shared.conn_count.load(Ordering::Relaxed) >= self.shared.max_conns {
-                        // Over the connection cap: refuse loudly and
-                        // immediately rather than queueing unboundedly.
-                        self.stats.rejected_busy += 1;
-                        self.stats.record("-", "-", 503, 0);
-                        let mut stream = stream;
-                        let _ = stream.set_nonblocking(true);
-                        let _ = stream.write(&self.busy);
-                        continue;
-                    }
+                    // Reserve capacity before deciding: a load-then-add
+                    // would race across loop threads, letting concurrent
+                    // accepts each slip one connection past the cap. A
+                    // rejected connection keeps its reservation until it
+                    // closes — its fd is open while the 503 flushes, so
+                    // it occupies a slot like any live connection.
+                    let reserved = self.shared.conn_count.fetch_add(1, Ordering::Relaxed);
+                    let over = reserved >= self.shared.max_conns;
                     if stream.set_nonblocking(true).is_err() {
+                        self.shared.conn_count.fetch_sub(1, Ordering::Relaxed);
                         continue;
                     }
                     let _ = stream.set_nodelay(true);
                     let now = Instant::now();
                     let fd = stream.as_raw_fd();
-                    let conn = Conn::new(stream, now + READ_TIMEOUT);
+                    let deadline =
+                        if over { now + LINGER_TIMEOUT } else { now + READ_TIMEOUT };
+                    let mut conn = Conn::new(stream, deadline);
+                    let mut interest = EPOLLIN | EPOLLRDHUP;
+                    if over {
+                        // Over the connection cap: refuse loudly rather
+                        // than queueing unboundedly — but deliver the
+                        // refusal through the normal flush and
+                        // lingering-drain machinery, so a partial write
+                        // or unread client bytes cannot turn the 503 +
+                        // retry-after into a lost response or an RST.
+                        self.stats.rejected_busy += 1;
+                        self.stats.record_error(503);
+                        conn.write_buf.extend_from_slice(&self.busy);
+                        conn.state = ConnState::FlushClose { linger: true };
+                        interest = EPOLLOUT;
+                        conn.interest = interest;
+                    }
                     let (idx, gen) = self.slab.insert(conn);
-                    if self.epoll.add(fd, token_data(idx, gen), EPOLLIN | EPOLLRDHUP).is_err() {
+                    if self.epoll.add(fd, token_data(idx, gen), interest).is_err() {
                         self.slab.take_if(idx, gen);
                         self.slab.release(idx);
+                        self.shared.conn_count.fetch_sub(1, Ordering::Relaxed);
                         continue;
                     }
-                    self.shared.conn_count.fetch_add(1, Ordering::Relaxed);
-                    self.wheel.insert(idx, gen, now + READ_TIMEOUT, now);
+                    self.wheel.insert(idx, gen, deadline, now);
                 }
                 Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => return,
                 Err(_) => return,

@@ -40,8 +40,10 @@
 //! the metrics mutex is off the hot path. Strict input limits (see
 //! [`http`]) bound per-connection memory; read, write, and linger
 //! deadlines bound slow clients; past `--max-conns` live connections,
-//! new ones get an immediate `503` + `Retry-After` (counted as
-//! `http.rejected_busy`). Shutdown is graceful: a flag flipped either
+//! new ones get a `503` + `Retry-After` (counted as
+//! `http.rejected_busy`), delivered through the same lingering close as
+//! other rejections, with the socket briefly holding a connection slot
+//! while the refusal flushes. Shutdown is graceful: a flag flipped either
 //! programmatically ([`Server::shutdown`]) or by SIGTERM/SIGINT
 //! ([`install_signal_handlers`]) stops accepting, flushes in-flight
 //! responses, and joins every loop.

@@ -286,6 +286,49 @@ fn pipelined_errors_close_cleanly() {
 }
 
 #[test]
+fn truncated_body_then_eof_closes_with_single_400() {
+    // One worker: if the loop spins on the truncated body (the skip
+    // surviving into the error state), the follow-up connection below
+    // would never be served.
+    let opts = ServeOptions { workers: 1, ..ServeOptions::default() };
+    let server = Server::start_with(corpus_of(&["net1"]), "127.0.0.1:0", opts).expect("starts");
+
+    // Declared body never arrives at all, then FIN: the request itself
+    // is answered, the truncation gets exactly one 400, and the
+    // connection closes.
+    let mut stream = connect(&server);
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\ncontent-length: 10\r\n\r\n")
+        .unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("read to close");
+    assert!(out.starts_with("HTTP/1.1 200"), "{out}");
+    assert_eq!(out.matches("HTTP/1.1 400").count(), 1, "exactly one 400: {out}");
+
+    // Same with a partially delivered body.
+    let mut stream = connect(&server);
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\ncontent-length: 10\r\n\r\nabc")
+        .unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("read to close");
+    assert!(out.starts_with("HTTP/1.1 200"), "{out}");
+    assert_eq!(out.matches("HTTP/1.1 400").count(), 1, "exactly one 400: {out}");
+
+    // The lone loop thread must still be serving.
+    let mut stream = connect(&server);
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n")
+        .unwrap();
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("read");
+    assert!(out.starts_with("HTTP/1.1 200"), "{out}");
+    server.shutdown();
+}
+
+#[test]
 fn slowloris_hits_deadline_wheel() {
     let server = start_server();
     let mut stream = connect(&server);
