@@ -8,8 +8,11 @@
 //! Drives mixed-endpoint keep-alive traffic (every static endpoint plus
 //! both per-network routes, discovered from `/networks` unless `--paths`
 //! overrides them) and prints throughput and exact p50/p99/p999
-//! latencies. Exits 1 when any response failed or came back non-200, so
-//! verify.sh can use it as a pass/fail burst probe.
+//! latencies — aggregate and per endpoint, so a slow path cannot hide
+//! behind a fast mix. `--json` emits the same data as one machine-
+//! readable JSON object with an `endpoints` array. Exits 1 when any
+//! response failed or came back non-200, so verify.sh can use it as a
+//! pass/fail burst probe.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -123,10 +126,26 @@ fn main() {
     };
 
     if json {
+        let endpoints: Vec<String> = stats
+            .endpoints
+            .iter()
+            .map(|e| {
+                format!(
+                    "    {{\"path\": \"{}\", \"requests\": {}, \"p50_us\": {}, \
+                     \"p99_us\": {}, \"p999_us\": {}}}",
+                    rd_obs::json::escape(&e.path),
+                    e.requests,
+                    e.p50_us,
+                    e.p99_us,
+                    e.p999_us,
+                )
+            })
+            .collect();
         println!(
             "{{\n  \"conns\": {},\n  \"pipeline\": {},\n  \"duration_ms\": {:.3},\n  \
              \"requests\": {},\n  \"errors\": {},\n  \"throughput_rps\": {:.0},\n  \
-             \"p50_us\": {},\n  \"p99_us\": {},\n  \"p999_us\": {},\n  \"body_bytes\": {}\n}}",
+             \"p50_us\": {},\n  \"p99_us\": {},\n  \"p999_us\": {},\n  \"body_bytes\": {},\n  \
+             \"endpoints\": [\n{}\n  ]\n}}",
             opts.conns,
             opts.pipeline,
             stats.duration.as_secs_f64() * 1e3,
@@ -137,6 +156,7 @@ fn main() {
             stats.p99_us,
             stats.p999_us,
             stats.body_bytes,
+            endpoints.join(",\n"),
         );
     } else {
         println!(
@@ -153,6 +173,12 @@ fn main() {
             "  latency p50 {} us, p99 {} us, p99.9 {} us",
             stats.p50_us, stats.p99_us, stats.p999_us,
         );
+        for e in &stats.endpoints {
+            println!(
+                "  {:<32} {:>8} reqs  p50 {:>6} us  p99 {:>6} us  p99.9 {:>6} us",
+                e.path, e.requests, e.p50_us, e.p99_us, e.p999_us,
+            );
+        }
     }
     if stats.errors > 0 {
         std::process::exit(1);

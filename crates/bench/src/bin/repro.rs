@@ -21,7 +21,11 @@
 //! metrics registry to stderr; `--trace <path>` (or `--trace=<path>`,
 //! `--trace -` for stderr) writes the structured JSONL event stream
 //! there — without it the `RD_TRACE` environment variable picks the
-//! sink; `--bench` skips the tables and instead times the generate +
+//! sink; `--profile <path>` (or `--profile=<path>`) enables the rd-obs
+//! span profiler and writes collapsed-stack output (`stack;sub count_us`
+//! lines, flamegraph-ready) there on exit — set `RD_PROF_ZERO=1` to zero
+//! the counts for byte-stable diffing across thread counts; `--bench`
+//! skips the tables and instead times the generate +
 //! analyze pipeline per network and per stage — at both scales, or only
 //! the small one under `--small` — writing `BENCH_repro.json` (including
 //! a `metrics` section) to the current directory; `--chaos <seed>` (or
@@ -44,6 +48,7 @@ fn main() {
         return;
     }
     let mut trace: Option<String> = None;
+    let mut profile: Option<String> = None;
     let mut chaos_seed: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
@@ -56,6 +61,16 @@ fn main() {
             args.remove(i);
         } else if let Some(path) = args[i].strip_prefix("--trace=") {
             trace = Some(path.to_string());
+            args.remove(i);
+        } else if args[i] == "--profile" {
+            if i + 1 >= args.len() {
+                eprintln!("repro: --profile needs a path");
+                std::process::exit(2);
+            }
+            profile = Some(args.remove(i + 1));
+            args.remove(i);
+        } else if let Some(path) = args[i].strip_prefix("--profile=") {
+            profile = Some(path.to_string());
             args.remove(i);
         } else if args[i] == "--chaos" {
             if i + 1 >= args.len() || args[i + 1].parse::<u64>().is_err() {
@@ -81,7 +96,7 @@ fn main() {
         a.starts_with("--")
             && !matches!(a.as_str(), "--small" | "--bench" | "--timings" | "--metrics")
     }) {
-        eprintln!("repro: unknown flag {bad} (flags: --small --bench --timings --metrics --trace <path> --chaos <seed> --version)");
+        eprintln!("repro: unknown flag {bad} (flags: --small --bench --timings --metrics --trace <path> --profile <path> --chaos <seed> --version)");
         std::process::exit(2);
     }
     let sink_result = match &trace {
@@ -96,15 +111,15 @@ fn main() {
         eprintln!("repro: cannot open trace sink: {e}");
         std::process::exit(2);
     }
+    if profile.is_some() {
+        rd_obs::profile::enable();
+    }
     let small = args.iter().any(|a| a == "--small");
     let show_metrics = args.iter().any(|a| a == "--metrics");
     let scale = if small { StudyScale::Small } else { StudyScale::Full };
     if args.iter().any(|a| a == "--bench") {
         bench(small);
-        if show_metrics {
-            eprint!("{}", rd_obs::metrics::dump());
-        }
-        rd_obs::trace::flush();
+        finish(show_metrics, &profile);
         return;
     }
     let timings = args.iter().any(|a| a == "--timings");
@@ -154,7 +169,7 @@ fn main() {
     if targets.contains(&"diag") {
         diag(&networks);
         if targets.len() == 1 {
-            finish_and_exit(show_metrics, &dropped);
+            finish_and_exit(show_metrics, &profile, &dropped);
         }
     }
     let report = StudyReport::build(&networks);
@@ -183,14 +198,21 @@ fn main() {
     if want("net15") {
         net15(&networks);
     }
-    finish_and_exit(show_metrics, &dropped);
+    finish_and_exit(show_metrics, &profile, &dropped);
 }
 
 /// End-of-run bookkeeping shared by every mode: optional metrics dump,
-/// then a trace flush so the JSONL sink is complete on exit.
-fn finish(show_metrics: bool) {
+/// the collapsed-stack profile if `--profile` asked for one, then a
+/// trace flush so the JSONL sink is complete on exit.
+fn finish(show_metrics: bool, profile: &Option<String>) {
     if show_metrics {
         eprint!("{}", rd_obs::metrics::dump());
+    }
+    if let Some(path) = profile {
+        match rd_obs::profile::write_folded(path) {
+            Ok(()) => eprintln!("profile: collapsed stacks written to {path}"),
+            Err(e) => eprintln!("repro: cannot write profile {path}: {e}"),
+        }
     }
     rd_obs::trace::flush();
 }
@@ -198,8 +220,12 @@ fn finish(show_metrics: bool) {
 /// Terminal bookkeeping for a study run: any network dropped by the error
 /// budget makes the whole run exit 1, so scripts cannot mistake a partial
 /// study for a complete one.
-fn finish_and_exit(show_metrics: bool, dropped: &[rd_bench::StudyDrop]) -> ! {
-    finish(show_metrics);
+fn finish_and_exit(
+    show_metrics: bool,
+    profile: &Option<String>,
+    dropped: &[rd_bench::StudyDrop],
+) -> ! {
+    finish(show_metrics, profile);
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     if dropped.is_empty() {

@@ -70,11 +70,27 @@ pub struct LoadStats {
     /// Response body bytes received (sanity signal: zero means the
     /// server sent empty bodies, not that the run went fast).
     pub body_bytes: u64,
+    /// Per-path breakdown in `opts.paths` order; paths that saw no
+    /// responses are omitted.
+    pub endpoints: Vec<EndpointStats>,
+}
+
+/// Exact percentiles for one request path, split out of the aggregate so
+/// a slow endpoint cannot hide behind a fast mix.
+pub struct EndpointStats {
+    pub path: String,
+    pub requests: u64,
+    pub p50_us: u64,
+    pub p99_us: u64,
+    pub p999_us: u64,
 }
 
 /// Per-connection tallies merged into [`LoadStats`] at the end.
 struct WorkerStats {
     latencies_us: Vec<u64>,
+    /// Latencies split by index into `opts.paths`, parallel to
+    /// `latencies_us`.
+    by_path: Vec<Vec<u64>>,
     errors: u64,
     body_bytes: u64,
 }
@@ -166,7 +182,12 @@ fn worker(addr: SocketAddr, opts: &LoadOptions, offset: usize) -> Result<WorkerS
         .map_err(|e| format!("set timeout: {e}"))?;
     let mut stream = stream;
     let mut reader = ResponseReader::new();
-    let mut stats = WorkerStats { latencies_us: Vec::new(), errors: 0, body_bytes: 0 };
+    let mut stats = WorkerStats {
+        latencies_us: Vec::new(),
+        by_path: vec![Vec::new(); opts.paths.len()],
+        errors: 0,
+        body_bytes: 0,
+    };
 
     // Pre-render each path's request once; batches are concatenations.
     let requests: Vec<Vec<u8>> = opts
@@ -180,6 +201,7 @@ fn worker(addr: SocketAddr, opts: &LoadOptions, offset: usize) -> Result<WorkerS
     let deadline = Instant::now() + opts.duration;
     while Instant::now() < deadline {
         batch.clear();
+        let base = cursor; // response j below came from path (base + j)
         for i in 0..opts.pipeline {
             batch.extend_from_slice(&requests[(cursor + i) % requests.len()]);
         }
@@ -189,10 +211,12 @@ fn worker(addr: SocketAddr, opts: &LoadOptions, offset: usize) -> Result<WorkerS
             stats.errors += 1;
             return Err(format!("write failed: {e}"));
         }
-        for _ in 0..opts.pipeline {
+        for j in 0..opts.pipeline {
             match reader.next_response(&mut stream) {
                 Ok((status, body_len)) => {
-                    stats.latencies_us.push(sent.elapsed().as_micros() as u64);
+                    let latency = sent.elapsed().as_micros() as u64;
+                    stats.latencies_us.push(latency);
+                    stats.by_path[(base + j) % requests.len()].push(latency);
                     stats.body_bytes += body_len as u64;
                     if status != 200 {
                         stats.errors += 1;
@@ -227,33 +251,56 @@ pub fn run(addr: SocketAddr, opts: &LoadOptions) -> Result<LoadStats, String> {
     let duration = started.elapsed();
 
     let mut latencies = Vec::new();
+    let mut by_path: Vec<Vec<u64>> = vec![Vec::new(); opts.paths.len()];
     let mut errors = 0u64;
     let mut body_bytes = 0u64;
     for w in workers {
         let w = w?;
         latencies.extend(w.latencies_us);
+        for (merged, local) in by_path.iter_mut().zip(w.by_path) {
+            merged.extend(local);
+        }
         errors += w.errors;
         body_bytes += w.body_bytes;
     }
     latencies.sort_unstable();
-    let pick = |q: f64| {
-        if latencies.is_empty() {
-            0
-        } else {
-            latencies[((latencies.len() - 1) as f64 * q) as usize]
-        }
-    };
     let requests = latencies.len() as u64;
+    let endpoints = opts
+        .paths
+        .iter()
+        .zip(by_path.iter_mut())
+        .filter(|(_, lats)| !lats.is_empty())
+        .map(|(path, lats)| {
+            lats.sort_unstable();
+            EndpointStats {
+                path: path.clone(),
+                requests: lats.len() as u64,
+                p50_us: percentile(lats, 0.50),
+                p99_us: percentile(lats, 0.99),
+                p999_us: percentile(lats, 0.999),
+            }
+        })
+        .collect();
     Ok(LoadStats {
         requests,
         errors,
         duration,
         throughput_rps: requests as f64 / duration.as_secs_f64().max(1e-9),
-        p50_us: pick(0.50),
-        p99_us: pick(0.99),
-        p999_us: pick(0.999),
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        p999_us: percentile(&latencies, 0.999),
         body_bytes,
+        endpoints,
     })
+}
+
+/// Exact quantile over sorted latencies (0 for an empty set).
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        0
+    } else {
+        sorted[((sorted.len() - 1) as f64 * q) as usize]
+    }
 }
 
 /// The standard mixed-endpoint path set for a server with the given

@@ -50,6 +50,11 @@
 //! - `--trace <path>` (or `--trace=<path>`) writes the structured JSONL
 //!   event stream to `path`; `--trace -` streams it to stderr. Without
 //!   the flag, the `RD_TRACE` environment variable picks the sink.
+//! - `--profile <path>` (or `--profile=<path>`) records hierarchical
+//!   wall-clock spans across the pipeline and writes them as
+//!   collapsed-stack lines (`stack;substack self_us`) for flamegraph
+//!   tooling. Root stacks are the `--timings` stage names.
+//!   `RD_PROF_ZERO=1` zeroes the counts for byte-exact comparisons.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -63,10 +68,12 @@ struct Flags {
     metrics: bool,
     json: bool,
     trace: Option<String>,
+    profile: Option<String>,
 }
 
 fn parse_flags(args: &mut Vec<String>) -> Result<Flags, String> {
-    let mut flags = Flags { timings: false, metrics: false, json: false, trace: None };
+    let mut flags =
+        Flags { timings: false, metrics: false, json: false, trace: None, profile: None };
     let mut rest = Vec::with_capacity(args.len());
     let mut it = std::mem::take(args).into_iter();
     while let Some(arg) = it.next() {
@@ -78,8 +85,15 @@ fn parse_flags(args: &mut Vec<String>) -> Result<Flags, String> {
                 Some(path) => flags.trace = Some(path),
                 None => return Err("--trace needs a path (or '-')".to_string()),
             },
+            "--profile" => match it.next() {
+                Some(path) => flags.profile = Some(path),
+                None => return Err("--profile needs an output path".to_string()),
+            },
             other if other.starts_with("--trace=") => {
                 flags.trace = Some(other["--trace=".len()..].to_string());
+            }
+            other if other.starts_with("--profile=") => {
+                flags.profile = Some(other["--profile=".len()..].to_string());
             }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other:?}"));
@@ -128,6 +142,9 @@ fn main() -> ExitCode {
         eprintln!("rdx: cannot open trace sink: {e}");
         return ExitCode::FAILURE;
     }
+    if flags.profile.is_some() {
+        rd_obs::profile::enable();
+    }
 
     let (dir, rest) = match args.split_first() {
         Some((dir, rest)) => (dir.clone(), rest.to_vec()),
@@ -152,6 +169,7 @@ fn main() -> ExitCode {
                 );
             }
             rd_obs::trace::flush();
+            write_profile(&flags);
             return ExitCode::FAILURE;
         }
     };
@@ -180,7 +198,19 @@ fn main() -> ExitCode {
         eprint!("{}", rd_obs::metrics::dump());
     }
     rd_obs::trace::flush();
+    write_profile(&flags);
     code
+}
+
+/// Writes the collapsed-stack profile when `--profile <path>` was given.
+fn write_profile(flags: &Flags) {
+    let Some(path) = &flags.profile else {
+        return;
+    };
+    match rd_obs::profile::write_folded(path) {
+        Ok(()) => eprintln!("profile: collapsed stacks written to {path}"),
+        Err(e) => eprintln!("rdx: cannot write profile {path}: {e}"),
+    }
 }
 
 fn run_command(
@@ -232,7 +262,8 @@ fn usage() -> ExitCode {
          pathway <router>|dot [process|instances]|reach <src> <dst>|\
          flow <src> <dst> [proto] [port]|separation <a> <b>|\
          whatif <router> [...]|audit|diag|diff <other-dir>|\
-         anonymize <out-dir> <key>] [--json] [--timings] [--metrics] [--trace <path>]\n\
+         anonymize <out-dir> <key>] [--json] [--timings] [--metrics] [--trace <path>] \
+         [--profile <path>]\n\
          \x20      rdx snap <dir> -o <file.rdsnap>\n\
          \x20      rdx serve <file.rdsnap> [--addr HOST:PORT] [--workers N] [--max-conns N] [--no-cache]\n\
          \x20      rdx chaos <dir> [--seed N] [--configs M] [--snapshots K] [--max-rss-mb MB]\n\
@@ -249,7 +280,7 @@ usage:
   rdx <config-dir> [command] [flags]     analyze a config directory
   rdx snap <dir> -o <file.rdsnap>        analyze once, write a snapshot
   rdx serve <file.rdsnap> [--addr HOST:PORT] [--workers N]
-            [--max-conns N] [--no-cache]
+            [--max-conns N] [--no-cache] [--profile <path>]
                                          serve a snapshot over HTTP from an
                                          epoll event loop: --workers N sets
                                          the loop-thread count (0 = auto),
@@ -258,7 +289,9 @@ usage:
                                          Retry-After), --no-cache disables
                                          the pre-rendered response cache
                                          (debug escape hatch; bodies are
-                                         byte-identical either way)
+                                         byte-identical either way),
+                                         --profile writes the cache-build
+                                         span profile on shutdown
   rdx chaos <dir> [--seed N] [--configs M] [--snapshots K] [--max-rss-mb MB]
                                          deterministic fault-injection sweep:
                                          mutate the corpus M times and corrupt
@@ -292,15 +325,26 @@ flags:
   --timings          per-stage pipeline wall-clock times on stderr
   --metrics          dump the metrics registry on stderr
   --trace <path>     structured JSONL trace to path ('-' for stderr)
+  --profile <path>   collapsed-stack wall-clock profile to path
+                     (one 'stack;substack self_us' line per stack, for
+                     flamegraph tooling; roots are the --timings stage
+                     names; RD_PROF_ZERO=1 zeroes counts for byte-exact
+                     determinism comparisons)
   --version, -V      print the version and exit
   --help, -h         print this reference and exit
 
 serve endpoints:
   /healthz /networks /networks/{{id}} /networks/{{id}}/processes
   /instances /pathways /diag /metrics
+  /admin/debug/loop   per-event-loop health (wakeups, slab, wheel)
+  /admin/debug/conns  live connections (state, age, buffers)
+  /admin/debug/cache  serving snapshot + reload history ring
   Snapshot-derived responses carry the snapshot's FNV-1a-64 trailer as
   an ETag and honor If-None-Match with 304. SIGHUP or POST /admin/reload
   re-reads the snapshot file and hot-swaps it with zero dropped requests.
+  /metrics includes per-request and per-loop histograms (request_us,
+  conn_age_ms, epoll_wait_us, wakeup_events, iter_us), backpressure and
+  rejection counters, rd_build_info, and process_uptime_seconds.
 
 exit codes:
   0  success
@@ -415,6 +459,7 @@ fn snap_cmd(args: &[String]) -> ExitCode {
 fn serve_cmd(args: &[String]) -> ExitCode {
     let mut file: Option<String> = None;
     let mut addr = "127.0.0.1:8080".to_string();
+    let mut profile: Option<String> = None;
     let mut opts = rd_serve::ServeOptions::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -423,6 +468,13 @@ fn serve_cmd(args: &[String]) -> ExitCode {
                 Some(a) => addr = a.clone(),
                 None => {
                     eprintln!("rdx: serve: --addr needs HOST:PORT");
+                    return ExitCode::from(2);
+                }
+            },
+            "--profile" => match it.next() {
+                Some(p) => profile = Some(p.clone()),
+                None => {
+                    eprintln!("rdx: serve: --profile needs an output path");
                     return ExitCode::from(2);
                 }
             },
@@ -444,6 +496,9 @@ fn serve_cmd(args: &[String]) -> ExitCode {
             other if other.starts_with("--addr=") => {
                 addr = other["--addr=".len()..].to_string();
             }
+            other if other.starts_with("--profile=") => {
+                profile = Some(other["--profile=".len()..].to_string());
+            }
             other if other.starts_with('-') => {
                 eprintln!("rdx: serve: unknown flag {other:?}");
                 return ExitCode::from(2);
@@ -458,10 +513,13 @@ fn serve_cmd(args: &[String]) -> ExitCode {
     let Some(file) = file else {
         eprintln!(
             "usage: rdx serve <file.rdsnap> [--addr HOST:PORT] [--workers N] \
-             [--max-conns N] [--no-cache]"
+             [--max-conns N] [--no-cache] [--profile <path>]"
         );
         return ExitCode::from(2);
     };
+    if profile.is_some() {
+        rd_obs::profile::enable();
+    }
     rd_serve::install_signal_handlers();
     // start_file wires the snapshot in as the hot-reload source: SIGHUP
     // or `POST /admin/reload` re-reads it and swaps atomically.
@@ -478,6 +536,12 @@ fn serve_cmd(args: &[String]) -> ExitCode {
     use std::io::Write as _;
     std::io::stdout().flush().ok();
     server.run_until_shutdown();
+    if let Some(path) = &profile {
+        match rd_obs::profile::write_folded(path) {
+            Ok(()) => eprintln!("profile: collapsed stacks written to {path}"),
+            Err(e) => eprintln!("rdx: cannot write profile {path}: {e}"),
+        }
+    }
     eprintln!("rdx: shut down cleanly");
     ExitCode::SUCCESS
 }

@@ -114,50 +114,54 @@ impl NetworkAnalysis {
             "analyze",
             &[("routers", network.len().into())],
         );
+        // Each stage runs under a profile span sharing the stage-timing
+        // name, so a folded profile's root stacks are exactly the
+        // StageTimings vocabulary.
         let mut sw = Stopwatch::start();
-        let links = LinkMap::build(&network);
-        sw.lap("links");
-        let external = ExternalAnalysis::build(&network, &links);
-        sw.lap("external");
-        let processes = Processes::extract(&network);
-        sw.lap("processes");
-        let adjacencies = Adjacencies::build(&network, &links, &processes, &external);
-        sw.lap("adjacencies");
-        let instances = Instances::compute(&processes, &adjacencies);
-        sw.lap("instances");
-        let instance_graph =
-            InstanceGraph::build(&network, &processes, &adjacencies, &instances);
-        let process_graph = ProcessGraph::build(&network, &processes, &adjacencies);
-        sw.lap("graphs");
-        let blocks = network.address_blocks();
-        sw.lap("blocks");
-        let table1 = Table1::compute(&instances, &instance_graph, &adjacencies);
-        let design =
-            classify_network(&network, &instances, &instance_graph, &adjacencies, &table1);
-        sw.lap("classify");
+        let links = sw.stage("links", || LinkMap::build(&network));
+        let external = sw.stage("external", || ExternalAnalysis::build(&network, &links));
+        let processes = sw.stage("processes", || Processes::extract(&network));
+        let adjacencies =
+            sw.stage("adjacencies", || Adjacencies::build(&network, &links, &processes, &external));
+        let instances = sw.stage("instances", || Instances::compute(&processes, &adjacencies));
+        let (instance_graph, process_graph) = sw.stage("graphs", || {
+            (
+                InstanceGraph::build(&network, &processes, &adjacencies, &instances),
+                ProcessGraph::build(&network, &processes, &adjacencies),
+            )
+        });
+        let blocks = sw.stage("blocks", || network.address_blocks());
+        let (table1, design) = sw.stage("classify", || {
+            let table1 = Table1::compute(&instances, &instance_graph, &adjacencies);
+            let design =
+                classify_network(&network, &instances, &instance_graph, &adjacencies, &table1);
+            (table1, design)
+        });
 
         // Fold the whole pipeline's diagnostics into one channel: parse
         // level, then topology hints, then design smells.
-        let mut diagnostics = network.diagnostics.clone();
-        for hint in &external.missing_router_hints {
-            let router = network.router(hint.iface.router);
-            diagnostics.push(Diagnostic {
-                file: router.file_name.clone(),
-                line: 0,
-                severity: Severity::Warning,
-                code: "possible-missing-router",
-                message: format!(
-                    "interface {} ({}) is external-facing inside internal block {} — \
-                     a router configuration may be missing from the data set",
-                    router.config.interfaces[hint.iface.iface].name,
-                    hint.subnet,
-                    hint.block,
-                ),
-            });
-        }
-        diagnostics
-            .extend(routing_model::design_diagnostics(&network, &processes, &instances));
-        sw.lap("diagnose");
+        let diagnostics = sw.stage("diagnose", || {
+            let mut diagnostics = network.diagnostics.clone();
+            for hint in &external.missing_router_hints {
+                let router = network.router(hint.iface.router);
+                diagnostics.push(Diagnostic {
+                    file: router.file_name.clone(),
+                    line: 0,
+                    severity: Severity::Warning,
+                    code: "possible-missing-router",
+                    message: format!(
+                        "interface {} ({}) is external-facing inside internal block {} — \
+                         a router configuration may be missing from the data set",
+                        router.config.interfaces[hint.iface.iface].name,
+                        hint.subnet,
+                        hint.block,
+                    ),
+                });
+            }
+            diagnostics
+                .extend(routing_model::design_diagnostics(&network, &processes, &instances));
+            diagnostics
+        });
 
         rd_obs::metrics::counter_add("instances.count", instances.len() as u64);
         rd_obs::metrics::counter_add("links.count", links.links.len() as u64);
@@ -198,7 +202,10 @@ impl NetworkAnalysis {
         I: IntoIterator<Item = (String, String)>,
     {
         let started = std::time::Instant::now();
-        let network = Network::from_texts(texts)?;
+        let network = {
+            let _span = rd_obs::span!("parse");
+            Network::from_texts(texts)?
+        };
         let parse_time = started.elapsed();
         rd_obs::metrics::record_peak_rss("parse");
         let mut analysis = NetworkAnalysis::from_network(network);
@@ -214,7 +221,10 @@ impl NetworkAnalysis {
     /// surviving routers.
     pub fn from_bytes_list(files: Vec<(String, Vec<u8>)>) -> NetworkAnalysis {
         let started = std::time::Instant::now();
-        let network = Network::from_bytes_list(files);
+        let network = {
+            let _span = rd_obs::span!("parse");
+            Network::from_bytes_list(files)
+        };
         let parse_time = started.elapsed();
         rd_obs::metrics::record_peak_rss("parse");
         let mut analysis = NetworkAnalysis::from_network(network);
@@ -232,7 +242,10 @@ impl NetworkAnalysis {
     /// parsing together are recorded as the `"parse"` stage.
     pub fn from_dir(dir: &Path) -> Result<NetworkAnalysis, LoadError> {
         let started = std::time::Instant::now();
-        let network = Network::from_dir(dir)?;
+        let network = {
+            let _span = rd_obs::span!("parse");
+            Network::from_dir(dir)?
+        };
         let parse_time = started.elapsed();
         rd_obs::metrics::record_peak_rss("parse");
         let mut analysis = NetworkAnalysis::from_network(network);

@@ -23,6 +23,10 @@
 //!   policy reference, ambiguous structure) with severity, carried through
 //!   `ioscfg` → `nettopo` → `routing-model` instead of being dropped, and
 //!   surfaced by `rdx <dir> diag`.
+//! - [`profile`]: RAII hierarchical wall-clock spans (the [`span!`] macro)
+//!   aggregated into collapsed-stack output for flamegraph tooling,
+//!   enabled by `rdx`/`repro --profile <path>` and byte-identical across
+//!   thread counts under `RD_PROF_ZERO=1`.
 //! - [`json`]: the tiny JSON escaping/validation helpers behind all of the
 //!   above, plus the `trace_check` self-check binary that `scripts/verify.sh`
 //!   runs over emitted trace files.
@@ -33,7 +37,26 @@
 pub mod diag;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod trace;
 
 pub use diag::{Diagnostic, Diagnostics, Severity};
+pub use profile::ProfSpan;
 pub use trace::{Event, SpanGuard, Value};
+
+/// Opens a profiling span ([`profile::span`]) named by a string literal or
+/// `format!`-style arguments: `span!("parse")`, `span!("parse:{}", name)`.
+/// A lone literal is passed through verbatim (no allocation, no `{}`
+/// interpolation); use the multi-argument form for dynamic names.
+/// Returns the RAII [`ProfSpan`] guard; bind it (`let _span = ...`) so the
+/// span covers the intended scope. Costs one atomic load when profiling
+/// is disabled.
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {
+        $crate::profile::span($name)
+    };
+    ($($arg:tt)*) => {
+        $crate::profile::span(&format!($($arg)*))
+    };
+}

@@ -16,6 +16,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// A histogram with caller-fixed bucket bounds: `buckets[i]` counts values
 /// `<= bounds[i]`, with one final overflow bucket.
@@ -159,6 +160,18 @@ pub fn histogram_record(name: &str, value: u64, bounds: &[u64]) {
     });
 }
 
+/// Registers an empty histogram with the given bounds if the name is not
+/// already taken. Servers pre-register their metric families at startup
+/// so `/metrics` exposes every family (at zero) before the first
+/// observation — scrape contracts can then assert presence uncondition-
+/// ally instead of racing the first request.
+pub fn histogram_register(name: &str, bounds: &[u64]) {
+    with_registry(|reg| {
+        reg.entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new(bounds)));
+    });
+}
+
 /// Merges a locally-accumulated histogram into the named registry
 /// histogram under a single registry lock — the batched alternative to
 /// per-value [`histogram_record`] calls for paths that observe hundreds
@@ -284,9 +297,30 @@ fn prometheus_name(name: &str) -> String {
     out
 }
 
+static BUILD_INFO: Mutex<Option<(String, Instant)>> = Mutex::new(None);
+
+/// Declares the running build for `/metrics`: adds an
+/// `rd_build_info{version="..."} 1` gauge and starts the
+/// `process_uptime_seconds` clock. Called once by server startup; the
+/// lines appear only in [`render_prometheus`], never in the
+/// deterministic dump/JSON renderings, so analysis-output comparisons
+/// stay byte-stable.
+pub fn set_build_info(version: &str) {
+    let mut info = BUILD_INFO.lock().expect("build info poisoned");
+    if info.is_none() {
+        *info = Some((version.to_string(), Instant::now()));
+    }
+}
+
+fn build_info() -> Option<(String, Instant)> {
+    BUILD_INFO.lock().expect("build info poisoned").clone()
+}
+
 /// Renders the registry in the Prometheus text exposition format
 /// (version 0.0.4), sorted by metric name — served at `/metrics` by
-/// `rdx serve`.
+/// `rdx serve`. When [`set_build_info`] has been called, the
+/// `rd_build_info` and `process_uptime_seconds` gauges are appended
+/// after the sorted registry families.
 ///
 /// Counters gain a `_total` suffix per convention; histograms render as
 /// cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
@@ -316,7 +350,111 @@ pub fn render_prometheus() -> String {
             }
         }
     }
+    if let Some((version, started)) = build_info() {
+        let _ = writeln!(out, "# TYPE rd_build_info gauge");
+        let _ = writeln!(out, "rd_build_info{{version=\"{}\"}} 1", crate::json::escape(&version));
+        let _ = writeln!(out, "# TYPE process_uptime_seconds gauge");
+        let _ = writeln!(out, "process_uptime_seconds {:.3}", started.elapsed().as_secs_f64());
+    }
     out
+}
+
+/// Lints text in the Prometheus exposition format, returning the first
+/// problem found. Checks, per the format spec: sample and `# TYPE` names
+/// stay in the legal charset; every sample line carries a numeric value;
+/// for each declared histogram, `_bucket{le=...}` counts are cumulative
+/// (non-decreasing), the series ends with `le="+Inf"`, the `+Inf` bucket
+/// equals `_count`, and `_sum`/`_count` are present.
+///
+/// This backs the format contract test on [`render_prometheus`] and is
+/// cheap enough for integration tests to run against a live `/metrics`
+/// scrape.
+pub fn lint_prometheus(text: &str) -> Result<(), String> {
+    fn name_ok(name: &str) -> bool {
+        let mut chars = name.chars();
+        let Some(first) = chars.next() else {
+            return false;
+        };
+        (first.is_ascii_alphabetic() || first == '_' || first == ':')
+            && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+
+    let mut histograms: Vec<String> = Vec::new();
+    let mut samples: Vec<(String, String, f64)> = Vec::new(); // (name, labels, value)
+    for (lineno, line) in text.lines().enumerate() {
+        let err = |what: &str| Err(format!("line {}: {what}: {line:?}", lineno + 1));
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let (Some(name), Some(kind)) = (parts.next(), parts.next()) else {
+                return err("malformed TYPE comment");
+            };
+            if !name_ok(name) {
+                return err("illegal metric name in TYPE");
+            }
+            if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                return err("unknown metric type");
+            }
+            if kind == "histogram" {
+                histograms.push(name.to_string());
+            }
+            continue;
+        }
+        if line.starts_with('#') || line.trim().is_empty() {
+            continue;
+        }
+        // Sample line: `name[{labels}] value`.
+        let name_end = line.find(['{', ' ']).unwrap_or(line.len());
+        let name = &line[..name_end];
+        if !name_ok(name) {
+            return err("illegal sample name");
+        }
+        let rest = &line[name_end..];
+        let (labels, value_text) = if let Some(rest) = rest.strip_prefix('{') {
+            let Some(close) = rest.find('}') else {
+                return err("unterminated label set");
+            };
+            (&rest[..close], rest[close + 1..].trim())
+        } else {
+            ("", rest.trim())
+        };
+        let Ok(value) = value_text.parse::<f64>() else {
+            return err("non-numeric sample value");
+        };
+        samples.push((name.to_string(), labels.to_string(), value));
+    }
+
+    for h in &histograms {
+        let buckets: Vec<&(String, String, f64)> =
+            samples.iter().filter(|(n, _, _)| n == &format!("{h}_bucket")).collect();
+        if buckets.is_empty() {
+            return Err(format!("histogram {h}: no _bucket series"));
+        }
+        let mut prev = f64::MIN;
+        for (_, labels, value) in &buckets {
+            if !labels.contains("le=\"") {
+                return Err(format!("histogram {h}: bucket without le label"));
+            }
+            if *value < prev {
+                return Err(format!("histogram {h}: bucket counts not cumulative"));
+            }
+            prev = *value;
+        }
+        let (_, last_labels, inf_count) = buckets[buckets.len() - 1];
+        if !last_labels.contains("le=\"+Inf\"") {
+            return Err(format!("histogram {h}: last bucket must be le=\"+Inf\""));
+        }
+        let count = samples.iter().find(|(n, _, _)| n == &format!("{h}_count"));
+        let Some((_, _, count)) = count else {
+            return Err(format!("histogram {h}: missing _count"));
+        };
+        if (inf_count - count).abs() > f64::EPSILON {
+            return Err(format!("histogram {h}: +Inf bucket ({inf_count}) != _count ({count})"));
+        }
+        if !samples.iter().any(|(n, _, _)| n == &format!("{h}_sum")) {
+            return Err(format!("histogram {h}: missing _sum"));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -366,6 +504,50 @@ mod tests {
         assert!(prom.contains("t_hist_sum 118"));
         assert!(prom.contains("t_hist_count 4"));
         assert_eq!(prometheus_name("9lives.x-y"), "_9lives_x_y");
+
+        // The exposition output passes its own format lint, and the lint
+        // actually catches the failure modes it claims to.
+        lint_prometheus(&prom).expect("rendered exposition must lint clean");
+        let broken = [
+            // Buckets not cumulative.
+            "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+            // Missing +Inf terminator.
+            "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+            // +Inf bucket disagrees with _count.
+            "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+            // Missing _sum.
+            "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+            // Non-numeric value and illegal name.
+            "ok_metric nope\n",
+            "9bad_name 1\n",
+        ];
+        for text in broken {
+            assert!(lint_prometheus(text).is_err(), "lint accepted: {text:?}");
+        }
+
+        // Pre-registration exposes an empty family; later records reuse
+        // its bounds.
+        histogram_register("t.pre", &[10, 20]);
+        histogram_register("t.pre", &[999]); // second registration: no-op
+        let snap: BTreeMap<String, Metric> = snapshot().into_iter().collect();
+        match &snap["t.pre"] {
+            Metric::Histogram(h) => {
+                assert!(h.is_empty());
+                assert_eq!(h.bounds, vec![10, 20]);
+            }
+            other => panic!("wrong metric: {other:?}"),
+        }
+
+        // Build info: appended to the exposition output only, with a
+        // ticking uptime gauge — and still lint-clean.
+        set_build_info("1.2.3-test");
+        set_build_info("9.9.9-ignored"); // first call wins
+        let prom = render_prometheus();
+        assert!(prom.contains("rd_build_info{version=\"1.2.3-test\"} 1"), "{prom}");
+        assert!(prom.contains("# TYPE process_uptime_seconds gauge"), "{prom}");
+        lint_prometheus(&prom).expect("exposition with build info must lint clean");
+        assert!(!render_json("").contains("build_info"));
+        assert!(!dump().contains("uptime"));
 
         // Batched merge: a local histogram folds in under one lock.
         let mut local = Histogram::new(&[8, 16]);

@@ -191,10 +191,14 @@ where
     }
 
     // Self-scheduling work queue: each worker pulls the next unclaimed
-    // index, computes, and keeps `(index, result, trace events)` locally;
-    // results are reassembled into input order afterwards.
+    // index, computes, and keeps `(index, result, trace events, profile
+    // child time)` locally; results are reassembled into input order
+    // afterwards. The caller's open profile stack is captured once and
+    // replayed on every worker, so spans opened inside `f` fold under the
+    // same stacks as the sequential path.
+    let prof_prefix = rd_obs::profile::stack_path();
     let next = AtomicUsize::new(0);
-    let parts: Vec<Vec<(usize, U, Vec<rd_obs::Event>)>> = std::thread::scope(|scope| {
+    let parts: Vec<Vec<(usize, U, Vec<rd_obs::Event>, u64)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
@@ -204,8 +208,10 @@ where
                         if i >= items.len() {
                             break;
                         }
-                        let (value, events) = rd_obs::trace::scoped(|| f(i, &items[i]));
-                        local.push((i, value, events));
+                        let ((value, child_us), events) = rd_obs::trace::scoped(|| {
+                            rd_obs::profile::with_stack(&prof_prefix, || f(i, &items[i]))
+                        });
+                        local.push((i, value, events, child_us));
                     }
                     local
                 })
@@ -222,22 +228,30 @@ where
             .collect()
     });
 
-    let mut slots: Vec<Option<(U, Vec<rd_obs::Event>)>> =
+    let mut slots: Vec<Option<(U, Vec<rd_obs::Event>, u64)>> =
         std::iter::repeat_with(|| None).take(items.len()).collect();
     for part in parts {
-        for (i, value, events) in part {
+        for (i, value, events, child_us) in part {
             debug_assert!(slots[i].is_none(), "index {i} computed twice");
-            slots[i] = Some((value, events));
+            slots[i] = Some((value, events, child_us));
         }
     }
-    slots
+    let mut child_total = 0u64;
+    let results = slots
         .into_iter()
         .map(|slot| {
-            let (value, events) = slot.expect("work queue visits every index exactly once");
+            let (value, events, child_us) =
+                slot.expect("work queue visits every index exactly once");
+            child_total += child_us;
             rd_obs::trace::emit_events(events);
             value
         })
-        .collect()
+        .collect();
+    // Fold the child time that ran on workers back into the caller's
+    // open frame: its self time stays exclusive, exactly as if the items
+    // had run inline.
+    rd_obs::profile::credit_child_us(child_total);
+    results
 }
 
 #[cfg(test)]
@@ -367,6 +381,54 @@ mod tests {
         assert!(seq[0].contains("\"i\":0") && seq[63].contains("\"i\":63"));
         for threads in [2, 4, 8] {
             assert_eq!(run(threads), seq, "trace differs at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn profile_stacks_are_identical_across_thread_counts() {
+        // One test function owns the global profile state (like the trace
+        // test above owns the sink). Workers open spans under an enclosing
+        // span; the zeroed folded output — the set of stacks — must be
+        // byte-identical at any thread count, and the parent's self time
+        // must exclude the child time that ran on workers.
+        let run = |threads: usize| -> String {
+            rd_obs::profile::enable();
+            rd_obs::profile::reset();
+            let items: Vec<usize> = (0..48).collect();
+            {
+                let _study = rd_obs::profile::span("study");
+                let mut sw = Stopwatch::start();
+                sw.stage("work", || {
+                    par_map_threads(threads, &items, |i, &x| {
+                        let _item = rd_obs::span!("bucket:{}", i % 4);
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                        x
+                    })
+                });
+                let timings = sw.finish();
+                assert!(timings.get("work").is_some());
+            }
+            let folded = rd_obs::profile::render_folded(true);
+            rd_obs::profile::disable();
+            rd_obs::profile::reset();
+            folded
+        };
+        let seq = run(1);
+        let stacks: Vec<&str> = seq.lines().collect();
+        assert_eq!(
+            stacks,
+            vec![
+                "study 0",
+                "study;work 0",
+                "study;work;bucket:0 0",
+                "study;work;bucket:1 0",
+                "study;work;bucket:2 0",
+                "study;work;bucket:3 0",
+            ],
+            "stage spans must nest under the enclosing span"
+        );
+        for threads in [2, 4, 8] {
+            assert_eq!(run(threads), seq, "folded stacks differ at {threads} threads");
         }
     }
 

@@ -111,6 +111,20 @@ impl Stopwatch {
         self.last = now;
     }
 
+    /// Runs `f` as the named stage: an `rd_obs` profile span named `name`
+    /// covers `f`, then the lap is recorded under the same name — so
+    /// folded profiles and stage timings share one vocabulary (a profile's
+    /// root stacks are exactly the [`StageTimings`] stage names).
+    pub fn stage<R>(&mut self, name: impl Into<StageName>, f: impl FnOnce() -> R) -> R {
+        let name = name.into();
+        let value = {
+            let _span = rd_obs::profile::span(&name);
+            f()
+        };
+        self.lap(name);
+        value
+    }
+
     /// Finishes, yielding the recorded stages.
     pub fn finish(self) -> StageTimings {
         self.timings

@@ -44,6 +44,10 @@ pub(crate) struct SnapshotState {
     pub cache: BTreeMap<String, Cached>,
     /// Pre-rendered `304 Not Modified` (keep-alive framing).
     pub not_modified_ka: Vec<u8>,
+    /// Total cached body bytes (for `/admin/debug/cache`).
+    pub cache_body_bytes: usize,
+    /// Total cached pre-framed response bytes.
+    pub cache_resp_bytes: usize,
 }
 
 impl SnapshotState {
@@ -56,12 +60,19 @@ impl SnapshotState {
         let etag = format!("\"{trailer:016x}\"");
         let corpus = Arc::new(corpus);
         let mut cache = BTreeMap::new();
+        let (mut cache_body_bytes, mut cache_resp_bytes) = (0usize, 0usize);
         if cache_enabled {
+            // Profiled as one span with a child per endpoint render, so
+            // `--profile` shows where reload-rebuild time goes.
+            let _span = rd_obs::span!("serve.cache_build");
             for path in static_paths(&corpus) {
-                let Some(body) = render_path(&corpus, &path) else {
-                    continue;
+                let body = {
+                    let _render = rd_obs::span!("render:{}", path);
+                    let Some(body) = render_path(&corpus, &path) else {
+                        continue;
+                    };
+                    body.into_bytes()
                 };
-                let body = body.into_bytes();
                 let mut resp_ka = Vec::with_capacity(body.len() + 160);
                 http::push_response(
                     &mut resp_ka,
@@ -73,12 +84,14 @@ impl SnapshotState {
                     "",
                     false,
                 );
+                cache_body_bytes += body.len();
+                cache_resp_bytes += resp_ka.len();
                 cache.insert(path, Cached { body, resp_ka });
             }
         }
         let mut not_modified_ka = Vec::with_capacity(96);
         http::push_response(&mut not_modified_ka, 304, "", b"", true, Some(&etag), "", false);
-        SnapshotState { corpus, etag, cache, not_modified_ka }
+        SnapshotState { corpus, etag, cache, not_modified_ka, cache_body_bytes, cache_resp_bytes }
     }
 }
 

@@ -32,8 +32,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::cache::{self, SnapshotState};
+use crate::debug::{ConnDebug, LoopDebug, MAX_CONNS_LISTED, PUBLISH_INTERVAL};
 use crate::http::{self, HeadView};
-use crate::{Shared, LATENCY_BOUNDS_US};
+use crate::{Shared, CONN_AGE_BOUNDS_MS, LATENCY_BOUNDS_US, LOOP_US_BOUNDS, WAKEUP_BATCH_BOUNDS};
 
 /// Per-connection read deadline: bounds keep-alive idle time and how
 /// long a client can take to deliver one request head (slowloris).
@@ -59,6 +60,12 @@ const SHUTDOWN_GRACE: Duration = Duration::from_millis(1000);
 /// Timer wheel shape: 64 slots of 128 ms cover every deadline above.
 const WHEEL_SLOTS: usize = 64;
 const WHEEL_TICK: Duration = Duration::from_millis(128);
+/// An idle loop (no requests since the last flush) still folds its
+/// batch after this many wake-ups (~6.4 s at the 100 ms epoll timeout),
+/// so loop-health metrics stay fresh without touching the registry
+/// mutex on every idle wake-up. Under load the flush cadence is
+/// unchanged: once per wake-up that served anything.
+const IDLE_FLUSH_WAKEUPS: u64 = 64;
 
 // ---------------------------------------------------------------------
 // Raw epoll bindings (Linux). The `epoll_event` struct is packed on
@@ -188,10 +195,15 @@ struct Conn {
     /// Remaining bytes the draining close will discard.
     linger_budget: usize,
     read_eof: bool,
+    /// When the connection was accepted (close-age telemetry).
+    created: Instant,
+    /// True while past the write high-water mark — tracked so the
+    /// engaged/released transition counters fire exactly once per edge.
+    backpressured: bool,
 }
 
 impl Conn {
-    fn new(stream: TcpStream, deadline: Instant) -> Conn {
+    fn new(stream: TcpStream, now: Instant, deadline: Instant) -> Conn {
         Conn {
             stream,
             state: ConnState::Open,
@@ -204,6 +216,17 @@ impl Conn {
             deadline,
             linger_budget: LINGER_BUDGET,
             read_eof: false,
+            created: now,
+            backpressured: false,
+        }
+    }
+
+    fn state_name(&self) -> &'static str {
+        match self.state {
+            ConnState::Open => "open",
+            ConnState::FlushClose { linger: false } => "flush-close",
+            ConnState::FlushClose { linger: true } => "flush-close-linger",
+            ConnState::Draining => "draining",
         }
     }
 
@@ -297,9 +320,22 @@ impl Wheel {
             fired.append(&mut self.slots[self.cursor]);
         }
     }
+
+    /// `(total entries, deepest bucket)` — telemetry; entries for
+    /// deadlines that have since moved are counted as they sit.
+    fn depth(&self) -> (usize, usize) {
+        let mut total = 0;
+        let mut deepest = 0;
+        for slot in &self.slots {
+            total += slot.len();
+            deepest = deepest.max(slot.len());
+        }
+        (total, deepest)
+    }
 }
 
-/// Per-loop metrics batch, folded into rd-obs once per wake-up.
+/// Per-loop metrics batch, folded into rd-obs once per wake-up (or, on
+/// an idle loop, once per [`IDLE_FLUSH_WAKEUPS`]).
 struct LoopStats {
     requests: u64,
     /// Response counts by status class (index = class - 2 for 2xx..5xx).
@@ -308,6 +344,25 @@ struct LoopStats {
     cache_hits: u64,
     cache_misses: u64,
     rejected_busy: u64,
+    /// Epoll wake-ups since the last flush.
+    wakeups: u64,
+    /// Time spent blocked in `epoll_wait` per wake-up.
+    epoll_wait_us: rd_obs::metrics::Histogram,
+    /// Readiness events delivered per wake-up (batch size).
+    wakeup_events: rd_obs::metrics::Histogram,
+    /// Time spent processing one wake-up (dispatch + wheel).
+    iter_us: rd_obs::metrics::Histogram,
+    /// Connection age at close.
+    conn_age_ms: rd_obs::metrics::Histogram,
+    /// Write-buffer backpressure edges since the last flush.
+    backpressure_engaged: u64,
+    backpressure_released: u64,
+    /// High-water marks since the last flush.
+    slab_live_hw: usize,
+    wheel_depth_hw: usize,
+    /// Cumulative since loop start (never reset — debug snapshots).
+    total_wakeups: u64,
+    total_requests: u64,
 }
 
 impl LoopStats {
@@ -319,6 +374,17 @@ impl LoopStats {
             cache_hits: 0,
             cache_misses: 0,
             rejected_busy: 0,
+            wakeups: 0,
+            epoll_wait_us: rd_obs::metrics::Histogram::new(LOOP_US_BOUNDS),
+            wakeup_events: rd_obs::metrics::Histogram::new(WAKEUP_BATCH_BOUNDS),
+            iter_us: rd_obs::metrics::Histogram::new(LOOP_US_BOUNDS),
+            conn_age_ms: rd_obs::metrics::Histogram::new(CONN_AGE_BOUNDS_MS),
+            backpressure_engaged: 0,
+            backpressure_released: 0,
+            slab_live_hw: 0,
+            wheel_depth_hw: 0,
+            total_wakeups: 0,
+            total_requests: 0,
         }
     }
 
@@ -326,6 +392,7 @@ impl LoopStats {
     /// installed) still fires per request.
     fn record(&mut self, method: &str, target: &str, status: u16, us: u64) {
         self.requests += 1;
+        self.total_requests += 1;
         let class = (status / 100).clamp(2, 5) as usize - 2;
         self.classes[class] += 1;
         self.latency.record(us);
@@ -348,6 +415,7 @@ impl LoopStats {
     /// an error burst.
     fn record_error(&mut self, status: u16) {
         self.requests += 1;
+        self.total_requests += 1;
         let class = (status / 100).clamp(2, 5) as usize - 2;
         self.classes[class] += 1;
         if rd_obs::trace::enabled() {
@@ -363,10 +431,10 @@ impl LoopStats {
     }
 
     fn flush(&mut self) {
-        if self.requests == 0 && self.rejected_busy == 0 {
+        if self.requests == 0 && self.rejected_busy == 0 && self.wakeups < IDLE_FLUSH_WAKEUPS {
             return;
         }
-        use rd_obs::metrics::{counter_add, histogram_merge};
+        use rd_obs::metrics::{counter_add, gauge_max, histogram_merge, Histogram};
         if self.requests > 0 {
             counter_add("http.requests", self.requests);
             self.requests = 0;
@@ -377,8 +445,10 @@ impl LoopStats {
                 *n = 0;
             }
         }
-        histogram_merge("http.request_us", &self.latency);
-        self.latency = rd_obs::metrics::Histogram::new(LATENCY_BOUNDS_US);
+        if !self.latency.is_empty() {
+            histogram_merge("http.request_us", &self.latency);
+            self.latency = Histogram::new(LATENCY_BOUNDS_US);
+        }
         if self.cache_hits > 0 {
             counter_add("http.cache_hit", self.cache_hits);
             self.cache_hits = 0;
@@ -390,6 +460,42 @@ impl LoopStats {
         if self.rejected_busy > 0 {
             counter_add("http.rejected_busy", self.rejected_busy);
             self.rejected_busy = 0;
+        }
+        if self.wakeups > 0 {
+            counter_add("loop.wakeups", self.wakeups);
+            self.wakeups = 0;
+        }
+        if !self.epoll_wait_us.is_empty() {
+            histogram_merge("loop.epoll_wait_us", &self.epoll_wait_us);
+            self.epoll_wait_us = Histogram::new(LOOP_US_BOUNDS);
+        }
+        if !self.wakeup_events.is_empty() {
+            histogram_merge("loop.wakeup_events", &self.wakeup_events);
+            self.wakeup_events = Histogram::new(WAKEUP_BATCH_BOUNDS);
+        }
+        if !self.iter_us.is_empty() {
+            histogram_merge("loop.iter_us", &self.iter_us);
+            self.iter_us = Histogram::new(LOOP_US_BOUNDS);
+        }
+        if !self.conn_age_ms.is_empty() {
+            histogram_merge("http.conn_age_ms", &self.conn_age_ms);
+            self.conn_age_ms = Histogram::new(CONN_AGE_BOUNDS_MS);
+        }
+        if self.backpressure_engaged > 0 {
+            counter_add("loop.backpressure_engaged", self.backpressure_engaged);
+            self.backpressure_engaged = 0;
+        }
+        if self.backpressure_released > 0 {
+            counter_add("loop.backpressure_released", self.backpressure_released);
+            self.backpressure_released = 0;
+        }
+        if self.slab_live_hw > 0 {
+            gauge_max("loop.slab_live_hw", self.slab_live_hw as i64);
+            self.slab_live_hw = 0;
+        }
+        if self.wheel_depth_hw > 0 {
+            gauge_max("loop.wheel_depth_hw", self.wheel_depth_hw as i64);
+            self.wheel_depth_hw = 0;
         }
     }
 }
@@ -501,6 +607,43 @@ fn respond(
                             "",
                             head_only,
                         );
+                    } else if let ["admin", "debug", which] = segments.as_slice() {
+                        // Rendered from state the loops publish off the
+                        // hot path (and, for the cache view, from this
+                        // loop's current snapshot state) — never from
+                        // another loop's live slab.
+                        let body = match *which {
+                            "loop" => Some(shared.render_debug_loops()),
+                            "conns" => Some(shared.render_debug_conns()),
+                            "cache" => Some(shared.render_debug_cache(st)),
+                            _ => None,
+                        };
+                        if let Some(body) = body {
+                            status = 200;
+                            http::push_response(
+                                out,
+                                200,
+                                "application/json",
+                                body.as_bytes(),
+                                keep,
+                                None,
+                                "cache-control: no-store\r\n",
+                                head_only,
+                            );
+                        } else {
+                            status = 404;
+                            let body = http::error_body(404, &cache::not_found_message(path));
+                            http::push_response(
+                                out,
+                                404,
+                                "application/json",
+                                body.as_bytes(),
+                                keep,
+                                None,
+                                "",
+                                head_only,
+                            );
+                        }
                     } else if let Some(body) = cache::render_path(&st.corpus, path) {
                         // `--no-cache`, or a non-canonical spelling of a
                         // cacheable path: render per request.
@@ -743,11 +886,14 @@ struct EventLoop {
     accepting: bool,
     busy: Vec<u8>,
     scratch: Vec<u8>,
+    loop_id: usize,
+    /// Last `/admin/debug` snapshot publication (None = never).
+    last_publish: Option<Instant>,
 }
 
 /// Runs one event loop until shutdown completes. Spawned once per
 /// worker thread by [`crate::Server`].
-pub(crate) fn run(shared: Arc<Shared>, listener: Arc<TcpListener>) {
+pub(crate) fn run(shared: Arc<Shared>, listener: Arc<TcpListener>, loop_id: usize) {
     let epoll = match Epoll::new() {
         Ok(e) => e,
         Err(e) => {
@@ -773,6 +919,8 @@ pub(crate) fn run(shared: Arc<Shared>, listener: Arc<TcpListener>) {
         accepting: true,
         busy: http::busy_response(),
         scratch: vec![0u8; 64 * 1024],
+        loop_id,
+        last_publish: None,
     };
     el.run();
 }
@@ -805,7 +953,15 @@ impl EventLoop {
                 self.state = self.shared.current_state();
             }
 
+            let wait_start = Instant::now();
             let n = self.epoll.wait(&mut events, EPOLL_WAIT_MS);
+            let woke = Instant::now();
+            self.stats.wakeups += 1;
+            self.stats.total_wakeups += 1;
+            self.stats
+                .epoll_wait_us
+                .record(woke.duration_since(wait_start).as_micros() as u64);
+            self.stats.wakeup_events.record(n as u64);
             for ev in events.iter().take(n) {
                 let (revents, data) = (ev.events, ev.data);
                 if data == LISTENER_TOKEN {
@@ -822,6 +978,11 @@ impl EventLoop {
                 self.on_wheel_fire(idx, gen, now);
             }
 
+            self.stats.iter_us.record(woke.elapsed().as_micros() as u64);
+            self.stats.slab_live_hw = self.stats.slab_live_hw.max(self.slab.live);
+            let (wheel_depth, _) = self.wheel.depth();
+            self.stats.wheel_depth_hw = self.stats.wheel_depth_hw.max(wheel_depth);
+            self.maybe_publish_debug(now);
             self.stats.flush();
         }
 
@@ -859,7 +1020,7 @@ impl EventLoop {
                     let fd = stream.as_raw_fd();
                     let deadline =
                         if over { now + LINGER_TIMEOUT } else { now + READ_TIMEOUT };
-                    let mut conn = Conn::new(stream, deadline);
+                    let mut conn = Conn::new(stream, now, deadline);
                     let mut interest = EPOLLIN | EPOLLRDHUP;
                     if over {
                         // Over the connection cap: refuse loudly rather
@@ -971,6 +1132,14 @@ impl EventLoop {
             want |= EPOLLOUT;
         }
         let backpressured = conn.write_buf.len() - conn.write_pos > WRITE_HIGH_WATER;
+        if backpressured != conn.backpressured {
+            conn.backpressured = backpressured;
+            if backpressured {
+                self.stats.backpressure_engaged += 1;
+            } else {
+                self.stats.backpressure_released += 1;
+            }
+        }
         match conn.state {
             ConnState::Open => {
                 if !conn.read_eof && !backpressured {
@@ -1030,9 +1199,67 @@ impl EventLoop {
     }
 
     fn close_conn(&mut self, idx: usize, conn: Conn) {
+        self.stats.conn_age_ms.record(conn.created.elapsed().as_millis() as u64);
+        if conn.backpressured {
+            // A connection that dies while backpressured still balances
+            // the engaged/released pair.
+            self.stats.backpressure_released += 1;
+        }
         drop(conn); // closes the fd, which also deregisters it from epoll
         self.slab.release(idx);
         self.shared.conn_count.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Publishes this loop's `/admin/debug` snapshot — a bounded copy of
+    /// slab and wheel state into [`Shared`], at most once per
+    /// [`PUBLISH_INTERVAL`], so the debug endpoints never walk another
+    /// loop's live structures.
+    fn maybe_publish_debug(&mut self, now: Instant) {
+        if self
+            .last_publish
+            .is_some_and(|t| now.duration_since(t) < PUBLISH_INTERVAL)
+        {
+            return;
+        }
+        self.last_publish = Some(now);
+        let mut conns = Vec::with_capacity(self.slab.live.min(MAX_CONNS_LISTED));
+        let mut truncated = 0usize;
+        for (slot, entry) in self.slab.slots.iter().enumerate() {
+            let Some(conn) = entry else { continue };
+            if conns.len() >= MAX_CONNS_LISTED {
+                truncated += 1;
+                continue;
+            }
+            let deadline_ms = if conn.deadline >= now {
+                conn.deadline.duration_since(now).as_millis() as i64
+            } else {
+                -(now.duration_since(conn.deadline).as_millis() as i64)
+            };
+            conns.push(ConnDebug {
+                slot,
+                state: conn.state_name(),
+                age_ms: now.duration_since(conn.created).as_millis() as u64,
+                read_buf: conn.read_buf.len(),
+                write_pending: conn.write_buf.len() - conn.write_pos,
+                backpressured: conn.backpressured,
+                deadline_ms,
+            });
+        }
+        let (wheel_depth, wheel_max_bucket) = self.wheel.depth();
+        self.shared.publish_loop_debug(
+            self.loop_id,
+            LoopDebug {
+                loop_id: self.loop_id,
+                live: self.slab.live,
+                slots: self.slab.slots.len(),
+                wakeups: self.stats.total_wakeups,
+                requests: self.stats.total_requests,
+                wheel_depth,
+                wheel_max_bucket,
+                conns,
+                conns_truncated: truncated,
+            },
+        );
     }
 
     /// On shutdown: flush connections that owe responses, drop the rest.

@@ -23,6 +23,9 @@
 //! | `/pathways` | per-router pathway depth summaries |
 //! | `/diag` | all pipeline diagnostics |
 //! | `/metrics` | the rd-obs registry, Prometheus text format |
+//! | `/admin/debug/loop` | per-event-loop health (wakeups, slab, wheel) |
+//! | `/admin/debug/conns` | live connections: state, age, buffers |
+//! | `/admin/debug/cache` | serving snapshot + reload history ring |
 //! | `POST /admin/reload` | schedule a snapshot hot reload |
 //!
 //! Snapshot-derived responses carry the trailer as an `ETag` and honor
@@ -54,6 +57,7 @@ pub mod http;
 pub mod render;
 
 mod cache;
+mod debug;
 mod event_loop;
 mod reload;
 
@@ -63,15 +67,24 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rd_snap::Corpus;
 
 use cache::SnapshotState;
+use debug::{LoopDebug, ReloadEvent};
 
 /// Latency histogram bounds, in microseconds.
 pub(crate) const LATENCY_BOUNDS_US: &[u64] =
     &[50, 100, 250, 500, 1000, 2500, 5000, 25000, 100_000];
+/// Bounds for `loop.epoll_wait_us` and `loop.iter_us`: a healthy loop
+/// either sleeps (wait up to the 100 ms epoll timeout) or turns over in
+/// microseconds, so the interesting signal is the tail.
+pub(crate) const LOOP_US_BOUNDS: &[u64] = &[10, 100, 1000, 10_000, 100_000];
+/// Bounds for `loop.wakeup_events` (events delivered per epoll wake-up).
+pub(crate) const WAKEUP_BATCH_BOUNDS: &[u64] = &[1, 2, 4, 16, 64, 256];
+/// Bounds for `http.conn_age_ms` (connection age at close).
+pub(crate) const CONN_AGE_BOUNDS_MS: &[u64] = &[1, 10, 100, 1000, 10_000, 60_000];
 
 /// How often `run_until_shutdown` and the reload manager re-check flags.
 const POLL_IDLE: Duration = Duration::from_millis(50);
@@ -153,6 +166,12 @@ pub(crate) struct Shared {
     pub(crate) max_conns: usize,
     pub(crate) cache_enabled: bool,
     pub(crate) reload_path: Option<PathBuf>,
+    /// When the server started (uptime base for debug timestamps).
+    started: Instant,
+    /// Per-loop self-published debug snapshots, indexed by loop id.
+    debug: Mutex<Vec<Option<LoopDebug>>>,
+    /// Ring of (re)load events, oldest first; entry zero is the boot load.
+    reload_history: Mutex<Vec<ReloadEvent>>,
 }
 
 impl Shared {
@@ -190,6 +209,80 @@ impl Shared {
         let sighup = SIGNAL_RELOAD.swap(false, Ordering::SeqCst);
         admin || sighup
     }
+
+    pub(crate) fn uptime_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// Stores a loop's self-published debug snapshot.
+    pub(crate) fn publish_loop_debug(&self, loop_id: usize, snap: LoopDebug) {
+        let mut slots = self.debug.lock().unwrap_or_else(|p| p.into_inner());
+        if loop_id < slots.len() {
+            slots[loop_id] = Some(snap);
+        }
+    }
+
+    /// Appends to the reload-history ring, dropping the oldest entry
+    /// past capacity.
+    pub(crate) fn push_reload_event(&self, ev: ReloadEvent) {
+        let mut ring = self.reload_history.lock().unwrap_or_else(|p| p.into_inner());
+        if ring.len() >= debug::RELOAD_HISTORY {
+            ring.remove(0);
+        }
+        ring.push(ev);
+    }
+
+    /// Renders `/admin/debug/loop` from the published snapshots.
+    pub(crate) fn render_debug_loops(&self) -> String {
+        let slots = self.debug.lock().unwrap_or_else(|p| p.into_inner());
+        debug::render_loops(&slots)
+    }
+
+    /// Renders `/admin/debug/conns` from the published snapshots.
+    pub(crate) fn render_debug_conns(&self) -> String {
+        let slots = self.debug.lock().unwrap_or_else(|p| p.into_inner());
+        debug::render_conns(&slots)
+    }
+
+    /// Renders `/admin/debug/cache` against the snapshot state the
+    /// calling loop is serving from.
+    pub(crate) fn render_debug_cache(&self, st: &SnapshotState) -> String {
+        let ring = self.reload_history.lock().unwrap_or_else(|p| p.into_inner());
+        debug::render_cache(st, &ring, self.uptime_ms())
+    }
+}
+
+/// Pre-registers every metric family the server emits, so `/metrics`
+/// exposes them (at zero) from the first scrape — the metrics contract
+/// in verify.sh asserts presence unconditionally instead of racing the
+/// first request or reload. Also stamps `rd.build_info` / uptime.
+fn register_serve_metrics() {
+    use rd_obs::metrics::{counter_add, gauge_max, histogram_register, set_build_info};
+    for name in [
+        "http.requests",
+        "http.responses.2xx",
+        "http.responses.3xx",
+        "http.responses.4xx",
+        "http.responses.5xx",
+        "http.cache_hit",
+        "http.cache_miss",
+        "http.rejected_busy",
+        "http.reload_ok",
+        "http.reload_failed",
+        "loop.wakeups",
+        "loop.backpressure_engaged",
+        "loop.backpressure_released",
+    ] {
+        counter_add(name, 0);
+    }
+    histogram_register("http.request_us", LATENCY_BOUNDS_US);
+    histogram_register("http.conn_age_ms", CONN_AGE_BOUNDS_MS);
+    histogram_register("loop.epoll_wait_us", LOOP_US_BOUNDS);
+    histogram_register("loop.wakeup_events", WAKEUP_BATCH_BOUNDS);
+    histogram_register("loop.iter_us", LOOP_US_BOUNDS);
+    gauge_max("loop.slab_live_hw", 0);
+    gauge_max("loop.wheel_depth_hw", 0);
+    set_build_info(env!("CARGO_PKG_VERSION"));
 }
 
 /// A running snapshot query server.
@@ -235,6 +328,14 @@ impl Server {
         let listener = Arc::new(listener);
 
         let state = SnapshotState::build(corpus, trailer, opts.cache);
+        let boot = ReloadEvent {
+            at_ms: 0,
+            ok: true,
+            etag: state.etag.clone(),
+            networks: state.corpus.networks.len(),
+            detail: "boot".to_string(),
+        };
+        let loops = if opts.workers == 0 { rd_par::thread_count().max(1) } else { opts.workers };
         let shared = Arc::new(Shared {
             state: Mutex::new(Arc::new(state)),
             epoch: AtomicU64::new(0),
@@ -244,9 +345,13 @@ impl Server {
             max_conns: opts.max_conns.max(1),
             cache_enabled: opts.cache,
             reload_path: opts.reload_path,
+            started: Instant::now(),
+            debug: Mutex::new((0..loops).map(|_| None).collect()),
+            reload_history: Mutex::new(Vec::new()),
         });
+        shared.push_reload_event(boot);
+        register_serve_metrics();
 
-        let loops = if opts.workers == 0 { rd_par::thread_count().max(1) } else { opts.workers };
         let mut handles = Vec::with_capacity(loops + 1);
         for i in 0..loops {
             let shared = Arc::clone(&shared);
@@ -254,7 +359,7 @@ impl Server {
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("rd-serve-loop-{i}"))
-                    .spawn(move || event_loop::run(shared, listener))
+                    .spawn(move || event_loop::run(shared, listener, i))
                     .expect("spawn event loop"),
             );
         }

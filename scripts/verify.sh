@@ -42,6 +42,20 @@ echo "    trace byte-identical at RD_THREADS=1 and 8 (timestamps zeroed)"
 ./target/release/rdx /tmp/rd_verify_study/net15 diag
 rm -f /tmp/rd_verify_t1.jsonl /tmp/rd_verify_t8.jsonl
 
+echo "==> profile determinism: collapsed stacks across thread counts"
+RD_PROF_ZERO=1 RD_THREADS=1 ./target/release/repro --small table1 \
+    --profile /tmp/rd_verify_p1.folded > /dev/null 2>&1
+RD_PROF_ZERO=1 RD_THREADS=4 ./target/release/repro --small table1 \
+    --profile /tmp/rd_verify_p4.folded > /dev/null 2>&1
+cmp /tmp/rd_verify_p1.folded /tmp/rd_verify_p4.folded
+[ -s /tmp/rd_verify_p1.folded ] || { echo "profile output is empty" >&2; exit 1; }
+for stage in parse links instances classify; do
+    grep -q "^$stage" /tmp/rd_verify_p1.folded \
+        || { echo "profile is missing the $stage stage root" >&2; exit 1; }
+done
+rm -f /tmp/rd_verify_p1.folded /tmp/rd_verify_p4.folded
+echo "    non-empty, stage-name roots, byte-identical at RD_THREADS=1 and 4"
+
 echo "==> snapshot + query server round trip"
 ./target/release/rdx snap /tmp/rd_verify_study -o /tmp/rd_verify.rdsnap
 ./target/release/rdx serve /tmp/rd_verify.rdsnap --addr 127.0.0.1:0 \
@@ -77,9 +91,32 @@ echo "    If-None-Match revalidation returned 304"
 # Pipelined mixed-endpoint burst: loadgen exits non-zero if any response
 # fails or comes back non-200, so this doubles as a correctness probe.
 ./target/release/loadgen "127.0.0.1:$PORT" --conns 2 --pipeline 4 \
-    --duration-ms 500 > /tmp/rd_verify_loadgen.txt
-sed 's/^/    /' /tmp/rd_verify_loadgen.txt
-rm -f /tmp/rd_verify_loadgen.txt
+    --duration-ms 500 --json > /tmp/rd_verify_loadgen.json
+grep -q '"endpoints": \[' /tmp/rd_verify_loadgen.json \
+    || { echo "loadgen --json carried no per-endpoint stats" >&2; exit 1; }
+sed 's/^/    /' /tmp/rd_verify_loadgen.json
+rm -f /tmp/rd_verify_loadgen.json
+
+# Metrics contract: after the burst, every serve telemetry family the
+# dashboards read must be present on /metrics (histograms and gauges are
+# pre-registered at startup, counters appear at zero), and the live
+# debug endpoints must respond with JSON.
+curl -sf "http://127.0.0.1:$PORT/metrics" > /tmp/rd_verify_metrics.txt
+for family in http_request_us_bucket http_cache_hit_total http_cache_miss_total \
+    http_rejected_busy_total http_conn_age_ms_bucket loop_wakeups_total \
+    loop_epoll_wait_us_bucket loop_wakeup_events_bucket loop_iter_us_bucket \
+    loop_slab_live_hw loop_wheel_depth_hw loop_backpressure_engaged_total \
+    rd_build_info process_uptime_seconds; do
+    grep -q "^$family" /tmp/rd_verify_metrics.txt \
+        || { echo "metrics contract: $family missing from /metrics" >&2; exit 1; }
+done
+rm -f /tmp/rd_verify_metrics.txt
+echo "    metrics contract: all serve telemetry families present"
+for ep in loop conns cache; do
+    curl -sf "http://127.0.0.1:$PORT/admin/debug/$ep" | grep -q '^{' \
+        || { echo "/admin/debug/$ep did not return JSON" >&2; exit 1; }
+done
+echo "    /admin/debug/{loop,conns,cache} respond with JSON"
 
 # Hot reload: SIGHUP re-reads the snapshot file; the swapped-in corpus
 # is the same bytes, so /networks/net15 must survive byte-identically.
