@@ -382,10 +382,32 @@ fn bench(small_only: bool) {
         serve_load.p99_us,
         serve_load.p999_us,
     );
+    eprintln!("benching reconfiguration planning scenarios...");
+    let plans = rd_bench::timing::bench_plan();
+    for p in &plans {
+        eprintln!(
+            "  plan {}: {} router(s), {} unit(s), {} intermediate state(s) analyzed, \
+             diff {:.1} ms, dag {:.1} ms, search {:.1} ms",
+            p.scenario,
+            p.routers,
+            p.units,
+            p.states_analyzed,
+            p.diff.as_secs_f64() * 1e3,
+            p.dag.as_secs_f64() * 1e3,
+            p.search.as_secs_f64() * 1e3,
+        );
+    }
     let path = "BENCH_repro.json";
     std::fs::write(
         path,
-        render_json(&results, Some(&snap), Some(&serve), Some(&serve_load), Some(&external)),
+        render_json(
+            &results,
+            Some(&snap),
+            Some(&serve),
+            Some(&serve_load),
+            Some(&external),
+            Some(&plans),
+        ),
     )
     .expect("write BENCH_repro.json");
     eprintln!("wrote {path}");

@@ -394,6 +394,64 @@ pub fn bench_serve_with_load(
     (burst, load_bench)
 }
 
+/// Timing record of one reconfiguration-planning scenario (`bench_plan`
+/// in `BENCH_repro.json`): the rd-plan diff → DAG → verified-search
+/// pipeline run end to end through the real analysis bridge.
+pub struct PlanBench {
+    /// Scenario label (`"demo"`, `"star6"`).
+    pub scenario: &'static str,
+    /// Router count of the target corpus.
+    pub routers: usize,
+    /// Atomic change units between the corpora.
+    pub units: usize,
+    /// Steps in the safe ordering (equals `units` on success).
+    pub steps: usize,
+    /// Intermediate corpus states fully re-analyzed by the search.
+    pub states_analyzed: usize,
+    /// Wall-clock of the fingerprint diff phase.
+    pub diff: Duration,
+    /// Wall-clock of the dependency-DAG build.
+    pub dag: Duration,
+    /// Wall-clock of the verified ordering search (dominant phase: it
+    /// re-analyzes every intermediate state).
+    pub search: Duration,
+}
+
+/// Plans the two seeded rd-plan scenarios (the four-router demo whose
+/// naive order is unsafe, and a six-spoke hub renumbering) through the
+/// full analysis pipeline and records per-phase wall-clock.
+pub fn bench_plan() -> Vec<PlanBench> {
+    let scenarios: [(&'static str, _); 2] = [
+        ("demo", rd_plan::scenario::demo(42)),
+        ("star6", rd_plan::scenario::star(6, 7)),
+    ];
+    scenarios
+        .into_iter()
+        .map(|(scenario, (current, target))| {
+            let routers = target.len();
+            let plan = routing_design::plan::plan_corpora(&current, &target)
+                .unwrap_or_else(|e| panic!("bench_plan {scenario}: {e}"));
+            let phase = |name: &str| {
+                plan.timings
+                    .iter()
+                    .find(|(n, _)| *n == name)
+                    .map(|(_, d)| *d)
+                    .unwrap_or_default()
+            };
+            PlanBench {
+                scenario,
+                routers,
+                units: plan.units.len(),
+                steps: plan.order.len(),
+                states_analyzed: plan.stats.states_analyzed,
+                diff: phase("diff"),
+                dag: phase("dag"),
+                search: phase("search"),
+            }
+        })
+        .collect()
+}
+
 fn json_ms(d: Duration) -> String {
     format!("{:.3}", d.as_secs_f64() * 1e3)
 }
@@ -413,8 +471,9 @@ fn json_stages(indent: &str, t: &StageTimings) -> String {
 /// as objects), and — when measured — `"snap"` (snapshot size and
 /// write/load timings vs re-analysis), `"serve"` (sequential request
 /// latency percentiles), `"bench_serve"` (the pipelined mixed-endpoint
-/// load run: throughput plus p50/p99/p999), and `"bench_external"` (the
-/// isolated external-classification stage) objects. All additive, so
+/// load run: throughput plus p50/p99/p999), `"bench_external"` (the
+/// isolated external-classification stage), and `"bench_plan"` (the
+/// reconfiguration-planning scenarios) objects. All additive, so
 /// existing consumers of `"scales"` are unaffected.
 pub fn render_json(
     scales: &[ScaleBench],
@@ -422,6 +481,7 @@ pub fn render_json(
     serve: Option<&ServeBench>,
     serve_load: Option<&ServeLoadBench>,
     external: Option<&ExternalBench>,
+    plan: Option<&[PlanBench]>,
 ) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"repro\",\n  \"unit\": \"ms\",\n");
     out.push_str(&format!(
@@ -474,6 +534,27 @@ pub fn render_json(
             e.interfaces,
             json_ms(e.build),
         ));
+    }
+    if let Some(plans) = plan {
+        let blocks: Vec<String> = plans
+            .iter()
+            .map(|p| {
+                format!(
+                    "    {{\n      \"scenario\": \"{}\",\n      \"routers\": {},\n      \
+                     \"units\": {},\n      \"steps\": {},\n      \"states_analyzed\": {},\n      \
+                     \"diff_ms\": {},\n      \"dag_ms\": {},\n      \"search_ms\": {}\n    }}",
+                    p.scenario,
+                    p.routers,
+                    p.units,
+                    p.steps,
+                    p.states_analyzed,
+                    json_ms(p.diff),
+                    json_ms(p.dag),
+                    json_ms(p.search),
+                )
+            })
+            .collect();
+        out.push_str(&format!("  \"bench_plan\": [\n{}\n  ],\n", blocks.join(",\n")));
     }
     out.push_str("  \"scales\": [\n");
     let rendered: Vec<String> = scales
@@ -585,8 +666,24 @@ mod tests {
             p99_us: 210,
             p999_us: 400,
         };
-        let text =
-            render_json(&scales, Some(&snap), Some(&serve), Some(&serve_load), Some(&external));
+        let plans = vec![PlanBench {
+            scenario: "demo",
+            routers: 4,
+            units: 4,
+            steps: 4,
+            states_analyzed: 9,
+            diff: Duration::from_millis(1),
+            dag: Duration::from_millis(1),
+            search: Duration::from_millis(30),
+        }];
+        let text = render_json(
+            &scales,
+            Some(&snap),
+            Some(&serve),
+            Some(&serve_load),
+            Some(&external),
+            Some(&plans),
+        );
         assert!(text.contains("\"speedup\": 1.80"));
         assert!(text.contains("\"parse\": 2.000"));
         assert!(text.contains("\"routers\": 7"));
@@ -597,15 +694,19 @@ mod tests {
         assert!(text.contains("\"p999_us\": 400"));
         assert!(text.contains("\"bench_external\""));
         assert!(text.contains("\"build_ms\": 120.000"));
+        assert!(text.contains("\"bench_plan\""));
+        assert!(text.contains("\"states_analyzed\": 9"));
+        assert!(text.contains("\"search_ms\": 30.000"));
         assert_eq!(text.matches('{').count(), text.matches('}').count());
         assert_eq!(text.matches('[').count(), text.matches(']').count());
 
         // Without the optional sections the legacy shape is untouched.
-        let legacy = render_json(&scales, None, None, None, None);
+        let legacy = render_json(&scales, None, None, None, None, None);
         assert!(!legacy.contains("\"snap\""));
         assert!(!legacy.contains("\"serve\""));
         assert!(!legacy.contains("\"bench_serve\""));
         assert!(!legacy.contains("\"bench_external\""));
+        assert!(!legacy.contains("\"bench_plan\""));
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! rdx <config-dir> audit                       §8.1 vulnerability findings
 //! rdx <config-dir> diag                        pipeline diagnostics
 //! rdx <config-dir> diff <other-dir>            design changes between snapshots
+//! rdx <config-dir> plan <target-dir>           safe reconfiguration plan
 //! rdx <config-dir> anonymize <out-dir> <key>   anonymize the corpus
 //! rdx snap <dir> -o study.rdsnap               snapshot a corpus's analysis
 //! rdx serve study.rdsnap --addr 127.0.0.1:0    serve a snapshot over HTTP
@@ -67,13 +68,21 @@ struct Flags {
     timings: bool,
     metrics: bool,
     json: bool,
+    /// `plan` only: independently re-verify every emitted step.
+    check: bool,
     trace: Option<String>,
     profile: Option<String>,
 }
 
 fn parse_flags(args: &mut Vec<String>) -> Result<Flags, String> {
-    let mut flags =
-        Flags { timings: false, metrics: false, json: false, trace: None, profile: None };
+    let mut flags = Flags {
+        timings: false,
+        metrics: false,
+        json: false,
+        check: false,
+        trace: None,
+        profile: None,
+    };
     let mut rest = Vec::with_capacity(args.len());
     let mut it = std::mem::take(args).into_iter();
     while let Some(arg) = it.next() {
@@ -81,6 +90,7 @@ fn parse_flags(args: &mut Vec<String>) -> Result<Flags, String> {
             "--timings" => flags.timings = true,
             "--metrics" => flags.metrics = true,
             "--json" => flags.json = true,
+            "--check" => flags.check = true,
             "--trace" => match it.next() {
                 Some(path) => flags.trace = Some(path),
                 None => return Err("--trace needs a path (or '-')".to_string()),
@@ -154,6 +164,15 @@ fn main() -> ExitCode {
 
     if command == "anonymize" {
         return anonymize(&dir, &rest[1..]);
+    }
+
+    // `plan` runs its own pair of analyses (current + target + every
+    // intermediate state), so it bypasses the single up-front load.
+    if command == "plan" {
+        let code = plan_cmd(&dir, &rest[1..], &flags);
+        rd_obs::trace::flush();
+        write_profile(&flags);
+        return code;
     }
 
     let load_started = std::time::Instant::now();
@@ -262,10 +281,11 @@ fn usage() -> ExitCode {
          pathway <router>|dot [process|instances]|reach <src> <dst>|\
          flow <src> <dst> [proto] [port]|separation <a> <b>|\
          whatif <router> [...]|audit|diag|diff <other-dir>|\
+         plan <target-dir> [--check]|\
          anonymize <out-dir> <key>] [--json] [--timings] [--metrics] [--trace <path>] \
          [--profile <path>]\n\
          \x20      rdx snap <dir> -o <file.rdsnap>\n\
-         \x20      rdx serve <file.rdsnap> [--addr HOST:PORT] [--workers N] [--max-conns N] [--no-cache]\n\
+         \x20      rdx serve <file.rdsnap> [--addr HOST:PORT] [--workers N] [--max-conns N] [--no-cache] [--plan <plan.json>]\n\
          \x20      rdx chaos <dir> [--seed N] [--configs M] [--snapshots K] [--max-rss-mb MB]\n\
          rdx --help shows the full reference (commands, flags, exit codes)"
     );
@@ -315,13 +335,30 @@ commands (default: summary):
   audit                      vulnerability findings (paper section 8.1)
   diag                       pipeline diagnostics
   diff <other-dir>           design changes between snapshots
+  plan <target-dir> [--check]
+                             safe reconfiguration plan from <config-dir>
+                             to <target-dir>: per-router change units,
+                             dependency-ordered so every intermediate
+                             state preserves connectivity, instance
+                             integrity, external-peering containment,
+                             and border reachability (each state is
+                             re-analyzed in memory). --json prints the
+                             machine-readable plan (servable via
+                             `rdx serve --plan`), --check replays every
+                             step with fresh analyses, --timings reports
+                             diff/dag/search phase times on stderr.
+                             Exit 1 when no safe per-router ordering
+                             exists.
   anonymize <out-dir> <key>  anonymize the corpus
 
   <router> accepts rN, a file name, or a hostname.
 
 flags:
   --json             render summary as JSON (the body `rdx serve`
-                     answers for /networks/{{id}})
+                     answers for /networks/{{id}}); render plan as the
+                     canonical plan JSON
+  --check            (plan only) independently re-verify every emitted
+                     step with fresh analyses
   --timings          per-stage pipeline wall-clock times on stderr
   --metrics          dump the metrics registry on stderr
   --trace <path>     structured JSONL trace to path ('-' for stderr)
@@ -336,6 +373,8 @@ flags:
 serve endpoints:
   /healthz /networks /networks/{{id}} /networks/{{id}}/processes
   /instances /pathways /diag /metrics
+  /plan               the reconfiguration plan given via --plan (404
+                      when the server was started without one)
   /admin/debug/loop   per-event-loop health (wakeups, slab, wheel)
   /admin/debug/conns  live connections (state, age, buffers)
   /admin/debug/cache  serving snapshot + reload history ring
@@ -351,7 +390,8 @@ exit codes:
   1  analysis or diagnostic errors (load failures, error-severity
      diagnostics from diag, unknown routers or instances; snap when a
      network was dropped by the error budget; chaos when a panic
-     escaped, diagnostics were unstable, or the RSS cap was exceeded)
+     escaped, diagnostics were unstable, or the RSS cap was exceeded;
+     plan when no safe per-router ordering exists or --check fails)
   2  usage errors (unknown command or flag, missing or malformed
      arguments)
 
@@ -493,6 +533,19 @@ fn serve_cmd(args: &[String]) -> ExitCode {
                 }
             },
             "--no-cache" => opts.cache = false,
+            "--plan" => match it.next() {
+                Some(p) => match std::fs::read_to_string(p) {
+                    Ok(text) => opts.plan = Some(text),
+                    Err(e) => {
+                        eprintln!("rdx: serve: cannot read plan {p}: {e}");
+                        return ExitCode::from(2);
+                    }
+                },
+                None => {
+                    eprintln!("rdx: serve: --plan needs a plan JSON file (from `rdx plan --json`)");
+                    return ExitCode::from(2);
+                }
+            },
             other if other.starts_with("--addr=") => {
                 addr = other["--addr=".len()..].to_string();
             }
@@ -513,7 +566,7 @@ fn serve_cmd(args: &[String]) -> ExitCode {
     let Some(file) = file else {
         eprintln!(
             "usage: rdx serve <file.rdsnap> [--addr HOST:PORT] [--workers N] \
-             [--max-conns N] [--no-cache] [--profile <path>]"
+             [--max-conns N] [--no-cache] [--plan <plan.json>] [--profile <path>]"
         );
         return ExitCode::from(2);
     };
@@ -1116,14 +1169,83 @@ fn diff_cmd(old: &NetworkAnalysis, args: &[String]) -> ExitCode {
         eprintln!("rdx: diff needs the other snapshot's directory");
         return ExitCode::from(2);
     };
+    // A missing or unreadable comparison directory is a usage error (the
+    // caller pointed at the wrong place), not an analysis failure.
+    if !Path::new(other).is_dir() {
+        eprintln!("rdx: diff: {other:?} is not a readable config directory");
+        return ExitCode::from(2);
+    }
     let new = match NetworkAnalysis::from_dir(Path::new(other)) {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("rdx: failed to load {other}: {e}");
-            return ExitCode::FAILURE;
+            eprintln!("rdx: diff: cannot load {other}: {e}");
+            return ExitCode::from(2);
         }
     };
     print!("{}", routing_design::DesignDiff::between(old, &new));
+    ExitCode::SUCCESS
+}
+
+fn plan_cmd(dir: &str, args: &[String], flags: &Flags) -> ExitCode {
+    let Some(target_dir) = args.first() else {
+        eprintln!("rdx: plan needs the target corpus directory");
+        return ExitCode::from(2);
+    };
+    for (label, d) in [("current", dir), ("target", target_dir.as_str())] {
+        if !Path::new(d).is_dir() {
+            eprintln!("rdx: plan: {label} directory {d:?} is not a readable config directory");
+            return ExitCode::from(2);
+        }
+    }
+    let read = |label: &str, d: &str| match read_config_files(Path::new(d)) {
+        Ok(files) => Ok(files),
+        Err(e) => {
+            eprintln!("rdx: plan: {label} corpus: {e}");
+            Err(ExitCode::from(2))
+        }
+    };
+    let current = match read("current", dir) {
+        Ok(f) => f,
+        Err(code) => return code,
+    };
+    let target = match read("target", target_dir) {
+        Ok(f) => f,
+        Err(code) => return code,
+    };
+    let plan = match routing_design::plan::plan_corpora(&current, &target) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("rdx: plan: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if flags.json {
+        print!("{}", rd_plan::render_json(&plan));
+    } else {
+        print!("{}", rd_plan::render_table(&plan));
+    }
+    if flags.timings {
+        eprintln!(
+            "plan phase timings ({} unit(s), {} intermediate state(s), \
+             {} worker thread(s)):",
+            plan.units.len(),
+            plan.stats.states_analyzed,
+            rd_par::thread_count()
+        );
+        for (name, duration) in &plan.timings {
+            eprintln!("  {name:<8} {:>10.3} ms", duration.as_secs_f64() * 1e3);
+        }
+    }
+    if flags.check {
+        match rd_plan::verify_plan(&current, &target, &plan, routing_design::plan::analyze_files)
+        {
+            Ok(steps) => eprintln!("plan check: {steps} step(s) independently re-verified"),
+            Err(e) => {
+                eprintln!("rdx: plan check FAILED: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     ExitCode::SUCCESS
 }
 

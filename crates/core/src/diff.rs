@@ -8,12 +8,32 @@
 //! instances, external peerings, redistribution points, and
 //! classification.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
+use ioscfg::RouterConfig;
 use routing_model::instance_graph::ExchangeKind;
 
 use crate::NetworkAnalysis;
+
+/// FNV-1a-64 fingerprint of a router's *parsed* configuration, computed
+/// over its canonical snapshot encoding. Cosmetic byte churn — comment
+/// lines, `!` separators, whitespace the parser discards — does not move
+/// the fingerprint; any semantic change does. Shared groundwork for
+/// [`DesignDiff`], the rd-plan change-unit decomposition, and the future
+/// incremental re-analysis engine.
+pub fn config_fingerprint(config: &RouterConfig) -> u64 {
+    rd_snap::fnv1a64(&rd_snap::config_bytes(config))
+}
+
+/// [`config_fingerprint`] with the hostname cleared: a removed and an
+/// added router with identical *body* fingerprints are the same box
+/// under a new name — a rename, not a redesign.
+pub fn body_fingerprint(config: &RouterConfig) -> u64 {
+    let mut body = config.clone();
+    body.hostname = None;
+    rd_snap::fnv1a64(&rd_snap::config_bytes(&body))
+}
 
 /// A design-level instance signature that is stable across snapshots
 /// (ids are not: they renumber when sizes change).
@@ -30,10 +50,19 @@ pub struct InstanceSignature {
 /// The differences between two snapshots.
 #[derive(Clone, Debug, Default)]
 pub struct DesignDiff {
-    /// Router hostnames present only in the new snapshot.
+    /// Router hostnames present only in the new snapshot (renames
+    /// excluded — see [`routers_renamed`](DesignDiff::routers_renamed)).
     pub routers_added: Vec<String>,
-    /// Router hostnames present only in the old snapshot.
+    /// Router hostnames present only in the old snapshot (renames
+    /// excluded).
     pub routers_removed: Vec<String>,
+    /// Routers present in both snapshots whose configuration fingerprint
+    /// changed ([`config_fingerprint`]) — modified in place.
+    pub routers_modified: Vec<String>,
+    /// `(old, new)` hostname pairs where a removed and an added router
+    /// carry an identical body fingerprint: the same configuration under
+    /// a new name.
+    pub routers_renamed: Vec<(String, String)>,
     /// Instances (by signature) only in the new snapshot.
     pub instances_added: Vec<InstanceSignature>,
     /// Instances only in the old snapshot.
@@ -58,10 +87,45 @@ impl DesignDiff {
     /// only identity that survives re-collection; instances are matched
     /// by their member-set signature.
     pub fn between(old: &NetworkAnalysis, new: &NetworkAnalysis) -> DesignDiff {
-        let names = |a: &NetworkAnalysis| -> BTreeSet<String> {
-            a.network.iter().map(|(_, r)| r.name().to_string()).collect()
+        // name -> (full fingerprint, body fingerprint), the semantic
+        // identity of each router's configuration.
+        let prints = |a: &NetworkAnalysis| -> BTreeMap<String, (u64, u64)> {
+            a.network
+                .iter()
+                .map(|(_, r)| {
+                    (
+                        r.name().to_string(),
+                        (config_fingerprint(&r.config), body_fingerprint(&r.config)),
+                    )
+                })
+                .collect()
         };
-        let (old_names, new_names) = (names(old), names(new));
+        let (old_prints, new_prints) = (prints(old), prints(new));
+        let old_names: BTreeSet<String> = old_prints.keys().cloned().collect();
+        let new_names: BTreeSet<String> = new_prints.keys().cloned().collect();
+
+        let routers_modified: Vec<String> = old_names
+            .intersection(&new_names)
+            .filter(|name| old_prints.get(*name).map(|p| p.0) != new_prints.get(*name).map(|p| p.0))
+            .cloned()
+            .collect();
+
+        // Rename detection: pair removed and added routers with identical
+        // body fingerprints, greedily in sorted order (deterministic).
+        let mut routers_removed: Vec<String> =
+            old_names.difference(&new_names).cloned().collect();
+        let mut routers_added: Vec<String> = new_names.difference(&old_names).cloned().collect();
+        let mut routers_renamed: Vec<(String, String)> = Vec::new();
+        for added in std::mem::take(&mut routers_added) {
+            let body = new_prints.get(&added).map(|p| p.1);
+            let matched = routers_removed
+                .iter()
+                .position(|removed| old_prints.get(removed).map(|p| p.1) == body);
+            match matched {
+                Some(i) => routers_renamed.push((routers_removed.remove(i), added)),
+                None => routers_added.push(added),
+            }
+        }
 
         let signatures = |a: &NetworkAnalysis| -> BTreeSet<InstanceSignature> {
             a.instances
@@ -106,8 +170,10 @@ impl DesignDiff {
         };
 
         DesignDiff {
-            routers_added: new_names.difference(&old_names).cloned().collect(),
-            routers_removed: old_names.difference(&new_names).cloned().collect(),
+            routers_added,
+            routers_removed,
+            routers_modified,
+            routers_renamed,
             instances_added: new_sigs.difference(&old_sigs).cloned().collect(),
             instances_removed: old_sigs.difference(&new_sigs).cloned().collect(),
             external_as_added: new_ext.difference(&old_ext).copied().collect(),
@@ -122,6 +188,8 @@ impl DesignDiff {
     pub fn is_empty(&self) -> bool {
         self.routers_added.is_empty()
             && self.routers_removed.is_empty()
+            && self.routers_modified.is_empty()
+            && self.routers_renamed.is_empty()
             && self.instances_added.is_empty()
             && self.instances_removed.is_empty()
             && self.external_as_added.is_empty()
@@ -145,6 +213,10 @@ impl fmt::Display for DesignDiff {
         };
         list(f, "+ routers", &self.routers_added)?;
         list(f, "- routers", &self.routers_removed)?;
+        list(f, "~ routers", &self.routers_modified)?;
+        for (old_name, new_name) in &self.routers_renamed {
+            writeln!(f, "renamed: {old_name} → {new_name}")?;
+        }
         for sig in &self.instances_added {
             writeln!(f, "+ instance {} ({} routers)", label(sig), sig.members.len())?;
         }
@@ -236,6 +308,58 @@ mod tests {
         let text = diff.to_string();
         assert!(text.contains("+ routers: gamma"));
         assert!(text.contains("external peers: [7018]"));
+    }
+
+    #[test]
+    fn modified_router_is_not_a_rename() {
+        let a = NetworkAnalysis::from_texts(base_texts()).unwrap();
+        let mut texts = base_texts();
+        // alpha grows a loopback: same name, different fingerprint.
+        texts[0].1.push_str("interface Loopback0\n ip address 10.9.0.1 255.255.255.255\n");
+        let b = NetworkAnalysis::from_texts(texts).unwrap();
+        let diff = DesignDiff::between(&a, &b);
+        assert_eq!(diff.routers_modified, vec!["alpha".to_string()]);
+        assert!(diff.routers_added.is_empty());
+        assert!(diff.routers_removed.is_empty());
+        assert!(diff.routers_renamed.is_empty());
+        assert!(!diff.is_empty());
+        assert!(diff.to_string().contains("~ routers: alpha"));
+    }
+
+    #[test]
+    fn rename_pairs_identical_bodies_instead_of_add_remove() {
+        let a = NetworkAnalysis::from_texts(base_texts()).unwrap();
+        let mut texts = base_texts();
+        // beta keeps its exact configuration body under a new hostname.
+        texts[1].1 = texts[1].1.replace("hostname beta", "hostname betamax");
+        let b = NetworkAnalysis::from_texts(texts).unwrap();
+        let diff = DesignDiff::between(&a, &b);
+        assert_eq!(diff.routers_renamed, vec![("beta".to_string(), "betamax".to_string())]);
+        assert!(diff.routers_added.is_empty(), "{:?}", diff.routers_added);
+        assert!(diff.routers_removed.is_empty(), "{:?}", diff.routers_removed);
+        assert!(diff.routers_modified.is_empty());
+        assert!(diff.to_string().contains("renamed: beta → betamax"));
+    }
+
+    #[test]
+    fn empty_vs_empty_is_no_change() {
+        let a = NetworkAnalysis::from_bytes_list(Vec::new());
+        let b = NetworkAnalysis::from_bytes_list(Vec::new());
+        let diff = DesignDiff::between(&a, &b);
+        assert!(diff.is_empty(), "{diff}");
+        assert_eq!(diff.to_string(), "no design-level changes\n");
+    }
+
+    #[test]
+    fn cosmetic_churn_does_not_move_the_fingerprint() {
+        let a = NetworkAnalysis::from_texts(base_texts()).unwrap();
+        let mut texts = base_texts();
+        // Bang separators and blank lines are parser noise.
+        texts[0].1 = texts[0].1.replace("interface Serial0\n", "!\n\ninterface Serial0\n!\n");
+        let b = NetworkAnalysis::from_texts(texts).unwrap();
+        let diff = DesignDiff::between(&a, &b);
+        assert!(diff.routers_modified.is_empty(), "{:?}", diff.routers_modified);
+        assert!(diff.is_empty(), "{diff}");
     }
 
     #[test]

@@ -48,6 +48,7 @@
 
 pub mod audit;
 pub mod diff;
+pub mod plan;
 pub mod report;
 pub mod snapshot;
 

@@ -1,0 +1,67 @@
+//! Materializes a seeded planner scenario onto disk as two config
+//! directories — `<out>/current` and `<out>/target` — ready for
+//! `rdx plan`. Used by the verify.sh plan stage and EXPERIMENTS.md.
+//!
+//! Usage: `plan_scenario <out-dir> [--seed N] [--star SPOKES]`
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn write_corpus(dir: &Path, corpus: &rd_plan::CorpusFiles) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    for (name, bytes) in corpus {
+        let path = dir.join(name);
+        std::fs::write(&path, bytes).map_err(|e| format!("write {}: {e}", path.display()))?;
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_dir: Option<String> = None;
+    let mut seed = 42u64;
+    let mut star: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let value = it.next().ok_or("--seed requires a value")?;
+                seed = value.parse().map_err(|_| format!("bad --seed '{value}'"))?;
+            }
+            "--star" => {
+                let value = it.next().ok_or("--star requires a value")?;
+                star = Some(value.parse().map_err(|_| format!("bad --star '{value}'"))?);
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag '{flag}'"));
+            }
+            dir if out_dir.is_none() => out_dir = Some(dir.to_string()),
+            extra => return Err(format!("unexpected argument '{extra}'")),
+        }
+    }
+    let out_dir = out_dir.ok_or("usage: plan_scenario <out-dir> [--seed N] [--star SPOKES]")?;
+    let (current, target) = match star {
+        Some(spokes) => rd_plan::scenario::star(spokes, seed),
+        None => rd_plan::scenario::demo(seed),
+    };
+    let out = Path::new(&out_dir);
+    write_corpus(&out.join("current"), &current)?;
+    write_corpus(&out.join("target"), &target)?;
+    println!(
+        "wrote {} current + {} target config(s) under {} (seed {seed})",
+        current.len(),
+        target.len(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("plan_scenario: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Dependency-DAG construction over change units.
+//!
+//! Edges are derived from analysis facts, not from config syntax: a unit
+//! `u` must precede a unit `r` when applying `r` first would predictably
+//! strand routers that the later application of `u` needs. All rules
+//! point *into* Remove units (drain before remove, replace before
+//! retire), so the graph is acyclic by construction; a deterministic
+//! cycle-skip guards the invariant anyway in case future rules relax it.
+
+use crate::{bit, ChangeKind, ChangeUnit, StateFacts};
+
+/// The dependency DAG: `preds[i]` is the bitmask of units that must be
+/// applied before unit `i` becomes ready.
+#[derive(Clone, Debug, Default)]
+pub struct Dag {
+    /// Predecessor mask per unit.
+    pub preds: Vec<u128>,
+    /// The kept edges as `(before, after, rule)` triples, sorted — for
+    /// rendering and tests.
+    pub edges: Vec<(usize, usize, &'static str)>,
+    /// Candidate edges dropped because they would have closed a cycle
+    /// (0 with the current rules; counted for future-proofing).
+    pub cycles_skipped: usize,
+}
+
+fn shares_any(a: &[String], b: &[String]) -> bool {
+    // Both sides are sorted; a merge walk keeps this allocation-free.
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+/// Would adding `before -> after` close a cycle, i.e. is `before`
+/// already reachable from `after` through `preds`? (`preds` edges point
+/// backwards: `x in preds[y]` means `x -> y`.)
+fn reaches(preds: &[u128], from: usize, to: usize) -> bool {
+    let mut seen = bit(from);
+    let mut frontier = bit(from);
+    while frontier != 0 {
+        let mut next = 0u128;
+        for (i, &p) in preds.iter().enumerate() {
+            if seen & bit(i) == 0 && p & frontier != 0 {
+                if i == to {
+                    return true;
+                }
+                seen |= bit(i);
+                next |= bit(i);
+            }
+        }
+        frontier = next;
+    }
+    false
+}
+
+/// Builds the dependency DAG over `units` from the endpoint facts.
+///
+/// Rules (edges `u -> r`, "u before r"):
+///
+/// 1. **Drain before remove** — a non-Remove unit whose router currently
+///    shares a routing instance or a link subnet with a to-be-removed
+///    router must be applied before that removal: the shared fate is
+///    exactly what the migration is untangling.
+/// 2. **External replacement first** — an Add whose router is
+///    external-facing in the target precedes every Remove of a currently
+///    external-facing router, so the network is never without its new
+///    border before losing the old one.
+/// 3. **Redistribution replacement first** — likewise for routers that
+///    redistribute between instances.
+///
+/// Candidate edges are processed in sorted `(before, after)` order and
+/// any edge that would close a cycle is skipped deterministically.
+pub fn build_dag(units: &[ChangeUnit], current: &StateFacts, target: &StateFacts) -> Dag {
+    let mut candidates: Vec<(usize, usize, &'static str)> = Vec::new();
+    for (ri, removal) in units.iter().enumerate() {
+        if removal.kind != ChangeKind::Remove {
+            continue;
+        }
+        let Some(removed) = current.router(&removal.router) else {
+            continue;
+        };
+        for (ui, unit) in units.iter().enumerate() {
+            if ui == ri || unit.kind == ChangeKind::Remove {
+                continue;
+            }
+            // Rule 1: the unit's router, *in its current state*, shares
+            // an instance or a link with the removed router. Adds have no
+            // current state and are covered by rules 2-3.
+            if let Some(state) = current.router(&unit.router) {
+                if shares_any(&state.instance_keys, &removed.instance_keys)
+                    || shares_any(&state.link_subnets, &removed.link_subnets)
+                {
+                    candidates.push((ui, ri, "drain-before-remove"));
+                    continue;
+                }
+            }
+            let Some(target_state) = target.router(&unit.router) else {
+                continue;
+            };
+            // Rule 2: replacement border router exists before the old
+            // border is retired.
+            if removed.external_facing
+                && unit.kind == ChangeKind::Add
+                && target_state.external_facing
+            {
+                candidates.push((ui, ri, "external-replacement-first"));
+                continue;
+            }
+            // Rule 3: replacement redistributor before the old one goes.
+            if removed.redistributes && target_state.redistributes {
+                candidates.push((ui, ri, "redistribution-replacement-first"));
+            }
+        }
+    }
+    candidates.sort();
+    candidates.dedup();
+
+    let mut dag = Dag { preds: vec![0u128; units.len()], ..Dag::default() };
+    for (before, after, rule) in candidates {
+        if reaches(&dag.preds, before, after) {
+            // `after` already (transitively) precedes `before`: adding
+            // this edge would close a cycle. Skip deterministically.
+            dag.cycles_skipped += 1;
+            continue;
+        }
+        dag.preds[after] |= bit(before);
+        dag.edges.push((before, after, rule));
+    }
+    dag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RouterState;
+
+    fn unit(kind: ChangeKind, router: &str) -> ChangeUnit {
+        ChangeUnit {
+            kind,
+            router: router.to_string(),
+            old_file: (kind != ChangeKind::Add).then(|| format!("{router}.cfg")),
+            new_file: (kind != ChangeKind::Remove).then(|| format!("{router}.cfg")),
+            bytes: (kind != ChangeKind::Remove).then(|| b"cfg".to_vec()),
+        }
+    }
+
+    fn state(name: &str, instances: &[&str], subnets: &[&str]) -> RouterState {
+        RouterState {
+            name: name.to_string(),
+            file_name: format!("{name}.cfg"),
+            instance_keys: instances.iter().map(|s| s.to_string()).collect(),
+            link_subnets: subnets.iter().map(|s| s.to_string()).collect(),
+            ..RouterState::default()
+        }
+    }
+
+    #[test]
+    fn drain_before_remove_edges_from_shared_instance_and_link() {
+        // remove:b shares the IGP with a (instance) and a subnet with c.
+        let units = vec![
+            unit(ChangeKind::Modify, "a"),
+            unit(ChangeKind::Modify, "c"),
+            unit(ChangeKind::Remove, "b"),
+        ];
+        let current = StateFacts {
+            routers: vec![
+                state("a", &["ospf"], &["10.0.0.0/30"]),
+                state("b", &["ospf"], &["10.0.1.0/30"]),
+                state("c", &["bgp:65001"], &["10.0.1.0/30"]),
+            ],
+            ..StateFacts::default()
+        };
+        let target = StateFacts {
+            routers: vec![state("a", &["ospf"], &[]), state("c", &["bgp:65001"], &[])],
+            ..StateFacts::default()
+        };
+        let dag = build_dag(&units, &current, &target);
+        assert_eq!(dag.preds[2], bit(0) | bit(1), "both drains precede remove:b");
+        assert_eq!(dag.preds[0], 0);
+        assert_eq!(dag.preds[1], 0);
+        assert_eq!(dag.cycles_skipped, 0);
+        assert!(dag.edges.iter().all(|&(_, _, rule)| rule == "drain-before-remove"));
+    }
+
+    #[test]
+    fn border_and_redistributor_replacements_precede_retirement() {
+        let units = vec![
+            unit(ChangeKind::Add, "new-edge"),
+            unit(ChangeKind::Modify, "mid"),
+            unit(ChangeKind::Remove, "old-edge"),
+        ];
+        let mut old_edge = state("old-edge", &["bgp:65001"], &[]);
+        old_edge.external_facing = true;
+        old_edge.redistributes = true;
+        let current = StateFacts {
+            routers: vec![state("mid", &["ospf"], &[]), old_edge],
+            ..StateFacts::default()
+        };
+        let mut new_edge = state("new-edge", &["bgp:65001"], &[]);
+        new_edge.external_facing = true;
+        let mut mid_t = state("mid", &["ospf"], &[]);
+        mid_t.redistributes = true;
+        let target = StateFacts {
+            routers: vec![mid_t, new_edge],
+            ..StateFacts::default()
+        };
+        let dag = build_dag(&units, &current, &target);
+        // add:new-edge (rule 2) and modify:mid (rule 3) both precede the
+        // removal of the old edge router.
+        assert_eq!(dag.preds[2], bit(0) | bit(1));
+        let rules: Vec<&str> = dag.edges.iter().map(|&(_, _, r)| r).collect();
+        assert!(rules.contains(&"external-replacement-first"));
+        assert!(rules.contains(&"redistribution-replacement-first"));
+    }
+
+    #[test]
+    fn cycle_candidates_are_skipped_deterministically() {
+        // reaches() itself: 0 -> 1 -> 2 chains make 2 -> 0 a cycle edge.
+        let mut preds = vec![0u128; 3];
+        preds[1] |= bit(0);
+        preds[2] |= bit(1);
+        assert!(reaches(&preds, 0, 2));
+        assert!(!reaches(&preds, 2, 0));
+    }
+}

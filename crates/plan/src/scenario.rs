@@ -1,0 +1,199 @@
+//! Seeded demo scenarios for the planner — the corpora behind
+//! `plan_scenario`, the `tests/plan_safety.rs` acceptance test, the
+//! verify.sh plan stage, and `bench_plan`.
+
+use rd_chaos::{mutate_config, ConfigMutator};
+use rd_rng::StdRng;
+
+use crate::CorpusFiles;
+
+fn file(name: &str, text: String) -> (String, Vec<u8>) {
+    (name.to_string(), text.into_bytes())
+}
+
+fn ospf_stanza() -> &'static str {
+    "router ospf 1\n network 10.0.0.0 0.255.255.255 area 0\n"
+}
+
+/// The demo migration: a four-router OSPF chain re-homed around a new
+/// aggregation router, with the old mid-chain router retired.
+///
+/// Current design: `alpha` (border, EBGP to AS 65010) — `beta` — `gamma`
+/// in a chain, `omega` hanging off `alpha`. Target design: new router
+/// `delta` takes over aggregation (`alpha` — `delta` — `gamma`), `beta`
+/// is removed, `omega` is untouched except for cosmetic byte churn (the
+/// seeded `drop-bangs` chaos mutator) that must NOT become a change
+/// unit. `alpha` keeps its now-dangling `beta`-facing interface — a
+/// follow-up cleanup pass, exactly how operators stage such migrations;
+/// retiring it in the same change set would make every per-router
+/// ordering unsafe.
+///
+/// The naive sorted order starts with `add:delta`, which creates an
+/// isolated component (no peer subnet exists yet) — the planner must
+/// discover `modify:alpha → add:delta → modify:gamma → remove:beta`.
+pub fn demo(seed: u64) -> (CorpusFiles, CorpusFiles) {
+    let alpha_current = format!(
+        "hostname alpha\n!\n\
+         interface Serial0\n ip address 192.0.2.1 255.255.255.252\n!\n\
+         interface Serial1\n ip address 10.0.0.1 255.255.255.252\n!\n\
+         interface Serial2\n ip address 10.0.4.1 255.255.255.252\n!\n\
+         {}router bgp 65001\n neighbor 192.0.2.2 remote-as 65010\n",
+        ospf_stanza()
+    );
+    let alpha_target = format!(
+        "hostname alpha\n!\n\
+         interface Serial0\n ip address 192.0.2.1 255.255.255.252\n!\n\
+         interface Serial1\n ip address 10.0.0.1 255.255.255.252\n!\n\
+         interface Serial2\n ip address 10.0.4.1 255.255.255.252\n!\n\
+         interface Serial3\n ip address 10.0.2.1 255.255.255.252\n!\n\
+         {}router bgp 65001\n neighbor 192.0.2.2 remote-as 65010\n",
+        ospf_stanza()
+    );
+    let beta = format!(
+        "hostname beta\n!\n\
+         interface Serial0\n ip address 10.0.0.2 255.255.255.252\n!\n\
+         interface Serial1\n ip address 10.0.1.1 255.255.255.252\n!\n\
+         {}",
+        ospf_stanza()
+    );
+    let gamma_current = format!(
+        "hostname gamma\n!\n\
+         interface Serial0\n ip address 10.0.1.2 255.255.255.252\n!\n\
+         {}",
+        ospf_stanza()
+    );
+    let gamma_target = format!(
+        "hostname gamma\n!\n\
+         interface Serial0\n ip address 10.0.3.2 255.255.255.252\n!\n\
+         {}",
+        ospf_stanza()
+    );
+    let delta = format!(
+        "hostname delta\n!\n\
+         interface Serial0\n ip address 10.0.2.2 255.255.255.252\n!\n\
+         interface Serial1\n ip address 10.0.3.1 255.255.255.252\n!\n\
+         {}",
+        ospf_stanza()
+    );
+    let omega = format!(
+        "hostname omega\n!\n\
+         interface Serial0\n ip address 10.0.4.2 255.255.255.252\n!\n\
+         {}",
+        ospf_stanza()
+    );
+    // Cosmetic churn on omega's target bytes: the seeded drop-bangs
+    // mutator strips the `!` separator lines, changing the file's bytes
+    // but not its parsed meaning — the fingerprint diff must not emit a
+    // unit for it.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let omega_target = mutate_config(&mut rng, ConfigMutator::DropBangs, omega.as_bytes())
+        .unwrap_or_else(|| omega.clone().into_bytes());
+
+    let current = vec![
+        file("alpha.cfg", alpha_current),
+        file("beta.cfg", beta),
+        file("gamma.cfg", gamma_current),
+        file("omega.cfg", omega),
+    ];
+    let target = vec![
+        file("alpha.cfg", alpha_target),
+        file("delta.cfg", delta),
+        file("gamma.cfg", gamma_target),
+        ("omega.cfg".to_string(), omega_target),
+    ];
+    (current, target)
+}
+
+/// A hub-and-spoke renumbering used by `bench_plan`: every spoke moves
+/// from `10.1.<i>.0/30` to `10.2.<i>.0/30`, and the hub (which also
+/// holds the external peering) grows the new subnets while keeping the
+/// old ones. Spokes only become safe to move after the hub change, so
+/// the search evaluates the full candidate fan at every step —
+/// `spokes + 1` units, O(spokes²) intermediate states.
+pub fn star(spokes: usize, seed: u64) -> (CorpusFiles, CorpusFiles) {
+    let spokes = spokes.min(96);
+    let mut hub_current = String::from(
+        "hostname alpha\n!\n\
+         interface Serial0\n ip address 192.0.2.1 255.255.255.252\n!\n",
+    );
+    let mut hub_target = hub_current.clone();
+    let mut current = Vec::new();
+    let mut target = Vec::new();
+    for i in 0..spokes {
+        hub_current.push_str(&format!(
+            "interface Ethernet{i}\n ip address 10.1.{i}.1 255.255.255.252\n!\n"
+        ));
+        hub_target.push_str(&format!(
+            "interface Ethernet{i}\n ip address 10.1.{i}.1 255.255.255.252\n!\n\
+             interface Ethernet1{i:02}\n ip address 10.2.{i}.1 255.255.255.252\n!\n"
+        ));
+        let name = format!("s{i:02}");
+        current.push(file(
+            &format!("{name}.cfg"),
+            format!(
+                "hostname {name}\n!\n\
+                 interface Serial0\n ip address 10.1.{i}.2 255.255.255.252\n!\n\
+                 {}",
+                ospf_stanza()
+            ),
+        ));
+        target.push(file(
+            &format!("{name}.cfg"),
+            format!(
+                "hostname {name}\n!\n\
+                 interface Serial0\n ip address 10.2.{i}.2 255.255.255.252\n!\n\
+                 {}",
+                ospf_stanza()
+            ),
+        ));
+    }
+    let bgp = "router bgp 65001\n neighbor 192.0.2.2 remote-as 65010\n";
+    hub_current.push_str(ospf_stanza());
+    hub_current.push_str(bgp);
+    hub_target.push_str(ospf_stanza());
+    hub_target.push_str(bgp);
+    current.insert(0, file("alpha.cfg", hub_current));
+    target.insert(0, file("alpha.cfg", hub_target));
+    // Seeded cosmetic churn on one spoke's target bytes, as in `demo`.
+    if let Some((_, bytes)) = target.last_mut() {
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Some(mutated) = mutate_config(&mut rng, ConfigMutator::DropBangs, bytes) {
+            *bytes = mutated;
+        }
+    }
+    current.sort();
+    target.sort();
+    (current, target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_target_differs_only_where_intended() {
+        let (current, target) = demo(42);
+        assert_eq!(current.len(), 4);
+        assert_eq!(target.len(), 4);
+        let names = |c: &CorpusFiles| {
+            c.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>()
+        };
+        assert_eq!(names(&current), vec!["alpha.cfg", "beta.cfg", "gamma.cfg", "omega.cfg"]);
+        assert_eq!(names(&target), vec!["alpha.cfg", "delta.cfg", "gamma.cfg", "omega.cfg"]);
+        // omega's target bytes are churned but still parse-equivalent:
+        // the mutator only removed separator lines.
+        let omega_cur = &current[3].1;
+        let omega_tgt = &target[3].1;
+        assert_ne!(omega_cur, omega_tgt, "cosmetic churn must change bytes");
+        assert!(!omega_tgt.windows(2).any(|w| w == b"!\n"), "bangs dropped");
+    }
+
+    #[test]
+    fn star_scales_with_spokes_and_stays_sorted() {
+        let (current, target) = star(6, 7);
+        assert_eq!(current.len(), 7);
+        assert_eq!(target.len(), 7);
+        assert!(current.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(target.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+}

@@ -1,0 +1,473 @@
+//! The safe-ordering search: invariant envelope, per-state checking, and
+//! an iterative depth-first search over DAG-compatible orderings with
+//! parallel candidate evaluation and bitmask memoization.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+use crate::{bit, materialize, ChangeUnit, CorpusFiles, Dag, PlanError, StateFacts};
+
+/// The invariant envelope: the loosest bound justified by the two
+/// endpoint states. An intermediate state may be no worse than the worse
+/// endpoint on every axis — the migration may pass *through* whatever
+/// degradation the endpoints already accept, but may not introduce new
+/// partitions, new instance splits, new external peers, new parse
+/// failures, or strand a target router away from every border.
+#[derive(Clone, Debug)]
+pub struct Envelope {
+    /// Most connectivity components any intermediate state may have.
+    pub max_components: usize,
+    /// Most instances per instance key (union of keys; a key absent here
+    /// must not appear at all).
+    pub max_instances: BTreeMap<String, usize>,
+    /// External AS numbers an intermediate state may peer with.
+    pub allowed_ases: BTreeSet<u32>,
+    /// Most quarantined files any intermediate state may have.
+    pub max_quarantined: usize,
+    /// Whether border reachability is checked (only when both endpoints
+    /// actually have border routers — otherwise the check is vacuous).
+    pub require_border: bool,
+    /// The routers of the target design: the ones whose reachability the
+    /// migration must preserve.
+    pub target_routers: BTreeSet<String>,
+}
+
+impl Envelope {
+    /// Derives the envelope from the two endpoint states.
+    pub fn between(current: &StateFacts, target: &StateFacts) -> Envelope {
+        let mut max_instances = BTreeMap::new();
+        for (key, &count) in current.instance_counts.iter().chain(&target.instance_counts) {
+            let entry = max_instances.entry(key.clone()).or_insert(0usize);
+            *entry = (*entry).max(count);
+        }
+        let has_border = |f: &StateFacts| f.routers.iter().any(|r| r.external_facing);
+        Envelope {
+            max_components: current.components.max(target.components),
+            max_instances,
+            allowed_ases: current.external_ases.union(&target.external_ases).copied().collect(),
+            max_quarantined: current.quarantined.max(target.quarantined),
+            require_border: has_border(current) && has_border(target),
+            target_routers: target.routers.iter().map(|r| r.name.clone()).collect(),
+        }
+    }
+}
+
+/// One named invariant check of one intermediate state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvariantCheck {
+    /// Stable check name (`connectivity`, `instances`, `external`,
+    /// `reachability`, `coverage`).
+    pub invariant: &'static str,
+    /// Whether the state passed.
+    pub ok: bool,
+    /// Human-readable evidence, deterministic for a given state.
+    pub detail: String,
+}
+
+/// The verification result of one intermediate state: all five invariant
+/// checks, in fixed order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StepVerdict {
+    /// The checks, in fixed order.
+    pub checks: Vec<InvariantCheck>,
+}
+
+impl StepVerdict {
+    /// True when every check passed.
+    pub fn ok(&self) -> bool {
+        self.checks.iter().all(|c| c.ok)
+    }
+}
+
+/// Checks one analyzed state against the envelope. Pure and
+/// deterministic: equal facts yield byte-equal verdicts.
+pub fn check_state(envelope: &Envelope, facts: &StateFacts) -> StepVerdict {
+    let mut checks = Vec::with_capacity(5);
+
+    let connectivity_ok = facts.components <= envelope.max_components;
+    checks.push(InvariantCheck {
+        invariant: "connectivity",
+        ok: connectivity_ok,
+        detail: format!(
+            "{} component(s) (envelope {})",
+            facts.components, envelope.max_components
+        ),
+    });
+
+    let mut instance_violation = None;
+    for (key, &count) in &facts.instance_counts {
+        let allowed = envelope.max_instances.get(key).copied().unwrap_or(0);
+        if count > allowed {
+            instance_violation = Some(format!(
+                "{key}: {count} instance(s) (envelope {allowed})"
+            ));
+            break;
+        }
+    }
+    checks.push(InvariantCheck {
+        invariant: "instances",
+        ok: instance_violation.is_none(),
+        detail: instance_violation
+            .unwrap_or_else(|| "instance counts within envelope".to_string()),
+    });
+
+    let leaked: Vec<u32> = facts
+        .external_ases
+        .difference(&envelope.allowed_ases)
+        .copied()
+        .collect();
+    checks.push(InvariantCheck {
+        invariant: "external",
+        ok: leaked.is_empty(),
+        detail: if leaked.is_empty() {
+            "no new external ASes".to_string()
+        } else {
+            format!("new external AS(es): {leaked:?}")
+        },
+    });
+
+    if envelope.require_border {
+        let border_components: BTreeSet<usize> = facts
+            .routers
+            .iter()
+            .filter(|r| r.external_facing)
+            .map(|r| r.component)
+            .collect();
+        let stranded: Vec<&str> = facts
+            .routers
+            .iter()
+            .filter(|r| {
+                envelope.target_routers.contains(&r.name)
+                    && !border_components.contains(&r.component)
+            })
+            .map(|r| r.name.as_str())
+            .collect();
+        let present = facts
+            .routers
+            .iter()
+            .filter(|r| envelope.target_routers.contains(&r.name))
+            .count();
+        checks.push(InvariantCheck {
+            invariant: "reachability",
+            ok: stranded.is_empty(),
+            detail: if stranded.is_empty() {
+                format!("all {present} target router(s) reach a border router")
+            } else {
+                format!("cut off from every border router: {}", stranded.join(", "))
+            },
+        });
+    } else {
+        checks.push(InvariantCheck {
+            invariant: "reachability",
+            ok: true,
+            detail: "no border routers in either endpoint (vacuous)".to_string(),
+        });
+    }
+
+    let coverage_ok = facts.quarantined <= envelope.max_quarantined;
+    checks.push(InvariantCheck {
+        invariant: "coverage",
+        ok: coverage_ok,
+        detail: format!(
+            "{} quarantined file(s) (envelope {})",
+            facts.quarantined, envelope.max_quarantined
+        ),
+    });
+
+    StepVerdict { checks }
+}
+
+/// Search effort counters. Deterministic at any `RD_THREADS`: the DFS
+/// visits states in a fixed order and batches are formed before any
+/// parallel work starts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Distinct intermediate states materialized and analyzed.
+    pub states_analyzed: usize,
+    /// Dead-end states the DFS backtracked out of.
+    pub backtracks: usize,
+    /// Verdict lookups served from the bitmask memo.
+    pub memo_hits: usize,
+}
+
+/// Where the naive (sorted-key) ordering of the same units first
+/// violates an invariant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NaiveViolation {
+    /// 1-based step at which the violation occurs.
+    pub step: usize,
+    /// The unit key applied at that step.
+    pub unit: String,
+    /// The failing checks of the resulting state.
+    pub failed: Vec<InvariantCheck>,
+}
+
+/// The naive-ordering counter-factual carried in every plan: what would
+/// have happened if the units were simply applied in sorted order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NaiveReport {
+    /// The naive order, as unit keys.
+    pub order: Vec<String>,
+    /// The first violation, if the naive order is unsafe. `None` means
+    /// the naive order happens to be safe too (the plan may still
+    /// reorder for DAG reasons).
+    pub violation: Option<NaiveViolation>,
+}
+
+struct Evaluator<'a, F> {
+    current: &'a CorpusFiles,
+    units: &'a [ChangeUnit],
+    envelope: &'a Envelope,
+    analyze: &'a F,
+    corpus_bytes: u64,
+    memo: HashMap<u128, StepVerdict>,
+    stats: SearchStats,
+}
+
+impl<'a, F> Evaluator<'a, F>
+where
+    F: Fn(&CorpusFiles) -> StateFacts + Sync,
+{
+    fn new(
+        current: &'a CorpusFiles,
+        units: &'a [ChangeUnit],
+        envelope: &'a Envelope,
+        analyze: &'a F,
+    ) -> Self {
+        let corpus_bytes = current
+            .iter()
+            .map(|(_, b)| b.len() as u64)
+            .chain(units.iter().map(|u| u.bytes.as_ref().map_or(0, |b| b.len() as u64)))
+            .sum();
+        Evaluator {
+            current,
+            units,
+            envelope,
+            analyze,
+            corpus_bytes,
+            memo: HashMap::new(),
+            stats: SearchStats::default(),
+        }
+    }
+
+    /// Ensures a verdict exists for every mask in `masks`, evaluating
+    /// all uncached ones in one parallel batch. The batch is formed
+    /// before any parallel work starts and results land keyed by mask,
+    /// so thread count cannot change anything observable.
+    fn evaluate_batch(&mut self, masks: &[u128]) {
+        let uncached: Vec<u128> =
+            masks.iter().copied().filter(|m| !self.memo.contains_key(m)).collect();
+        self.stats.memo_hits += masks.len() - uncached.len();
+        if uncached.is_empty() {
+            return;
+        }
+        let (current, units, envelope, analyze) =
+            (self.current, self.units, self.envelope, self.analyze);
+        let cost = self.corpus_bytes.saturating_mul(uncached.len() as u64);
+        let verdicts = rd_par::par_map_cost(cost, &uncached, |_, &mask| {
+            let corpus = materialize(current, units, mask);
+            check_state(envelope, &analyze(&corpus))
+        });
+        self.stats.states_analyzed += uncached.len();
+        for (mask, verdict) in uncached.into_iter().zip(verdicts) {
+            self.memo.insert(mask, verdict);
+        }
+    }
+
+    fn verdict(&mut self, mask: u128) -> StepVerdict {
+        self.evaluate_batch(&[mask]);
+        // The batch above guarantees presence; an empty-verdict fallback
+        // keeps this path unwrap-free without changing behavior.
+        self.memo.get(&mask).cloned().unwrap_or(StepVerdict { checks: Vec::new() })
+    }
+}
+
+struct Frame {
+    candidates: Vec<usize>,
+    next: usize,
+}
+
+/// Runs the safe-ordering DFS, then replays the naive sorted-key order
+/// against the (shared) memo for the counter-factual report.
+pub(crate) fn search<F>(
+    current: &CorpusFiles,
+    units: &[ChangeUnit],
+    dag: &Dag,
+    envelope: &Envelope,
+    analyze: &F,
+) -> Result<(Vec<usize>, Vec<StepVerdict>, NaiveReport, SearchStats), PlanError>
+where
+    F: Fn(&CorpusFiles) -> StateFacts + Sync,
+{
+    let n = units.len();
+    let full: u128 = if n == 0 {
+        0
+    } else if n == 128 {
+        u128::MAX
+    } else {
+        bit(n) - 1
+    };
+
+    let mut evaluator = Evaluator::new(current, units, envelope, analyze);
+    let mut mask = 0u128;
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut frames: Vec<Frame> = Vec::with_capacity(n);
+    let mut dead: HashSet<u128> = HashSet::new();
+
+    while mask != full {
+        if frames.len() == order.len() {
+            // First visit of this state: gather the DAG-ready candidates
+            // (already in sorted unit order, the deterministic
+            // tie-break) and evaluate them all in one parallel batch.
+            let _step = rd_obs::span!("step:{}", order.len());
+            let candidates: Vec<usize> = (0..n)
+                .filter(|&i| mask & bit(i) == 0 && dag.preds[i] & !mask == 0)
+                .collect();
+            let masks: Vec<u128> = candidates
+                .iter()
+                .map(|&c| mask | bit(c))
+                .filter(|m| !dead.contains(m))
+                .collect();
+            evaluator.evaluate_batch(&masks);
+            frames.push(Frame { candidates, next: 0 });
+        }
+        let mut chosen = None;
+        if let Some(frame) = frames.last_mut() {
+            while frame.next < frame.candidates.len() {
+                let candidate = frame.candidates[frame.next];
+                frame.next += 1;
+                let next_mask = mask | bit(candidate);
+                if dead.contains(&next_mask) {
+                    continue;
+                }
+                if evaluator.verdict(next_mask).ok() {
+                    chosen = Some(candidate);
+                    break;
+                }
+            }
+        }
+        match chosen {
+            Some(candidate) => {
+                mask |= bit(candidate);
+                order.push(candidate);
+            }
+            None => {
+                // Every remaining candidate is unsafe or leads to a dead
+                // subtree: mark this state dead and back out one step.
+                dead.insert(mask);
+                frames.pop();
+                match order.pop() {
+                    Some(undone) => {
+                        mask &= !bit(undone);
+                        evaluator.stats.backtracks += 1;
+                    }
+                    None => {
+                        return Err(PlanError::NoSafeOrder {
+                            states_analyzed: evaluator.stats.states_analyzed,
+                            backtracks: evaluator.stats.backtracks,
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    let mut verdicts = Vec::with_capacity(n);
+    let mut step_mask = 0u128;
+    for &idx in &order {
+        step_mask |= bit(idx);
+        verdicts.push(evaluator.verdict(step_mask));
+    }
+
+    // Naive counter-factual: units are already sorted by key, so the
+    // naive order is simply index order. Prefix masks share the memo.
+    let mut naive = NaiveReport {
+        order: units.iter().map(ChangeUnit::key).collect(),
+        violation: None,
+    };
+    let mut naive_mask = 0u128;
+    for (step, unit) in units.iter().enumerate() {
+        naive_mask |= bit(step);
+        let verdict = evaluator.verdict(naive_mask);
+        if !verdict.ok() {
+            naive.violation = Some(NaiveViolation {
+                step: step + 1,
+                unit: unit.key(),
+                failed: verdict.checks.iter().filter(|c| !c.ok).cloned().collect(),
+            });
+            break;
+        }
+    }
+
+    Ok((order, verdicts, naive, evaluator.stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn facts(components: usize) -> StateFacts {
+        StateFacts { components, ..StateFacts::default() }
+    }
+
+    #[test]
+    fn envelope_takes_the_worse_endpoint_on_every_axis() {
+        let mut current = facts(1);
+        current.instance_counts.insert("ospf".into(), 1);
+        current.external_ases.insert(65010);
+        current.quarantined = 2;
+        let mut target = facts(3);
+        target.instance_counts.insert("ospf".into(), 2);
+        target.instance_counts.insert("bgp:65001".into(), 1);
+        target.external_ases.insert(65020);
+        let envelope = Envelope::between(&current, &target);
+        assert_eq!(envelope.max_components, 3);
+        assert_eq!(envelope.max_instances.get("ospf"), Some(&2));
+        assert_eq!(envelope.max_instances.get("bgp:65001"), Some(&1));
+        assert!(envelope.allowed_ases.contains(&65010));
+        assert!(envelope.allowed_ases.contains(&65020));
+        assert_eq!(envelope.max_quarantined, 2);
+        assert!(!envelope.require_border, "no external-facing routers anywhere");
+    }
+
+    #[test]
+    fn check_state_flags_each_axis() {
+        let mut current = facts(1);
+        current.instance_counts.insert("ospf".into(), 1);
+        let target = {
+            let mut t = facts(1);
+            t.instance_counts.insert("ospf".into(), 1);
+            t
+        };
+        let envelope = Envelope::between(&current, &target);
+
+        let good = check_state(&envelope, &current);
+        assert!(good.ok());
+        assert_eq!(good.checks.len(), 5);
+
+        let mut partitioned = facts(2);
+        partitioned.instance_counts.insert("ospf".into(), 2);
+        partitioned.external_ases.insert(64999);
+        partitioned.quarantined = 1;
+        let bad = check_state(&envelope, &partitioned);
+        let failing: Vec<&str> =
+            bad.checks.iter().filter(|c| !c.ok).map(|c| c.invariant).collect();
+        assert_eq!(failing, vec!["connectivity", "instances", "external", "coverage"]);
+    }
+
+    #[test]
+    fn unknown_instance_key_violates() {
+        let current = {
+            let mut f = facts(1);
+            f.instance_counts.insert("ospf".into(), 1);
+            f
+        };
+        let envelope = Envelope::between(&current, &current);
+        let mut rogue = facts(1);
+        rogue.instance_counts.insert("eigrp:9".into(), 1);
+        let verdict = check_state(&envelope, &rogue);
+        let inst = &verdict.checks[1];
+        assert_eq!(inst.invariant, "instances");
+        assert!(!inst.ok);
+        assert!(inst.detail.contains("eigrp:9"), "{}", inst.detail);
+    }
+}

@@ -48,6 +48,10 @@ pub(crate) struct SnapshotState {
     pub cache_body_bytes: usize,
     /// Total cached pre-framed response bytes.
     pub cache_resp_bytes: usize,
+    /// The reconfiguration plan document served at `/plan`
+    /// (`rdx serve --plan`); `None` 404s the endpoint. Shared by Arc so
+    /// hot reload re-attaches the same plan to the fresh snapshot.
+    pub plan: Option<Arc<String>>,
 }
 
 impl SnapshotState {
@@ -55,7 +59,12 @@ impl SnapshotState {
     /// `cache_enabled` is off) and fixes the entity tag from the
     /// snapshot's FNV-1a-64 `trailer` — recomputed by re-encoding when
     /// the corpus did not come from a snapshot file.
-    pub fn build(corpus: Corpus, trailer: Option<u64>, cache_enabled: bool) -> SnapshotState {
+    pub fn build(
+        corpus: Corpus,
+        trailer: Option<u64>,
+        cache_enabled: bool,
+        plan: Option<Arc<String>>,
+    ) -> SnapshotState {
         let trailer = trailer.unwrap_or_else(|| corpus.trailer());
         let etag = format!("\"{trailer:016x}\"");
         let corpus = Arc::new(corpus);
@@ -65,10 +74,10 @@ impl SnapshotState {
             // Profiled as one span with a child per endpoint render, so
             // `--profile` shows where reload-rebuild time goes.
             let _span = rd_obs::span!("serve.cache_build");
-            for path in static_paths(&corpus) {
+            for path in static_paths(&corpus, plan.is_some()) {
                 let body = {
                     let _render = rd_obs::span!("render:{}", path);
-                    let Some(body) = render_path(&corpus, &path) else {
+                    let Some(body) = render_path(&corpus, plan_text(&plan), &path) else {
                         continue;
                     };
                     body.into_bytes()
@@ -91,12 +100,30 @@ impl SnapshotState {
         }
         let mut not_modified_ka = Vec::with_capacity(96);
         http::push_response(&mut not_modified_ka, 304, "", b"", true, Some(&etag), "", false);
-        SnapshotState { corpus, etag, cache, not_modified_ka, cache_body_bytes, cache_resp_bytes }
+        SnapshotState {
+            corpus,
+            etag,
+            cache,
+            not_modified_ka,
+            cache_body_bytes,
+            cache_resp_bytes,
+            plan,
+        }
+    }
+
+    /// The plan document text, if one was attached.
+    pub fn plan_text(&self) -> Option<&str> {
+        plan_text(&self.plan)
     }
 }
 
+/// Projects the shared plan Arc to the `&str` the renderer consumes.
+pub(crate) fn plan_text(plan: &Option<Arc<String>>) -> Option<&str> {
+    plan.as_deref().map(String::as_str)
+}
+
 /// The canonical cacheable paths of a corpus, in render order.
-pub(crate) fn static_paths(corpus: &Corpus) -> Vec<String> {
+pub(crate) fn static_paths(corpus: &Corpus, has_plan: bool) -> Vec<String> {
     let mut paths = vec![
         "/healthz".to_string(),
         "/networks".to_string(),
@@ -104,6 +131,9 @@ pub(crate) fn static_paths(corpus: &Corpus) -> Vec<String> {
         "/pathways".to_string(),
         "/diag".to_string(),
     ];
+    if has_plan {
+        paths.push("/plan".to_string());
+    }
     for n in &corpus.networks {
         paths.push(format!("/networks/{}", n.name));
         paths.push(format!("/networks/{}/processes", n.name));
@@ -118,7 +148,7 @@ pub(crate) fn static_paths(corpus: &Corpus) -> Vec<String> {
 /// normalization as the original threaded server (`//healthz` and
 /// `/networks/` still resolve), so cached and dynamic responses are
 /// byte-identical.
-pub(crate) fn render_path(corpus: &Corpus, path: &str) -> Option<String> {
+pub(crate) fn render_path(corpus: &Corpus, plan: Option<&str>, path: &str) -> Option<String> {
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     match segments.as_slice() {
         ["healthz"] => Some(render::healthz(corpus)),
@@ -128,6 +158,9 @@ pub(crate) fn render_path(corpus: &Corpus, path: &str) -> Option<String> {
         ["instances"] => Some(render::instances(corpus)),
         ["pathways"] => Some(render::pathways(corpus)),
         ["diag"] => Some(render::diag(corpus)),
+        // The reconfiguration plan is served verbatim as produced by
+        // `rdx plan --json`; without one the path 404s.
+        ["plan"] => plan.map(str::to_string),
         _ => None,
     }
 }
@@ -138,6 +171,7 @@ pub(crate) fn not_found_message(path: &str) -> String {
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     match segments.as_slice() {
         ["networks", id] | ["networks", id, "processes"] => format!("no network '{id}'"),
+        ["plan"] => "no plan loaded; start the server with --plan <plan.json>".to_string(),
         _ => format!("no route for {path}"),
     }
 }

@@ -644,7 +644,8 @@ fn respond(
                                 head_only,
                             );
                         }
-                    } else if let Some(body) = cache::render_path(&st.corpus, path) {
+                    } else if let Some(body) = cache::render_path(&st.corpus, st.plan_text(), path)
+                    {
                         // `--no-cache`, or a non-canonical spelling of a
                         // cacheable path: render per request.
                         stats.cache_misses += 1;

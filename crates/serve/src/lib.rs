@@ -148,11 +148,16 @@ pub struct ServeOptions {
     /// disables file-based reload (programmatic
     /// [`Server::swap_corpus`] still works).
     pub reload_path: Option<PathBuf>,
+    /// Reconfiguration-plan document (the `rdx plan --json` bytes)
+    /// served verbatim at `/plan`; `None` 404s the endpoint. The plan
+    /// survives hot reloads — it describes the migration, not the
+    /// snapshot.
+    pub plan: Option<String>,
 }
 
 impl Default for ServeOptions {
     fn default() -> ServeOptions {
-        ServeOptions { workers: 0, max_conns: 1024, cache: true, reload_path: None }
+        ServeOptions { workers: 0, max_conns: 1024, cache: true, reload_path: None, plan: None }
     }
 }
 
@@ -166,6 +171,8 @@ pub(crate) struct Shared {
     pub(crate) max_conns: usize,
     pub(crate) cache_enabled: bool,
     pub(crate) reload_path: Option<PathBuf>,
+    /// The `/plan` document, re-attached to every rebuilt snapshot state.
+    pub(crate) plan: Option<Arc<String>>,
     /// When the server started (uptime base for debug timestamps).
     started: Instant,
     /// Per-loop self-published debug snapshots, indexed by loop id.
@@ -327,7 +334,8 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let listener = Arc::new(listener);
 
-        let state = SnapshotState::build(corpus, trailer, opts.cache);
+        let plan = opts.plan.map(Arc::new);
+        let state = SnapshotState::build(corpus, trailer, opts.cache, plan.clone());
         let boot = ReloadEvent {
             at_ms: 0,
             ok: true,
@@ -345,6 +353,7 @@ impl Server {
             max_conns: opts.max_conns.max(1),
             cache_enabled: opts.cache,
             reload_path: opts.reload_path,
+            plan,
             started: Instant::now(),
             debug: Mutex::new((0..loops).map(|_| None).collect()),
             reload_history: Mutex::new(Vec::new()),
@@ -397,7 +406,7 @@ impl Server {
     /// atomically. In-flight requests finish on the old snapshot.
     pub fn swap_corpus(&self, corpus: Corpus) {
         let cache_enabled = self.shared.cache_enabled;
-        let state = SnapshotState::build(corpus, None, cache_enabled);
+        let state = SnapshotState::build(corpus, None, cache_enabled, self.shared.plan.clone());
         self.shared.swap_state(Arc::new(state));
     }
 

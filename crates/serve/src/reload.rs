@@ -42,7 +42,12 @@ pub(crate) fn run(shared: Arc<Shared>) {
                 // The expensive part — rendering every static endpoint —
                 // happens here, on this thread, against a corpus the
                 // loops cannot see yet. The swap itself is one Arc store.
-                let state = SnapshotState::build(corpus, Some(trailer), shared.cache_enabled);
+                let state = SnapshotState::build(
+                    corpus,
+                    Some(trailer),
+                    shared.cache_enabled,
+                    shared.plan.clone(),
+                );
                 let (etag, networks) = (state.etag.clone(), state.corpus.networks.len());
                 shared.swap_state(Arc::new(state));
                 rd_obs::metrics::counter_add("http.reload_ok", 1);

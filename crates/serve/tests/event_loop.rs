@@ -124,6 +124,40 @@ fn read_response(stream: &mut TcpStream) -> (String, Vec<u8>) {
     read_response_full(stream, false)
 }
 
+#[test]
+fn plan_endpoint_serves_the_attached_document_and_404s_without_one() {
+    let plan_doc = "{\n  \"plan\": {\"units\": 0, \"steps\": []}\n}\n".to_string();
+    let opts = ServeOptions { workers: 1, plan: Some(plan_doc.clone()), ..ServeOptions::default() };
+    let server = Server::start_with(corpus_of(&["net1"]), "127.0.0.1:0", opts).expect("starts");
+    let mut stream = connect(&server);
+    stream.write_all(b"GET /plan HTTP/1.1\r\nhost: t\r\n\r\n").unwrap();
+    let (head, body) = read_response(&mut stream);
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(head.contains("etag: "), "plan responses are snapshot-tagged: {head}");
+    assert_eq!(body, plan_doc.as_bytes(), "served verbatim");
+    // The same bytes come from the dynamic path too (`--no-cache`
+    // equivalence is the cache contract).
+    stream.write_all(b"GET //plan HTTP/1.1\r\nhost: t\r\n\r\n").unwrap();
+    let (head, body) = read_response(&mut stream);
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert_eq!(body, plan_doc.as_bytes());
+    drop(stream);
+    server.shutdown();
+
+    let server = Server::start(corpus_of(&["net1"]), "127.0.0.1:0", 1).expect("starts");
+    let mut stream = connect(&server);
+    stream.write_all(b"GET /plan HTTP/1.1\r\nhost: t\r\n\r\n").unwrap();
+    let (head, body) = read_response(&mut stream);
+    assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+    assert!(
+        String::from_utf8_lossy(&body).contains("no plan loaded"),
+        "{}",
+        String::from_utf8_lossy(&body)
+    );
+    drop(stream);
+    server.shutdown();
+}
+
 fn counter(name: &str) -> u64 {
     rd_obs::metrics::snapshot()
         .into_iter()

@@ -15,8 +15,8 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> clippy: no unwrap() in input-facing crates (ioscfg, rd-snap, rd-serve, nettopo)"
-cargo clippy -q -p ioscfg -p rd-snap -p rd-serve -p nettopo -- -D clippy::unwrap_used
+echo "==> clippy: no unwrap() in input-facing crates (ioscfg, rd-snap, rd-serve, nettopo, rd-plan)"
+cargo clippy -q -p ioscfg -p rd-snap -p rd-serve -p nettopo -p rd-plan -- -D clippy::unwrap_used
 echo "    ok"
 
 echo "==> repro --small all (offline reproduction smoke test)"
@@ -149,6 +149,20 @@ cmp /tmp/rd_verify_chaos_t4.txt /tmp/rd_verify_chaos_t1.txt
 grep -q "invariant held: error-not-panic" /tmp/rd_verify_chaos_t1.txt
 rm -f /tmp/rd_verify_chaos_t4.txt /tmp/rd_verify_chaos_t1.txt
 echo "    zero panics; sweep stdout byte-identical at both thread counts"
+
+echo "==> reconfiguration planning: seeded scenario, deterministic + independently checked"
+./target/release/plan_scenario /tmp/rd_verify_plan --seed 42 > /dev/null
+RD_THREADS=1 ./target/release/rdx /tmp/rd_verify_plan/current plan \
+    /tmp/rd_verify_plan/target --json > /tmp/rd_verify_plan_t1.json
+RD_THREADS=4 ./target/release/rdx /tmp/rd_verify_plan/current plan \
+    /tmp/rd_verify_plan/target --json > /tmp/rd_verify_plan_t4.json
+cmp /tmp/rd_verify_plan_t1.json /tmp/rd_verify_plan_t4.json
+grep -q '"violation": {' /tmp/rd_verify_plan_t1.json \
+    || { echo "seeded scenario no longer defeats the naive order" >&2; exit 1; }
+./target/release/rdx /tmp/rd_verify_plan/current plan /tmp/rd_verify_plan/target \
+    --check | sed 's/^/    /'
+rm -rf /tmp/rd_verify_plan /tmp/rd_verify_plan_t1.json /tmp/rd_verify_plan_t4.json
+echo "    plan bytes identical at RD_THREADS=1 and 4; every step re-verified"
 
 rm -rf /tmp/rd_verify_study /tmp/rd_verify.rdsnap /tmp/rd_verify_serve.txt \
     /tmp/rd_verify_served.json /tmp/rd_verify_direct.json

@@ -1,0 +1,73 @@
+//! Acceptance tests for the reconfiguration planner: on the seeded demo
+//! scenario the naive lexicographic ordering violates an invariant
+//! mid-migration, the search finds a safe ordering, an independent
+//! step-by-step re-analysis confirms every intermediate state, and the
+//! rendered plan is byte-identical across repeated runs.
+
+use rd_plan::scenario;
+use routing_design::plan::{analyze_files, plan_corpora};
+
+#[test]
+fn demo_scenario_defeats_naive_order_and_yields_a_verified_plan() {
+    let (current, target) = scenario::demo(42);
+    let plan = plan_corpora(&current, &target).expect("a safe ordering exists");
+
+    // The delta decomposes into exactly the intended units: omega's
+    // cosmetic byte churn must NOT appear.
+    let keys: Vec<String> = plan.units.iter().map(rd_plan::ChangeUnit::key).collect();
+    assert_eq!(keys, vec!["add:delta", "modify:alpha", "modify:gamma", "remove:beta"]);
+
+    // Naive sorted order starts with add:delta — an isolated router, so
+    // connectivity (and border reachability) break at step 1.
+    let violation = plan.naive.violation.as_ref().expect("naive order must be unsafe");
+    assert_eq!(violation.step, 1);
+    assert_eq!(violation.unit, "add:delta");
+    assert!(
+        violation.failed.iter().any(|c| c.invariant == "connectivity"),
+        "{:?}",
+        violation.failed
+    );
+
+    // The search reorders: alpha grows the new link first, then delta
+    // joins, gamma re-homes, and only then is beta retired.
+    let order: Vec<String> = plan.steps().map(|(u, _)| u.key()).collect();
+    assert_eq!(order, vec!["modify:alpha", "add:delta", "modify:gamma", "remove:beta"]);
+    assert!(plan.verdicts.iter().all(|v| v.ok()), "every emitted step verified");
+
+    // The DAG forced the drains ahead of the removal.
+    assert!(plan.dag_edges >= 1, "expected drain-before-remove edges");
+
+    // Independent re-verification: fresh analyses, no search state.
+    let steps = rd_plan::verify_plan(&current, &target, &plan, analyze_files)
+        .expect("independent re-analysis agrees");
+    assert_eq!(steps, 4);
+}
+
+#[test]
+fn plan_rendering_is_deterministic() {
+    let (current, target) = scenario::demo(42);
+    let a = plan_corpora(&current, &target).expect("plan");
+    let b = plan_corpora(&current, &target).expect("plan");
+    assert_eq!(rd_plan::render_json(&a), rd_plan::render_json(&b));
+    assert_eq!(rd_plan::render_table(&a), rd_plan::render_table(&b));
+    assert_eq!(a.stats, b.stats, "search effort counters are deterministic too");
+}
+
+#[test]
+fn star_scenario_plans_hub_first() {
+    let (current, target) = scenario::star(4, 7);
+    let plan = plan_corpora(&current, &target).expect("safe ordering");
+    let order: Vec<String> = plan.steps().map(|(u, _)| u.key()).collect();
+    assert_eq!(order[0], "modify:alpha", "spokes only move after the hub: {order:?}");
+    assert_eq!(order.len(), 5);
+    assert!(plan.verdicts.iter().all(|v| v.ok()));
+    rd_plan::verify_plan(&current, &target, &plan, analyze_files).expect("re-verify");
+}
+
+#[test]
+fn identical_corpora_need_no_plan() {
+    let (current, _) = scenario::demo(42);
+    let plan = plan_corpora(&current, &current).expect("empty plan");
+    assert!(plan.is_empty());
+    assert!(rd_plan::render_table(&plan).contains("nothing to plan"));
+}
