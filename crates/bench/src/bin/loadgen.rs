@@ -15,14 +15,14 @@
 //! pass/fail burst probe.
 
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::time::Duration;
 
 use rd_bench::loadgen::{self, LoadOptions};
 
 fn usage() -> String {
     "usage: loadgen <addr> [--conns N] [--pipeline N] [--duration-ms N] \
-     [--paths /a,/b,...] [--json]"
+     [--paths /a,/b,...] [--connect-retries N] [--json]"
         .to_string()
 }
 
@@ -33,9 +33,8 @@ fn fail(message: &str) -> ! {
 }
 
 /// One `connection: close` GET used for path discovery.
-fn fetch(addr: SocketAddr, path: &str) -> Result<String, String> {
-    let mut stream =
-        TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+fn fetch(addr: SocketAddr, path: &str, retries: u32) -> Result<String, String> {
+    let mut stream = loadgen::connect_with_retries(addr, retries)?;
     stream
         .set_read_timeout(Some(Duration::from_secs(10)))
         .map_err(|e| format!("set timeout: {e}"))?;
@@ -52,8 +51,8 @@ fn fetch(addr: SocketAddr, path: &str) -> Result<String, String> {
 }
 
 /// Network names scraped from the `/networks` index body.
-fn discover_networks(addr: SocketAddr) -> Result<Vec<String>, String> {
-    let body = fetch(addr, "/networks")?;
+fn discover_networks(addr: SocketAddr, retries: u32) -> Result<Vec<String>, String> {
+    let body = fetch(addr, "/networks", retries)?;
     let mut names = Vec::new();
     let mut rest = body.as_str();
     while let Some(i) = rest.find("\"name\": \"") {
@@ -91,6 +90,10 @@ fn main() {
                 }
                 None => fail("--paths needs a comma-separated list"),
             },
+            "--connect-retries" => match args.next().and_then(|v| v.parse::<u32>().ok()) {
+                Some(n) => opts.connect_retries = n,
+                None => fail("--connect-retries needs a number (0 disables retries)"),
+            },
             "--json" => json = true,
             "--help" | "-h" => {
                 println!("{}", usage());
@@ -108,7 +111,7 @@ fn main() {
     };
 
     if opts.paths.is_empty() {
-        match discover_networks(addr) {
+        match discover_networks(addr, opts.connect_retries) {
             Ok(names) => opts.paths = loadgen::mixed_paths(&names),
             Err(e) => {
                 eprintln!("loadgen: path discovery failed: {e}");

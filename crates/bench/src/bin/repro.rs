@@ -540,7 +540,11 @@ fn section7(report: &StudyReport) {
         let median = nonclassic[nonclassic.len() / 2];
         let mean: f64 =
             nonclassic.iter().sum::<usize>() as f64 / nonclassic.len() as f64;
-        row("other sizes", "4–1750", format!("{}–{}", nonclassic[0], nonclassic.last().unwrap()));
+        row(
+            "other sizes",
+            "4–1750",
+            format!("{}–{}", nonclassic[0], nonclassic.last().copied().unwrap_or(nonclassic[0])),
+        );
         row("other mean / median", "300 / 36", format!("{mean:.0} / {median}"));
     }
     row("networks redistributing BGP into IGP", "17", report.section7.bgp_into_igp.to_string());

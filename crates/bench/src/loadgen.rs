@@ -32,6 +32,10 @@ pub struct LoadOptions {
     /// [`run`] is called; empty means "let the caller fill in the
     /// standard mix" (see [`mixed_paths`]).
     pub paths: Vec<String>,
+    /// Extra connection attempts after the first fails (capped-backoff
+    /// spaced), so a server still binding — or an `rdx watch` daemon
+    /// mid-boot — does not fail the whole run on a refused connect.
+    pub connect_retries: u32,
 }
 
 impl Default for LoadOptions {
@@ -47,6 +51,27 @@ impl Default for LoadOptions {
             pipeline: 4,
             duration: Duration::from_secs(3),
             paths: Vec::new(),
+            connect_retries: 3,
+        }
+    }
+}
+
+/// Connects to `addr`, retrying up to `retries` additional times with
+/// capped exponential spacing (50 ms, 100 ms, 200 ms, … capped at
+/// 500 ms). Returns the last error when every attempt fails.
+pub fn connect_with_retries(addr: SocketAddr, retries: u32) -> Result<TcpStream, String> {
+    let mut attempt = 0u32;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(_) if attempt < retries => {
+                let delay = Duration::from_millis((50u64 << attempt.min(4)).min(500));
+                std::thread::sleep(delay);
+                attempt += 1;
+            }
+            Err(e) => {
+                return Err(format!("connect {addr}: {e} (after {} attempt(s))", attempt + 1))
+            }
         }
     }
 }
@@ -175,7 +200,7 @@ fn parse_content_length(head: &[u8]) -> Result<usize, String> {
 /// One connection's run loop: batches of pipelined GETs until the
 /// deadline. Stops (recording one error) on the first I/O failure.
 fn worker(addr: SocketAddr, opts: &LoadOptions, offset: usize) -> Result<WorkerStats, String> {
-    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let stream = connect_with_retries(addr, opts.connect_retries)?;
     stream.set_nodelay(true).ok();
     stream
         .set_read_timeout(Some(Duration::from_secs(10)))

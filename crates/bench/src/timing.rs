@@ -377,6 +377,7 @@ pub fn bench_serve_with_load(
         } else {
             load.paths.clone()
         },
+        connect_retries: load.connect_retries,
     };
     let stats = crate::loadgen::run(server.local_addr(), &opts).expect("load run");
     server.shutdown();
@@ -749,6 +750,7 @@ mod tests {
             pipeline: 8,
             duration: Duration::from_millis(300),
             paths: Vec::new(),
+            connect_retries: 3,
         };
         let (burst, stats) = bench_serve_with_load(corpus, 20, &load);
         assert_eq!(burst.requests, 20);

@@ -370,6 +370,86 @@ pub fn corrupt_snapshot(rng: &mut StdRng, mutator: SnapMutator, bytes: &[u8]) ->
     }
 }
 
+// ---------------------------------------------------------------------------
+// Disk-fault injectors
+
+/// One way a snapshot persist (or the analysis feeding it) can go wrong
+/// on a real machine: the faults `rdx watch` must survive without ever
+/// serving a torn or mixed-version snapshot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiskFault {
+    /// The process dies (or the disk fills) mid-write: a prefix of the
+    /// bytes lands in the staging `.tmp`, the rename never happens.
+    TornWrite,
+    /// A buggy short write: only the first few bytes make it to the
+    /// staging `.tmp` before the write errors out.
+    ShortWrite,
+    /// The staging file is written completely — valid bytes and all —
+    /// but the final rename fails, leaving a *valid but stale* `.tmp`.
+    RenameFailure,
+    /// The write itself is fine; the analysis producing it stalls
+    /// (seeded sleep), so changes pile up behind a slow worker.
+    SlowAnalysis,
+}
+
+/// Every disk fault, in a fixed sweep order.
+pub const DISK_FAULTS: &[DiskFault] =
+    &[DiskFault::TornWrite, DiskFault::ShortWrite, DiskFault::RenameFailure, DiskFault::SlowAnalysis];
+
+impl DiskFault {
+    /// Stable name for logs and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DiskFault::TornWrite => "torn_write",
+            DiskFault::ShortWrite => "short_write",
+            DiskFault::RenameFailure => "rename_failure",
+            DiskFault::SlowAnalysis => "slow_analysis",
+        }
+    }
+}
+
+/// Persists `bytes` to `path` the way a machine suffering `fault` would:
+/// the on-disk aftermath is real (a torn or stale `rd_snap::tmp_path`
+/// staging file where the fault calls for one) and the returned error
+/// mirrors what the caller's `write_atomic` would have surfaced.
+/// [`DiskFault::SlowAnalysis`] is not a write fault — it sleeps a seeded
+/// few milliseconds and then persists correctly.
+///
+/// Deterministic for a given `(rng state, fault, bytes)`; the caller's
+/// recovery path (`rd_snap::recover_dir` + serving last-good) is what the
+/// chaos soak asserts on.
+pub fn faulty_persist(
+    rng: &mut StdRng,
+    fault: DiskFault,
+    path: &std::path::Path,
+    bytes: &[u8],
+) -> std::io::Result<()> {
+    use std::io::{Error, ErrorKind};
+    let tmp = rd_snap::tmp_path(path);
+    match fault {
+        DiskFault::TornWrite => {
+            // Anywhere strictly inside the payload: the checksum trailer
+            // can never be complete, so a later reader must reject it.
+            let cut = rng.gen_range(1..bytes.len().max(2));
+            std::fs::write(&tmp, &bytes[..cut.min(bytes.len())])?;
+            Err(Error::new(ErrorKind::UnexpectedEof, "torn write (injected)"))
+        }
+        DiskFault::ShortWrite => {
+            let cut = rng.gen_range(0..=bytes.len().min(64));
+            std::fs::write(&tmp, &bytes[..cut])?;
+            Err(Error::new(ErrorKind::WriteZero, "short write (injected)"))
+        }
+        DiskFault::RenameFailure => {
+            std::fs::write(&tmp, bytes)?;
+            Err(Error::other("rename failed (injected)"))
+        }
+        DiskFault::SlowAnalysis => {
+            std::thread::sleep(std::time::Duration::from_millis(rng.gen_range(1..10)));
+            rd_snap::write_atomic(path, bytes)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -125,11 +125,12 @@ fn main() -> ExitCode {
         print!("{}", help_text());
         return ExitCode::SUCCESS;
     }
-    // `snap`, `serve`, and `chaos` own their argument parsing (their
-    // flags, like `-o` and `--addr`, are not global flags).
+    // `snap`, `serve`, `watch`, and `chaos` own their argument parsing
+    // (their flags, like `-o` and `--addr`, are not global flags).
     match args.first().map(String::as_str) {
         Some("snap") => return snap_cmd(&args[1..]),
         Some("serve") => return serve_cmd(&args[1..]),
+        Some("watch") => return watch_cmd(&args[1..]),
         Some("chaos") => return chaos_cmd(&args[1..]),
         _ => {}
     }
@@ -286,6 +287,7 @@ fn usage() -> ExitCode {
          [--profile <path>]\n\
          \x20      rdx snap <dir> -o <file.rdsnap>\n\
          \x20      rdx serve <file.rdsnap> [--addr HOST:PORT] [--workers N] [--max-conns N] [--no-cache] [--plan <plan.json>]\n\
+         \x20      rdx watch <config-dir> [--addr HOST:PORT] [--snapshot <file.rdsnap>] [--poll-ms N] [--debounce-ms N]\n\
          \x20      rdx chaos <dir> [--seed N] [--configs M] [--snapshots K] [--max-rss-mb MB]\n\
          rdx --help shows the full reference (commands, flags, exit codes)"
     );
@@ -312,6 +314,26 @@ usage:
                                          byte-identical either way),
                                          --profile writes the cache-build
                                          span profile on shutdown
+  rdx watch <config-dir> [--addr HOST:PORT] [--snapshot <file.rdsnap>]
+            [--poll-ms N] [--debounce-ms N] [--backoff-ms N]
+            [--backoff-max-ms N] [--degraded-after N] [--seed N]
+            [--workers N] [--max-conns N] [--no-cache]
+                                         supervised continuous analysis:
+                                         poll <config-dir> for semantic
+                                         changes (debounced per-router
+                                         fingerprints), re-analyze in a
+                                         failure-isolated worker, persist
+                                         crash-safely to --snapshot
+                                         (default <config-dir>.rdsnap),
+                                         and hot-swap the co-hosted HTTP
+                                         server. Failures keep last-good
+                                         serving and retry with jittered
+                                         exponential backoff; /healthz
+                                         turns 503 after --degraded-after
+                                         consecutive failures (while
+                                         queries still answer), and
+                                         /healthz?live=1 stays 200 for
+                                         process liveness
   rdx chaos <dir> [--seed N] [--configs M] [--snapshots K] [--max-rss-mb MB]
                                          deterministic fault-injection sweep:
                                          mutate the corpus M times and corrupt
@@ -371,13 +393,18 @@ flags:
   --help, -h         print this reference and exit
 
 serve endpoints:
-  /healthz /networks /networks/{{id}} /networks/{{id}}/processes
+  /healthz            health state machine (fresh / stale-serving-last-good
+                      / degraded; 503 only when degraded); ?live=1 is pure
+                      process liveness and always answers 200
+  /networks /networks/{{id}} /networks/{{id}}/processes
   /instances /pathways /diag /metrics
   /plan               the reconfiguration plan given via --plan (404
                       when the server was started without one)
   /admin/debug/loop   per-event-loop health (wakeups, slab, wheel)
   /admin/debug/conns  live connections (state, age, buffers)
   /admin/debug/cache  serving snapshot + reload history ring
+  /admin/debug/watch  watch supervisor state (generation, failures,
+                      backoff, last error; null under plain `rdx serve`)
   Snapshot-derived responses carry the snapshot's FNV-1a-64 trailer as
   an ETag and honor If-None-Match with 304. SIGHUP or POST /admin/reload
   re-reads the snapshot file and hot-swaps it with zero dropped requests.
@@ -457,7 +484,7 @@ fn snap_cmd(args: &[String]) -> ExitCode {
     let analyze_ms = started.elapsed().as_secs_f64() * 1e3;
     let write_started = std::time::Instant::now();
     let bytes = outcome.corpus.to_bytes();
-    if let Err(e) = std::fs::write(&out, &bytes) {
+    if let Err(e) = rd_snap::write_atomic(Path::new(&out), &bytes) {
         eprintln!("rdx: cannot write {out}: {e}");
         return ExitCode::FAILURE;
     }
@@ -597,6 +624,138 @@ fn serve_cmd(args: &[String]) -> ExitCode {
     }
     eprintln!("rdx: shut down cleanly");
     ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------------
+// `rdx watch` — the supervised continuous-analysis daemon.
+
+/// Parses the millisecond operand shared by the `--*-ms` watch flags.
+fn ms_flag(it: &mut std::slice::Iter<String>, name: &str) -> Option<std::time::Duration> {
+    match it.next().and_then(|n| n.parse::<u64>().ok()) {
+        Some(ms) => Some(std::time::Duration::from_millis(ms)),
+        None => {
+            eprintln!("rdx: watch: {name} needs a millisecond count");
+            None
+        }
+    }
+}
+
+fn watch_cmd(args: &[String]) -> ExitCode {
+    let mut dir: Option<String> = None;
+    let mut addr = "127.0.0.1:8080".to_string();
+    let mut snapshot: Option<String> = None;
+    let mut watch_opts = routing_design::watch::WatchOptions::default();
+    let mut serve_opts = rd_serve::ServeOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--poll-ms" => match ms_flag(&mut it, "--poll-ms") {
+                Some(d) => watch_opts.poll_interval = d,
+                None => return ExitCode::from(2),
+            },
+            "--debounce-ms" => match ms_flag(&mut it, "--debounce-ms") {
+                Some(d) => watch_opts.debounce = d,
+                None => return ExitCode::from(2),
+            },
+            "--backoff-ms" => match ms_flag(&mut it, "--backoff-ms") {
+                Some(d) => watch_opts.backoff_base = d,
+                None => return ExitCode::from(2),
+            },
+            "--backoff-max-ms" => match ms_flag(&mut it, "--backoff-max-ms") {
+                Some(d) => watch_opts.backoff_max = d,
+                None => return ExitCode::from(2),
+            },
+            "--addr" => match it.next() {
+                Some(a) => addr = a.clone(),
+                None => {
+                    eprintln!("rdx: watch: --addr needs HOST:PORT");
+                    return ExitCode::from(2);
+                }
+            },
+            "--snapshot" => match it.next() {
+                Some(p) => snapshot = Some(p.clone()),
+                None => {
+                    eprintln!("rdx: watch: --snapshot needs a file path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--degraded-after" => match it.next().and_then(|n| n.parse::<u32>().ok()) {
+                Some(n) if n > 0 => watch_opts.degraded_after = n,
+                _ => {
+                    eprintln!("rdx: watch: --degraded-after needs a positive number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--seed" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) => watch_opts.seed = n,
+                None => {
+                    eprintln!("rdx: watch: --seed needs a number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--workers" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) => serve_opts.workers = n,
+                None => {
+                    eprintln!("rdx: watch: --workers needs a number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--max-conns" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => serve_opts.max_conns = n,
+                _ => {
+                    eprintln!("rdx: watch: --max-conns needs a positive number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--no-cache" => serve_opts.cache = false,
+            other if other.starts_with("--addr=") => {
+                addr = other["--addr=".len()..].to_string();
+            }
+            other if other.starts_with("--snapshot=") => {
+                snapshot = Some(other["--snapshot=".len()..].to_string());
+            }
+            other if other.starts_with('-') => {
+                eprintln!("rdx: watch: unknown flag {other:?}");
+                return ExitCode::from(2);
+            }
+            other if dir.is_none() => dir = Some(other.to_string()),
+            other => {
+                eprintln!("rdx: watch: unexpected argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!(
+            "usage: rdx watch <config-dir> [--addr HOST:PORT] [--snapshot <file.rdsnap>] \
+             [--poll-ms N] [--debounce-ms N] [--backoff-ms N] [--backoff-max-ms N] \
+             [--degraded-after N] [--seed N] [--workers N] [--max-conns N] [--no-cache]"
+        );
+        return ExitCode::from(2);
+    };
+    // Default the persisted snapshot next to the config dir so recovery
+    // after a crash finds it without flags: `<dir>.rdsnap`.
+    let snapshot = snapshot.unwrap_or_else(|| {
+        let trimmed = dir.trim_end_matches('/');
+        format!("{trimmed}.rdsnap")
+    });
+    rd_serve::install_signal_handlers();
+    match routing_design::watch::run_daemon(
+        Path::new(&dir),
+        Path::new(&snapshot),
+        &addr,
+        watch_opts,
+        serve_opts,
+    ) {
+        Ok(()) => {
+            eprintln!("rdx: shut down cleanly");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("rdx: watch: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -51,6 +51,7 @@ pub mod diff;
 pub mod plan;
 pub mod report;
 pub mod snapshot;
+pub mod watch;
 
 use std::path::Path;
 

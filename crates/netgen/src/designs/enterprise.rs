@@ -204,7 +204,10 @@ pub fn generate(spec: EnterpriseSpec, rng: &mut StdRng) -> DesignOutput {
 fn std_entry(addr: &str, wild: &str) -> AclEntry {
     AclEntry::Standard {
         action: AclAction::Permit,
-        addr: AclAddr::Wild(addr.parse().unwrap(), wild.parse().unwrap()),
+        addr: AclAddr::Wild(
+            addr.parse().expect("literal acl address"),
+            wild.parse().expect("literal acl wildcard"),
+        ),
     }
 }
 

@@ -32,7 +32,7 @@ pub const PUBLIC_AS_RIGHT: u32 = 12762;
 
 /// Address blocks AB0–AB4 (Table 2).
 pub fn address_blocks() -> [(&'static str, Vec<Prefix>); 5] {
-    let p = |s: &str| s.parse::<Prefix>().unwrap();
+    let p = |s: &str| s.parse::<Prefix>().expect("literal prefix");
     [
         ("AB0", vec![p("198.18.0.0/24"), p("198.18.1.0/24"), p("198.18.2.0/24")]),
         ("AB1", vec![p("172.20.0.0/16")]),

@@ -377,7 +377,9 @@ const BORDER_ACL: u32 = 110;
 
 /// Builds a multi-clause border filter (anti-spoofing + junk-port drops).
 fn border_acl() -> AccessList {
-    let wild = |a: &str, w: &str| AclAddr::Wild(a.parse().unwrap(), w.parse().unwrap());
+    let wild = |a: &str, w: &str| {
+        AclAddr::Wild(a.parse().expect("literal address"), w.parse().expect("literal wildcard"))
+    };
     AccessList {
         id: BORDER_ACL,
         entries: vec![

@@ -124,8 +124,9 @@ pub(crate) fn plan_text(plan: &Option<Arc<String>>) -> Option<&str> {
 
 /// The canonical cacheable paths of a corpus, in render order.
 pub(crate) fn static_paths(corpus: &Corpus, has_plan: bool) -> Vec<String> {
+    // `/healthz` is deliberately absent: its body depends on the live
+    // health state, so it renders dynamically on every request.
     let mut paths = vec![
-        "/healthz".to_string(),
         "/networks".to_string(),
         "/instances".to_string(),
         "/pathways".to_string(),
@@ -145,13 +146,12 @@ pub(crate) fn static_paths(corpus: &Corpus, has_plan: bool) -> Vec<String> {
 /// snapshot-derived endpoint (the caller then 404s). This is the single
 /// routing truth shared by the cache builder and the `--no-cache` /
 /// non-canonical-path dynamic fallback, using the same segment
-/// normalization as the original threaded server (`//healthz` and
+/// normalization as the original threaded server (`//instances` and
 /// `/networks/` still resolve), so cached and dynamic responses are
 /// byte-identical.
 pub(crate) fn render_path(corpus: &Corpus, plan: Option<&str>, path: &str) -> Option<String> {
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     match segments.as_slice() {
-        ["healthz"] => Some(render::healthz(corpus)),
         ["networks"] => Some(render::networks_index(corpus)),
         ["networks", id] => corpus.get(id).map(render::network_summary),
         ["networks", id, "processes"] => corpus.get(id).map(render::network_processes),

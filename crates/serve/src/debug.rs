@@ -180,3 +180,40 @@ pub(crate) fn render_cache(
     out.push_str("]}\n");
     out
 }
+
+/// `/admin/debug/watch`: the health state machine plus whatever status
+/// the supervisor last published (`"watch": null` under plain `rdx
+/// serve`, which never publishes one).
+pub(crate) fn render_watch(
+    health: crate::HealthState,
+    status: Option<&crate::WatchStatus>,
+    uptime_ms: u64,
+) -> String {
+    let mut out = String::with_capacity(256);
+    let _ = write!(
+        out,
+        "{{\"health\": {}, \"uptime_ms\": {uptime_ms}, \"watch\": ",
+        quoted(health.as_str()),
+    );
+    match status {
+        None => out.push_str("null"),
+        Some(s) => {
+            let _ = write!(
+                out,
+                "{{\"generation\": {}, \"failures\": {}, \"consecutive_failures\": {}, \
+                 \"backoff_ms\": {}, \"last_error\": {}, \"last_change_ms\": {}, \
+                 \"last_publish_ms\": {}, \"fingerprints\": {}}}",
+                s.generation,
+                s.failures,
+                s.consecutive_failures,
+                s.backoff_ms,
+                s.last_error.as_deref().map(quoted).unwrap_or_else(|| "null".to_string()),
+                s.last_change_ms,
+                s.last_publish_ms,
+                s.fingerprints,
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}

@@ -34,6 +34,7 @@ use std::time::{Duration, Instant};
 use crate::cache::{self, SnapshotState};
 use crate::debug::{ConnDebug, LoopDebug, MAX_CONNS_LISTED, PUBLISH_INTERVAL};
 use crate::http::{self, HeadView};
+use crate::render;
 use crate::{Shared, CONN_AGE_BOUNDS_MS, LATENCY_BOUNDS_US, LOOP_US_BOUNDS, WAKEUP_BATCH_BOUNDS};
 
 /// Per-connection read deadline: bounds keep-alive idle time and how
@@ -591,7 +592,36 @@ fn respond(
                 } else {
                     let segments: Vec<&str> =
                         path.split('/').filter(|s| !s.is_empty()).collect();
-                    if segments.as_slice() == ["metrics"] {
+                    if segments.as_slice() == ["healthz"] {
+                        // Dynamic on purpose: the body reflects the live
+                        // health state machine, so it is never cached.
+                        // `?live=1` is pure liveness (always 200); the
+                        // plain form goes non-200 when degraded.
+                        let live = head
+                            .target
+                            .split_once('?')
+                            .map(|(_, q)| q.split('&').any(|kv| kv == "live=1"))
+                            .unwrap_or(false);
+                        let health = shared.health();
+                        let (code, body) = if live {
+                            (200, render::healthz_live(&st.corpus))
+                        } else if health == crate::HealthState::Degraded {
+                            (503, render::healthz(&st.corpus, health))
+                        } else {
+                            (200, render::healthz(&st.corpus, health))
+                        };
+                        status = code;
+                        http::push_response(
+                            out,
+                            code,
+                            "application/json",
+                            body.as_bytes(),
+                            keep,
+                            None,
+                            "cache-control: no-store\r\n",
+                            head_only,
+                        );
+                    } else if segments.as_slice() == ["metrics"] {
                         // Fold this loop's batch in first so the scrape
                         // sees its own request history.
                         stats.flush();
@@ -616,6 +646,7 @@ fn respond(
                             "loop" => Some(shared.render_debug_loops()),
                             "conns" => Some(shared.render_debug_conns()),
                             "cache" => Some(shared.render_debug_cache(st)),
+                            "watch" => Some(shared.render_debug_watch()),
                             _ => None,
                         };
                         if let Some(body) = body {

@@ -15,7 +15,7 @@
 //!
 //! | Endpoint | Body |
 //! |---|---|
-//! | `/healthz` | liveness + corpus size |
+//! | `/healthz` | health state + corpus size (`?live=1` = pure liveness) |
 //! | `/networks` | per-network summary rows |
 //! | `/networks/{id}` | one network's full summary |
 //! | `/networks/{id}/processes` | that network's routing processes |
@@ -26,6 +26,7 @@
 //! | `/admin/debug/loop` | per-event-loop health (wakeups, slab, wheel) |
 //! | `/admin/debug/conns` | live connections: state, age, buffers |
 //! | `/admin/debug/cache` | serving snapshot + reload history ring |
+//! | `/admin/debug/watch` | watcher health state + supervisor status |
 //! | `POST /admin/reload` | schedule a snapshot hot reload |
 //!
 //! Snapshot-derived responses carry the trailer as an `ETag` and honor
@@ -64,7 +65,7 @@ mod reload;
 use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -134,6 +135,68 @@ pub fn signal_shutdown_requested() -> bool {
     SIGNAL_SHUTDOWN.load(Ordering::SeqCst)
 }
 
+/// The serving health state machine surfaced at `/healthz`.
+///
+/// `rdx serve` alone moves between `Fresh` and `Stale` (a failed hot
+/// reload keeps the last-good snapshot serving); `rdx watch` drives all
+/// three states — repeated analysis failures escalate `Stale` to
+/// `Degraded`, which turns `/healthz` non-200 (the liveness form
+/// `/healthz?live=1` stays 200 as long as the process answers at all).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HealthState {
+    /// The served snapshot reflects the latest known input.
+    Fresh,
+    /// The latest reload/analysis failed; the last-good snapshot is
+    /// still serving.
+    Stale,
+    /// Repeated failures: still serving last-good, but operator
+    /// attention is needed. `/healthz` answers 503.
+    Degraded,
+}
+
+impl HealthState {
+    /// The wire name of the state, as rendered in `/healthz` bodies and
+    /// the `watch_health` gauge.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HealthState::Fresh => "fresh",
+            HealthState::Stale => "stale-serving-last-good",
+            HealthState::Degraded => "degraded",
+        }
+    }
+
+    fn from_u8(v: u8) -> HealthState {
+        match v {
+            1 => HealthState::Stale,
+            2 => HealthState::Degraded,
+            _ => HealthState::Fresh,
+        }
+    }
+}
+
+/// Watcher status published by `rdx watch` and rendered at
+/// `/admin/debug/watch`. All timestamps are uptime milliseconds
+/// ([`Controller::uptime_ms`]).
+#[derive(Clone, Debug, Default)]
+pub struct WatchStatus {
+    /// Successful analysis publishes since the watcher started.
+    pub generation: u64,
+    /// Total failed analysis attempts.
+    pub failures: u64,
+    /// Failed attempts since the last success.
+    pub consecutive_failures: u32,
+    /// Current backoff before the next retry (0 when healthy).
+    pub backoff_ms: u64,
+    /// The last analysis error, if the most recent attempt failed.
+    pub last_error: Option<String>,
+    /// When the last config change was observed.
+    pub last_change_ms: u64,
+    /// When the last successful publish landed.
+    pub last_publish_ms: u64,
+    /// Router-config fingerprints currently tracked.
+    pub fingerprints: usize,
+}
+
 /// Server tuning knobs beyond the classic `(corpus, addr, workers)`.
 #[derive(Clone, Debug)]
 pub struct ServeOptions {
@@ -179,6 +242,10 @@ pub(crate) struct Shared {
     debug: Mutex<Vec<Option<LoopDebug>>>,
     /// Ring of (re)load events, oldest first; entry zero is the boot load.
     reload_history: Mutex<Vec<ReloadEvent>>,
+    /// The `/healthz` state machine (a [`HealthState`] as `u8`).
+    health: AtomicU8,
+    /// Last watcher status published by `rdx watch`, if any.
+    watch: Mutex<Option<WatchStatus>>,
 }
 
 impl Shared {
@@ -257,6 +324,25 @@ impl Shared {
         let ring = self.reload_history.lock().unwrap_or_else(|p| p.into_inner());
         debug::render_cache(st, &ring, self.uptime_ms())
     }
+
+    pub(crate) fn health(&self) -> HealthState {
+        HealthState::from_u8(self.health.load(Ordering::SeqCst))
+    }
+
+    pub(crate) fn set_health(&self, state: HealthState) {
+        self.health.store(state as u8, Ordering::SeqCst);
+        rd_obs::metrics::gauge_set("watch.health", state as u8 as i64);
+    }
+
+    pub(crate) fn set_watch_status(&self, status: WatchStatus) {
+        *self.watch.lock().unwrap_or_else(|p| p.into_inner()) = Some(status);
+    }
+
+    /// Renders `/admin/debug/watch` from the published watcher status.
+    pub(crate) fn render_debug_watch(&self) -> String {
+        let status = self.watch.lock().unwrap_or_else(|p| p.into_inner());
+        debug::render_watch(self.health(), status.as_ref(), self.uptime_ms())
+    }
 }
 
 /// Pre-registers every metric family the server emits, so `/metrics`
@@ -279,9 +365,17 @@ fn register_serve_metrics() {
         "loop.wakeups",
         "loop.backpressure_engaged",
         "loop.backpressure_released",
+        "watch.scans",
+        "watch.changes",
+        "watch.publish_ok",
+        "watch.publish_failed",
+        "watch.analysis_panics",
     ] {
         counter_add(name, 0);
     }
+    rd_obs::metrics::gauge_set("watch.health", HealthState::Fresh as u8 as i64);
+    rd_obs::metrics::gauge_set("watch.consecutive_failures", 0);
+    rd_obs::metrics::gauge_set("watch.backoff_ms", 0);
     histogram_register("http.request_us", LATENCY_BOUNDS_US);
     histogram_register("http.conn_age_ms", CONN_AGE_BOUNDS_MS);
     histogram_register("loop.epoll_wait_us", LOOP_US_BOUNDS);
@@ -357,6 +451,8 @@ impl Server {
             started: Instant::now(),
             debug: Mutex::new((0..loops).map(|_| None).collect()),
             reload_history: Mutex::new(Vec::new()),
+            health: AtomicU8::new(HealthState::Fresh as u8),
+            watch: Mutex::new(None),
         });
         shared.push_reload_event(boot);
         register_serve_metrics();
@@ -410,6 +506,24 @@ impl Server {
         self.shared.swap_state(Arc::new(state));
     }
 
+    /// The current `/healthz` state.
+    pub fn health(&self) -> HealthState {
+        self.shared.health()
+    }
+
+    /// Sets the `/healthz` state (what the reload manager and `rdx
+    /// watch` do on success/failure).
+    pub fn set_health(&self, state: HealthState) {
+        self.shared.set_health(state);
+    }
+
+    /// A cloneable publishing handle for an external supervisor (`rdx
+    /// watch`): snapshot publishes, health transitions, and watcher
+    /// status, without holding the `Server` itself.
+    pub fn controller(&self) -> Controller {
+        Controller { shared: Arc::clone(&self.shared) }
+    }
+
     /// Schedules a file-based hot reload, as `POST /admin/reload` does.
     /// No-op without a reload source ([`ServeOptions::reload_path`]).
     pub fn trigger_reload(&self) {
@@ -433,5 +547,80 @@ impl Server {
             std::thread::sleep(POLL_IDLE);
         }
         self.shutdown();
+    }
+}
+
+/// A cloneable handle into a running [`Server`] for an out-of-process
+/// supervisor loop — how `rdx watch` publishes re-analysis results into
+/// the co-hosted server. Obtained via [`Server::controller`].
+#[derive(Clone)]
+pub struct Controller {
+    shared: Arc<Shared>,
+}
+
+impl Controller {
+    /// Publishes a new corpus atomically, exactly like a successful hot
+    /// reload: the snapshot state (cache and all) is built on the calling
+    /// thread, then swapped in one `Arc` store. Pass the container
+    /// `trailer` when the bytes were just encoded (avoids a re-encode and
+    /// keeps the `ETag` equal to the on-disk trailer); `detail` lands in
+    /// the `/admin/debug/cache` reload-history ring.
+    pub fn publish(&self, corpus: Corpus, trailer: Option<u64>, detail: &str) {
+        let state =
+            SnapshotState::build(corpus, trailer, self.shared.cache_enabled, self.shared.plan.clone());
+        let event = ReloadEvent {
+            at_ms: self.shared.uptime_ms(),
+            ok: true,
+            etag: state.etag.clone(),
+            networks: state.corpus.networks.len(),
+            detail: detail.to_string(),
+        };
+        self.shared.swap_state(Arc::new(state));
+        self.shared.push_reload_event(event);
+    }
+
+    /// Records a failed analysis attempt in the reload-history ring
+    /// (the served snapshot is untouched).
+    pub fn record_failure(&self, detail: &str) {
+        let st = self.shared.current_state();
+        self.shared.push_reload_event(ReloadEvent {
+            at_ms: self.shared.uptime_ms(),
+            ok: false,
+            etag: st.etag.clone(),
+            networks: st.corpus.networks.len(),
+            detail: detail.to_string(),
+        });
+    }
+
+    /// The `/healthz` state.
+    pub fn health(&self) -> HealthState {
+        self.shared.health()
+    }
+
+    /// Sets the `/healthz` state.
+    pub fn set_health(&self, state: HealthState) {
+        self.shared.set_health(state);
+    }
+
+    /// Publishes watcher status for `/admin/debug/watch`.
+    pub fn set_watch_status(&self, status: WatchStatus) {
+        self.shared.set_watch_status(status);
+    }
+
+    /// The entity tag currently served.
+    pub fn etag(&self) -> String {
+        self.shared.current_state().etag.clone()
+    }
+
+    /// Milliseconds since the server started (the timestamp base for
+    /// [`WatchStatus`]).
+    pub fn uptime_ms(&self) -> u64 {
+        self.shared.uptime_ms()
+    }
+
+    /// True once shutdown has been requested (flag or signal) — the
+    /// watcher's loop-exit condition.
+    pub fn is_shutdown(&self) -> bool {
+        self.shared.is_shutdown()
     }
 }

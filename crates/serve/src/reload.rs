@@ -50,6 +50,7 @@ pub(crate) fn run(shared: Arc<Shared>) {
                 );
                 let (etag, networks) = (state.etag.clone(), state.corpus.networks.len());
                 shared.swap_state(Arc::new(state));
+                shared.set_health(crate::HealthState::Fresh);
                 rd_obs::metrics::counter_add("http.reload_ok", 1);
                 shared.push_reload_event(ReloadEvent {
                     at_ms: shared.uptime_ms(),
@@ -61,7 +62,9 @@ pub(crate) fn run(shared: Arc<Shared>) {
             }
             Err(e) => {
                 // Keep serving the old snapshot; a bad file on disk must
-                // not take the server down.
+                // not take the server down. `/healthz` now reports the
+                // serving state as stale until a reload lands.
+                shared.set_health(crate::HealthState::Stale);
                 rd_obs::metrics::counter_add("http.reload_failed", 1);
                 eprintln!("rd-serve: reload failed: {e}");
                 // The history entry records what is *still serving*.

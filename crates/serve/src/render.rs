@@ -13,12 +13,28 @@ use rd_obs::json::escape;
 use rd_snap::{Corpus, NetworkSnapshot};
 use routing_model::PathwayIndex;
 
-/// `/healthz`: liveness plus corpus size.
-pub fn healthz(corpus: &Corpus) -> String {
+/// `/healthz`: readiness plus corpus size. `status` stays `"ok"` as long
+/// as the server can answer from *some* snapshot (fresh or
+/// stale-serving-last-good); only `degraded` — repeated analysis failures
+/// under `rdx watch` — flips it (and the HTTP status to 503). `health`
+/// carries the full state-machine word.
+pub fn healthz(corpus: &Corpus, health: crate::HealthState) -> String {
+    let status = match health {
+        crate::HealthState::Degraded => "degraded",
+        _ => "ok",
+    };
     format!(
-        "{{\"status\": \"ok\", \"networks\": {}}}\n",
+        "{{\"status\": \"{status}\", \"health\": \"{}\", \"networks\": {}}}\n",
+        health.as_str(),
         corpus.networks.len()
     )
+}
+
+/// `/healthz?live=1`: pure liveness — a 200 whenever the event loop can
+/// answer at all, independent of the health state machine. Startup waits
+/// (verify.sh) and process supervisors key on this form.
+pub fn healthz_live(corpus: &Corpus) -> String {
+    format!("{{\"status\": \"live\", \"networks\": {}}}\n", corpus.networks.len())
 }
 
 /// `/networks`: one summary row per network.

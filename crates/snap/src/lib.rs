@@ -266,9 +266,11 @@ impl Corpus {
         Ok(Corpus { networks })
     }
 
-    /// Writes the snapshot to a file.
+    /// Writes the snapshot to a file via [`write_atomic`]: a crash at any
+    /// point leaves either the previous file or the new one, never a torn
+    /// mix.
     pub fn write_file(&self, path: &std::path::Path) -> std::io::Result<()> {
-        std::fs::write(path, self.to_bytes())
+        write_atomic(path, &self.to_bytes())
     }
 
     /// Reads a snapshot from a file.
@@ -318,6 +320,79 @@ pub fn config_bytes(config: &RouterConfig) -> Vec<u8> {
     let mut w = Writer::new();
     config.encode(&mut w);
     w.into_bytes()
+}
+
+/// The staging path [`write_atomic`] writes through: `<path>.tmp`, in the
+/// same directory so the final rename stays within one filesystem.
+pub fn tmp_path(path: &std::path::Path) -> std::path::PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// The quarantine path [`recover_dir`] moves a stale `.tmp` to:
+/// `<path>.tmp.quarantined`. Quarantined files are never loaded and never
+/// collide with a concurrent [`write_atomic`] of the same target.
+pub fn quarantine_path(tmp: &std::path::Path) -> std::path::PathBuf {
+    let mut name = tmp.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".quarantined");
+    tmp.with_file_name(name)
+}
+
+/// Crash-safe file write: `bytes` go to `<path>.tmp`, the file is fsynced,
+/// renamed over `path`, and the parent directory is fsynced so the rename
+/// itself is durable. A crash at any point leaves either the old `path`
+/// (plus at worst a stale `.tmp` for [`recover_dir`] to sweep) or the
+/// complete new one — never a torn file under the final name.
+pub fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+    let tmp = tmp_path(path);
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)?;
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            // Persist the rename in the directory entry. Directories open
+            // read-only; on platforms where fsync-of-directory is not
+            // supported the data fsync above still bounds the damage.
+            if let Ok(d) = std::fs::File::open(dir) {
+                d.sync_all().ok();
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    result
+}
+
+/// Startup recovery sweep: quarantines every stale `.tmp` left in `dir` by
+/// an interrupted [`write_atomic`] (renaming it to `.tmp.quarantined`, so
+/// it can be inspected but never mistaken for live data or clobbered by
+/// the next write). Returns the quarantined paths in sorted order. Missing
+/// `dir` is not an error — there is simply nothing to recover.
+pub fn recover_dir(dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut quarantined = Vec::new();
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let is_tmp = path.is_file()
+            && path.extension().map(|e| e == "tmp").unwrap_or(false);
+        if is_tmp {
+            let dest = quarantine_path(&path);
+            std::fs::rename(&path, &dest)?;
+            quarantined.push(dest);
+        }
+    }
+    quarantined.sort();
+    Ok(quarantined)
 }
 
 #[cfg(test)]

@@ -15,8 +15,8 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> clippy: no unwrap() in input-facing crates (ioscfg, rd-snap, rd-serve, nettopo, rd-plan)"
-cargo clippy -q -p ioscfg -p rd-snap -p rd-serve -p nettopo -p rd-plan -- -D clippy::unwrap_used
+echo "==> clippy: no unwrap() in input-facing crates (ioscfg, rd-snap, rd-serve, nettopo, rd-plan, rd-chaos, rd-bench)"
+cargo clippy -q -p ioscfg -p rd-snap -p rd-serve -p nettopo -p rd-plan -p rd-chaos -p rd-bench -- -D clippy::unwrap_used
 echo "    ok"
 
 echo "==> repro --small all (offline reproduction smoke test)"
@@ -149,6 +149,127 @@ cmp /tmp/rd_verify_chaos_t4.txt /tmp/rd_verify_chaos_t1.txt
 grep -q "invariant held: error-not-panic" /tmp/rd_verify_chaos_t1.txt
 rm -f /tmp/rd_verify_chaos_t4.txt /tmp/rd_verify_chaos_t1.txt
 echo "    zero panics; sweep stdout byte-identical at both thread counts"
+
+echo "==> rdx watch: supervised reload, failure isolation, convergence (RD_THREADS=1 and 4)"
+# One full daemon lifecycle per thread count: boot, publish a semantic
+# change, survive a parse-fatal push on last-good, converge after the
+# restore. Served bodies land in $1/ so the two runs can be compared
+# byte-for-byte afterwards.
+watch_cycle() {
+    WDIR="$1"
+    THREADS="$2"
+    rm -rf "$WDIR"
+    mkdir -p "$WDIR"
+    ./target/release/emit_study "$WDIR/configs" --small net15 > /dev/null
+    # RD_ERROR_BUDGET=0 makes any unparseable config fatal for its
+    # network, which is what the stale-serving-last-good leg relies on.
+    RD_THREADS="$THREADS" RD_ERROR_BUDGET=0 ./target/release/rdx watch "$WDIR/configs" \
+        --addr 127.0.0.1:0 --snapshot "$WDIR/last-good.rdsnap" \
+        --poll-ms 50 --debounce-ms 100 --backoff-ms 100 --backoff-max-ms 400 \
+        --degraded-after 2 --seed 1 > "$WDIR/out.txt" 2> "$WDIR/err.txt" &
+    WATCH_PID=$!
+    WPORT=""
+    i=0
+    while [ $i -lt 100 ]; do
+        WPORT=$(sed -n 's|.*http://127\.0\.0\.1:\([0-9]*\).*|\1|p' "$WDIR/out.txt")
+        [ -n "$WPORT" ] && break
+        sleep 0.1
+        i=$((i + 1))
+    done
+    [ -n "$WPORT" ] || { echo "watch never printed its port" >&2; exit 1; }
+    # Liveness must answer 200 from the moment the socket exists,
+    # whatever the health state machine says.
+    curl -sf "http://127.0.0.1:$WPORT/healthz?live=1" > /dev/null
+    curl -sf "http://127.0.0.1:$WPORT/healthz" | grep -q '"health": "fresh"' \
+        || { echo "watch did not boot fresh" >&2; exit 1; }
+    curl -sf "http://127.0.0.1:$WPORT/networks/net15" > "$WDIR/body_boot.json"
+
+    # Semantic change: drop one router; the daemon must republish.
+    cp "$WDIR/configs/net15/config1" "$WDIR/config1.orig"
+    rm "$WDIR/configs/net15/config1"
+    i=0
+    while [ $i -lt 100 ]; do
+        curl -sf "http://127.0.0.1:$WPORT/networks/net15" > "$WDIR/body_mut.json" || true
+        if ! cmp -s "$WDIR/body_boot.json" "$WDIR/body_mut.json"; then
+            break
+        fi
+        sleep 0.1
+        i=$((i + 1))
+    done
+    cmp -s "$WDIR/body_boot.json" "$WDIR/body_mut.json" \
+        && { echo "watch never published the config change" >&2; exit 1; }
+    curl -sf "http://127.0.0.1:$WPORT/healthz" | grep -q '"health": "fresh"' \
+        || { echo "publish did not return the daemon to fresh" >&2; exit 1; }
+
+    # Parse-fatal push: an invalid-UTF-8 config under a zero error
+    # budget. The daemon must go non-fresh while still answering 200
+    # from last-good, byte-identically.
+    printf '\377\376 this is not a router config\n' > "$WDIR/configs/net15/config1"
+    i=0
+    while [ $i -lt 100 ]; do
+        if curl -s "http://127.0.0.1:$WPORT/healthz" \
+            | grep -q '"health": "stale-serving-last-good"\|"health": "degraded"'; then
+            break
+        fi
+        sleep 0.1
+        i=$((i + 1))
+    done
+    curl -s "http://127.0.0.1:$WPORT/healthz" \
+        | grep -q '"health": "stale-serving-last-good"\|"health": "degraded"' \
+        || { echo "parse-fatal push never surfaced on /healthz" >&2; exit 1; }
+    CODE=$(curl -s -o "$WDIR/body_stale.json" -w '%{http_code}' \
+        "http://127.0.0.1:$WPORT/networks/net15")
+    [ "$CODE" = "200" ] || { echo "query endpoint broke during failure: $CODE" >&2; exit 1; }
+    cmp "$WDIR/body_mut.json" "$WDIR/body_stale.json" \
+        || { echo "last-good body changed during failure" >&2; exit 1; }
+    curl -sf "http://127.0.0.1:$WPORT/healthz?live=1" > /dev/null \
+        || { echo "liveness probe failed during degradation" >&2; exit 1; }
+
+    # Restore: the daemon must converge back to fresh, and a restored
+    # config tree analyzes to the byte-identical boot body.
+    cp "$WDIR/config1.orig" "$WDIR/configs/net15/config1"
+    i=0
+    while [ $i -lt 100 ]; do
+        if curl -s "http://127.0.0.1:$WPORT/healthz" | grep -q '"health": "fresh"'; then
+            break
+        fi
+        sleep 0.1
+        i=$((i + 1))
+    done
+    curl -sf "http://127.0.0.1:$WPORT/healthz" | grep -q '"health": "fresh"' \
+        || { echo "watch never converged back to fresh after restore" >&2; exit 1; }
+    i=0
+    while [ $i -lt 100 ]; do
+        curl -sf "http://127.0.0.1:$WPORT/networks/net15" > "$WDIR/body_restored.json" || true
+        cmp -s "$WDIR/body_boot.json" "$WDIR/body_restored.json" && break
+        sleep 0.1
+        i=$((i + 1))
+    done
+    cmp "$WDIR/body_boot.json" "$WDIR/body_restored.json" \
+        || { echo "restored configs did not reproduce the boot body" >&2; exit 1; }
+    curl -sf "http://127.0.0.1:$WPORT/admin/debug/watch" | grep -q '"generation"' \
+        || { echo "/admin/debug/watch did not render supervisor state" >&2; exit 1; }
+
+    # Loadgen burst against the live daemon, exercising --connect-retries.
+    ./target/release/loadgen "127.0.0.1:$WPORT" --conns 2 --pipeline 4 \
+        --duration-ms 300 --connect-retries 5 > /dev/null
+
+    kill -TERM "$WATCH_PID"
+    wait "$WATCH_PID"
+    # The persisted snapshot survived the whole cycle with no staging
+    # remnants: the crash-safe writer cleans up or quarantines.
+    [ -s "$WDIR/last-good.rdsnap" ] || { echo "persisted snapshot missing" >&2; exit 1; }
+    [ ! -f "$WDIR/last-good.rdsnap.tmp" ] \
+        || { echo "staging file leaked past shutdown" >&2; exit 1; }
+}
+watch_cycle /tmp/rd_verify_watch_t1 1
+watch_cycle /tmp/rd_verify_watch_t4 4
+for body in body_boot.json body_mut.json body_restored.json; do
+    cmp "/tmp/rd_verify_watch_t1/$body" "/tmp/rd_verify_watch_t4/$body" \
+        || { echo "watch $body differs between RD_THREADS=1 and 4" >&2; exit 1; }
+done
+rm -rf /tmp/rd_verify_watch_t1 /tmp/rd_verify_watch_t4
+echo "    reload, stale-serving-last-good, and convergence verified; bodies identical at both thread counts"
 
 echo "==> reconfiguration planning: seeded scenario, deterministic + independently checked"
 ./target/release/plan_scenario /tmp/rd_verify_plan --seed 42 > /dev/null

@@ -236,3 +236,106 @@ fn parallel_study_beats_sequential_on_multicore() {
          sequential {seq:?}, {threads} threads {par:?} (speedup {speedup:.2})"
     );
 }
+
+/// The `rdx watch` publish path is part of the observable surface too: a
+/// scripted change → analyze → persist → publish sequence must serve
+/// byte-identical bodies (and produce byte-identical persisted
+/// snapshots) at any `RD_THREADS` setting.
+#[test]
+fn watch_publishes_identical_bodies_at_any_thread_count() {
+    use std::io::{Read, Write};
+
+    let _env = ENV_LOCK.lock().expect("env lock");
+
+    const RA: &str = "hostname ra\ninterface Ethernet0\n ip address 10.0.0.1 255.255.255.0\n\
+                      router ospf 1\n network 10.0.0.0 0.0.0.255 area 0\n";
+    const RB: &str = "hostname rb\ninterface Ethernet0\n ip address 10.0.0.2 255.255.255.0\n\
+                      router ospf 1\n network 10.0.0.0 0.0.0.255 area 0\n";
+
+    let get_body = |server: &rd_serve::Server, path: &str| -> Vec<u8> {
+        let mut stream =
+            std::net::TcpStream::connect(server.local_addr()).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+        stream
+            .write_all(
+                format!("GET {path} HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n").as_bytes(),
+            )
+            .expect("request");
+        let mut head = Vec::new();
+        let mut byte = [0u8; 1];
+        while !head.ends_with(b"\r\n\r\n") {
+            stream.read_exact(&mut byte).expect("head");
+            head.push(byte[0]);
+        }
+        let head = String::from_utf8(head).expect("utf-8 head");
+        assert!(head.starts_with("HTTP/1.1 200"), "{path}: {head}");
+        let len: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("content-length: "))
+            .expect("content-length")
+            .parse()
+            .expect("numeric length");
+        let mut body = vec![0u8; len];
+        stream.read_exact(&mut body).expect("body");
+        body
+    };
+
+    // One scripted watch run: boot, publish a mutation, return the
+    // served bodies before/after plus the persisted snapshot bytes.
+    let run = |threads: &str| -> (Vec<u8>, Vec<u8>, Vec<u8>) {
+        std::env::set_var(rd_par::THREADS_ENV, threads);
+        let base = std::env::temp_dir()
+            .join(format!("rdx-watch-det-{}-t{threads}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let dir = base.join("configs");
+        let net = dir.join("netA");
+        std::fs::create_dir_all(&net).expect("network dir");
+        std::fs::write(net.join("ra.cfg"), RA).expect("ra.cfg");
+        std::fs::write(net.join("rb.cfg"), RB).expect("rb.cfg");
+        let snapshot_path = base.join("last-good.rdsnap");
+
+        let outcome = routing_design::snapshot::snap_dir(&dir).expect("initial analysis");
+        rd_snap::write_atomic(&snapshot_path, &outcome.corpus.to_bytes()).expect("seed");
+        let server = rd_serve::Server::start(outcome.corpus, "127.0.0.1:0", 1).expect("server");
+        let opts = routing_design::watch::WatchOptions {
+            poll_interval: Duration::from_millis(1),
+            debounce: Duration::from_millis(1),
+            backoff_base: Duration::from_millis(1),
+            backoff_max: Duration::from_millis(5),
+            degraded_after: 3,
+            seed: 9,
+        };
+        let mut watcher =
+            routing_design::watch::Watcher::new(&dir, &snapshot_path, server.controller(), opts);
+
+        let before = get_body(&server, "/networks/netA");
+        std::fs::write(
+            net.join("ra.cfg"),
+            format!("{RA}router ospf 9\n network 10.9.0.0 0.0.0.255 area 0\n"),
+        )
+        .expect("mutate ra.cfg");
+        let mut published = false;
+        for _ in 0..2000 {
+            if watcher.tick() == routing_design::watch::Tick::Published {
+                published = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(published, "watcher never published at RD_THREADS={threads}");
+        let after = get_body(&server, "/networks/netA");
+        let persisted = std::fs::read(&snapshot_path).expect("persisted snapshot");
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&base);
+        (before, after, persisted)
+    };
+
+    let (before_1, after_1, snap_1) = run("1");
+    let (before_4, after_4, snap_4) = run("4");
+    std::env::remove_var(rd_par::THREADS_ENV);
+
+    assert_eq!(before_1, before_4, "boot body differs by thread count");
+    assert_eq!(after_1, after_4, "published body differs by thread count");
+    assert_eq!(snap_1, snap_4, "persisted snapshot differs by thread count");
+    assert_ne!(before_1, after_1, "the scripted mutation must change the served body");
+}
