@@ -21,8 +21,10 @@ use std::time::Duration;
 use rd_bench::loadgen::{self, LoadOptions};
 
 fn usage() -> String {
-    "usage: loadgen <addr> [--conns N] [--pipeline N] [--duration-ms N] \
-     [--paths /a,/b,...] [--connect-retries N] [--json]"
+    "usage: loadgen <addr> [--conns N] [--pipeline N] [--duration <secs>] \
+     [--duration-ms N] [--batches N] [--paths /a,/b,...] [--connect-retries N] [--json]\n\
+     time-bounded by default (--duration/--duration-ms); --batches N switches to \
+     batch-count mode (each connection issues exactly N pipelined batches)"
         .to_string()
 }
 
@@ -80,10 +82,14 @@ fn main() {
         match arg.as_str() {
             "--conns" => opts.conns = positive("--conns", args.next()),
             "--pipeline" => opts.pipeline = positive("--pipeline", args.next()),
+            "--duration" => {
+                opts.duration = Duration::from_secs(positive("--duration", args.next()) as u64)
+            }
             "--duration-ms" => {
                 opts.duration =
                     Duration::from_millis(positive("--duration-ms", args.next()) as u64)
             }
+            "--batches" => opts.max_batches = Some(positive("--batches", args.next()) as u64),
             "--paths" => match args.next() {
                 Some(list) => {
                     opts.paths = list.split(',').map(str::to_string).collect();

@@ -397,6 +397,23 @@ fn bench(small_only: bool) {
             p.search.as_secs_f64() * 1e3,
         );
     }
+    eprintln!("benching incremental re-analysis (delta engine)...");
+    let incremental = rd_bench::timing::bench_incremental(bench_scale_for_snap);
+    eprintln!(
+        "  incremental: {} network(s), cold {:.1} ms; 1-router change {:.1} ms \
+         ({} reused, {} recomputed, {} file(s) reparsed, {:.1}x); \
+         5-network change {:.1} ms ({} reused, {} recomputed)",
+        incremental.networks,
+        incremental.cold.as_secs_f64() * 1e3,
+        incremental.one_change.as_secs_f64() * 1e3,
+        incremental.one_stats.reused,
+        incremental.one_stats.recomputed,
+        incremental.one_stats.files_reparsed,
+        incremental.one_change_speedup(),
+        incremental.five_change.as_secs_f64() * 1e3,
+        incremental.five_stats.reused,
+        incremental.five_stats.recomputed,
+    );
     let path = "BENCH_repro.json";
     std::fs::write(
         path,
@@ -407,6 +424,7 @@ fn bench(small_only: bool) {
             Some(&serve_load),
             Some(&external),
             Some(&plans),
+            Some(&incremental),
         ),
     )
     .expect("write BENCH_repro.json");

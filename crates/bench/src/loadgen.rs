@@ -26,8 +26,14 @@ pub struct LoadOptions {
     pub conns: usize,
     /// Requests pipelined per write on each connection.
     pub pipeline: usize,
-    /// How long to keep issuing batches.
+    /// How long to keep issuing batches (time-bounded mode). Ignored
+    /// when [`max_batches`](LoadOptions::max_batches) is set.
     pub duration: Duration,
+    /// Batch-count mode: each connection issues exactly this many
+    /// batches (`max_batches * pipeline` requests) instead of running
+    /// until the deadline — a deterministic request count for
+    /// comparisons across machines of different speeds.
+    pub max_batches: Option<u64>,
     /// Request paths, cycled per request. Must be non-empty by the time
     /// [`run`] is called; empty means "let the caller fill in the
     /// standard mix" (see [`mixed_paths`]).
@@ -50,6 +56,7 @@ impl Default for LoadOptions {
             conns: 2,
             pipeline: 4,
             duration: Duration::from_secs(3),
+            max_batches: None,
             paths: Vec::new(),
             connect_retries: 3,
         }
@@ -198,7 +205,8 @@ fn parse_content_length(head: &[u8]) -> Result<usize, String> {
 }
 
 /// One connection's run loop: batches of pipelined GETs until the
-/// deadline. Stops (recording one error) on the first I/O failure.
+/// deadline (or, in batch-count mode, until `max_batches` batches have
+/// been issued). Stops (recording one error) on the first I/O failure.
 fn worker(addr: SocketAddr, opts: &LoadOptions, offset: usize) -> Result<WorkerStats, String> {
     let stream = connect_with_retries(addr, opts.connect_retries)?;
     stream.set_nodelay(true).ok();
@@ -224,7 +232,16 @@ fn worker(addr: SocketAddr, opts: &LoadOptions, offset: usize) -> Result<WorkerS
     let mut cursor = offset; // connections start on different paths
 
     let deadline = Instant::now() + opts.duration;
-    while Instant::now() < deadline {
+    let mut batches_sent = 0u64;
+    loop {
+        let done = match opts.max_batches {
+            Some(n) => batches_sent >= n,
+            None => Instant::now() >= deadline,
+        };
+        if done {
+            break;
+        }
+        batches_sent += 1;
         batch.clear();
         let base = cursor; // response j below came from path (base + j)
         for i in 0..opts.pipeline {

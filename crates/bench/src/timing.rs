@@ -372,6 +372,7 @@ pub fn bench_serve_with_load(
         conns: load.conns,
         pipeline: load.pipeline,
         duration: load.duration,
+        max_batches: load.max_batches,
         paths: if load.paths.is_empty() {
             crate::loadgen::mixed_paths(&names)
         } else {
@@ -453,6 +454,103 @@ pub fn bench_plan() -> Vec<PlanBench> {
         .collect()
 }
 
+/// Timing record of the incremental re-analysis engine (`bench_incremental`
+/// in `BENCH_repro.json`): a cold study snapshot vs delta refreshes after
+/// small config changes, with the engine's reuse accounting.
+pub struct IncrementalBench {
+    /// Networks in the study.
+    pub networks: usize,
+    /// Wall-clock of the cold run (`snap_dir` + encode), the baseline a
+    /// refresh competes against.
+    pub cold: Duration,
+    /// Wall-clock of one refresh after a single-router change.
+    pub one_change: Duration,
+    /// Engine accounting for the single-router refresh.
+    pub one_stats: routing_design::incremental::RefreshStats,
+    /// Wall-clock of one refresh after changes in five networks.
+    pub five_change: Duration,
+    /// Engine accounting for the five-network refresh.
+    pub five_stats: routing_design::incremental::RefreshStats,
+}
+
+impl IncrementalBench {
+    /// `cold / one_change`: how many times faster a one-router refresh is.
+    pub fn one_change_speedup(&self) -> f64 {
+        self.cold.as_secs_f64() / self.one_change.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Benches the delta engine over the generated study at `scale`: writes
+/// the corpus to a scratch directory, times a cold `snap_dir` run, then
+/// times delta refreshes after a one-router change and after changes in
+/// five networks. The scratch directory is removed afterwards.
+pub fn bench_incremental(scale: StudyScale) -> IncrementalBench {
+    let dir = std::env::temp_dir().join(format!("rd_bench_incr_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let roster = study_roster(scale);
+    for spec in &roster {
+        let sub = dir.join(&spec.name);
+        std::fs::create_dir_all(&sub).expect("scratch network dir");
+        let generated = netgen::study::generate_network(spec, scale);
+        for (name, text) in &generated.texts {
+            std::fs::write(sub.join(name), text).expect("scratch config");
+        }
+    }
+
+    let started = Instant::now();
+    let outcome = routing_design::snapshot::snap_dir(&dir).expect("cold study run");
+    let cold_bytes = outcome.corpus.to_bytes();
+    let cold = started.elapsed();
+    drop(cold_bytes);
+
+    let mut engine = routing_design::incremental::DeltaEngine::new(&dir);
+    engine.refresh().expect("warm-up refresh");
+
+    // One router in one network grows a loopback.
+    let touch = |net: &str| {
+        let sub = dir.join(net);
+        let mut files: Vec<_> = std::fs::read_dir(&sub)
+            .expect("scratch network readable")
+            .flatten()
+            .map(|e| e.path())
+            .collect();
+        files.sort();
+        let victim = files.first().expect("network has files");
+        let mut text = std::fs::read_to_string(victim).expect("victim readable");
+        text.push_str("interface Loopback99\n ip address 10.99.0.1 255.255.255.255\n");
+        std::fs::write(victim, text).expect("victim rewritten");
+    };
+    // Best-of-three shaves scheduler noise, same as the parallel-speedup
+    // bench: each round appends another line to the same router and
+    // refreshes, so every round recomputes exactly one network.
+    let mut one_change = Duration::MAX;
+    let mut one_stats = routing_design::incremental::RefreshStats::default();
+    for _ in 0..3 {
+        touch(&roster[0].name);
+        let started = Instant::now();
+        let one = engine.refresh().expect("one-change refresh");
+        one_change = one_change.min(started.elapsed());
+        one_stats = one.stats;
+    }
+
+    for spec in roster.iter().take(5) {
+        touch(&spec.name);
+    }
+    let started = Instant::now();
+    let five = engine.refresh().expect("five-change refresh");
+    let five_change = started.elapsed();
+
+    let _ = std::fs::remove_dir_all(&dir);
+    IncrementalBench {
+        networks: roster.len(),
+        cold,
+        one_change,
+        one_stats,
+        five_change,
+        five_stats: five.stats,
+    }
+}
+
 fn json_ms(d: Duration) -> String {
     format!("{:.3}", d.as_secs_f64() * 1e3)
 }
@@ -473,9 +571,10 @@ fn json_stages(indent: &str, t: &StageTimings) -> String {
 /// write/load timings vs re-analysis), `"serve"` (sequential request
 /// latency percentiles), `"bench_serve"` (the pipelined mixed-endpoint
 /// load run: throughput plus p50/p99/p999), `"bench_external"` (the
-/// isolated external-classification stage), and `"bench_plan"` (the
-/// reconfiguration-planning scenarios) objects. All additive, so
-/// existing consumers of `"scales"` are unaffected.
+/// isolated external-classification stage), `"bench_plan"` (the
+/// reconfiguration-planning scenarios), and `"bench_incremental"` (cold
+/// study wall vs delta refreshes with reuse accounting) objects. All
+/// additive, so existing consumers of `"scales"` are unaffected.
 pub fn render_json(
     scales: &[ScaleBench],
     snap: Option<&SnapBench>,
@@ -483,6 +582,7 @@ pub fn render_json(
     serve_load: Option<&ServeLoadBench>,
     external: Option<&ExternalBench>,
     plan: Option<&[PlanBench]>,
+    incremental: Option<&IncrementalBench>,
 ) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"repro\",\n  \"unit\": \"ms\",\n");
     out.push_str(&format!(
@@ -556,6 +656,27 @@ pub fn render_json(
             })
             .collect();
         out.push_str(&format!("  \"bench_plan\": [\n{}\n  ],\n", blocks.join(",\n")));
+    }
+    if let Some(i) = incremental {
+        out.push_str(&format!(
+            "  \"bench_incremental\": {{\n    \"networks\": {},\n    \"cold_ms\": {},\n    \
+             \"one_change_ms\": {},\n    \"one_change_reused\": {},\n    \
+             \"one_change_recomputed\": {},\n    \"one_change_files_reparsed\": {},\n    \
+             \"one_change_speedup\": {:.1},\n    \"five_change_ms\": {},\n    \
+             \"five_change_reused\": {},\n    \"five_change_recomputed\": {},\n    \
+             \"five_change_files_reparsed\": {}\n  }},\n",
+            i.networks,
+            json_ms(i.cold),
+            json_ms(i.one_change),
+            i.one_stats.reused,
+            i.one_stats.recomputed,
+            i.one_stats.files_reparsed,
+            i.one_change_speedup(),
+            json_ms(i.five_change),
+            i.five_stats.reused,
+            i.five_stats.recomputed,
+            i.five_stats.files_reparsed,
+        ));
     }
     out.push_str("  \"scales\": [\n");
     let rendered: Vec<String> = scales
@@ -677,6 +798,26 @@ mod tests {
             dag: Duration::from_millis(1),
             search: Duration::from_millis(30),
         }];
+        let incremental = IncrementalBench {
+            networks: 31,
+            cold: Duration::from_millis(3100),
+            one_change: Duration::from_millis(100),
+            one_stats: routing_design::incremental::RefreshStats {
+                networks: 31,
+                reused: 30,
+                recomputed: 1,
+                files_reparsed: 1,
+                dropped: 0,
+            },
+            five_change: Duration::from_millis(500),
+            five_stats: routing_design::incremental::RefreshStats {
+                networks: 31,
+                reused: 26,
+                recomputed: 5,
+                files_reparsed: 5,
+                dropped: 0,
+            },
+        };
         let text = render_json(
             &scales,
             Some(&snap),
@@ -684,6 +825,7 @@ mod tests {
             Some(&serve_load),
             Some(&external),
             Some(&plans),
+            Some(&incremental),
         );
         assert!(text.contains("\"speedup\": 1.80"));
         assert!(text.contains("\"parse\": 2.000"));
@@ -698,16 +840,21 @@ mod tests {
         assert!(text.contains("\"bench_plan\""));
         assert!(text.contains("\"states_analyzed\": 9"));
         assert!(text.contains("\"search_ms\": 30.000"));
+        assert!(text.contains("\"bench_incremental\""));
+        assert!(text.contains("\"one_change_reused\": 30"));
+        assert!(text.contains("\"one_change_speedup\": 31.0"));
+        assert!(text.contains("\"five_change_recomputed\": 5"));
         assert_eq!(text.matches('{').count(), text.matches('}').count());
         assert_eq!(text.matches('[').count(), text.matches(']').count());
 
         // Without the optional sections the legacy shape is untouched.
-        let legacy = render_json(&scales, None, None, None, None, None);
+        let legacy = render_json(&scales, None, None, None, None, None, None);
         assert!(!legacy.contains("\"snap\""));
         assert!(!legacy.contains("\"serve\""));
         assert!(!legacy.contains("\"bench_serve\""));
         assert!(!legacy.contains("\"bench_external\""));
         assert!(!legacy.contains("\"bench_plan\""));
+        assert!(!legacy.contains("\"bench_incremental\""));
     }
 
     #[test]
@@ -749,6 +896,7 @@ mod tests {
             conns: 2,
             pipeline: 8,
             duration: Duration::from_millis(300),
+            max_batches: None,
             paths: Vec::new(),
             connect_retries: 3,
         };
@@ -758,6 +906,18 @@ mod tests {
         assert!(stats.requests >= stats.conns as u64 * stats.pipeline as u64);
         assert!(stats.p50_us <= stats.p99_us && stats.p99_us <= stats.p999_us);
         assert!(stats.throughput_rps > 0.0);
+    }
+
+    #[test]
+    fn incremental_bench_reuses_unchanged_networks() {
+        let bench = bench_incremental(StudyScale::Small);
+        assert_eq!(bench.networks, study_roster(StudyScale::Small).len());
+        assert_eq!(bench.one_stats.recomputed, 1, "one changed network recomputed");
+        assert_eq!(bench.one_stats.reused, bench.networks - 1);
+        assert_eq!(bench.one_stats.files_reparsed, 1, "only the changed file reparses");
+        assert_eq!(bench.five_stats.recomputed, 5);
+        assert_eq!(bench.five_stats.reused, bench.networks - 5);
+        assert_eq!(bench.five_stats.files_reparsed, 5);
     }
 
     /// Two small study networks analyzed for the snapshot/serve benches.

@@ -220,12 +220,14 @@ impl SnapMutator {
 /// Structural offsets of an `.rdsnap` container body (everything before
 /// the 8-byte checksum trailer), recovered by walking the frame layout:
 /// magic, version varint, section count varint, then per section a name
-/// string, a length varint, and the payload.
+/// string, a length varint, and the payload, then the format-v3 manifest
+/// footer (payload + fixed-width length field).
 #[derive(Clone, Debug, Default)]
 pub struct SnapLayout {
     /// Byte offsets (into the body) of every frame boundary: after the
-    /// magic, after the version, after the count, and after each
-    /// section's name, length prefix, and payload.
+    /// magic, after the version, after the count, after each section's
+    /// name, length prefix, and payload, and after the manifest payload
+    /// and its 8-byte length field.
     pub boundaries: Vec<usize>,
     /// `(offset, encoded_len)` of each section-length varint — the
     /// targets for [`SnapMutator::LengthBomb`].
@@ -304,6 +306,20 @@ pub fn snapshot_layout(bytes: &[u8]) -> SnapLayout {
         }
         layout.boundaries.push(pos);
     }
+    // Format v3: the manifest payload and its fixed-width 8-byte length
+    // field sit between the last section and the checksum trailer.
+    if body.len() < pos + 8 {
+        return SnapLayout::default();
+    }
+    let mut field = [0u8; 8];
+    field.copy_from_slice(&body[body.len() - 8..]);
+    let manifest_len = u64::from_le_bytes(field) as usize;
+    if pos + manifest_len + 8 != body.len() {
+        return SnapLayout::default();
+    }
+    pos += manifest_len;
+    layout.boundaries.push(pos);
+    layout.boundaries.push(pos + 8);
     layout
 }
 
@@ -508,8 +524,9 @@ mod tests {
         let corpus = rd_snap::Corpus::default();
         let bytes = corpus.to_bytes();
         let layout = snapshot_layout(&bytes);
-        // magic | version | count boundaries, no sections.
-        assert_eq!(layout.boundaries.len(), 3);
+        // magic | version | count boundaries, no sections, then the
+        // manifest payload and its length field.
+        assert_eq!(layout.boundaries.len(), 5);
         assert!(layout.length_varints.is_empty());
     }
 

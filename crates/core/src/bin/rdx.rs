@@ -70,6 +70,8 @@ struct Flags {
     json: bool,
     /// `plan` only: independently re-verify every emitted step.
     check: bool,
+    /// `diff` only: print which networks the diff touches.
+    networks: bool,
     trace: Option<String>,
     profile: Option<String>,
 }
@@ -80,6 +82,7 @@ fn parse_flags(args: &mut Vec<String>) -> Result<Flags, String> {
         metrics: false,
         json: false,
         check: false,
+        networks: false,
         trace: None,
         profile: None,
     };
@@ -91,6 +94,7 @@ fn parse_flags(args: &mut Vec<String>) -> Result<Flags, String> {
             "--metrics" => flags.metrics = true,
             "--json" => flags.json = true,
             "--check" => flags.check = true,
+            "--networks" => flags.networks = true,
             "--trace" => match it.next() {
                 Some(path) => flags.trace = Some(path),
                 None => return Err("--trace needs a path (or '-')".to_string()),
@@ -267,7 +271,7 @@ fn run_command(
             }
         }
         "diag" => return diag(analysis),
-        "diff" => return diff_cmd(analysis, &rest[1..]),
+        "diff" => return diff_cmd(analysis, dir, &rest[1..], flags),
         other => {
             eprintln!("rdx: unknown command {other:?}");
             return usage();
@@ -281,11 +285,12 @@ fn usage() -> ExitCode {
         "usage: rdx <config-dir> [summary|instances|roles|blocks|external|\
          pathway <router>|dot [process|instances]|reach <src> <dst>|\
          flow <src> <dst> [proto] [port]|separation <a> <b>|\
-         whatif <router> [...]|audit|diag|diff <other-dir>|\
+         whatif <router> [...]|audit|diag|diff <other-dir> [--networks]|\
          plan <target-dir> [--check]|\
          anonymize <out-dir> <key>] [--json] [--timings] [--metrics] [--trace <path>] \
          [--profile <path>]\n\
-         \x20      rdx snap <dir> -o <file.rdsnap>\n\
+         \x20      rdx snap <dir> -o <file.rdsnap> [--from <prev.rdsnap>]\n\
+         \x20      rdx snap --info <file.rdsnap>\n\
          \x20      rdx serve <file.rdsnap> [--addr HOST:PORT] [--workers N] [--max-conns N] [--no-cache] [--plan <plan.json>]\n\
          \x20      rdx watch <config-dir> [--addr HOST:PORT] [--snapshot <file.rdsnap>] [--poll-ms N] [--debounce-ms N]\n\
          \x20      rdx chaos <dir> [--seed N] [--configs M] [--snapshots K] [--max-rss-mb MB]\n\
@@ -300,7 +305,18 @@ fn help_text() -> String {
 
 usage:
   rdx <config-dir> [command] [flags]     analyze a config directory
-  rdx snap <dir> -o <file.rdsnap>        analyze once, write a snapshot
+  rdx snap <dir> -o <file.rdsnap> [--from <prev.rdsnap>]
+                                         analyze once, write a snapshot;
+                                         --from seeds the incremental
+                                         delta engine from a previous
+                                         snapshot so only changed
+                                         networks are re-analyzed (the
+                                         output stays byte-identical to
+                                         a cold run)
+  rdx snap --info <file.rdsnap>          print the snapshot's section/
+                                         manifest table (per-network
+                                         names, offsets, byte sizes)
+                                         without decoding any payload
   rdx serve <file.rdsnap> [--addr HOST:PORT] [--workers N]
             [--max-conns N] [--no-cache] [--profile <path>]
                                          serve a snapshot over HTTP from an
@@ -356,7 +372,11 @@ commands (default: summary):
   whatif <router> [...]      failure simulation
   audit                      vulnerability findings (paper section 8.1)
   diag                       pipeline diagnostics
-  diff <other-dir>           design changes between snapshots
+  diff <other-dir>           design changes between snapshots;
+                             --networks prints the networks the change
+                             invalidates (one per line; study
+                             directories are diffed pairwise by
+                             network name) instead of the router diff
   plan <target-dir> [--check]
                              safe reconfiguration plan from <config-dir>
                              to <target-dir>: per-router change units,
@@ -381,6 +401,8 @@ flags:
                      canonical plan JSON
   --check            (plan only) independently re-verify every emitted
                      step with fresh analyses
+  --networks         (diff only) print which networks the diff touches
+                     via the router → owning-network invalidation map
   --timings          per-stage pipeline wall-clock times on stderr
   --metrics          dump the metrics registry on stderr
   --trace <path>     structured JSONL trace to path ('-' for stderr)
@@ -446,6 +468,8 @@ fn network_name(dir: &str) -> String {
 fn snap_cmd(args: &[String]) -> ExitCode {
     let mut dir: Option<String> = None;
     let mut out: Option<String> = None;
+    let mut info: Option<String> = None;
+    let mut from: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -453,6 +477,20 @@ fn snap_cmd(args: &[String]) -> ExitCode {
                 Some(path) => out = Some(path.clone()),
                 None => {
                     eprintln!("rdx: snap: -o needs an output path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--info" => match it.next() {
+                Some(path) => info = Some(path.clone()),
+                None => {
+                    eprintln!("rdx: snap: --info needs a snapshot file");
+                    return ExitCode::from(2);
+                }
+            },
+            "--from" => match it.next() {
+                Some(path) => from = Some(path.clone()),
+                None => {
+                    eprintln!("rdx: snap: --from needs a previous snapshot file");
                     return ExitCode::from(2);
                 }
             },
@@ -467,23 +505,58 @@ fn snap_cmd(args: &[String]) -> ExitCode {
             }
         }
     }
+    if let Some(file) = info {
+        return snap_info(&file);
+    }
     let Some(dir) = dir else {
-        eprintln!("usage: rdx snap <dir> -o <file.rdsnap>");
+        eprintln!(
+            "usage: rdx snap <dir> -o <file.rdsnap> [--from <prev.rdsnap>]\n\
+             \x20      rdx snap --info <file.rdsnap>"
+        );
         return ExitCode::from(2);
     };
     let out = out.unwrap_or_else(|| "study.rdsnap".to_string());
 
     let started = std::time::Instant::now();
-    let outcome = match routing_design::snapshot::snap_dir(Path::new(&dir)) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("rdx: failed to analyze {dir}: {e}");
-            return ExitCode::FAILURE;
+    let (outcome, bytes, incr) = if let Some(prev) = from {
+        // Incremental path: seed the delta engine from the previous
+        // snapshot, refresh against the directory, and splice unchanged
+        // networks' encoded bytes straight through. Output is
+        // byte-identical to a cold run over the same directory.
+        let mut engine = routing_design::incremental::DeltaEngine::new(Path::new(&dir));
+        match std::fs::read(&prev) {
+            Ok(prev_bytes) => {
+                if let Err(e) = engine.seed_from_snapshot(&prev_bytes) {
+                    eprintln!("rdx: snap: cannot seed from {prev}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(e) => {
+                eprintln!("rdx: snap: cannot read {prev}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        match engine.refresh() {
+            Ok(refresh) => (refresh.outcome, refresh.bytes, Some(refresh.stats)),
+            Err(e) => {
+                eprintln!("rdx: failed to analyze {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match routing_design::snapshot::snap_dir(Path::new(&dir)) {
+            Ok(o) => {
+                let bytes = o.corpus.to_bytes();
+                (o, bytes, None)
+            }
+            Err(e) => {
+                eprintln!("rdx: failed to analyze {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
     let analyze_ms = started.elapsed().as_secs_f64() * 1e3;
     let write_started = std::time::Instant::now();
-    let bytes = outcome.corpus.to_bytes();
     if let Err(e) = rd_snap::write_atomic(Path::new(&out), &bytes) {
         eprintln!("rdx: cannot write {out}: {e}");
         return ExitCode::FAILURE;
@@ -495,6 +568,12 @@ fn snap_cmd(args: &[String]) -> ExitCode {
         bytes.len(),
         write_started.elapsed().as_secs_f64() * 1e3,
     );
+    if let Some(stats) = incr {
+        eprintln!(
+            "incremental: {} network(s) reused, {} recomputed, {} file(s) reparsed",
+            stats.reused, stats.recomputed, stats.files_reparsed,
+        );
+    }
     for n in &outcome.corpus.networks {
         let c = &n.network.coverage;
         if c.degraded() {
@@ -521,6 +600,43 @@ fn snap_cmd(args: &[String]) -> ExitCode {
         routing_design::error_budget() * 100.0,
     );
     ExitCode::FAILURE
+}
+
+/// `rdx snap --info <file>`: print the container's section/manifest
+/// table straight off the manifest footer — no network payload is
+/// decoded, so this is cheap even for a large study snapshot.
+fn snap_info(file: &str) -> ExitCode {
+    let bytes = match std::fs::read(file) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("rdx: snap: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let manifest = match rd_snap::Manifest::read(&bytes) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("rdx: snap: {file} is not a valid snapshot: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Footer geometry: [..sections..][manifest payload][len u64][fnv u64]
+    let manifest_len =
+        u64::from_le_bytes(bytes[bytes.len() - 16..bytes.len() - 8].try_into().unwrap_or_default());
+    let manifest_offset = bytes.len() - 16 - manifest_len as usize;
+    println!("{file}: {} bytes, {} network section(s)", bytes.len(), manifest.entries.len());
+    println!("{:<24} {:>12} {:>12}", "section", "offset", "bytes");
+    for entry in &manifest.entries {
+        println!("{:<24} {:>12} {:>12}", entry.name, entry.offset, entry.len);
+    }
+    println!("{:<24} {:>12} {:>12}", "(manifest)", manifest_offset, manifest_len);
+    println!(
+        "{:<24} {:>12} {:>12}",
+        "(footer: len + fnv64)",
+        bytes.len() - 16,
+        16
+    );
+    ExitCode::SUCCESS
 }
 
 fn serve_cmd(args: &[String]) -> ExitCode {
@@ -1323,7 +1439,7 @@ fn whatif(a: &NetworkAnalysis, args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn diff_cmd(old: &NetworkAnalysis, args: &[String]) -> ExitCode {
+fn diff_cmd(old: &NetworkAnalysis, dir: &str, args: &[String], flags: &Flags) -> ExitCode {
     let Some(other) = args.first() else {
         eprintln!("rdx: diff needs the other snapshot's directory");
         return ExitCode::from(2);
@@ -1334,6 +1450,9 @@ fn diff_cmd(old: &NetworkAnalysis, args: &[String]) -> ExitCode {
         eprintln!("rdx: diff: {other:?} is not a readable config directory");
         return ExitCode::from(2);
     }
+    if flags.networks {
+        return diff_networks(dir, other);
+    }
     let new = match NetworkAnalysis::from_dir(Path::new(other)) {
         Ok(a) => a,
         Err(e) => {
@@ -1342,6 +1461,63 @@ fn diff_cmd(old: &NetworkAnalysis, args: &[String]) -> ExitCode {
         }
     };
     print!("{}", routing_design::DesignDiff::between(old, &new));
+    ExitCode::SUCCESS
+}
+
+/// `rdx <dir> diff <other> --networks`: instead of the router-level diff,
+/// print which networks the change invalidates — the question the
+/// incremental engine answers before re-analyzing. Both sides may be a
+/// study directory (each subdirectory a network) or a single network;
+/// same-named networks are diffed pairwise and routed through the
+/// router → owning-network invalidation map; networks present on only
+/// one side are touched by definition.
+fn diff_networks(dir: &str, other: &str) -> ExitCode {
+    let load = |d: &str| -> Result<Vec<(String, NetworkAnalysis)>, String> {
+        Ok(read_corpus_files(Path::new(d))?
+            .into_iter()
+            .map(|(name, files)| (name, NetworkAnalysis::from_bytes_list(files)))
+            .collect())
+    };
+    let (old_nets, new_nets) = match (load(dir), load(other)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("rdx: diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let map = routing_design::diff::invalidation_map(
+        old_nets.iter().map(|(name, a)| (name.as_str(), a)),
+    );
+    let new_by_name: std::collections::BTreeMap<&str, &NetworkAnalysis> =
+        new_nets.iter().map(|(name, a)| (name.as_str(), a)).collect();
+    let mut touched: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for (name, old_analysis) in &old_nets {
+        match new_by_name.get(name.as_str()) {
+            Some(new_analysis) => {
+                let diff = routing_design::DesignDiff::between(old_analysis, new_analysis);
+                if !diff.is_empty() {
+                    touched.insert(name.clone());
+                    touched.extend(routing_design::diff::networks_touched(&map, &diff));
+                }
+            }
+            // Network removed outright: everything it held is invalidated.
+            None => {
+                touched.insert(name.clone());
+            }
+        }
+    }
+    for (name, _) in &new_nets {
+        if !old_nets.iter().any(|(old_name, _)| old_name == name) {
+            touched.insert(name.clone());
+        }
+    }
+    if touched.is_empty() {
+        println!("no networks touched");
+    } else {
+        for name in &touched {
+            println!("{name}");
+        }
+    }
     ExitCode::SUCCESS
 }
 

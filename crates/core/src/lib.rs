@@ -48,6 +48,7 @@
 
 pub mod audit;
 pub mod diff;
+pub mod incremental;
 pub mod plan;
 pub mod report;
 pub mod snapshot;
@@ -107,6 +108,17 @@ pub struct NetworkAnalysis {
     /// the parse, when loaded through [`from_texts`] or [`from_dir`]).
     /// See `rdx --timings` and `repro --bench`.
     pub timings: StageTimings,
+    /// Raw-byte FNV-1a-64 hash of every input config file, in input
+    /// order — what the [`incremental`] delta engine compares to decide
+    /// whether this analysis is still current. Populated by the
+    /// byte-level loaders ([`from_bytes_list`], [`from_dir`],
+    /// [`from_texts`]); empty when built from an already-parsed
+    /// [`Network`] whose raw bytes never existed.
+    ///
+    /// [`from_bytes_list`]: NetworkAnalysis::from_bytes_list
+    /// [`from_dir`]: NetworkAnalysis::from_dir
+    /// [`from_texts`]: NetworkAnalysis::from_texts
+    pub file_hashes: Vec<(String, u64)>,
 }
 
 impl NetworkAnalysis {
@@ -194,6 +206,7 @@ impl NetworkAnalysis {
             design,
             diagnostics,
             timings: sw.finish(),
+            file_hashes: Vec::new(),
         }
     }
 
@@ -203,16 +216,9 @@ impl NetworkAnalysis {
     where
         I: IntoIterator<Item = (String, String)>,
     {
-        let started = std::time::Instant::now();
-        let network = {
-            let _span = rd_obs::span!("parse");
-            Network::from_texts(texts)?
-        };
-        let parse_time = started.elapsed();
-        rd_obs::metrics::record_peak_rss("parse");
-        let mut analysis = NetworkAnalysis::from_network(network);
-        analysis.timings.prepend("parse", parse_time);
-        Ok(analysis)
+        Ok(NetworkAnalysis::from_bytes_list(
+            texts.into_iter().map(|(name, text)| (name, text.into_bytes())).collect(),
+        ))
     }
 
     /// Parses and analyzes `(file_name, bytes)` pairs. Unlike
@@ -223,6 +229,10 @@ impl NetworkAnalysis {
     /// surviving routers.
     pub fn from_bytes_list(files: Vec<(String, Vec<u8>)>) -> NetworkAnalysis {
         let started = std::time::Instant::now();
+        let file_hashes: Vec<(String, u64)> = files
+            .iter()
+            .map(|(name, bytes)| (name.clone(), rd_snap::fnv1a64(bytes)))
+            .collect();
         let network = {
             let _span = rd_obs::span!("parse");
             Network::from_bytes_list(files)
@@ -231,6 +241,7 @@ impl NetworkAnalysis {
         rd_obs::metrics::record_peak_rss("parse");
         let mut analysis = NetworkAnalysis::from_network(network);
         analysis.timings.prepend("parse", parse_time);
+        analysis.file_hashes = file_hashes;
         analysis
     }
 
@@ -240,19 +251,10 @@ impl NetworkAnalysis {
         self.network.coverage.degraded()
     }
 
-    /// Loads and analyzes a directory of configuration files. Reading and
-    /// parsing together are recorded as the `"parse"` stage.
+    /// Loads and analyzes a directory of configuration files. Parsing is
+    /// recorded as the `"parse"` stage.
     pub fn from_dir(dir: &Path) -> Result<NetworkAnalysis, LoadError> {
-        let started = std::time::Instant::now();
-        let network = {
-            let _span = rd_obs::span!("parse");
-            Network::from_dir(dir)?
-        };
-        let parse_time = started.elapsed();
-        rd_obs::metrics::record_peak_rss("parse");
-        let mut analysis = NetworkAnalysis::from_network(network);
-        analysis.timings.prepend("parse", parse_time);
-        Ok(analysis)
+        Ok(NetworkAnalysis::from_bytes_list(read_dir_files(dir)?))
     }
 
     /// The route pathway graph for one router (Section 3.3).
@@ -323,6 +325,28 @@ impl NetworkAnalysis {
     pub fn pathway_text(&self, router: RouterId) -> String {
         routing_model::render::pathway_text(&self.pathway(router), &self.instances)
     }
+}
+
+/// Reads every plain file in `dir` as raw bytes, in file-name order —
+/// the exact input [`Network::from_dir`] feeds to the parser, factored
+/// out so the [`incremental`] engine reads through the same path.
+pub(crate) fn read_dir_files(dir: &Path) -> Result<Vec<(String, Vec<u8>)>, LoadError> {
+    let mut names: Vec<_> = std::fs::read_dir(dir)
+        .map_err(LoadError::Io)?
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().is_file())
+        .map(|e| e.path())
+        .collect();
+    names.sort();
+    let mut files = Vec::with_capacity(names.len());
+    for path in names {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        files.push((name, std::fs::read(&path).map_err(LoadError::Io)?));
+    }
+    Ok(files)
 }
 
 #[cfg(test)]

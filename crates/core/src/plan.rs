@@ -93,11 +93,55 @@ pub fn analyze_files(files: &CorpusFiles) -> StateFacts {
 
 /// Plans a safe migration between two in-memory corpora using the full
 /// analysis pipeline as the verifier.
+///
+/// Every intermediate state the search evaluates is some mix of
+/// `current` and `target` file versions, so each distinct
+/// `(file_name, content)` version is parsed **once** up front; the
+/// per-state analyses then assemble from the shared parse cache through
+/// the same [`nettopo::Network::from_parsed`] path a cold load uses —
+/// identical [`StateFacts`], a fraction of the parse work. The
+/// topology/routing-model stages still run per state (they are what the
+/// plan verifies).
 pub fn plan_corpora(
     current: &CorpusFiles,
     target: &CorpusFiles,
 ) -> Result<rd_plan::Plan, rd_plan::PlanError> {
-    rd_plan::plan(current, target, analyze_files)
+    // The file-version universe: every distinct (name, raw-FNV) pair
+    // either corpus contains, parsed once, in deterministic order.
+    let mut versions: BTreeMap<(String, u64), Vec<u8>> = BTreeMap::new();
+    for (name, bytes) in current.iter().chain(target.iter()) {
+        versions
+            .entry((name.clone(), rd_snap::fnv1a64(bytes)))
+            .or_insert_with(|| bytes.clone());
+    }
+    let inputs: Vec<(String, Vec<u8>)> =
+        versions.iter().map(|((name, _), bytes)| (name.clone(), bytes.clone())).collect();
+    let parsed = nettopo::Network::parse_files(&inputs);
+    let cache: BTreeMap<(String, u64), nettopo::PreparsedFile> =
+        versions.into_keys().zip(parsed).collect();
+    rd_obs::metrics::counter_add("incr.plan_versions_parsed", cache.len() as u64);
+
+    let analyze = move |files: &CorpusFiles| -> StateFacts {
+        let mut hashes = Vec::with_capacity(files.len());
+        let mut products = Vec::with_capacity(files.len());
+        for (name, bytes) in files {
+            let hash = rd_snap::fnv1a64(bytes);
+            match cache.get(&(name.clone(), hash)) {
+                Some(product) => products.push(product.clone()),
+                // Unreachable for states the planner materializes (they
+                // only combine current/target versions), but stay total.
+                None => products.extend(
+                    nettopo::Network::parse_files(&[(name.clone(), bytes.clone())]),
+                ),
+            }
+            hashes.push((name.clone(), hash));
+        }
+        let network = nettopo::Network::from_parsed(products);
+        let mut analysis = NetworkAnalysis::from_network(network);
+        analysis.file_hashes = hashes;
+        state_facts(&analysis)
+    };
+    rd_plan::plan(current, target, analyze)
 }
 
 #[cfg(test)]
@@ -142,5 +186,39 @@ mod tests {
         // and the RD_THREADS gate both lean on).
         let again = analyze_files(&files);
         assert_eq!(facts.routers, again.routers);
+    }
+
+    #[test]
+    fn cached_plan_matches_uncached_plan() {
+        let current = corpus(&[
+            (
+                "a.cfg",
+                "hostname alpha\n\
+                 interface Serial0\n ip address 10.0.0.1 255.255.255.252\n\
+                 router ospf 1\n network 10.0.0.0 0.255.255.255 area 0\n",
+            ),
+            (
+                "b.cfg",
+                "hostname beta\n\
+                 interface Serial0\n ip address 10.0.0.2 255.255.255.252\n\
+                 router ospf 1\n network 10.0.0.0 0.255.255.255 area 0\n",
+            ),
+        ]);
+        let mut target = current.clone();
+        // beta grows a loopback: one changed file version in the universe.
+        target[1].1.extend_from_slice(
+            b"interface Loopback0\n ip address 10.9.0.1 255.255.255.255\n",
+        );
+        // The shared-parse-cache path and the parse-per-state path must
+        // produce the same plan, step for step.
+        let cached = plan_corpora(&current, &target).expect("cached plan");
+        let uncached =
+            rd_plan::plan(&current, &target, analyze_files).expect("uncached plan");
+        // Everything but the wall-clock timings must agree.
+        let strip = |p: &rd_plan::Plan| {
+            let text = format!("{p:?}");
+            text.split(", timings: ").next().map(str::to_string).unwrap_or(text)
+        };
+        assert_eq!(strip(&cached), strip(&uncached));
     }
 }

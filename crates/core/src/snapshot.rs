@@ -29,6 +29,7 @@ pub fn capture(name: &str, analysis: NetworkAnalysis) -> NetworkSnapshot {
         table1: analysis.table1,
         design: analysis.design,
         diagnostics: analysis.diagnostics,
+        file_hashes: analysis.file_hashes,
     }
 }
 
@@ -50,6 +51,7 @@ pub fn capture_ref(name: &str, analysis: &NetworkAnalysis) -> NetworkSnapshot {
         table1: analysis.table1.clone(),
         design: analysis.design.clone(),
         diagnostics: analysis.diagnostics.clone(),
+        file_hashes: analysis.file_hashes.clone(),
     }
 }
 
@@ -71,12 +73,13 @@ pub fn restore(snap: NetworkSnapshot) -> NetworkAnalysis {
         design: snap.design,
         diagnostics: snap.diagnostics,
         timings: Default::default(),
+        file_hashes: snap.file_hashes,
     }
 }
 
 /// True when `dir` looks like a study directory (subdirectories holding
 /// config files) rather than a single network's config directory.
-fn is_study_dir(dir: &Path) -> bool {
+pub(crate) fn is_study_dir(dir: &Path) -> bool {
     let mut has_subdir_with_files = false;
     let mut has_plain_file = false;
     if let Ok(entries) = std::fs::read_dir(dir) {

@@ -6,7 +6,12 @@
 //! mtime/size sweep first, then per-router FNV fingerprints
 //! ([`crate::diff::config_fingerprint`]) so cosmetic churn (comments,
 //! whitespace, `!` separators) never triggers a rebuild — debounced so a
-//! mid-push partial state coalesces into one re-analysis. Analysis runs
+//! mid-push partial state coalesces into one re-analysis. Rebuilds run
+//! through the incremental delta engine
+//! ([`DeltaEngine`](crate::incremental::DeltaEngine)): only the networks
+//! the change actually touched are re-analyzed, every other network's
+//! encoded snapshot bytes splice through unchanged, and the output stays
+//! byte-identical to a cold run. Analysis runs
 //! in a failure-isolated worker: a panic, a parse failure, or an
 //! over-budget network ([`nettopo::error_budget`]) marks the attempt
 //! failed without touching the serving snapshot. Results persist through
@@ -39,6 +44,7 @@ use rd_serve::{Controller, HealthState, ServeOptions, Server, WatchStatus};
 use rd_snap::Corpus;
 
 use crate::diff::config_fingerprint;
+use crate::incremental::DeltaEngine;
 use crate::snapshot::snap_dir;
 
 /// Supervisor tuning knobs.
@@ -100,6 +106,11 @@ pub struct Watcher {
     ctrl: Controller,
     opts: WatchOptions,
     rng: StdRng,
+    /// The incremental re-analysis engine: rebuild ticks recompute only
+    /// the networks the debounced change actually touched and splice
+    /// every other network's snapshot bytes through unchanged
+    /// (`incr.*` metrics record the split).
+    engine: DeltaEngine,
     /// Cheap signature (names + sizes + mtimes) of the last scan;
     /// fingerprints are only recomputed when it moves.
     scan_sig: u64,
@@ -136,6 +147,7 @@ impl Watcher {
             snapshot_path: snapshot_path.to_path_buf(),
             ctrl,
             rng: StdRng::seed_from_u64(opts.seed ^ 0x77a7c8_57a7e5),
+            engine: DeltaEngine::new(dir),
             opts,
             scan_sig: 0,
             latest: BTreeMap::new(),
@@ -161,6 +173,15 @@ impl Watcher {
     /// the configs changed since.
     pub fn mark_boot_stale(&mut self) {
         self.published.clear();
+    }
+
+    /// Seeds the incremental engine from persisted snapshot container
+    /// bytes (the boot snapshot): the first rebuild tick then re-analyzes
+    /// only the networks whose config files no longer hash the way the
+    /// snapshot recorded. Returns false (and leaves the engine cold) when
+    /// the bytes do not decode.
+    pub fn seed_from_snapshot(&mut self, bytes: &[u8]) -> bool {
+        self.engine.seed_from_snapshot(bytes).is_ok()
     }
 
     /// Arms a one-shot injected panic inside the next analysis attempt —
@@ -267,18 +288,22 @@ impl Watcher {
         let _span = rd_obs::span!("watch.analyze");
         let attempt_prints = self.latest.clone();
         let inject_panic = std::mem::take(&mut self.inject_panic);
-        let dir = self.dir.clone();
 
         // The worker: anything it throws — an injected panic, a parser
         // bug, an allocation failure surfaced as panic — is caught here
         // and handled as a failed attempt. The daemon itself never dies.
+        // The delta engine recomputes only the networks the change
+        // touched and splices the rest through (it commits its cache
+        // only after a complete pass, so a panic here cannot leave it
+        // half-updated).
+        let engine = &mut self.engine;
         let result = catch_unwind(AssertUnwindSafe(|| {
             if inject_panic {
                 panic!("injected analysis panic");
             }
-            snap_dir(&dir)
+            engine.refresh()
         }));
-        let corpus = match result {
+        let (corpus, bytes) = match result {
             Err(payload) => {
                 rd_obs::metrics::counter_add("watch.analysis_panics", 1);
                 let what = payload
@@ -289,7 +314,8 @@ impl Watcher {
                 return self.fail(format!("analysis panicked: {what}"));
             }
             Ok(Err(e)) => return self.fail(format!("analysis failed: {e}")),
-            Ok(Ok(outcome)) => {
+            Ok(Ok(refresh)) => {
+                let outcome = refresh.outcome;
                 if !outcome.dropped.is_empty() {
                     // Over-budget parse damage: publishing would silently
                     // shrink the corpus. Keep last-good serving instead.
@@ -309,11 +335,10 @@ impl Watcher {
                     // of every router at once. Keep last-good.
                     return self.fail("analysis produced an empty corpus".to_string());
                 }
-                outcome.corpus
+                (outcome.corpus, refresh.bytes)
             }
         };
 
-        let bytes = corpus.to_bytes();
         let persisted = match self.inject_fault.take() {
             Some(fault) => {
                 rd_chaos::faulty_persist(&mut self.rng, fault, &self.snapshot_path, &bytes)
@@ -548,6 +573,12 @@ pub fn run_daemon(
     let mut watcher = Watcher::new(dir, snapshot_path, server.controller(), watch_opts);
     if boot_stale {
         watcher.mark_boot_stale();
+    }
+    // Both boot paths leave a valid snapshot at snapshot_path; seeding
+    // the delta engine from it means the first rebuild tick re-analyzes
+    // only the networks that actually changed since it was written.
+    if let Ok(bytes) = std::fs::read(snapshot_path) {
+        watcher.seed_from_snapshot(&bytes);
     }
     let supervisor = std::thread::Builder::new()
         .name("rdx-watch".to_string())

@@ -28,4 +28,4 @@ pub mod stats;
 pub use external::{ExternalAnalysis, IfaceClass, IfaceClasses, MissingRouterHint};
 pub use graph::RouterGraph;
 pub use link::{IfaceRef, Link, LinkKind, LinkMap};
-pub use network::{error_budget, Coverage, LoadError, Network, Router, RouterId};
+pub use network::{error_budget, Coverage, LoadError, Network, PreparsedFile, Router, RouterId};

@@ -151,9 +151,35 @@ impl From<std::io::Error> for LoadError {
 }
 
 /// Per-file outcome of the parallel lex + parse stage.
+#[derive(Clone)]
 enum FileOutcome {
     Parsed { config: Box<RouterConfig>, command_lines: usize, diags: Vec<rd_obs::Diagnostic> },
     Quarantined { diag: rd_obs::Diagnostic },
+}
+
+/// One file's parse product, decoupled from [`Network`] assembly: the
+/// result of the lex + parse worker for a single `(file_name, bytes)`
+/// input. [`Network::parse_files`] produces these and
+/// [`Network::from_parsed`] assembles them, which lets an incremental
+/// caller cache the products of unchanged files and re-parse only what a
+/// delta touched while building through the exact same assembly path as
+/// a cold load.
+#[derive(Clone)]
+pub struct PreparsedFile {
+    file_name: String,
+    outcome: FileOutcome,
+}
+
+impl PreparsedFile {
+    /// The input file this product came from.
+    pub fn file_name(&self) -> &str {
+        &self.file_name
+    }
+
+    /// True when the file was quarantined rather than parsed.
+    pub fn quarantined(&self) -> bool {
+        matches!(self.outcome, FileOutcome::Quarantined { .. })
+    }
 }
 
 fn quarantine_diag(file: &str, code: &'static str, message: String) -> rd_obs::Diagnostic {
@@ -198,10 +224,19 @@ impl Network {
     /// Corpora smaller than the `rd_par::cost_floor` (in total bytes)
     /// parse inline on the caller's thread; the output is identical.
     pub fn from_bytes_list(files: Vec<(String, Vec<u8>)>) -> Network {
+        Network::from_parsed(Network::parse_files(&files))
+    }
+
+    /// Runs the parallel lex + parse stage alone, yielding one
+    /// [`PreparsedFile`] per input in input order. A worker panic
+    /// becomes that file's `worker-panic` quarantine, exactly as in
+    /// [`from_bytes_list`](Network::from_bytes_list) (which is just
+    /// this stage followed by [`from_parsed`](Network::from_parsed)).
+    pub fn parse_files(files: &[(String, Vec<u8>)]) -> Vec<PreparsedFile> {
         // Cost = corpus bytes: tiny fixtures parse inline (thread setup
         // would dominate), real corpora fan out (see `rd_par::cost_floor`).
         let parse_cost: u64 = files.iter().map(|(_, b)| b.len() as u64).sum();
-        let outcomes = rd_par::try_par_map_cost(parse_cost, &files, |_, (file_name, bytes)| {
+        let outcomes = rd_par::try_par_map_cost(parse_cost, files, |_, (file_name, bytes)| {
             if bytes.is_empty() {
                 return FileOutcome::Quarantined {
                     diag: quarantine_diag(
@@ -251,19 +286,35 @@ impl Network {
                 },
             }
         });
-        let mut routers = Vec::with_capacity(files.len());
+        files
+            .iter()
+            .zip(outcomes)
+            .map(|((file_name, _), outcome)| {
+                let outcome = outcome.unwrap_or_else(|panic_msg| FileOutcome::Quarantined {
+                    diag: quarantine_diag(
+                        file_name,
+                        "worker-panic",
+                        format!("parse worker panicked: {panic_msg}; file quarantined"),
+                    ),
+                });
+                PreparsedFile { file_name: file_name.clone(), outcome }
+            })
+            .collect()
+    }
+
+    /// Assembles a network from per-file parse products, in their given
+    /// order. This is the assembly half of
+    /// [`from_bytes_list`](Network::from_bytes_list); callers that cache
+    /// [`PreparsedFile`]s (the incremental engine) splice cached and
+    /// fresh products together and get a network byte-for-byte identical
+    /// to a cold load of the same inputs.
+    pub fn from_parsed(parsed: Vec<PreparsedFile>) -> Network {
+        let mut routers = Vec::with_capacity(parsed.len());
         let mut diagnostics = rd_obs::Diagnostics::new();
-        let mut coverage = Coverage::full(files.len());
+        let mut coverage = Coverage::full(parsed.len());
         let mut total_lines = 0u64;
         let mut unrecognized = 0u64;
-        for ((file_name, _), outcome) in files.into_iter().zip(outcomes) {
-            let outcome = outcome.unwrap_or_else(|panic_msg| FileOutcome::Quarantined {
-                diag: quarantine_diag(
-                    &file_name,
-                    "worker-panic",
-                    format!("parse worker panicked: {panic_msg}; file quarantined"),
-                ),
-            });
+        for PreparsedFile { file_name, outcome } in parsed {
             match outcome {
                 FileOutcome::Parsed { config, command_lines, diags } => {
                     total_lines += command_lines as u64;

@@ -341,8 +341,10 @@ mod tests {
         let table: BTreeMap<String, StackStat> = table_snapshot().into_iter().collect();
         assert_eq!(table["outer;inner"].calls, 1, "{table:?}");
         // The ~3ms that ran on the worker was credited back: outer's self
-        // time must not include it.
-        assert!(table["outer"].self_us < 2_500, "{table:?}");
+        // time must not include it. Without crediting, self time would be
+        // the worker's sleep plus spawn/join overhead (>5.5ms); the bound
+        // leaves room for scheduler delay on a loaded host.
+        assert!(table["outer"].self_us < 5_000, "{table:?}");
 
         // Empty prefix is a passthrough (roots stay roots, nothing to
         // credit); folded output is sorted and zeroing blanks counts.

@@ -77,6 +77,7 @@ router bgp 65000
         table1,
         design,
         diagnostics,
+        file_hashes: Vec::new(),
     }
 }
 

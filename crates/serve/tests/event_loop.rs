@@ -74,6 +74,7 @@ router bgp 65000
         table1,
         design,
         diagnostics,
+        file_hashes: Vec::new(),
     }
 }
 

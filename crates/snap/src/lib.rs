@@ -22,17 +22,32 @@
 //! |          length  (varint) |  one section per network, sorted
 //! |          payload (bytes)  |  by network name
 //! +---------------------------+
+//! | manifest: count  (varint) |  per section: name (string),
+//! |   entries        (bytes)  |  absolute payload offset (varint),
+//! |                           |  payload length (varint)
+//! | manifest length  (8 B LE) |  fixed width, so the manifest is
+//! |                           |  locatable from the end of the file
+//! +---------------------------+
 //! | FNV-1a-64 checksum (8 B,  |  over every preceding byte
 //! |   little endian)          |
 //! +---------------------------+
 //! ```
 //!
 //! All multi-byte integers inside payloads are LEB128 varints (see
-//! [`codec`]); the only fixed-width field is the 8-byte checksum trailer.
-//! The loader validates magic, version and checksum before looking at any
-//! section, so truncation and bit rot are detected up front. Sections are
-//! length-prefixed, which lets a reader skip networks it does not care
-//! about without decoding them.
+//! [`codec`]); the only fixed-width fields are the 8-byte manifest length
+//! and the 8-byte checksum trailer. The loader validates magic, version
+//! and checksum before looking at any section, so truncation and bit rot
+//! are detected up front. Sections are length-prefixed, which lets a
+//! reader skip networks it does not care about without decoding them.
+//!
+//! The manifest footer ([`Manifest`]) indexes each section's payload by
+//! absolute byte range. It is purely structural — derivable from the
+//! sections themselves — so re-encoding a decoded corpus reproduces it
+//! byte for byte. Its purpose is incremental splicing: the delta engine
+//! copies an unchanged network's encoded bytes straight out of the
+//! previous container (located via the manifest) instead of re-encoding
+//! the network, and [`assemble_container`] glues pre-encoded payloads
+//! back into a valid container.
 //!
 //! The payload layout is *not* self-describing: it is pinned by
 //! [`FORMAT_VERSION`], which must be bumped whenever any `Snap`
@@ -58,7 +73,9 @@ pub const MAGIC: &[u8; 6] = b"RDSNAP";
 
 /// Current snapshot format version. Bump on any layout change.
 /// Version 2 added per-network corpus coverage (`nettopo::Coverage`).
-pub const FORMAT_VERSION: u16 = 2;
+/// Version 3 added the manifest footer (per-network section offsets)
+/// and per-network config file hashes (`NetworkSnapshot::file_hashes`).
+pub const FORMAT_VERSION: u16 = 3;
 
 /// Hard cap on the section count a reader will accept. Sections are one
 /// per network; no plausible corpus approaches this, so anything larger
@@ -105,6 +122,12 @@ pub struct NetworkSnapshot {
     pub design: DesignSummary,
     /// End-to-end pipeline diagnostics (parse + topology + design).
     pub diagnostics: rd_obs::Diagnostics,
+    /// Raw-byte FNV-1a-64 hash of each input config file, in the input
+    /// order the analysis consumed them. This is what lets a delta engine
+    /// decide, file by file, whether a restored network is still current
+    /// without re-reading any parse product. Empty for analyses built
+    /// from sources that never materialized raw bytes.
+    pub file_hashes: Vec<(String, u64)>,
 }
 
 impl Snap for NetworkSnapshot {
@@ -122,6 +145,7 @@ impl Snap for NetworkSnapshot {
         self.table1.encode(w);
         self.design.encode(w);
         self.diagnostics.encode(w);
+        self.file_hashes.encode(w);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
         Ok(NetworkSnapshot {
@@ -138,28 +162,42 @@ impl Snap for NetworkSnapshot {
             table1: Snap::decode(r)?,
             design: Snap::decode(r)?,
             diagnostics: Snap::decode(r)?,
+            file_hashes: Snap::decode(r)?,
         })
     }
 }
 
 /// A snapshotted corpus: one or more fully analyzed networks.
+///
+/// Networks are held behind [`Arc`] so a corpus clone — handing the same
+/// snapshot to a server, a watcher publish, or an incremental-refresh
+/// result — is a refcount bump per network, not a deep copy of every
+/// parsed structure. Snapshots are immutable once captured, so sharing
+/// is safe; encoding reads through the `Arc` and produces the same
+/// bytes as an owned corpus would.
 #[derive(Clone, Debug, Default)]
 pub struct Corpus {
     /// The networks, sorted by name (the encoder enforces the order, so
     /// equal corpora produce byte-identical snapshots).
-    pub networks: Vec<NetworkSnapshot>,
+    pub networks: Vec<std::sync::Arc<NetworkSnapshot>>,
 }
 
 impl Corpus {
     /// Builds a corpus, sorting networks into canonical (name) order.
-    pub fn new(mut networks: Vec<NetworkSnapshot>) -> Corpus {
+    pub fn new(networks: Vec<NetworkSnapshot>) -> Corpus {
+        Corpus::from_shared(networks.into_iter().map(std::sync::Arc::new).collect())
+    }
+
+    /// Builds a corpus from already-shared networks (no re-allocation),
+    /// sorting into canonical (name) order.
+    pub fn from_shared(mut networks: Vec<std::sync::Arc<NetworkSnapshot>>) -> Corpus {
         networks.sort_by(|a, b| a.name.cmp(&b.name));
         Corpus { networks }
     }
 
     /// Looks up a network by name.
     pub fn get(&self, name: &str) -> Option<&NetworkSnapshot> {
-        self.networks.iter().find(|n| n.name == name)
+        self.networks.iter().find(|n| n.name == name).map(|n| n.as_ref())
     }
 
     /// Serializes the corpus into the container format. Sections are
@@ -167,65 +205,33 @@ impl Corpus {
     /// (`RD_THREADS` applies); assembly order is canonical regardless,
     /// so the bytes never depend on the worker count.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut w = Writer::new();
-        w.raw(MAGIC);
-        w.u64(u64::from(FORMAT_VERSION));
         // Canonical order regardless of how the corpus was assembled.
         let mut order: Vec<usize> = (0..self.networks.len()).collect();
         order.sort_by(|&a, &b| self.networks[a].name.cmp(&self.networks[b].name));
-        w.u64(self.networks.len() as u64);
         let payloads = rd_par::par_map(&order, |_, &i| {
             let mut section = Writer::new();
             self.networks[i].encode(&mut section);
             section.into_bytes()
         });
-        for (&i, payload) in order.iter().zip(&payloads) {
-            w.string(&self.networks[i].name);
-            w.u64(payload.len() as u64);
-            w.raw(payload);
-        }
-        let mut bytes = w.into_bytes();
-        let sum = fnv1a64(&bytes);
-        bytes.extend_from_slice(&sum.to_le_bytes());
-        bytes
+        let sections: Vec<(&str, &[u8])> = order
+            .iter()
+            .zip(&payloads)
+            .map(|(&i, payload)| (self.networks[i].name.as_str(), payload.as_slice()))
+            .collect();
+        assemble_container(&sections)
     }
 
     /// Deserializes a corpus, validating magic, version and checksum.
     pub fn from_bytes(bytes: &[u8]) -> Result<Corpus, DecodeError> {
-        if bytes.len() < MAGIC.len() + 8 {
-            return Err(DecodeError::new("snapshot shorter than header + checksum"));
-        }
-        let (body, trailer) = bytes.split_at(bytes.len() - 8);
-        let mut trailer_bytes = [0u8; 8];
-        trailer_bytes.copy_from_slice(trailer);
-        let stored = u64::from_le_bytes(trailer_bytes);
-        let actual = fnv1a64(body);
-        if stored != actual {
-            return Err(DecodeError::new(format!(
-                "checksum mismatch: stored {stored:016x}, computed {actual:016x}"
-            )));
-        }
+        let body = validated_body(bytes)?;
         let mut r = Reader::new(body);
-        if r.raw(MAGIC.len())? != MAGIC {
-            return Err(DecodeError::new("bad magic: not an rd-snap file"));
-        }
-        let version = r.u64()?;
-        if version != u64::from(FORMAT_VERSION) {
-            return Err(DecodeError::new(format!(
-                "unsupported snapshot format version {version} (this tool reads {FORMAT_VERSION})"
-            )));
-        }
-        let count = r.len()?;
-        if count > MAX_SECTIONS {
-            return Err(DecodeError::new(format!(
-                "section count {count} exceeds hard cap {MAX_SECTIONS}"
-            )));
-        }
+        let count = read_header(&mut r)?;
         // First pass: slice out the (name, payload) frames sequentially —
         // cheap, no decoding. Second pass: decode section payloads in
         // parallel over `rd-par`; results come back in input order, so
         // the corpus is identical at any `RD_THREADS`.
         let mut sections = Vec::with_capacity(count);
+        let mut entries = Vec::with_capacity(count);
         for _ in 0..count {
             let name = r.string()?;
             let len = r.len()?;
@@ -234,13 +240,27 @@ impl Corpus {
                     "section '{name}' declares {len} bytes, over the {MAX_SECTION_BYTES} cap"
                 )));
             }
-            sections.push((name, r.raw(len)?));
+            let offset = r.position();
+            sections.push((name.clone(), r.raw(len)?));
+            entries.push(ManifestEntry { name, offset, len });
         }
-        if !r.is_at_end() {
+        // What remains must be exactly the manifest payload plus its
+        // 8-byte length field, and the manifest must agree with the
+        // frames just sliced — the splicing index is only trustworthy if
+        // it matches the data it indexes.
+        let declared = read_manifest_len(body)?;
+        if r.remaining() != declared + 8 {
             return Err(DecodeError::new(format!(
-                "{} trailing bytes after last section",
-                r.remaining()
+                "{} bytes between last section and manifest length field \
+                 (manifest declares {declared})",
+                r.remaining().saturating_sub(8),
             )));
+        }
+        let manifest = decode_manifest(r.raw(declared)?)?;
+        if manifest.entries != entries {
+            return Err(DecodeError::new(
+                "manifest does not match the section frames it indexes",
+            ));
         }
         let decoded = rd_par::par_map(&sections, |_, (name, payload)| {
             let mut pr = Reader::new(payload);
@@ -261,7 +281,7 @@ impl Corpus {
         });
         let mut networks = Vec::with_capacity(count);
         for result in decoded {
-            networks.push(result?);
+            networks.push(std::sync::Arc::new(result?));
         }
         Ok(Corpus { networks })
     }
@@ -301,6 +321,191 @@ impl Corpus {
         let bytes = self.to_bytes();
         trailer_of(&bytes).unwrap_or_default()
     }
+}
+
+/// One manifest entry: a section's name and the absolute byte range its
+/// encoded payload occupies in the container.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Section (network) name, matching the frame's name field.
+    pub name: String,
+    /// Absolute offset of the payload's first byte from the start of the
+    /// container.
+    pub offset: usize,
+    /// Payload length in bytes.
+    pub len: usize,
+}
+
+/// The per-section offset table stored as the container's footer.
+///
+/// Purely structural — [`Corpus::to_bytes`] regenerates it from the
+/// sections, so it never carries state of its own — but it lets a reader
+/// locate any network's encoded payload without walking the frames:
+/// [`Manifest::read`] validates only the checksum/magic/version and the
+/// footer itself, never decoding a section. The delta engine uses this
+/// to splice unchanged networks' bytes from a previous container, and
+/// `rdx snap --info` prints it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Manifest {
+    /// Entries in container (canonical name) order.
+    pub entries: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    /// Reads the manifest footer from full container bytes, validating
+    /// the checksum, magic, and version but decoding no section payload.
+    pub fn read(bytes: &[u8]) -> Result<Manifest, DecodeError> {
+        let body = validated_body(bytes)?;
+        let mut r = Reader::new(body);
+        let count = read_header(&mut r)?;
+        let declared = read_manifest_len(body)?;
+        let manifest_start = body
+            .len()
+            .checked_sub(8 + declared)
+            .filter(|&s| s >= r.position())
+            .ok_or_else(|| {
+                DecodeError::new("manifest length field overlaps the container header")
+            })?;
+        let manifest = decode_manifest(&body[manifest_start..body.len() - 8])?;
+        if manifest.entries.len() != count {
+            return Err(DecodeError::new(format!(
+                "manifest holds {} entries but the header declares {count} sections",
+                manifest.entries.len()
+            )));
+        }
+        for e in &manifest.entries {
+            let end = e.offset.checked_add(e.len);
+            if e.offset < MAGIC.len() || end.map_or(true, |end| end > manifest_start) {
+                return Err(DecodeError::new(format!(
+                    "manifest entry '{}' points outside the section region",
+                    e.name
+                )));
+            }
+        }
+        Ok(manifest)
+    }
+
+    /// The payload byte range of section `name`, sliced out of the same
+    /// container bytes the manifest was read from.
+    pub fn payload<'a>(&self, bytes: &'a [u8], name: &str) -> Option<&'a [u8]> {
+        let e = self.entries.iter().find(|e| e.name == name)?;
+        bytes.get(e.offset..e.offset + e.len)
+    }
+}
+
+/// Glues pre-encoded section payloads (already in canonical sorted name
+/// order) into a complete container: header, frames, manifest footer,
+/// checksum. [`Corpus::to_bytes`] is exactly this over freshly encoded
+/// payloads, so splicing a cached payload for an unchanged network
+/// produces bytes identical to a cold re-encode.
+pub fn assemble_container(sections: &[(&str, &[u8])]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.raw(MAGIC);
+    w.u64(u64::from(FORMAT_VERSION));
+    w.u64(sections.len() as u64);
+    let mut offsets = Vec::with_capacity(sections.len());
+    for (name, payload) in sections {
+        w.string(name);
+        w.u64(payload.len() as u64);
+        offsets.push(w.len());
+        w.raw(payload);
+    }
+    let mut m = Writer::new();
+    m.u64(sections.len() as u64);
+    for ((name, payload), offset) in sections.iter().zip(&offsets) {
+        m.string(name);
+        m.u64(*offset as u64);
+        m.u64(payload.len() as u64);
+    }
+    let manifest = m.into_bytes();
+    w.raw(&manifest);
+    let mut bytes = w.into_bytes();
+    bytes.extend_from_slice(&(manifest.len() as u64).to_le_bytes());
+    let sum = fnv1a64(&bytes);
+    bytes.extend_from_slice(&sum.to_le_bytes());
+    bytes
+}
+
+/// Validates the container's length and checksum, returning the body
+/// (everything before the 8-byte trailer).
+fn validated_body(bytes: &[u8]) -> Result<&[u8], DecodeError> {
+    if bytes.len() < MAGIC.len() + 8 {
+        return Err(DecodeError::new("snapshot shorter than header + checksum"));
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 8);
+    let mut trailer_bytes = [0u8; 8];
+    trailer_bytes.copy_from_slice(trailer);
+    let stored = u64::from_le_bytes(trailer_bytes);
+    let actual = fnv1a64(body);
+    if stored != actual {
+        return Err(DecodeError::new(format!(
+            "checksum mismatch: stored {stored:016x}, computed {actual:016x}"
+        )));
+    }
+    Ok(body)
+}
+
+/// Reads and validates the container header (magic, version, section
+/// count), leaving `r` positioned at the first section frame.
+fn read_header(r: &mut Reader<'_>) -> Result<usize, DecodeError> {
+    if r.raw(MAGIC.len())? != MAGIC {
+        return Err(DecodeError::new("bad magic: not an rd-snap file"));
+    }
+    let version = r.u64()?;
+    if version != u64::from(FORMAT_VERSION) {
+        return Err(DecodeError::new(format!(
+            "unsupported snapshot format version {version} (this tool reads {FORMAT_VERSION})"
+        )));
+    }
+    let count = r.len()?;
+    if count > MAX_SECTIONS {
+        return Err(DecodeError::new(format!(
+            "section count {count} exceeds hard cap {MAX_SECTIONS}"
+        )));
+    }
+    Ok(count)
+}
+
+/// Reads the fixed-width manifest length field from the last 8 bytes of
+/// the body, bounds-checked against the body itself.
+fn read_manifest_len(body: &[u8]) -> Result<usize, DecodeError> {
+    if body.len() < MAGIC.len() + 8 {
+        return Err(DecodeError::new("container too short for a manifest length field"));
+    }
+    let mut field = [0u8; 8];
+    field.copy_from_slice(&body[body.len() - 8..]);
+    let declared = u64::from_le_bytes(field);
+    usize::try_from(declared)
+        .ok()
+        .filter(|&d| d + 8 <= body.len())
+        .ok_or_else(|| {
+            DecodeError::new(format!("manifest length {declared} exceeds the container"))
+        })
+}
+
+/// Decodes the manifest payload (count + entries).
+fn decode_manifest(payload: &[u8]) -> Result<Manifest, DecodeError> {
+    let mut r = Reader::new(payload);
+    let count = r.len()?;
+    if count > MAX_SECTIONS {
+        return Err(DecodeError::new(format!(
+            "manifest entry count {count} exceeds hard cap {MAX_SECTIONS}"
+        )));
+    }
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name = r.string()?;
+        let offset = r.usize()?;
+        let len = r.usize()?;
+        entries.push(ManifestEntry { name, offset, len });
+    }
+    if !r.is_at_end() {
+        return Err(DecodeError::new(format!(
+            "{} trailing bytes after the manifest entries",
+            r.remaining()
+        )));
+    }
+    Ok(Manifest { entries })
 }
 
 /// Extracts the stored FNV-1a-64 trailer from raw snapshot bytes without
@@ -453,6 +658,10 @@ router bgp 65000
             &table1,
         );
         let diagnostics = network.diagnostics.clone();
+        let file_hashes = vec![
+            ("config1".to_string(), fnv1a64(r1.as_bytes())),
+            ("config2".to_string(), fnv1a64(r2.as_bytes())),
+        ];
         NetworkSnapshot {
             name: name.to_string(),
             network,
@@ -467,6 +676,7 @@ router bgp 65000
             table1,
             design,
             diagnostics,
+            file_hashes,
         }
     }
 
@@ -545,7 +755,61 @@ router bgp 65000
     #[test]
     fn empty_corpus_roundtrip() {
         let corpus = Corpus::default();
-        let restored = Corpus::from_bytes(&corpus.to_bytes()).unwrap();
+        let bytes = corpus.to_bytes();
+        let restored = Corpus::from_bytes(&bytes).unwrap();
         assert!(restored.networks.is_empty());
+        let manifest = Manifest::read(&bytes).expect("empty manifest reads");
+        assert!(manifest.entries.is_empty());
+    }
+
+    #[test]
+    fn manifest_indexes_every_section() {
+        let corpus = Corpus::new(vec![tiny_snapshot("beta"), tiny_snapshot("alpha")]);
+        let bytes = corpus.to_bytes();
+        let manifest = Manifest::read(&bytes).expect("manifest reads");
+        assert_eq!(manifest.entries.len(), 2);
+        assert_eq!(manifest.entries[0].name, "alpha");
+        assert_eq!(manifest.entries[1].name, "beta");
+        // Each entry's byte range decodes to exactly its network.
+        for e in &manifest.entries {
+            let payload = manifest.payload(&bytes, &e.name).expect("payload slice");
+            assert_eq!(payload.len(), e.len);
+            let mut r = Reader::new(payload);
+            let net = NetworkSnapshot::decode(&mut r).expect("payload decodes");
+            assert_eq!(net.name, e.name);
+            assert!(r.is_at_end());
+        }
+    }
+
+    #[test]
+    fn spliced_container_is_byte_identical() {
+        // Reassembling from manifest-located payload slices reproduces
+        // the container exactly — the property the delta engine's
+        // unchanged-network splicing rests on.
+        let corpus = Corpus::new(vec![tiny_snapshot("beta"), tiny_snapshot("alpha")]);
+        let bytes = corpus.to_bytes();
+        let manifest = Manifest::read(&bytes).expect("manifest reads");
+        let sections: Vec<(&str, &[u8])> = manifest
+            .entries
+            .iter()
+            .map(|e| (e.name.as_str(), manifest.payload(&bytes, &e.name).expect("slice")))
+            .collect();
+        assert_eq!(assemble_container(&sections), bytes);
+    }
+
+    #[test]
+    fn tampered_manifest_rejected() {
+        let corpus = Corpus::new(vec![tiny_snapshot("alpha")]);
+        let bytes = corpus.to_bytes();
+        let manifest_len = read_manifest_len(&bytes[..bytes.len() - 8]).expect("length");
+        // Flip a byte inside the manifest region and re-checksum: the
+        // frames still decode, but the index no longer matches them.
+        let mut tampered = bytes.clone();
+        let body_len = tampered.len() - 8;
+        let in_manifest = body_len - 8 - manifest_len + 2;
+        tampered[in_manifest] ^= 0x01;
+        let sum = fnv1a64(&tampered[..body_len]).to_le_bytes();
+        tampered[body_len..].copy_from_slice(&sum);
+        assert!(Corpus::from_bytes(&tampered).is_err(), "tampered manifest must not decode");
     }
 }

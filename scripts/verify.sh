@@ -15,8 +15,8 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> clippy: no unwrap() in input-facing crates (ioscfg, rd-snap, rd-serve, nettopo, rd-plan, rd-chaos, rd-bench)"
-cargo clippy -q -p ioscfg -p rd-snap -p rd-serve -p nettopo -p rd-plan -p rd-chaos -p rd-bench -- -D clippy::unwrap_used
+echo "==> clippy: no unwrap() in input-facing crates (ioscfg, rd-snap, rd-serve, nettopo, rd-plan, rd-chaos, rd-bench, rd-par, rd-obs)"
+cargo clippy -q -p ioscfg -p rd-snap -p rd-serve -p nettopo -p rd-plan -p rd-chaos -p rd-bench -p rd-par -p rd-obs -- -D clippy::unwrap_used
 echo "    ok"
 
 echo "==> repro --small all (offline reproduction smoke test)"
@@ -284,6 +284,45 @@ grep -q '"violation": {' /tmp/rd_verify_plan_t1.json \
     --check | sed 's/^/    /'
 rm -rf /tmp/rd_verify_plan /tmp/rd_verify_plan_t1.json /tmp/rd_verify_plan_t4.json
 echo "    plan bytes identical at RD_THREADS=1 and 4; every step re-verified"
+
+echo "==> incremental re-analysis: delta refresh byte-identical to cold, within the cold wall"
+./target/release/emit_study /tmp/rd_verify_incr --small > /dev/null 2>&1
+T0=$(date +%s%N)
+./target/release/rdx snap /tmp/rd_verify_incr -o /tmp/rd_verify_incr_cold.rdsnap > /dev/null
+T1=$(date +%s%N)
+COLD_MS=$(( (T1 - T0) / 1000000 ))
+./target/release/rdx snap --info /tmp/rd_verify_incr_cold.rdsnap \
+    > /tmp/rd_verify_incr_info.txt
+grep -q "(manifest)" /tmp/rd_verify_incr_info.txt \
+    || { echo "snap --info printed no manifest row" >&2; exit 1; }
+# One-router change: the delta refresh must reuse the other 30 networks,
+# and its output must be byte-identical to a cold re-run.
+printf 'interface Loopback99\n ip address 10.99.0.1 255.255.255.255\n' \
+    >> /tmp/rd_verify_incr/net15/config1
+T0=$(date +%s%N)
+./target/release/rdx snap /tmp/rd_verify_incr -o /tmp/rd_verify_incr_delta.rdsnap \
+    --from /tmp/rd_verify_incr_cold.rdsnap > /dev/null 2> /tmp/rd_verify_incr_out.txt
+T1=$(date +%s%N)
+INCR_MS=$(( (T1 - T0) / 1000000 ))
+# A snapshot-seeded engine holds no parse products, so the one changed
+# network re-parses whole — but the other 30 must splice through.
+grep -q "incremental: 30 network(s) reused, 1 recomputed," \
+    /tmp/rd_verify_incr_out.txt \
+    || { echo "delta refresh did not reuse 30 of 31 networks" >&2; exit 1; }
+./target/release/rdx snap /tmp/rd_verify_incr -o /tmp/rd_verify_incr_cold2.rdsnap > /dev/null
+cmp /tmp/rd_verify_incr_delta.rdsnap /tmp/rd_verify_incr_cold2.rdsnap
+# Wall guard, deliberately lenient against machine noise: a one-router
+# refresh must not cost more than the cold run it replaces (the bench
+# records the real speedup; this only catches the delta path degrading
+# into a second cold path).
+[ "$INCR_MS" -le "$COLD_MS" ] || {
+    echo "one-router delta refresh (${INCR_MS} ms) slower than cold run (${COLD_MS} ms)" >&2
+    exit 1
+}
+rm -rf /tmp/rd_verify_incr /tmp/rd_verify_incr_cold.rdsnap \
+    /tmp/rd_verify_incr_cold2.rdsnap /tmp/rd_verify_incr_delta.rdsnap \
+    /tmp/rd_verify_incr_out.txt /tmp/rd_verify_incr_info.txt
+echo "    delta snapshot byte-identical to cold re-run; ${INCR_MS} ms vs ${COLD_MS} ms cold"
 
 rm -rf /tmp/rd_verify_study /tmp/rd_verify.rdsnap /tmp/rd_verify_serve.txt \
     /tmp/rd_verify_served.json /tmp/rd_verify_direct.json

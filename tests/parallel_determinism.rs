@@ -339,3 +339,59 @@ fn watch_publishes_identical_bodies_at_any_thread_count() {
     assert_eq!(snap_1, snap_4, "persisted snapshot differs by thread count");
     assert_ne!(before_1, after_1, "the scripted mutation must change the served body");
 }
+
+/// The incremental refresh path must be just as thread-count-invariant as
+/// the cold path: a delta-engine refresh after a one-router edit produces
+/// the same bytes at `RD_THREADS=1` and `4`, and those bytes match a cold
+/// re-run of the directory. (Only snapshot bytes are compared — the
+/// `incr.last_wall_us` gauge is wall-clock-based, so metric dumps from
+/// this path are never byte-comparable.)
+#[test]
+fn incremental_refresh_matches_cold_at_any_thread_count() {
+    let _env = ENV_LOCK.lock().expect("env lock");
+
+    const RC: &str = "hostname rc\ninterface Ethernet0\n ip address 10.1.0.1 255.255.255.0\n\
+                      router ospf 1\n network 10.1.0.0 0.0.0.255 area 0\n";
+    const RD: &str = "hostname rd\ninterface Ethernet0\n ip address 10.2.0.1 255.255.255.0\n\
+                      router bgp 65000\n neighbor 10.2.0.2 remote-as 65001\n";
+
+    let run = |threads: &str| -> (Vec<u8>, Vec<u8>) {
+        std::env::set_var(rd_par::THREADS_ENV, threads);
+        let base = std::env::temp_dir()
+            .join(format!("rd-incr-det-{}-t{threads}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let net_a = base.join("netA");
+        let net_b = base.join("netB");
+        std::fs::create_dir_all(&net_a).expect("netA dir");
+        std::fs::create_dir_all(&net_b).expect("netB dir");
+        std::fs::write(net_a.join("rc.cfg"), RC).expect("rc.cfg");
+        std::fs::write(net_b.join("rd.cfg"), RD).expect("rd.cfg");
+
+        let mut engine = routing_design::incremental::DeltaEngine::new(&base);
+        let first = engine.refresh().expect("initial refresh").bytes;
+        std::fs::write(
+            net_a.join("rc.cfg"),
+            format!("{RC}router ospf 9\n network 10.9.0.0 0.0.0.255 area 0\n"),
+        )
+        .expect("mutate rc.cfg");
+        let second = engine.refresh().expect("incremental refresh").bytes;
+        let cold = routing_design::snapshot::snap_dir(&base)
+            .expect("cold run")
+            .corpus
+            .to_bytes();
+        assert_eq!(
+            second, cold,
+            "incremental refresh diverges from cold run at RD_THREADS={threads}"
+        );
+        let _ = std::fs::remove_dir_all(&base);
+        (first, second)
+    };
+
+    let (first_1, second_1) = run("1");
+    let (first_4, second_4) = run("4");
+    std::env::remove_var(rd_par::THREADS_ENV);
+
+    assert_eq!(first_1, first_4, "initial refresh bytes differ by thread count");
+    assert_eq!(second_1, second_4, "post-edit refresh bytes differ by thread count");
+    assert_ne!(first_1, second_1, "the edit must change the snapshot");
+}

@@ -62,6 +62,7 @@ fn snapshot_reload_reproduces_reports_without_parsing() {
     assert_eq!(corpus.networks.len(), direct.len());
     for snap in corpus.networks {
         let name = snap.name.clone();
+        let snap = std::sync::Arc::try_unwrap(snap).unwrap_or_else(|a| (*a).clone());
         let analysis = snapshot::restore(snap);
         let rendered = render(&name, &analysis);
         let expected = direct.get(&name).expect("network present in direct run");
